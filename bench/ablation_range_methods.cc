@@ -1,0 +1,94 @@
+// §9.1 range-predicate methods head to head: equal-width binning (what the
+// paper's experiments use) versus dyadic decomposition. Binning pays a
+// resolution error on range edges; dyadic pays η× insertions and larger
+// sketches but answers ranges exactly (up to sketch collisions).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "ccf/ccf.h"
+#include "ccf/range_ccf.h"
+#include "predicate/range_binning.h"
+#include "util/random.h"
+
+int main() {
+  using namespace ccf;
+  bench::Banner("Ablation", "range predicates: binning (§9.1) vs dyadic (§9.1 alt)");
+
+  constexpr uint64_t kKeys = 4000;
+  constexpr int64_t kDomainHi = 1023;
+  Rng data_rng(4);
+  std::vector<uint64_t> value_of(kKeys);
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    value_of[k] = data_rng.NextBelow(kDomainHi + 1);
+  }
+
+  // Method 1: binning into 16 bins.
+  auto binner = RangeBinner::Make(0, kDomainHi, 16).ValueOrDie();
+  CcfConfig bin_config;
+  bin_config.num_buckets = 2048;
+  bin_config.num_attrs = 1;
+  bin_config.attr_fp_bits = 8;
+  bin_config.salt = 7;
+  auto binned = ConditionalCuckooFilter::Make(CcfVariant::kChained, bin_config)
+                    .ValueOrDie();
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    std::vector<uint64_t> attrs = {
+        binner.BinOf(static_cast<int64_t>(value_of[k]))};
+    binned->Insert(k, attrs).Abort();
+  }
+
+  // Method 2: dyadic levels 0..10.
+  CcfConfig dy_config = bin_config;
+  dy_config.num_buckets = 32768;  // η = 11 insertions per row
+  dy_config.attr_fp_bits = 12;
+  auto dyadic =
+      RangeCcf::Make(CcfVariant::kChained, dy_config, 0, 10).ValueOrDie();
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    std::vector<uint64_t> attrs = {value_of[k]};
+    dyadic.Insert(k, attrs).Abort();
+  }
+
+  // Random range queries; measure FPR against ground truth.
+  Rng query_rng(11);
+  uint64_t bin_fp = 0, dy_fp = 0, negatives = 0, bin_fn = 0, dy_fn = 0;
+  constexpr int kQueries = 20000;
+  for (int q = 0; q < kQueries; ++q) {
+    uint64_t key = query_rng.NextBelow(kKeys);
+    int64_t lo = static_cast<int64_t>(query_rng.NextBelow(kDomainHi));
+    int64_t hi = lo + static_cast<int64_t>(query_rng.NextBelow(
+                          static_cast<uint64_t>(kDomainHi - lo) + 1));
+    bool truth = value_of[key] >= static_cast<uint64_t>(lo) &&
+                 value_of[key] <= static_cast<uint64_t>(hi);
+    bool bin_ans =
+        binned->Contains(key, binner.RangePredicate(0, lo, hi));
+    bool dy_ans = dyadic.ContainsInRange(key, static_cast<uint64_t>(lo),
+                                         static_cast<uint64_t>(hi));
+    if (truth) {
+      if (!bin_ans) ++bin_fn;
+      if (!dy_ans) ++dy_fn;
+    } else {
+      ++negatives;
+      if (bin_ans) ++bin_fp;
+      if (dy_ans) ++dy_fp;
+    }
+  }
+
+  std::printf("%-10s %12s %12s %14s\n", "method", "FPR", "false_negs",
+              "size_bits");
+  std::printf("%-10s %12.4f %12llu %14llu\n", "binning",
+              static_cast<double>(bin_fp) / static_cast<double>(negatives),
+              static_cast<unsigned long long>(bin_fn),
+              static_cast<unsigned long long>(binned->SizeInBits()));
+  std::printf("%-10s %12.4f %12llu %14llu\n", "dyadic",
+              static_cast<double>(dy_fp) / static_cast<double>(negatives),
+              static_cast<unsigned long long>(dy_fn),
+              static_cast<unsigned long long>(dyadic.SizeInBits()));
+  std::printf(
+      "\nExpected: zero false negatives for both (the §9.1 guarantee).\n"
+      "Binning pays edge-bin resolution error; dyadic pays η× entries,\n"
+      "which multiplies collision exposure AND sketch size — at these\n"
+      "settings binning wins on both, which is why the paper's experiments\n"
+      "use \"the simpler binning approach\" (§9.1).\n");
+  return 0;
+}

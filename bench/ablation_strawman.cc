@@ -1,0 +1,71 @@
+// §5's motivating comparison: the Conditional Cuckoo Filter versus the
+// naive alternative of one prebuilt filter per predicate value ("such a
+// strategy would grow exponentially in size"). Sweeps column cardinality
+// and reports total size + FPR for both, plus the filter count the
+// strawman must materialize.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "ccf/ccf.h"
+#include "ccf/per_value_filters.h"
+#include "util/random.h"
+
+int main() {
+  using namespace ccf;
+  bench::Banner("Ablation",
+                "CCF vs one-filter-per-predicate-value strawman (§5)");
+
+  constexpr uint64_t kKeys = 20000;
+  std::printf("%12s %10s %14s %14s %10s %10s\n", "cardinality", "filters",
+              "strawman_KB", "ccf_KB", "straw_fpr", "ccf_fpr");
+  for (uint64_t cardinality : {4ull, 64ull, 1024ull, 16384ull}) {
+    Rng rng(7);
+    std::vector<uint64_t> keys;
+    std::vector<std::vector<uint64_t>> attrs;
+    for (uint64_t k = 0; k < kKeys; ++k) {
+      keys.push_back(k);
+      attrs.push_back({rng.NextBelow(cardinality)});
+    }
+
+    auto bank = PerValueFilterBank::Build(1, 12, keys, attrs).ValueOrDie();
+
+    CcfConfig config;
+    config.num_buckets = 8192;
+    config.num_attrs = 1;
+    config.attr_fp_bits = 8;
+    config.salt = 7;
+    auto ccf = ConditionalCuckooFilter::Make(CcfVariant::kChained, config)
+                   .ValueOrDie();
+    for (size_t i = 0; i < keys.size(); ++i) {
+      ccf->Insert(keys[i], attrs[i]).Abort();
+    }
+
+    // FPR: present key, wrong value from the same domain.
+    uint64_t straw_fp = 0, ccf_fp = 0, probes = 0;
+    for (uint64_t k = 0; k < kKeys; k += 4) {
+      uint64_t wrong = (attrs[k][0] + 1 + (k % (cardinality - 1))) %
+                       cardinality;
+      if (wrong == attrs[k][0]) wrong = (wrong + 1) % cardinality;
+      Predicate pred = Predicate::Equals(0, wrong);
+      if (*bank.Contains(k, pred)) ++straw_fp;
+      if (ccf->Contains(k, pred)) ++ccf_fp;
+      ++probes;
+    }
+
+    std::printf("%12llu %10zu %14.1f %14.1f %10.4f %10.4f\n",
+                static_cast<unsigned long long>(cardinality),
+                bank.num_filters(),
+                static_cast<double>(bank.SizeInBits()) / 8 / 1024,
+                static_cast<double>(ccf->SizeInBits()) / 8 / 1024,
+                static_cast<double>(straw_fp) / static_cast<double>(probes),
+                static_cast<double>(ccf_fp) / static_cast<double>(probes));
+  }
+  std::printf(
+      "\nExpected: the strawman's filter count tracks cardinality (and\n"
+      "multiplies across columns for conjunctions); the CCF's size is a\n"
+      "single table regardless. The strawman's FPR is lower (it is exact\n"
+      "per value up to fingerprint collisions) — the CCF trades a small\n"
+      "FPR for cardinality-independent size, which is the point of §5.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Shared helpers for the experiment binaries: environment-controlled scale
+// knobs and aligned table printing. Each bench regenerates one table or
+// figure of the paper (see DESIGN.md's per-experiment index).
+#ifndef CCF_BENCH_BENCH_UTIL_H_
+#define CCF_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace ccf::bench {
+
+/// Dataset scale as a fraction of full IMDB. CCF_BENCH_SCALE is the
+/// denominator: 64 → 1/64 of the paper's row counts.
+inline double ScaleFromEnv(double default_denominator) {
+  if (const char* s = std::getenv("CCF_BENCH_SCALE")) {
+    double d = std::atof(s);
+    if (d >= 1.0) return 1.0 / d;
+  }
+  return 1.0 / default_denominator;
+}
+
+/// Number of repetitions (random salts) for averaged experiments.
+inline int RunsFromEnv(int default_runs) {
+  if (const char* s = std::getenv("CCF_BENCH_RUNS")) {
+    int r = std::atoi(s);
+    if (r >= 1) return r;
+  }
+  return default_runs;
+}
+
+/// Prints the experiment banner.
+inline void Banner(const std::string& id, const std::string& what) {
+  std::printf("==================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), what.c_str());
+  std::printf("==================================================================\n");
+}
+
+inline double Mb(uint64_t bits) {
+  return static_cast<double>(bits) / 8.0 / 1024.0 / 1024.0;
+}
+
+}  // namespace ccf::bench
+
+#endif  // CCF_BENCH_BENCH_UTIL_H_

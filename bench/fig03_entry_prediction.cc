@@ -1,0 +1,55 @@
+// Figure 3: predicted number of filled entries (Table 1 / §8 formulas,
+// computed from the data's duplicate profile) versus the actual number of
+// occupied entries after building each table's CCF — for the Bloom, Chained,
+// and Mixed variants over the synthetic IMDB tables.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "ccf/sizing.h"
+#include "data/imdb_synth.h"
+#include "join/ccf_builder.h"
+
+int main() {
+  using namespace ccf;
+  double scale = bench::ScaleFromEnv(256);
+  bench::Banner("Figure 3", "predicted vs actual # of filled entries");
+  ImdbDataset dataset = GenerateImdb(scale, 42).ValueOrDie();
+
+  std::printf("%-16s %-8s %12s %12s %8s\n", "table", "variant", "predicted",
+              "actual", "ratio");
+  for (CcfVariant variant :
+       {CcfVariant::kBloom, CcfVariant::kChained, CcfVariant::kMixed}) {
+    for (const TableData& td : dataset.tables) {
+      CcfBuildParams params = SmallParams(variant);
+      auto built_or = BuildCcf(td, params);
+      if (!built_or.ok()) {
+        std::printf("%-16s %-8s %12s %12s %8s\n", td.spec.name.c_str(),
+                    std::string(CcfVariantName(variant)).c_str(), "-",
+                    "build failed", "-");
+        continue;
+      }
+      BuiltCcf built = std::move(built_or).ValueOrDie();
+
+      // Recompute the §8 prediction from the duplicate profile the builder
+      // used (distinct attribute vectors per key).
+      std::vector<uint64_t> dupes = DistinctDupesPerKey(
+          td.table, td.spec.key_column, td.spec.predicate_columns[0]);
+      DuplicateProfile profile = DuplicateProfile::FromCounts(
+          dupes, built.filter->config().max_dupes,
+          built.filter->config().max_chain);
+      double predicted =
+          PredictedEntries(variant, profile, built.filter->config());
+      double actual = static_cast<double>(built.filter->num_entries());
+      std::printf("%-16s %-8s %12.0f %12.0f %8.3f\n", td.spec.name.c_str(),
+                  std::string(CcfVariantName(variant)).c_str(), predicted,
+                  actual, predicted > 0 ? actual / predicted : 0.0);
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper): points hug the diagonal — the prediction is\n"
+      "a tight upper bound (ratio ≤ 1, close to 1). Note multi-attribute\n"
+      "tables (title, movie_companies) can exceed the single-column profile\n"
+      "slightly since distinct VECTORS outnumber distinct first-column\n"
+      "values.\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Figure 4: load factor at the first failed insertion, plain (multiset
+// cuckoo filter) vs chained CCF, for b ∈ {4, 6, 8}, under constant and
+// truncated Zipf-Mandelbrot (c = 2.7, domain [1, 500]) duplicate counts.
+// Setup per §10.1: d = 3, Lmax = ∞ (uncapped), input ≈ 20% larger than
+// capacity, items randomly permuted, averaged over runs with random salts.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "ccf/ccf.h"
+#include "cuckoo/cuckoo_filter.h"
+#include "data/zipf.h"
+#include "util/random.h"
+
+namespace ccf {
+namespace {
+
+struct Item {
+  uint64_t key;
+  uint64_t attr;  // duplicate index → distinct attribute per copy
+};
+
+// Duplicate-count streams: every key `mean` copies (constant) or
+// Zipf-Mandelbrot with that mean.
+std::vector<Item> MakeItems(const std::string& dist, double mean,
+                            uint64_t total, Rng& rng) {
+  std::vector<Item> items;
+  items.reserve(total);
+  uint64_t key = 0;
+  if (dist == "constant") {
+    uint64_t copies = static_cast<uint64_t>(mean);
+    while (items.size() < total) {
+      ++key;
+      for (uint64_t c = 0; c < copies && items.size() < total; ++c) {
+        items.push_back({key, c});
+      }
+    }
+  } else {
+    double alpha = ZipfMandelbrot::AlphaForMean(mean, 2.7, 500).ValueOrDie();
+    auto dup = ZipfMandelbrot::Make(alpha, 2.7, 500).ValueOrDie();
+    while (items.size() < total) {
+      ++key;
+      uint64_t copies = dup.Sample(rng);
+      for (uint64_t c = 0; c < copies && items.size() < total; ++c) {
+        items.push_back({key, c});
+      }
+    }
+  }
+  rng.Shuffle(items);
+  return items;
+}
+
+// Inserts until the first failure; returns the load factor at that point.
+double RunPlain(const std::vector<Item>& items, int b, uint64_t salt) {
+  CuckooFilterConfig config;
+  config.num_buckets = 1024;
+  config.slots_per_bucket = b;
+  config.fingerprint_bits = 12;
+  config.salt = salt;
+  config.multiset = true;
+  auto filter = CuckooFilter::Make(config).ValueOrDie();
+  for (const Item& item : items) {
+    if (!filter.Insert(item.key).ok()) break;
+  }
+  return filter.LoadFactor();
+}
+
+double RunChained(const std::vector<Item>& items, int b, uint64_t salt) {
+  CcfConfig config;
+  config.num_buckets = 1024;
+  config.slots_per_bucket = b;
+  config.key_fp_bits = 12;
+  config.attr_fp_bits = 8;
+  config.num_attrs = 1;
+  config.max_dupes = 3;
+  config.max_chain = 0;  // Lmax = ∞
+  config.salt = salt;
+  auto ccf =
+      ConditionalCuckooFilter::Make(CcfVariant::kChained, config).ValueOrDie();
+  for (const Item& item : items) {
+    std::vector<uint64_t> attrs = {item.attr};
+    if (!ccf->Insert(item.key, attrs).ok()) break;
+  }
+  return ccf->LoadFactor();
+}
+
+}  // namespace
+}  // namespace ccf
+
+int main() {
+  using namespace ccf;
+  int runs = bench::RunsFromEnv(5);
+  bench::Banner("Figure 4",
+                "load factor at first failed insertion (plain vs chained)");
+  std::printf("%-9s %2s %10s %8s %22s\n", "dist", "b", "avg_dupes", "type",
+              "load_factor_at_failure");
+  for (const std::string dist : {"constant", "zipf"}) {
+    for (int b : {4, 6, 8}) {
+      for (double mean : {1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0}) {
+        double plain_sum = 0, chained_sum = 0;
+        for (int r = 0; r < runs; ++r) {
+          Rng rng(static_cast<uint64_t>(r) * 7919 + 13);
+          uint64_t capacity = 1024 * static_cast<uint64_t>(b);
+          auto items = MakeItems(dist, mean, capacity * 12 / 10, rng);
+          plain_sum += RunPlain(items, b, static_cast<uint64_t>(r) + 1);
+          chained_sum += RunChained(items, b, static_cast<uint64_t>(r) + 1);
+        }
+        std::printf("%-9s %2d %10.1f %8s %22.3f\n", dist.c_str(), b, mean,
+                    "plain", plain_sum / runs);
+        std::printf("%-9s %2d %10.1f %8s %22.3f\n", dist.c_str(), b, mean,
+                    "chained", chained_sum / runs);
+      }
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper): chained stays flat (≈0.75 at b=4, ≈0.87 at\n"
+      "b=6); plain collapses as duplicates grow, catastrophically on zipf.\n");
+  return 0;
+}

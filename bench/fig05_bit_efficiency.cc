@@ -1,0 +1,138 @@
+// Figure 5: bit efficiency of the chained CCF versus fill %, for
+// d = maxDupe ∈ {2, 4, 6, 8, 10}, under constant and Zipf-Mandelbrot
+// duplicates. Efficiency := sketch bits / (n · log2(1/ρ)) (eq. 8), with ρ
+// the measured key-only FPR and n the total number of keys inserted.
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "ccf/ccf.h"
+#include "cuckoo/cuckoo_filter.h"
+#include "cuckoo/semisort_filter.h"
+#include "data/zipf.h"
+#include "util/random.h"
+
+namespace ccf {
+namespace {
+
+double MeasureEfficiency(const std::string& dist, int d, double fill_target,
+                         uint64_t salt, uint64_t* out_n) {
+  CcfConfig config;
+  config.num_buckets = 1024;
+  config.slots_per_bucket = 2 * d;  // §8's b ≈ 2d rule
+  config.key_fp_bits = 12;
+  config.attr_fp_bits = 4;
+  config.num_attrs = 1;
+  config.max_dupes = d;
+  config.salt = salt;
+  auto ccf =
+      ConditionalCuckooFilter::Make(CcfVariant::kChained, config).ValueOrDie();
+
+  Rng rng(salt * 31 + 7);
+  double mean = 6.0;  // duplicates per key
+  uint64_t copies_const = static_cast<uint64_t>(mean);
+  ZipfMandelbrot dup = [&] {
+    double alpha = ZipfMandelbrot::AlphaForMean(mean, 2.7, 500).ValueOrDie();
+    return ZipfMandelbrot::Make(alpha, 2.7, 500).ValueOrDie();
+  }();
+
+  uint64_t capacity =
+      config.num_buckets * static_cast<uint64_t>(config.slots_per_bucket);
+  uint64_t n = 0;
+  uint64_t key = 0;
+  while (ccf->LoadFactor() < fill_target) {
+    ++key;
+    uint64_t copies = dist == "constant" ? copies_const : dup.Sample(rng);
+    bool failed = false;
+    for (uint64_t c = 0; c < copies; ++c) {
+      std::vector<uint64_t> attrs = {c};
+      if (!ccf->Insert(key, attrs).ok()) {
+        failed = true;
+        break;
+      }
+      ++n;
+    }
+    if (failed || n > capacity * 2) break;
+  }
+
+  // Measured key-only FPR.
+  uint64_t fp = 0;
+  constexpr uint64_t kProbes = 200000;
+  for (uint64_t i = 0; i < kProbes; ++i) {
+    if (ccf->ContainsKey((uint64_t{1} << 40) + i)) ++fp;
+  }
+  double rho = std::max(1e-9, static_cast<double>(fp) /
+                                  static_cast<double>(kProbes));
+  *out_n = n;
+  return static_cast<double>(ccf->SizeInBits()) /
+         (static_cast<double>(n) * std::log2(1.0 / rho));
+}
+
+}  // namespace
+}  // namespace ccf
+
+int main() {
+  using namespace ccf;
+  int runs = bench::RunsFromEnv(3);
+  bench::Banner("Figure 5", "bit efficiency vs fill %, by maxDupe d");
+  std::printf("%-9s %2s %7s %14s\n", "dist", "d", "fill%", "bit_efficiency");
+  for (const std::string dist : {"constant", "zipf"}) {
+    for (int d : {2, 4, 6, 8, 10}) {
+      for (double fill : {0.25, 0.50, 0.75, 0.85}) {
+        double sum = 0;
+        int ok = 0;
+        for (int r = 0; r < runs; ++r) {
+          uint64_t n = 0;
+          double eff = MeasureEfficiency(dist, d, fill,
+                                         static_cast<uint64_t>(r) + 1, &n);
+          if (n > 0 && std::isfinite(eff)) {
+            sum += eff;
+            ++ok;
+          }
+        }
+        if (ok > 0) {
+          std::printf("%-9s %2d %7.0f %14.2f\n", dist.c_str(), d, fill * 100,
+                      sum / ok);
+        }
+      }
+    }
+  }
+  // §10.2's set-case reference points: a plain cuckoo filter vs the
+  // semi-sorted variant at ≈95% load (paper: ≈1.53 vs ≈1.37 at ρ = 1%).
+  {
+    auto plain_cfg = CuckooFilterConfig{};
+    plain_cfg.num_buckets = 4096;
+    plain_cfg.fingerprint_bits = 12;
+    plain_cfg.salt = 3;
+    auto plain = CuckooFilter::Make(plain_cfg).ValueOrDie();
+    auto sorted = SemiSortedCuckooFilter::Make(4096, 12, 3).ValueOrDie();
+    uint64_t n_plain = 0, n_sorted = 0;
+    for (uint64_t k = 0; k < 4096 * 4; ++k) {
+      if (plain.Insert(k).ok()) ++n_plain;
+      if (sorted.Insert(k).ok()) ++n_sorted;
+    }
+    auto measure = [](auto& filter, uint64_t n) {
+      uint64_t fp = 0;
+      constexpr uint64_t kProbes = 400000;
+      for (uint64_t i = 0; i < kProbes; ++i) {
+        if (filter.Contains((uint64_t{1} << 41) + i)) ++fp;
+      }
+      double rho = std::max(1e-9, static_cast<double>(fp) /
+                                      static_cast<double>(kProbes));
+      return static_cast<double>(filter.SizeInBits()) /
+             (static_cast<double>(n) * std::log2(1.0 / rho));
+    };
+    std::printf("\nset-case reference (no duplicates, ≈95%% load, |κ|=12):\n");
+    std::printf("  plain cuckoo filter      bit efficiency %.2f (paper ≈1.53)\n",
+                measure(plain, n_plain));
+    std::printf("  semi-sorted (§4.2)       bit efficiency %.2f (paper ≈1.37)\n",
+                measure(sorted, n_sorted));
+  }
+  std::printf(
+      "\nReference points: Bloom filter ≈ 1.44; optimized chained filter in\n"
+      "the paper ≈ 1.93 at high fill; small d at high fill is most\n"
+      "efficient, and efficiency decays toward low fill (eq. 8).\n");
+  return 0;
+}

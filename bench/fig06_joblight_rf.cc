@@ -1,0 +1,95 @@
+// Figure 6 (a-d): per-instance reduction factors of Bloom/Mixed/Chained
+// CCFs on the JOB-light-style workload, against the Exact-Semijoin baseline
+// (best possible) and the key-only Cuckoo-Filter baseline (state of the
+// art), for "large" (|α|=8, |κ|=12) and "small" (|α|=4, |κ|=7) filters.
+// Also prints the §10.6 aggregate reduction factors.
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "joblight_common.h"
+
+namespace ccf::bench {
+namespace {
+
+void PrintSeries(const char* title, const char* sort_by,
+                 const std::vector<double>& baseline,
+                 const FilterEval& bloom, const FilterEval& mixed,
+                 const FilterEval& chained) {
+  std::printf("\n--- %s (instances sorted by increasing %s RF) ---\n", title,
+              sort_by);
+  size_t n = baseline.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return baseline[a] < baseline[b];
+  });
+  std::printf("%5s %9s %9s %9s %9s\n", "inst", sort_by, "bloom", "mixed",
+              "chained");
+  // Print every 10th instance to keep the series readable (237 rows → 24).
+  for (size_t i = 0; i < n; i += 10) {
+    size_t idx = order[i];
+    std::printf("%5zu %9.3f %9.3f %9.3f %9.3f\n", i, baseline[idx],
+                bloom.results[idx].RfFiltered(),
+                mixed.results[idx].RfFiltered(),
+                chained.results[idx].RfFiltered());
+  }
+}
+
+void RunSize(const JobLightEnv& env, bool large) {
+  auto params = [&](CcfVariant v) {
+    return large ? LargeParams(v) : SmallParams(v);
+  };
+  FilterEval bloom = EvalCcfVariant(env, params(CcfVariant::kBloom));
+  FilterEval mixed = EvalCcfVariant(env, params(CcfVariant::kMixed));
+  FilterEval chained = EvalCcfVariant(env, params(CcfVariant::kChained));
+  FilterEval cuckoo = EvalCuckooBaseline(env, large ? 12 : 7);
+
+  size_t n = bloom.results.size();
+  std::vector<double> exact_rf(n), cuckoo_rf(n);
+  for (size_t i = 0; i < n; ++i) {
+    exact_rf[i] = bloom.results[i].exact.RfSemijoin();
+    cuckoo_rf[i] = cuckoo.results[i].RfFiltered();
+  }
+
+  const char* size_name = large ? "Large" : "Small";
+  std::printf("\n================ %s filters ================\n", size_name);
+  PrintSeries(large ? "Fig 6a" : "Fig 6c", "exact_semijoin", exact_rf, bloom,
+              mixed, chained);
+  PrintSeries(large ? "Fig 6b" : "Fig 6d", "cuckoo_filter", cuckoo_rf, bloom,
+              mixed, chained);
+
+  std::printf("\nAggregates (%s): sizes MB — bloom %.2f mixed %.2f chained %.2f cuckoo %.2f\n",
+              size_name, Mb(bloom.size_bits), Mb(mixed.size_bits),
+              Mb(chained.size_bits), Mb(cuckoo.size_bits));
+  std::printf("  overall RF: exact=%.3f binned=%.3f bloom=%.3f mixed=%.3f chained=%.3f cuckoo=%.3f\n",
+              bloom.agg.rf_semijoin, bloom.agg.rf_semijoin_binned,
+              bloom.agg.rf_filtered, mixed.agg.rf_filtered,
+              chained.agg.rf_filtered, cuckoo.agg.rf_filtered);
+  std::printf("  FPR vs binned semijoin: bloom=%.4f mixed=%.4f chained=%.4f\n",
+              bloom.agg.fpr_vs_binned, mixed.agg.fpr_vs_binned,
+              chained.agg.fpr_vs_binned);
+}
+
+}  // namespace
+}  // namespace ccf::bench
+
+int main() {
+  using namespace ccf::bench;
+  double scale = ScaleFromEnv(128);
+  Banner("Figure 6", "JOB-light reduction factors per instance + §10.6 aggregates");
+  std::printf("scale = 1/%.0f of full IMDB\n", 1.0 / scale);
+  JobLightEnv env = JobLightEnv::Make(scale, 7);
+  std::printf("instances: %zu (paper: 237)\n", env.evaluator->exact().size());
+
+  RunSize(env, /*large=*/true);
+  RunSize(env, /*large=*/false);
+
+  std::printf(
+      "\nExpected shape (paper §10.5-10.6): CCF RFs hug the exact-semijoin\n"
+      "curve and sit far below the cuckoo-filter baseline (cuckoo RF 1.0\n"
+      "instances drop to 0.05-0.20); small filters separate Bloom from\n"
+      "Mixed/Chained; aggregate RF ≈0.28 (small chained) vs ≈0.68 (cuckoo)\n"
+      "vs ≈0.20 (exact) at full scale.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 7: reduction factors versus the exact semijoin AFTER BINNING
+// title.production_year into 16 bins — isolating how much of the CCF-vs-
+// optimal gap is explained by binning error rather than sketch collisions.
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "joblight_common.h"
+
+int main() {
+  using namespace ccf::bench;
+  double scale = ScaleFromEnv(128);
+  Banner("Figure 7", "RF vs exact semijoin after binning production_year");
+  JobLightEnv env = JobLightEnv::Make(scale, 7);
+
+  for (bool large : {true, false}) {
+    auto params = [&](ccf::CcfVariant v) {
+      return large ? ccf::LargeParams(v) : ccf::SmallParams(v);
+    };
+    FilterEval bloom = EvalCcfVariant(env, params(ccf::CcfVariant::kBloom));
+    FilterEval mixed = EvalCcfVariant(env, params(ccf::CcfVariant::kMixed));
+    FilterEval chained =
+        EvalCcfVariant(env, params(ccf::CcfVariant::kChained));
+
+    size_t n = bloom.results.size();
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return bloom.results[a].exact.RfSemijoinBinned() <
+             bloom.results[b].exact.RfSemijoinBinned();
+    });
+
+    std::printf("\n--- %s filters (sorted by binned-semijoin RF) ---\n",
+                large ? "Large" : "Small");
+    std::printf("%5s %13s %9s %9s %9s\n", "inst", "binned_semi", "bloom",
+                "mixed", "chained");
+    for (size_t i = 0; i < n; i += 10) {
+      size_t idx = order[i];
+      std::printf("%5zu %13.3f %9.3f %9.3f %9.3f\n", i,
+                  bloom.results[idx].exact.RfSemijoinBinned(),
+                  bloom.results[idx].RfFiltered(),
+                  mixed.results[idx].RfFiltered(),
+                  chained.results[idx].RfFiltered());
+    }
+    std::printf("aggregate: exact=%.3f binned=%.3f bloom=%.3f mixed=%.3f chained=%.3f\n",
+                bloom.agg.rf_semijoin, bloom.agg.rf_semijoin_binned,
+                bloom.agg.rf_filtered, mixed.agg.rf_filtered,
+                chained.agg.rf_filtered);
+    std::printf("FPR vs binned: bloom=%.4f mixed=%.4f chained=%.4f "
+                "(paper: 0.8%% for large chained)\n",
+                bloom.agg.fpr_vs_binned, mixed.agg.fpr_vs_binned,
+                chained.agg.fpr_vs_binned);
+  }
+  std::printf(
+      "\nExpected shape (paper §10.6): against the binned baseline the CCF\n"
+      "curves sit much closer than against the un-binned optimum — half of\n"
+      "the CCF-vs-optimal gap is binning error (binned optimum 0.24 vs\n"
+      "optimum 0.20 at full scale).\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 9: reduction factor by number of joins — the benefit of CCFs
+// compounds multiplicatively as more tables join (predicates from every
+// table push down to every scan).
+#include <cstdio>
+#include <map>
+
+#include "joblight_common.h"
+
+int main() {
+  using namespace ccf::bench;
+  double scale = ScaleFromEnv(128);
+  Banner("Figure 9", "reduction factor by number of joins");
+  JobLightEnv env = JobLightEnv::Make(scale, 7);
+
+  FilterEval chained =
+      EvalCcfVariant(env, ccf::SmallParams(ccf::CcfVariant::kChained));
+  FilterEval cuckoo = EvalCuckooBaseline(env, 7);
+
+  // Aggregate per join count: Σ outputs / Σ predicate outputs.
+  struct Sums {
+    double pred = 0, semi = 0, ccf = 0, cuckoo = 0;
+    int instances = 0;
+  };
+  std::map<int, Sums> by_joins;
+  for (size_t i = 0; i < chained.results.size(); ++i) {
+    const auto& r = chained.results[i];
+    Sums& s = by_joins[r.exact.num_joins];
+    s.pred += static_cast<double>(r.exact.m_predicate);
+    s.semi += static_cast<double>(r.exact.m_semijoin);
+    s.ccf += static_cast<double>(r.m_filtered);
+    s.cuckoo += static_cast<double>(cuckoo.results[i].m_filtered);
+    s.instances += 1;
+  }
+
+  std::printf("%6s %10s %12s %10s %14s\n", "joins", "instances",
+              "optimal_RF", "ccf_RF", "no_predicate_RF");
+  for (const auto& [joins, s] : by_joins) {
+    if (s.pred <= 0) continue;
+    std::printf("%6d %10d %12.3f %10.3f %14.3f\n", joins, s.instances,
+                s.semi / s.pred, s.ccf / s.pred, s.cuckoo / s.pred);
+  }
+  std::printf(
+      "\nExpected shape (paper): all three curves fall as joins are added;\n"
+      "the CCF curve tracks the optimal curve closely while the key-only\n"
+      "filter curve stays far above both — predicate information compounds\n"
+      "multiplicatively with each additional join.\n");
+  return 0;
+}

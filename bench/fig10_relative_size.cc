@@ -1,0 +1,72 @@
+// Figure 10: each table's CCF size relative to its raw data, by variant.
+// Raw data accounting follows §10.7: 32 bits for keys and high-cardinality
+// attributes, 8 bits for low-cardinality attributes. Bloom CCFs win on
+// duplicate-heavy tables (one entry per key); chained CCFs win on
+// unique-key tables.
+#include <cstdio>
+#include <vector>
+
+#include "joblight_common.h"
+
+namespace {
+
+// §10.7's width rule: 32-bit keys, 32-bit high-cardinality columns (> 256
+// values), 8-bit low-cardinality ones.
+uint64_t RawBytes(const ccf::TableData& td) {
+  std::vector<int> widths;
+  widths.push_back(32);  // join key
+  for (uint64_t card : td.spec.cardinalities) {
+    widths.push_back(card > 256 ? 32 : 8);
+  }
+  return td.table.BytesWithWidths(widths);
+}
+
+}  // namespace
+
+int main() {
+  using namespace ccf::bench;
+  using ccf::CcfVariant;
+  double scale = ScaleFromEnv(128);
+  Banner("Figure 10", "CCF size relative to raw table data, by variant");
+  JobLightEnv env = JobLightEnv::Make(scale, 7);
+
+  std::vector<ccf::BuiltCcf> bloom, mixed, chained;
+  EvalCcfVariant(env, ccf::SmallParams(CcfVariant::kBloom), &bloom);
+  EvalCcfVariant(env, ccf::SmallParams(CcfVariant::kMixed), &mixed);
+  EvalCcfVariant(env, ccf::SmallParams(CcfVariant::kChained), &chained);
+
+  std::printf("%-16s %10s %10s %10s %10s\n", "table", "raw_MB", "bloom",
+              "chained", "mixed");
+  uint64_t total_raw = 0, total_bloom = 0, total_mixed = 0, total_chained = 0;
+  for (size_t t = 0; t < env.dataset.tables.size(); ++t) {
+    const ccf::TableData& td = env.dataset.tables[t];
+    uint64_t raw = RawBytes(td);
+    uint64_t b_bits = bloom[t].filter->SizeInBits();
+    uint64_t c_bits = chained[t].filter->SizeInBits();
+    uint64_t m_bits = mixed[t].filter->SizeInBits();
+    total_raw += raw;
+    total_bloom += b_bits;
+    total_chained += c_bits;
+    total_mixed += m_bits;
+    std::printf("%-16s %10.2f %10.3f %10.3f %10.3f\n", td.spec.name.c_str(),
+                static_cast<double>(raw) / 1024.0 / 1024.0,
+                static_cast<double>(b_bits) / 8.0 / static_cast<double>(raw),
+                static_cast<double>(c_bits) / 8.0 / static_cast<double>(raw),
+                static_cast<double>(m_bits) / 8.0 / static_cast<double>(raw));
+  }
+  std::printf("%-16s %10.2f %10.3f %10.3f %10.3f\n", "Overall",
+              static_cast<double>(total_raw) / 1024.0 / 1024.0,
+              static_cast<double>(total_bloom) / 8.0 /
+                  static_cast<double>(total_raw),
+              static_cast<double>(total_chained) / 8.0 /
+                  static_cast<double>(total_raw),
+              static_cast<double>(total_mixed) / 8.0 /
+                  static_cast<double>(total_raw));
+  std::printf(
+      "\nExpected shape (paper): relative sizes vary widely by table; Bloom\n"
+      "yields the largest reductions on duplicate-heavy tables\n"
+      "(movie_keyword, cast_info) while chaining is competitive on\n"
+      "unique-key tables (title); overall CCFs are a small fraction of the\n"
+      "raw data (the paper reports 18.5 MB vs 322 MB raw at full scale).\n");
+  return 0;
+}

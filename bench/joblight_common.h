@@ -1,0 +1,65 @@
+// Shared setup for the JOB-light experiment binaries (Figures 6-10):
+// dataset + workload generation, evaluator construction, and filter-set
+// evaluation wrappers.
+#ifndef CCF_BENCH_JOBLIGHT_COMMON_H_
+#define CCF_BENCH_JOBLIGHT_COMMON_H_
+
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "join/ccf_builder.h"
+#include "join/evaluator.h"
+
+namespace ccf::bench {
+
+struct JobLightEnv {
+  ImdbDataset dataset;
+  std::vector<JoinQuery> queries;
+  std::unique_ptr<WorkloadEvaluator> evaluator;
+
+  static JobLightEnv Make(double scale, uint64_t seed) {
+    JobLightEnv env;
+    env.dataset = GenerateImdb(scale, seed).ValueOrDie();
+    WorkloadConfig wc;
+    wc.seed = seed * 31 + 17;
+    env.queries = GenerateWorkload(env.dataset, wc).ValueOrDie();
+    env.evaluator = std::make_unique<WorkloadEvaluator>(
+        WorkloadEvaluator::Make(&env.dataset, &env.queries).ValueOrDie());
+    return env;
+  }
+};
+
+struct FilterEval {
+  std::vector<InstanceResult> results;
+  AggregateResult agg;
+  uint64_t size_bits = 0;
+};
+
+inline FilterEval EvalCcfVariant(const JobLightEnv& env,
+                                 const CcfBuildParams& params,
+                                 std::vector<BuiltCcf>* filters_out = nullptr) {
+  FilterEval out;
+  auto filters = BuildAllCcfs(env.dataset, params).ValueOrDie();
+  CcfFilterSet set(&filters);
+  out.size_bits = set.TotalSizeInBits();
+  out.results = env.evaluator->Evaluate(set).ValueOrDie();
+  out.agg = WorkloadEvaluator::Aggregate(out.results, out.size_bits);
+  if (filters_out != nullptr) *filters_out = std::move(filters);
+  return out;
+}
+
+inline FilterEval EvalCuckooBaseline(const JobLightEnv& env,
+                                     int fingerprint_bits) {
+  FilterEval out;
+  auto set = CuckooFilterSet::Build(env.dataset, fingerprint_bits, 1)
+                 .ValueOrDie();
+  out.size_bits = set.TotalSizeInBits();
+  out.results = env.evaluator->Evaluate(set).ValueOrDie();
+  out.agg = WorkloadEvaluator::Aggregate(out.results, out.size_bits);
+  return out;
+}
+
+}  // namespace ccf::bench
+
+#endif  // CCF_BENCH_JOBLIGHT_COMMON_H_

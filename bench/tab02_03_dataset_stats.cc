@@ -1,0 +1,70 @@
+// Tables 2 and 3: summary statistics of the (synthetic) IMDB tables and
+// predicate columns — row counts, predicate-column cardinalities, and
+// average / maximum distinct duplicate attribute values per join key —
+// printed next to the paper's full-scale targets.
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+
+#include "bench_util.h"
+#include "data/imdb_synth.h"
+
+int main() {
+  using namespace ccf;
+  double scale = bench::ScaleFromEnv(128);
+  bench::Banner("Tables 2-3", "dataset and predicate summary vs paper targets");
+  std::printf("scale = 1/%.0f of full IMDB row counts\n\n", 1.0 / scale);
+  ImdbDataset dataset = GenerateImdb(scale, 42).ValueOrDie();
+
+  std::printf("%-16s %-17s %10s %14s %12s %12s %9s %9s %9s %9s\n", "table",
+              "pred_column", "rows", "paper_rows(sc)", "cardinality",
+              "paper_card", "avg_dup", "paper_avg", "max_dup", "paper_max");
+  for (const TableData& td : dataset.tables) {
+    for (size_t c = 0; c < td.spec.predicate_columns.size(); ++c) {
+      const std::string& col = td.spec.predicate_columns[c];
+      const auto& values = *td.table.column(col).ValueOrDie();
+      std::unordered_set<uint64_t> card(values.begin(), values.end());
+      std::vector<uint64_t> dupes =
+          DistinctDupesPerKey(td.table, td.spec.key_column, col);
+      double avg = 0;
+      uint64_t max = 0;
+      for (uint64_t d : dupes) {
+        avg += static_cast<double>(d);
+        max = std::max(max, d);
+      }
+      if (!dupes.empty()) avg /= static_cast<double>(dupes.size());
+
+      // Paper targets (Table 3 lists avg/max only for the first predicate
+      // column of each table except title, where both are 1.0/1).
+      double paper_avg = c == 0 ? td.spec.avg_dupes : 1.0;
+      uint64_t paper_max = c == 0 ? td.spec.max_dupes : 1;
+      if (td.spec.name == "title") {
+        paper_avg = 1.0;
+        paper_max = 1;
+      }
+      if (td.spec.name == "movie_companies" && c == 1) {
+        paper_avg = 1.54;  // Table 3's company_type_id row
+        paper_max = 2;
+      }
+      if (td.spec.name == "title" && c == 1) {
+        paper_avg = 1.0;
+        paper_max = 1;
+      }
+      std::printf("%-16s %-17s %10llu %14.0f %12zu %12llu %9.2f %9.2f %9llu %9llu\n",
+                  td.spec.name.c_str(), col.c_str(),
+                  static_cast<unsigned long long>(td.table.num_rows()),
+                  static_cast<double>(td.spec.full_rows) * scale,
+                  card.size(),
+                  static_cast<unsigned long long>(
+                      td.spec.cardinalities[c]),
+                  avg, paper_avg, static_cast<unsigned long long>(max),
+                  static_cast<unsigned long long>(paper_max));
+    }
+  }
+  std::printf(
+      "\nNotes: large cardinalities (company_id, keyword_id) are scaled by\n"
+      "sqrt(scale) to keep per-value frequencies realistic; avg/max dup\n"
+      "targets apply to the first predicate column (Table 3). Secondary\n"
+      "columns (company_type_id) duplicate more freely, as in IMDB.\n");
+  return 0;
+}

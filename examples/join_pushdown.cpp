@@ -1,0 +1,78 @@
+// Join pushdown: the paper's §3 motivating scenario. A star join of
+// cast_info ⋈ title ⋈ movie_companies on movie id, with predicates on all
+// three tables:
+//
+//   SELECT ... FROM cast_info ci, title t, movie_companies mc
+//   WHERE t.id = ci.movie_id AND t.id = mc.movie_id
+//     AND ci.role_id = 4 AND t.kind_id = 1 AND mc.company_type_id = 2
+//
+// Prebuilt CCFs let each scan apply the OTHER tables' predicates: the scan
+// of cast_info uses title's and movie_companies' CCFs as predicate-aware
+// semijoin reducers, shrinking hash-table builds dramatically versus
+// key-only filters.
+#include <cstdio>
+#include <string>
+
+#include "data/imdb_synth.h"
+#include "data/workload.h"
+#include "join/ccf_builder.h"
+#include "join/evaluator.h"
+
+int main() {
+  using namespace ccf;
+
+  std::printf("generating synthetic IMDB (1/256 scale)...\n");
+  ImdbDataset dataset = GenerateImdb(1.0 / 256, 11).ValueOrDie();
+
+  // The §3 query: three tables, one predicate each.
+  JoinQuery query;
+  query.id = 1;
+  query.tables = {"cast_info", "title", "movie_companies"};
+  query.predicates = {
+      {"cast_info", "role_id", false, 4, 0, 0},
+      {"title", "kind_id", false, 1, 0, 0},
+      {"movie_companies", "company_type_id", false, 2, 0, 0},
+  };
+  std::vector<JoinQuery> queries = {query};
+
+  auto evaluator = WorkloadEvaluator::Make(&dataset, &queries).ValueOrDie();
+
+  // Prebuilt chained CCFs, one per table (join key + predicate columns).
+  auto ccfs =
+      BuildAllCcfs(dataset, LargeParams(CcfVariant::kChained)).ValueOrDie();
+  CcfFilterSet ccf_set(&ccfs);
+  auto ccf_results = evaluator.Evaluate(ccf_set).ValueOrDie();
+
+  // The state of the art: key-only cuckoo filters (no predicates).
+  auto cuckoo_set = CuckooFilterSet::Build(dataset, 12, 3).ValueOrDie();
+  auto cuckoo_results = evaluator.Evaluate(cuckoo_set).ValueOrDie();
+
+  std::printf("\nper-scan output sizes (rows fed to the join)\n");
+  std::printf("%-16s %12s %12s %12s %12s\n", "scan of", "local preds",
+              "+cuckoo", "+CCF", "exact semi");
+  for (size_t i = 0; i < ccf_results.size(); ++i) {
+    const InstanceResult& c = ccf_results[i];
+    const InstanceResult& k = cuckoo_results[i];
+    std::printf("%-16s %12llu %12llu %12llu %12llu\n",
+                c.exact.base_table.c_str(),
+                static_cast<unsigned long long>(c.exact.m_predicate),
+                static_cast<unsigned long long>(k.m_filtered),
+                static_cast<unsigned long long>(c.m_filtered),
+                static_cast<unsigned long long>(c.exact.m_semijoin));
+  }
+
+  std::printf("\nReading the table: '+CCF' should sit close to the exact\n"
+              "semijoin column — title's kind predicate and movie_companies'\n"
+              "type predicate were pushed down into the cast_info scan via\n"
+              "the prebuilt sketches, something the key-only filter cannot\n"
+              "do ('+cuckoo' barely improves on 'local preds').\n");
+
+  uint64_t ccf_bits = ccf_set.TotalSizeInBits();
+  std::printf("\ntotal CCF size: %.2f MB for %llu rows of data\n",
+              static_cast<double>(ccf_bits) / 8 / 1024 / 1024,
+              static_cast<unsigned long long>(
+                  dataset.tables[1].table.num_rows() +
+                  dataset.tables[0].table.num_rows() +
+                  dataset.tables[2].table.num_rows()));
+  return 0;
+}

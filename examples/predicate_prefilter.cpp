@@ -1,0 +1,68 @@
+// Predicate-only queries (Algorithm 2) as a distributed-join prefilter:
+// a coordinator holds prebuilt CCFs; when a query arrives with predicates,
+// it derives a small key-only filter for S_P and ships it to workers, which
+// drop non-qualifying tuples before the shuffle. Also demonstrates range
+// predicates via binning (§9.1) and the dyadic alternative.
+#include <cstdio>
+#include <vector>
+
+#include "ccf/ccf.h"
+#include "predicate/dyadic.h"
+#include "predicate/range_binning.h"
+#include "util/random.h"
+
+int main() {
+  using namespace ccf;
+
+  // "Orders" rows: key = order id, attrs = {region, amount_bin}.
+  RangeBinner amount_bins = RangeBinner::Make(0, 9999, 16).ValueOrDie();
+  CcfConfig config;
+  config.num_buckets = 1 << 14;
+  config.slots_per_bucket = 4;
+  config.key_fp_bits = 12;
+  config.num_attrs = 2;
+  config.bloom_bits = 16;
+  auto coordinator_ccf =
+      ConditionalCuckooFilter::Make(CcfVariant::kBloom, config).ValueOrDie();
+
+  Rng rng(3);
+  uint64_t matching = 0;
+  std::vector<uint64_t> row(2);
+  for (uint64_t order = 0; order < 40000; ++order) {
+    uint64_t region = rng.NextBelow(8);
+    int64_t amount = static_cast<int64_t>(rng.NextBelow(10000));
+    row[0] = region;
+    row[1] = amount_bins.BinOf(amount);
+    coordinator_ccf->Insert(order, row).Abort();
+    if (region == 3 && amount >= 5000) ++matching;
+  }
+
+  // Query: region = 3 AND amount >= 5000 → equality + binned range.
+  Predicate pred = Predicate::Equals(0, 3);
+  std::vector<uint64_t> cover = amount_bins.Cover(5000, 9999);
+  pred.AndIn(1, cover);
+
+  // Derive the shippable key filter (Algorithm 2).
+  auto prefilter = coordinator_ccf->PredicateQuery(pred).ValueOrDie();
+  std::printf("derived prefilter: %.1f KB (vs %.1f KB for the full CCF)\n",
+              static_cast<double>(prefilter->SizeInBits()) / 8 / 1024,
+              static_cast<double>(coordinator_ccf->SizeInBits()) / 8 / 1024);
+
+  // Workers probe tuples against the prefilter before shuffling.
+  uint64_t shipped = 0;
+  for (uint64_t order = 0; order < 40000; ++order) {
+    if (prefilter->Contains(order)) ++shipped;
+  }
+  std::printf("tuples shipped: %llu of 40000 (%llu truly match; the gap is\n"
+              "binning + sketch false positives — never false negatives)\n",
+              static_cast<unsigned long long>(shipped),
+              static_cast<unsigned long long>(matching));
+
+  // The dyadic alternative for ranges (§9.1): O(log range) labels per item.
+  auto labels = DyadicLabels(/*value=*/5731, /*max_level=*/13);
+  auto range_cover = DyadicCover(5000, 9999, 13);
+  std::printf("dyadic: a value carries %zu labels; [5000, 9999] is covered\n"
+              "by %zu intervals (binning used %zu bins)\n",
+              labels.size(), range_cover.size(), cover.size());
+  return 0;
+}

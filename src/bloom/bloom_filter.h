@@ -1,0 +1,58 @@
+// Standard Bloom filter (Bloom 1970). Serves three roles in this library:
+// a baseline ASM sketch, the attribute sketch of the Bloom-CCF variant
+// (§5.2), and the conversion target of the Mixed-CCF variant (§6.1).
+#ifndef CCF_BLOOM_BLOOM_FILTER_H_
+#define CCF_BLOOM_BLOOM_FILTER_H_
+
+#include <cstdint>
+
+#include "hash/hasher.h"
+#include "util/bit_vector.h"
+#include "util/result.h"
+
+namespace ccf {
+
+/// \brief A fixed-size Bloom filter over 64-bit items.
+///
+/// Uses double hashing (Kirsch-Mitzenmacher): position_i = h1 + i*h2 mod m,
+/// which preserves the asymptotic FPR with two base hashes.
+class BloomFilter {
+ public:
+  /// Creates a filter with `num_bits` bits and `num_hashes` probes per item.
+  static Result<BloomFilter> Make(uint64_t num_bits, int num_hashes,
+                                  uint64_t salt = 0);
+
+  /// Bits for a target FPR `fpp` holding `n` items: m = -n ln(fpp) / (ln 2)^2.
+  static uint64_t OptimalBits(uint64_t n, double fpp);
+
+  /// Optimal number of hashes for `num_bits` bits and `n` items:
+  /// k = (m/n) ln 2, clamped to [1, 16].
+  static int OptimalNumHashes(uint64_t num_bits, uint64_t n);
+
+  void Insert(uint64_t item);
+  bool Contains(uint64_t item) const;
+
+  /// Expected FPR given the current fill: (set_bits / m)^k.
+  double EstimatedFpr() const;
+
+  uint64_t num_bits() const { return bits_.size(); }
+  int num_hashes() const { return num_hashes_; }
+  uint64_t num_set_bits() const { return bits_.PopCount(); }
+  size_t SizeInBytes() const { return bits_.SizeInBytes(); }
+
+  /// In-place union; both filters must have identical geometry and salt.
+  Status UnionWith(const BloomFilter& other);
+
+  void Clear() { bits_.Clear(); }
+
+ private:
+  BloomFilter(uint64_t num_bits, int num_hashes, uint64_t salt);
+
+  BitVector bits_;
+  int num_hashes_;
+  Hasher hasher_;
+};
+
+}  // namespace ccf
+
+#endif  // CCF_BLOOM_BLOOM_FILTER_H_

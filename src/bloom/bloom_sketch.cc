@@ -1,0 +1,78 @@
+#include "bloom/bloom_sketch.h"
+
+namespace ccf {
+
+BloomSketchView::BloomSketchView(
+    BitVector* bits, std::vector<std::pair<size_t, size_t>> segments,
+    const Hasher* hasher, int num_hashes)
+    : segments_(std::move(segments)),
+      total_bits_(0),
+      bits_(bits),
+      hasher_(hasher),
+      num_hashes_(num_hashes) {
+  for (const auto& [off, len] : segments_) {
+    (void)off;
+    total_bits_ += len;
+  }
+}
+
+size_t BloomSketchView::GlobalBit(size_t logical) const {
+  for (const auto& [off, len] : segments_) {
+    if (logical < len) return off + logical;
+    logical -= len;
+  }
+  CCF_CHECK(false && "BloomSketchView bit index out of range");
+  return 0;
+}
+
+void BloomSketchView::Insert(uint64_t item) {
+  if (total_bits_ == 0) return;
+  uint64_t h1 = hasher_->Hash(item, 11);
+  uint64_t h2 = hasher_->Hash(item, 12) | 1;
+  for (int i = 0; i < num_hashes_; ++i) {
+    size_t pos = static_cast<size_t>(
+        (h1 + static_cast<uint64_t>(i) * h2) % total_bits_);
+    bits_->SetBit(GlobalBit(pos), true);
+  }
+}
+
+bool BloomSketchView::Contains(uint64_t item) const {
+  if (total_bits_ == 0) return true;  // degenerate window cannot refute
+  uint64_t h1 = hasher_->Hash(item, 11);
+  uint64_t h2 = hasher_->Hash(item, 12) | 1;
+  for (int i = 0; i < num_hashes_; ++i) {
+    size_t pos = static_cast<size_t>(
+        (h1 + static_cast<uint64_t>(i) * h2) % total_bits_);
+    if (!bits_->GetBit(GlobalBit(pos))) return false;
+  }
+  return true;
+}
+
+std::vector<bool> BloomSketchView::Extract() const {
+  std::vector<bool> out(total_bits_);
+  size_t logical = 0;
+  for (const auto& [off, len] : segments_) {
+    for (size_t i = 0; i < len; ++i, ++logical) {
+      out[logical] = bits_->GetBit(off + i);
+    }
+  }
+  return out;
+}
+
+void BloomSketchView::Deposit(const std::vector<bool>& window_bits) {
+  CCF_CHECK(window_bits.size() == total_bits_);
+  size_t logical = 0;
+  for (const auto& [off, len] : segments_) {
+    for (size_t i = 0; i < len; ++i, ++logical) {
+      bits_->SetBit(off + i, window_bits[logical]);
+    }
+  }
+}
+
+void BloomSketchView::Clear() {
+  for (const auto& [off, len] : segments_) {
+    for (size_t i = 0; i < len; ++i) bits_->SetBit(off + i, false);
+  }
+}
+
+}  // namespace ccf

@@ -1,0 +1,141 @@
+#include "ccf/bloom_ccf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace ccf {
+
+namespace {
+
+// §10.4: either a small fixed count (the paper's preferred setting) or the
+// eq. (2) optimum assuming 2 attribute vectors per key.
+int SketchHashes(const CcfConfig& config) {
+  if (!config.optimize_bloom_hashes) return config.bloom_hashes;
+  double n = 2.0 * config.num_attrs;
+  double k = static_cast<double>(config.bloom_bits) / n *
+             std::numbers::ln2_v<double>;
+  return std::clamp(static_cast<int>(std::lround(k)), 1, 16);
+}
+
+}  // namespace
+
+BloomCcf::BloomCcf(CcfConfig config, BucketTable table)
+    : CcfBase(config, std::move(table)), sketch_hashes_(SketchHashes(config)) {}
+
+Result<std::unique_ptr<ConditionalCuckooFilter>> BloomCcf::Make(
+    const CcfConfig& config) {
+  if (config.bloom_bits < 1) {
+    return Status::Invalid("bloom_bits must be >= 1");
+  }
+  CCF_ASSIGN_OR_RETURN(
+      BucketTable table,
+      BucketTable::Make(config.num_buckets, config.slots_per_bucket,
+                        config.key_fp_bits, config.bloom_bits));
+  return std::unique_ptr<ConditionalCuckooFilter>(
+      new BloomCcf(config, std::move(table)));
+}
+
+BloomSketchView BloomCcf::EntrySketch(uint64_t bucket, int slot) const {
+  // The view mutates bits through a non-const BitVector pointer; Contains
+  // paths only ever call Contains() on it.
+  auto* bits = const_cast<BitVector*>(table_.bits());
+  return BloomSketchView(bits, table_.PayloadBitOffset(bucket, slot),
+                         static_cast<size_t>(config_.bloom_bits), &hasher_,
+                         sketch_hashes_);
+}
+
+bool BloomCcf::EntryMatches(uint64_t bucket, int slot,
+                            const Predicate& pred) const {
+  BloomSketchView sketch = EntrySketch(bucket, slot);
+  for (const AttributeTerm& term : pred.terms()) {
+    bool any = false;
+    for (uint64_t v : term.values) {
+      if (sketch.Contains(BloomSketchView::EncodeAttr(
+              static_cast<uint32_t>(term.attr_index), v))) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return false;
+  }
+  return true;
+}
+
+Status BloomCcf::Insert(uint64_t key, std::span<const uint64_t> attrs) {
+  if (static_cast<int>(attrs.size()) != config_.num_attrs) {
+    return Status::Invalid("attribute count does not match schema");
+  }
+  uint64_t bucket;
+  uint32_t fp;
+  KeyAddress(key, &bucket, &fp);
+  BucketPair pair = PairOf(bucket, fp);
+
+  auto fold_into = [&](uint64_t b, int s) {
+    BloomSketchView sketch = EntrySketch(b, s);
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      sketch.Insert(BloomSketchView::EncodeAttr(static_cast<uint32_t>(i),
+                                                attrs[i]));
+    }
+  };
+
+  // One entry per fingerprint per pair (same occupancy as a cuckoo filter):
+  // further rows of the key fold into the existing entry's Bloom sketch.
+  auto slots = SlotsWithFp(pair, fp);
+  if (!slots.empty()) {
+    fold_into(slots.front().first, slots.front().second);
+    ++num_rows_;
+    return Status::OK();
+  }
+
+  bool placed = PlaceWithKicks(pair, fp, [&](uint64_t b, int s) {
+    table_.ClearPayload(b, s);
+    fold_into(b, s);
+  });
+  if (!placed) {
+    return Status::CapacityError("bloom CCF: cuckoo kick budget exhausted");
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+bool BloomCcf::ContainsKey(uint64_t key) const {
+  uint64_t bucket;
+  uint32_t fp;
+  KeyAddress(key, &bucket, &fp);
+  return CountFpInPair(PairOf(bucket, fp), fp) > 0;
+}
+
+bool BloomCcf::Contains(uint64_t key, const Predicate& pred) const {
+  uint64_t bucket;
+  uint32_t fp;
+  KeyAddress(key, &bucket, &fp);
+  for (const auto& [b, s] : SlotsWithFp(PairOf(bucket, fp), fp)) {
+    if (EntryMatches(b, s, pred)) return true;
+  }
+  return false;
+}
+
+Result<std::unique_ptr<KeyFilter>> BloomCcf::PredicateQuery(
+    const Predicate& pred) const {
+  CuckooFilterConfig fc;
+  fc.num_buckets = table_.num_buckets();
+  fc.slots_per_bucket = table_.slots_per_bucket();
+  fc.fingerprint_bits = config_.key_fp_bits;
+  fc.salt = config_.salt;
+  fc.max_kicks = config_.max_kicks;
+  CCF_ASSIGN_OR_RETURN(CuckooFilter filter, CuckooFilter::Make(fc));
+  for (uint64_t b = 0; b < table_.num_buckets(); ++b) {
+    for (int s = 0; s < table_.slots_per_bucket(); ++s) {
+      if (!table_.occupied(b, s)) continue;
+      if (EntryMatches(b, s, pred)) {
+        // Positions are preserved, so partial-key addressing still finds
+        // every retained fingerprint (Algorithm 2).
+        filter.RawPut(b, s, table_.fingerprint(b, s));
+      }
+    }
+  }
+  return std::unique_ptr<KeyFilter>(new CuckooKeyFilter(std::move(filter)));
+}
+
+}  // namespace ccf

@@ -1,0 +1,46 @@
+// Bloom CCF (§5.2): a cuckoo filter whose entries each carry a small Bloom
+// filter of the key's (attribute, value) pairs. Occupied entries match a
+// regular cuckoo filter exactly (one entry per distinct fingerprint per
+// pair), so the theoretical load-factor guarantees of cuckoo filters carry
+// over — at the cost of losing co-occurrence information across rows.
+#ifndef CCF_CCF_BLOOM_CCF_H_
+#define CCF_CCF_BLOOM_CCF_H_
+
+#include <memory>
+
+#include "bloom/bloom_sketch.h"
+#include "ccf/ccf_base.h"
+
+namespace ccf {
+
+/// \brief CCF with per-entry Bloom attribute sketches.
+class BloomCcf : public CcfBase {
+ public:
+  static Result<std::unique_ptr<ConditionalCuckooFilter>> Make(
+      const CcfConfig& config);
+
+  Status Insert(uint64_t key, std::span<const uint64_t> attrs) override;
+  bool ContainsKey(uint64_t key) const override;
+  bool Contains(uint64_t key, const Predicate& pred) const override;
+
+  /// Algorithm 2 verbatim: erase non-matching entries, return the remaining
+  /// key fingerprints as a plain cuckoo filter.
+  Result<std::unique_ptr<KeyFilter>> PredicateQuery(
+      const Predicate& pred) const override;
+  CcfVariant variant() const override { return CcfVariant::kBloom; }
+
+  /// Number of Bloom probes per item in the per-entry sketches.
+  int sketch_hashes() const { return sketch_hashes_; }
+
+ private:
+  BloomCcf(CcfConfig config, BucketTable table);
+
+  BloomSketchView EntrySketch(uint64_t bucket, int slot) const;
+  bool EntryMatches(uint64_t bucket, int slot, const Predicate& pred) const;
+
+  int sketch_hashes_;
+};
+
+}  // namespace ccf
+
+#endif  // CCF_CCF_BLOOM_CCF_H_

@@ -1,0 +1,320 @@
+#include "ccf/ccf.h"
+
+#include "ccf/bloom_ccf.h"
+#include "ccf/ccf_base.h"
+#include "ccf/chained_ccf.h"
+#include "ccf/mixed_ccf.h"
+#include "ccf/plain_ccf.h"
+
+namespace ccf {
+
+std::string_view CcfVariantName(CcfVariant variant) {
+  switch (variant) {
+    case CcfVariant::kPlain:
+      return "Plain";
+    case CcfVariant::kChained:
+      return "Chained";
+    case CcfVariant::kBloom:
+      return "Bloom";
+    case CcfVariant::kMixed:
+      return "Mixed";
+  }
+  return "Unknown";
+}
+
+bool ConditionalCuckooFilter::ContainsRow(
+    uint64_t key, std::span<const uint64_t> attrs) const {
+  Predicate pred;
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    pred.AndEquals(static_cast<int>(i), attrs[i]);
+  }
+  return Contains(key, pred);
+}
+
+Result<std::unique_ptr<ConditionalCuckooFilter>> ConditionalCuckooFilter::Make(
+    CcfVariant variant, const CcfConfig& config) {
+  if (config.num_attrs < 1 || config.num_attrs > 64) {
+    return Status::Invalid("num_attrs must be in [1, 64]");
+  }
+  if (config.attr_fp_bits < 1 || config.attr_fp_bits > 16) {
+    return Status::Invalid("attr_fp_bits must be in [1, 16]");
+  }
+  if (config.max_dupes < 1 || config.max_dupes > config.slots_per_bucket) {
+    return Status::Invalid("max_dupes must be in [1, slots_per_bucket]");
+  }
+  if (config.max_chain < 0) {
+    return Status::Invalid("max_chain must be >= 0 (0 = unbounded)");
+  }
+  switch (variant) {
+    case CcfVariant::kPlain:
+      return PlainCcf::Make(config);
+    case CcfVariant::kChained:
+      return ChainedCcf::Make(config);
+    case CcfVariant::kBloom:
+      return BloomCcf::Make(config);
+    case CcfVariant::kMixed:
+      return MixedCcf::Make(config);
+  }
+  return Status::Invalid("unknown CCF variant");
+}
+
+// --- Serialization -------------------------------------------------------------
+
+namespace {
+
+constexpr uint32_t kCcfMagic = 0x43434631;  // "CCF1"
+
+void WriteConfig(ByteWriter* writer, const CcfConfig& config) {
+  writer->WriteU64(config.num_buckets);
+  writer->WriteU32(static_cast<uint32_t>(config.slots_per_bucket));
+  writer->WriteU32(static_cast<uint32_t>(config.key_fp_bits));
+  writer->WriteU32(static_cast<uint32_t>(config.attr_fp_bits));
+  writer->WriteU32(static_cast<uint32_t>(config.num_attrs));
+  writer->WriteU32(static_cast<uint32_t>(config.max_dupes));
+  writer->WriteU32(static_cast<uint32_t>(config.max_chain));
+  writer->WriteU32(static_cast<uint32_t>(config.bloom_bits));
+  writer->WriteU32(static_cast<uint32_t>(config.bloom_hashes));
+  writer->WriteBool(config.optimize_bloom_hashes);
+  writer->WriteBool(config.small_value_opt);
+  writer->WriteU64(config.salt);
+  writer->WriteU32(static_cast<uint32_t>(config.max_kicks));
+}
+
+Status ReadConfig(ByteReader* reader, CcfConfig* config) {
+  CCF_ASSIGN_OR_RETURN(config->num_buckets, reader->ReadU64());
+  auto read_int = [&](int* out) -> Status {
+    CCF_ASSIGN_OR_RETURN(uint32_t v, reader->ReadU32());
+    *out = static_cast<int>(v);
+    return Status::OK();
+  };
+  CCF_RETURN_NOT_OK(read_int(&config->slots_per_bucket));
+  CCF_RETURN_NOT_OK(read_int(&config->key_fp_bits));
+  CCF_RETURN_NOT_OK(read_int(&config->attr_fp_bits));
+  CCF_RETURN_NOT_OK(read_int(&config->num_attrs));
+  CCF_RETURN_NOT_OK(read_int(&config->max_dupes));
+  CCF_RETURN_NOT_OK(read_int(&config->max_chain));
+  CCF_RETURN_NOT_OK(read_int(&config->bloom_bits));
+  CCF_RETURN_NOT_OK(read_int(&config->bloom_hashes));
+  CCF_ASSIGN_OR_RETURN(config->optimize_bloom_hashes, reader->ReadBool());
+  CCF_ASSIGN_OR_RETURN(config->small_value_opt, reader->ReadBool());
+  CCF_ASSIGN_OR_RETURN(config->salt, reader->ReadU64());
+  CCF_RETURN_NOT_OK(read_int(&config->max_kicks));
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string CcfBase::Serialize() const {
+  std::string out;
+  ByteWriter writer(&out);
+  writer.WriteU32(kCcfMagic);
+  writer.WriteU8(static_cast<uint8_t>(variant()));
+  WriteConfig(&writer, config_);
+  writer.WriteU64(num_rows_);
+  table_.Save(&writer);
+  SaveExtras(&writer);
+  return out;
+}
+
+Status CcfBase::LoadState(ByteReader* reader) {
+  CCF_ASSIGN_OR_RETURN(num_rows_, reader->ReadU64());
+  CCF_ASSIGN_OR_RETURN(BucketTable loaded, BucketTable::Load(reader));
+  if (loaded.num_buckets() != table_.num_buckets() ||
+      loaded.slots_per_bucket() != table_.slots_per_bucket() ||
+      loaded.fingerprint_bits() != table_.fingerprint_bits() ||
+      loaded.payload_bits() != table_.payload_bits()) {
+    return Status::Invalid("serialized CCF table geometry mismatch");
+  }
+  table_ = std::move(loaded);
+  return LoadExtras(reader);
+}
+
+Result<std::unique_ptr<ConditionalCuckooFilter>> DeserializeCcfImpl(
+    std::string_view data) {
+  ByteReader reader(data);
+  CCF_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
+  if (magic != kCcfMagic) {
+    return Status::Invalid("not a serialized ConditionalCuckooFilter");
+  }
+  CCF_ASSIGN_OR_RETURN(uint8_t variant_tag, reader.ReadU8());
+  if (variant_tag > 3) return Status::Invalid("unknown CCF variant tag");
+  CcfVariant variant = static_cast<CcfVariant>(variant_tag);
+  CcfConfig config;
+  CCF_RETURN_NOT_OK(ReadConfig(&reader, &config));
+  CCF_ASSIGN_OR_RETURN(std::unique_ptr<ConditionalCuckooFilter> ccf,
+                       ConditionalCuckooFilter::Make(variant, config));
+  auto* base = static_cast<CcfBase*>(ccf.get());
+  CCF_RETURN_NOT_OK(base->LoadState(&reader));
+  return ccf;
+}
+
+Result<std::unique_ptr<ConditionalCuckooFilter>>
+ConditionalCuckooFilter::Deserialize(std::string_view data) {
+  return DeserializeCcfImpl(data);
+}
+
+// --- ChainWalk ---------------------------------------------------------------
+
+ChainWalk::ChainWalk(const Hasher* hasher, uint64_t bucket_mask,
+                     uint64_t start_bucket, uint32_t fp)
+    : hasher_(hasher), bucket_mask_(bucket_mask), fp_(fp) {
+  pair_ = MakePair(start_bucket);
+  visited_.push_back(pair_.Canonical(bucket_mask_ + 1));
+}
+
+BucketPair ChainWalk::MakePair(uint64_t bucket) const {
+  return BucketPair{
+      bucket, cuckoo_addressing::AltBucket(*hasher_, bucket, fp_,
+                                           bucket_mask_)};
+}
+
+bool ChainWalk::Visited(uint64_t canonical) const {
+  for (uint64_t v : visited_) {
+    if (v == canonical) return true;
+  }
+  return false;
+}
+
+void ChainWalk::Advance() {
+  uint64_t base = pair_.primary < pair_.alt ? pair_.primary : pair_.alt;
+  for (uint32_t round = 0;; ++round) {
+    uint64_t next = hasher_->HashPair(base, fp_, round) & bucket_mask_;
+    BucketPair candidate = MakePair(next);
+    uint64_t canonical = candidate.Canonical(bucket_mask_ + 1);
+    if (!Visited(canonical) || round >= kMaxCycleRounds) {
+      pair_ = candidate;
+      visited_.push_back(canonical);
+      ++hops_;
+      return;
+    }
+  }
+}
+
+// --- CcfBase -----------------------------------------------------------------
+
+CcfBase::CcfBase(CcfConfig config, BucketTable table)
+    : config_(config),
+      table_(std::move(table)),
+      hasher_(config.salt),
+      rng_(config.salt ^ 0xd1b54a32d192ed03ull) {
+  config_.num_buckets = table_.num_buckets();
+}
+
+void CcfBase::KeyAddress(uint64_t key, uint64_t* bucket, uint32_t* fp) const {
+  cuckoo_addressing::IndexAndFingerprint(hasher_, key, table_.bucket_mask(),
+                                         config_.key_fp_bits, bucket, fp);
+}
+
+BucketPair CcfBase::PairOf(uint64_t bucket, uint32_t fp) const {
+  return BucketPair{bucket, cuckoo_addressing::AltBucket(
+                                hasher_, bucket, fp, table_.bucket_mask())};
+}
+
+std::vector<std::pair<uint64_t, int>> CcfBase::SlotsWithFp(
+    const BucketPair& pair, uint32_t fp) const {
+  std::vector<std::pair<uint64_t, int>> out;
+  auto scan = [&](uint64_t b) {
+    for (int s = 0; s < table_.slots_per_bucket(); ++s) {
+      if (table_.occupied(b, s) && table_.fingerprint(b, s) == fp) {
+        out.emplace_back(b, s);
+      }
+    }
+  };
+  scan(pair.primary);
+  if (!pair.degenerate()) scan(pair.alt);
+  return out;
+}
+
+int CcfBase::CountFpInPair(const BucketPair& pair, uint32_t fp) const {
+  int n = table_.CountFingerprint(pair.primary, fp);
+  if (!pair.degenerate()) n += table_.CountFingerprint(pair.alt, fp);
+  return n;
+}
+
+std::pair<uint64_t, int> CcfBase::FreeSlotInPair(const BucketPair& pair) const {
+  int s = table_.FirstFreeSlot(pair.primary);
+  if (s >= 0) return {pair.primary, s};
+  if (!pair.degenerate()) {
+    s = table_.FirstFreeSlot(pair.alt);
+    if (s >= 0) return {pair.alt, s};
+  }
+  return {0, -1};
+}
+
+CcfBase::RawEntry CcfBase::ReadRaw(uint64_t bucket, int slot) const {
+  RawEntry entry;
+  entry.fp = table_.fingerprint(bucket, slot);
+  int remaining = table_.payload_bits();
+  int pos = 0;
+  while (remaining > 0) {
+    int chunk = remaining > 64 ? 64 : remaining;
+    entry.payload_words.push_back(
+        table_.GetPayloadField(bucket, slot, pos, chunk));
+    pos += chunk;
+    remaining -= chunk;
+  }
+  return entry;
+}
+
+void CcfBase::WriteRaw(uint64_t bucket, int slot, const RawEntry& entry) {
+  table_.Put(bucket, slot, entry.fp);
+  int remaining = table_.payload_bits();
+  int pos = 0;
+  size_t w = 0;
+  while (remaining > 0) {
+    int chunk = remaining > 64 ? 64 : remaining;
+    table_.SetPayloadField(bucket, slot, pos, chunk, entry.payload_words[w++]);
+    pos += chunk;
+    remaining -= chunk;
+  }
+}
+
+// --- MarkedKeyFilter ----------------------------------------------------------
+
+MarkedKeyFilter::MarkedKeyFilter(BucketTable table, BitVector marks,
+                                 Hasher hasher, int max_dupes, int chain_cap,
+                                 bool chain_on_full_pair)
+    : table_(std::move(table)),
+      marks_(std::move(marks)),
+      hasher_(hasher),
+      max_dupes_(max_dupes),
+      chain_cap_(chain_cap),
+      chain_on_full_pair_(chain_on_full_pair) {}
+
+bool MarkedKeyFilter::Contains(uint64_t key) const {
+  uint64_t bucket;
+  uint32_t fp;
+  cuckoo_addressing::IndexAndFingerprint(hasher_, key, table_.bucket_mask(),
+                                         table_.fingerprint_bits(), &bucket,
+                                         &fp);
+  ChainWalk walk(&hasher_, table_.bucket_mask(), bucket, fp);
+  for (int hop = 0; hop < chain_cap_; ++hop) {
+    const BucketPair& pair = walk.pair();
+    int count = 0;
+    bool unmarked = false;
+    auto scan = [&](uint64_t b) {
+      for (int s = 0; s < table_.slots_per_bucket(); ++s) {
+        if (table_.occupied(b, s) && table_.fingerprint(b, s) == fp) {
+          ++count;
+          uint64_t idx =
+              b * static_cast<uint64_t>(table_.slots_per_bucket()) +
+              static_cast<uint64_t>(s);
+          if (!marks_.GetBit(idx)) unmarked = true;
+        }
+      }
+    };
+    scan(pair.primary);
+    if (!pair.degenerate()) scan(pair.alt);
+    if (unmarked) return true;
+    if (chain_on_full_pair_ && count == max_dupes_) {
+      walk.Advance();
+      continue;
+    }
+    return false;
+  }
+  // Chain cap exhausted with every pair full of (marked) copies: the source
+  // CCF would answer true here too (Algorithm 5's terminal case).
+  return chain_on_full_pair_;
+}
+
+}  // namespace ccf

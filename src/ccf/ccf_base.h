@@ -1,0 +1,279 @@
+// Shared machinery for the four CCF variants: partial-key addressing over a
+// BucketTable, the deterministic chain-of-bucket-pairs walk (§6.2), generic
+// kick-based placement with rollback, and the marked derived key filter used
+// by predicate-only queries.
+#ifndef CCF_CCF_CCF_BASE_H_
+#define CCF_CCF_CCF_BASE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ccf/ccf.h"
+#include "cuckoo/bucket_table.h"
+#include "hash/hasher.h"
+#include "sketch/attr_fingerprint.h"
+#include "util/random.h"
+
+namespace ccf {
+
+/// \brief A bucket pair {ℓ, ℓ′} with ℓ′ = ℓ ⊕ h(κ).
+struct BucketPair {
+  uint64_t primary;
+  uint64_t alt;
+
+  /// Canonical id (order-independent) for cycle detection.
+  uint64_t Canonical(uint64_t num_buckets) const {
+    uint64_t lo = primary < alt ? primary : alt;
+    uint64_t hi = primary < alt ? alt : primary;
+    return lo * num_buckets + hi;
+  }
+  bool degenerate() const { return primary == alt; }
+};
+
+/// \brief Deterministic walk over the chain of bucket pairs of a fingerprint
+/// (Lemma 2's sequence), with cycle detection and extension.
+///
+/// Both insertion and query construct identical walks, so cycle-extension
+/// rounds are consistent on both sides. A revisited pair advances a rehash
+/// round mixed into the chain hash (§6.2: "such cycles can be detected and
+/// the chain can be extended").
+class ChainWalk {
+ public:
+  ChainWalk(const Hasher* hasher, uint64_t bucket_mask, uint64_t start_bucket,
+            uint32_t fp);
+
+  const BucketPair& pair() const { return pair_; }
+  int hops() const { return hops_; }
+
+  /// Moves to the next bucket pair: ℓ̃ = h(min{ℓ,ℓ′}, κ), skipping already
+  /// visited pairs via rehash rounds (bounded; falls through after
+  /// kMaxCycleRounds to guarantee termination).
+  void Advance();
+
+ private:
+  static constexpr uint32_t kMaxCycleRounds = 8;
+
+  BucketPair MakePair(uint64_t bucket) const;
+  bool Visited(uint64_t canonical) const;
+
+  const Hasher* hasher_;
+  uint64_t bucket_mask_;
+  uint32_t fp_;
+  BucketPair pair_;
+  int hops_ = 0;
+  std::vector<uint64_t> visited_;
+};
+
+/// \brief Common state + helpers for CCF implementations.
+class CcfBase : public ConditionalCuckooFilter {
+ public:
+  uint64_t SizeInBits() const override { return table_.SizeInBits(); }
+  double LoadFactor() const override { return table_.LoadFactor(); }
+  uint64_t num_entries() const override { return table_.num_occupied(); }
+  uint64_t num_rows() const override { return num_rows_; }
+  const CcfConfig& config() const override { return config_; }
+
+  /// The effective chain cap: config.max_chain, or kHardChainCap when 0.
+  int ChainCap() const {
+    return config_.max_chain > 0 ? config_.max_chain : kHardChainCap;
+  }
+
+  const BucketTable& table() const { return table_; }
+  const Hasher& hasher() const { return hasher_; }
+
+  std::string Serialize() const override;
+
+ protected:
+  CcfBase(CcfConfig config, BucketTable table);
+
+  /// Variant-specific serialized state (counters etc.). Defaults to none.
+  virtual void SaveExtras(ByteWriter* writer) const { (void)writer; }
+  virtual Status LoadExtras(ByteReader* reader) {
+    (void)reader;
+    return Status::OK();
+  }
+
+  /// Restores table + counters from a reader (after config was applied via
+  /// Make). Used by ConditionalCuckooFilter::Deserialize.
+  Status LoadState(ByteReader* reader);
+  friend Result<std::unique_ptr<ConditionalCuckooFilter>>
+  DeserializeCcfImpl(std::string_view data);
+
+  /// A slot's full logical contents held "in hand" during displacement.
+  struct RawEntry {
+    uint32_t fp = 0;
+    std::vector<uint64_t> payload_words;
+  };
+
+  /// Computes (primary bucket, key fingerprint) for a key.
+  void KeyAddress(uint64_t key, uint64_t* bucket, uint32_t* fp) const;
+
+  /// The pair of a (bucket, fp).
+  BucketPair PairOf(uint64_t bucket, uint32_t fp) const;
+
+  /// Occupied slots in the pair with the given fingerprint, as
+  /// (bucket, slot); degenerate pairs are scanned once.
+  std::vector<std::pair<uint64_t, int>> SlotsWithFp(const BucketPair& pair,
+                                                    uint32_t fp) const;
+
+  int CountFpInPair(const BucketPair& pair, uint32_t fp) const;
+
+  /// First free slot in the pair (primary preferred); slot == -1 if full.
+  std::pair<uint64_t, int> FreeSlotInPair(const BucketPair& pair) const;
+
+  RawEntry ReadRaw(uint64_t bucket, int slot) const;
+  void WriteRaw(uint64_t bucket, int slot, const RawEntry& entry);
+
+  /// Generic cuckoo placement with kicks and rollback.
+  ///
+  /// Places `fp` into a slot of `pair`, displacing residents as needed: the
+  /// classic homeless-entry chain where each displaced resident relocates to
+  /// the other bucket of ITS pair (so Lemma 1's ≤d invariant is preserved by
+  /// construction). On success, `payload_writer(bucket, slot)` runs once for
+  /// the new entry's final slot. On failure (kick budget exhausted or every
+  /// victim pinned by `can_evict`), all displacements are rolled back and
+  /// the table is exactly as before the call.
+  template <typename PayloadWriter, typename CanEvict>
+  bool PlaceWithKicks(const BucketPair& pair, uint32_t fp,
+                      PayloadWriter&& payload_writer, CanEvict&& can_evict);
+
+  /// PlaceWithKicks with every resident evictable.
+  template <typename PayloadWriter>
+  bool PlaceWithKicks(const BucketPair& pair, uint32_t fp,
+                      PayloadWriter&& payload_writer) {
+    return PlaceWithKicks(pair, fp, std::forward<PayloadWriter>(payload_writer),
+                          [](uint64_t, int) { return true; });
+  }
+
+  CcfConfig config_;
+  BucketTable table_;
+  Hasher hasher_;
+  Rng rng_;
+  uint64_t num_rows_ = 0;
+};
+
+template <typename PayloadWriter, typename CanEvict>
+bool CcfBase::PlaceWithKicks(const BucketPair& pair, uint32_t fp,
+                             PayloadWriter&& payload_writer,
+                             CanEvict&& can_evict) {
+  auto [free_bucket, free_slot] = FreeSlotInPair(pair);
+  if (free_slot >= 0) {
+    table_.Put(free_bucket, free_slot, fp);
+    payload_writer(free_bucket, free_slot);
+    return true;
+  }
+
+  // Both buckets full: displacement chain. trail[i] is the slot whose
+  // original resident became homeless at step i; trail[0] receives the new
+  // entry. On failure the chain is unwound in reverse, restoring the
+  // original state bit-for-bit.
+  std::vector<std::pair<uint64_t, int>> trail;
+  std::vector<RawEntry> displaced;  // displaced[i] = original resident of trail[i]
+  uint64_t cur = pair.degenerate() || rng_.NextBool(0.5) ? pair.primary
+                                                         : pair.alt;
+  bool success = false;
+  for (int kick = 0; kick < config_.max_kicks; ++kick) {
+    // Choose an evictable victim in `cur`, starting at a random slot.
+    int b = table_.slots_per_bucket();
+    int start = static_cast<int>(rng_.NextBelow(static_cast<uint64_t>(b)));
+    int victim = -1;
+    for (int i = 0; i < b; ++i) {
+      int s = (start + i) % b;
+      bool on_trail = false;
+      for (const auto& [tb, ts] : trail) {
+        if (tb == cur && ts == s) {
+          on_trail = true;
+          break;
+        }
+      }
+      if (!on_trail && table_.occupied(cur, s) && can_evict(cur, s)) {
+        victim = s;
+        break;
+      }
+    }
+    if (victim < 0) break;  // every resident pinned or already displaced
+
+    trail.emplace_back(cur, victim);
+    displaced.push_back(ReadRaw(cur, victim));
+    const RawEntry& homeless = displaced.back();
+
+    // The displaced resident relocates to the other bucket of its own pair.
+    uint64_t mate = cuckoo_addressing::AltBucket(hasher_, cur, homeless.fp,
+                                                 table_.bucket_mask());
+    int dest = table_.FirstFreeSlot(mate);
+    if (dest >= 0) {
+      table_.Erase(cur, victim);
+      WriteRaw(mate, dest, homeless);
+      success = true;
+      break;
+    }
+    cur = mate;  // mate full: displace one of its residents next round
+  }
+
+  if (!success) {
+    // Nothing was moved yet (moves only happen on the success step), so the
+    // table is untouched; just report failure.
+    return false;
+  }
+
+  // A slot at trail.back() is now free. Shift each displaced resident one
+  // step down the chain: resident of trail[i] moves into trail[i+1]'s slot
+  // (which is its own pair's bucket by construction of the walk), freeing
+  // trail[0] for the new entry.
+  for (size_t i = trail.size(); i-- > 1;) {
+    const auto& [tb, ts] = trail[i];
+    table_.Erase(tb, ts);
+    WriteRaw(tb, ts, displaced[i - 1]);
+  }
+  const auto& [nb, ns] = trail[0];
+  table_.Erase(nb, ns);
+  table_.Put(nb, ns, fp);
+  payload_writer(nb, ns);
+  return true;
+}
+
+/// \brief Derived key filter produced by predicate-only queries on
+/// fingerprint-vector variants (Plain/Chained/Mixed).
+///
+/// Holds a snapshot of the CCF's table plus one mark bit per slot; marked
+/// entries did not match the predicate but must remain so chains stay
+/// walkable (§6.2's "additional bit to mark the entry as non-matching").
+class MarkedKeyFilter : public KeyFilter {
+ public:
+  /// \param chain_on_full_pair  true for the chained variant (a pair holding
+  ///        max_dupes copies may continue elsewhere); false for pair-local
+  ///        variants (Plain/Mixed).
+  MarkedKeyFilter(BucketTable table, BitVector marks, Hasher hasher,
+                  int max_dupes, int chain_cap, bool chain_on_full_pair);
+
+  bool Contains(uint64_t key) const override;
+  uint64_t SizeInBits() const override {
+    return table_.SizeInBits() + marks_.size();
+  }
+
+ private:
+  BucketTable table_;
+  BitVector marks_;
+  Hasher hasher_;
+  int max_dupes_;
+  int chain_cap_;
+  bool chain_on_full_pair_;
+};
+
+/// \brief KeyFilter adapter over a plain CuckooFilter (Algorithm 2's output
+/// for the Bloom variant).
+class CuckooKeyFilter : public KeyFilter {
+ public:
+  explicit CuckooKeyFilter(CuckooFilter filter) : filter_(std::move(filter)) {}
+  bool Contains(uint64_t key) const override { return filter_.Contains(key); }
+  uint64_t SizeInBits() const override { return filter_.SizeInBits(); }
+  const CuckooFilter& filter() const { return filter_; }
+
+ private:
+  CuckooFilter filter_;
+};
+
+}  // namespace ccf
+
+#endif  // CCF_CCF_CCF_BASE_H_

@@ -1,0 +1,134 @@
+#include "ccf/chained_ccf.h"
+
+#include "ccf/entry_match.h"
+
+namespace ccf {
+
+ChainedCcf::ChainedCcf(CcfConfig config, BucketTable table)
+    : CcfBase(config, std::move(table)),
+      codec_(&hasher_, config.num_attrs, config.attr_fp_bits,
+             config.small_value_opt) {}
+
+Result<std::unique_ptr<ConditionalCuckooFilter>> ChainedCcf::Make(
+    const CcfConfig& config) {
+  CCF_ASSIGN_OR_RETURN(
+      BucketTable table,
+      BucketTable::Make(config.num_buckets, config.slots_per_bucket,
+                        config.key_fp_bits,
+                        config.num_attrs * config.attr_fp_bits));
+  return std::unique_ptr<ConditionalCuckooFilter>(
+      new ChainedCcf(config, std::move(table)));
+}
+
+Status ChainedCcf::Insert(uint64_t key, std::span<const uint64_t> attrs) {
+  if (static_cast<int>(attrs.size()) != config_.num_attrs) {
+    return Status::Invalid("attribute count does not match schema");
+  }
+  uint64_t bucket;
+  uint32_t fp;
+  KeyAddress(key, &bucket, &fp);
+
+  ChainWalk walk(&hasher_, table_.bucket_mask(), bucket, fp);
+  for (int hop = 0; hop < ChainCap(); ++hop) {
+    const BucketPair& pair = walk.pair();
+
+    // Algorithm 4: success if the identical (κ, α) entry already exists.
+    auto slots = SlotsWithFp(pair, fp);
+    for (const auto& [b, s] : slots) {
+      if (codec_.EqualsStored(table_, b, s, /*base=*/0, attrs)) {
+        if (hop > max_chain_seen_) max_chain_seen_ = hop;
+        return Status::OK();
+      }
+    }
+
+    if (static_cast<int>(slots.size()) >= config_.max_dupes) {
+      walk.Advance();  // pair saturated with κ copies: next pair (ℓ̃)
+      continue;
+    }
+
+    bool placed = PlaceWithKicks(pair, fp, [&](uint64_t b, int s) {
+      codec_.Store(&table_, b, s, /*base=*/0, attrs);
+    });
+    if (!placed) {
+      return Status::CapacityError(
+          "chained CCF: cuckoo kick budget exhausted");
+    }
+    if (hop > max_chain_seen_) max_chain_seen_ = hop;
+    ++num_rows_;
+    return Status::OK();
+  }
+
+  // Every pair up to the cap holds d copies of κ: queries for this key
+  // return true regardless of predicate (Theorem 3), so dropping the row
+  // cannot cause a false negative.
+  ++num_overflow_rows_;
+  return Status::OK();
+}
+
+bool ChainedCcf::ContainsKey(uint64_t key) const {
+  uint64_t bucket;
+  uint32_t fp;
+  KeyAddress(key, &bucket, &fp);
+  // §7.1: the chain is irrelevant for key-only queries — a present key
+  // always has a copy in its first bucket pair.
+  return CountFpInPair(PairOf(bucket, fp), fp) > 0;
+}
+
+bool ChainedCcf::Contains(uint64_t key, const Predicate& pred) const {
+  uint64_t bucket;
+  uint32_t fp;
+  KeyAddress(key, &bucket, &fp);
+
+  ChainWalk walk(&hasher_, table_.bucket_mask(), bucket, fp);
+  for (int hop = 0; hop < ChainCap(); ++hop) {
+    const BucketPair& pair = walk.pair();
+    auto slots = SlotsWithFp(pair, fp);
+    for (const auto& [b, s] : slots) {
+      if (VectorEntryMatches(table_, b, s, /*base=*/0, codec_, pred)) {
+        return true;
+      }
+    }
+    if (static_cast<int>(slots.size()) == config_.max_dupes) {
+      walk.Advance();  // exactly d copies: the chain may continue
+      continue;
+    }
+    return false;
+  }
+  // Lmax pairs checked, all holding d copies: true regardless of predicate
+  // (Algorithm 5's terminal case).
+  return true;
+}
+
+Result<std::unique_ptr<KeyFilter>> ChainedCcf::PredicateQuery(
+    const Predicate& pred) const {
+  // §6.2: entries cannot be erased (gaps would break chains); instead each
+  // non-matching entry is marked with an extra bit.
+  BitVector marks(table_.num_slots());
+  for (uint64_t b = 0; b < table_.num_buckets(); ++b) {
+    for (int s = 0; s < table_.slots_per_bucket(); ++s) {
+      if (!table_.occupied(b, s)) continue;
+      if (!VectorEntryMatches(table_, b, s, /*base=*/0, codec_, pred)) {
+        marks.SetBit(b * static_cast<uint64_t>(table_.slots_per_bucket()) +
+                         static_cast<uint64_t>(s),
+                     true);
+      }
+    }
+  }
+  return std::unique_ptr<KeyFilter>(new MarkedKeyFilter(
+      table_, std::move(marks), hasher_, config_.max_dupes, ChainCap(),
+      /*chain_on_full_pair=*/true));
+}
+
+void ChainedCcf::SaveExtras(ByteWriter* writer) const {
+  writer->WriteU64(num_overflow_rows_);
+  writer->WriteU32(static_cast<uint32_t>(max_chain_seen_));
+}
+
+Status ChainedCcf::LoadExtras(ByteReader* reader) {
+  CCF_ASSIGN_OR_RETURN(num_overflow_rows_, reader->ReadU64());
+  CCF_ASSIGN_OR_RETURN(uint32_t seen, reader->ReadU32());
+  max_chain_seen_ = static_cast<int>(seen);
+  return Status::OK();
+}
+
+}  // namespace ccf

@@ -1,0 +1,56 @@
+// Chained CCF (§6.2): fingerprint-vector entries with the paper's chaining
+// technique. A bucket pair holds at most d copies of a fingerprint; further
+// duplicates walk to ℓ̃ = h(min{ℓ,ℓ′}, κ) and so on (Algorithms 4 and 5),
+// preserving no-false-negatives (Theorem 3).
+#ifndef CCF_CCF_CHAINED_CCF_H_
+#define CCF_CCF_CHAINED_CCF_H_
+
+#include <memory>
+
+#include "ccf/ccf_base.h"
+
+namespace ccf {
+
+/// \brief Fingerprint-vector CCF with duplicate-key chaining.
+class ChainedCcf : public CcfBase {
+ public:
+  static Result<std::unique_ptr<ConditionalCuckooFilter>> Make(
+      const CcfConfig& config);
+
+  /// Inserts per Algorithm 4. Outcomes:
+  ///  * OK — stored, or safely absorbed: when every chain pair up to Lmax is
+  ///    full of κ copies the row is dropped but queries for it return true
+  ///    regardless (Theorem 3's terminal case), counted in
+  ///    num_overflow_rows().
+  ///  * CapacityError — a cuckoo kick budget was exhausted; the row is NOT
+  ///    represented and the caller must stop/resize (this is the "failed
+  ///    insertion" event of Figure 4).
+  Status Insert(uint64_t key, std::span<const uint64_t> attrs) override;
+
+  bool ContainsKey(uint64_t key) const override;
+  bool Contains(uint64_t key, const Predicate& pred) const override;
+  Result<std::unique_ptr<KeyFilter>> PredicateQuery(
+      const Predicate& pred) const override;
+  CcfVariant variant() const override { return CcfVariant::kChained; }
+
+  /// Rows absorbed by the chain-cap terminal case (always answered true).
+  uint64_t num_overflow_rows() const { return num_overflow_rows_; }
+
+  /// Longest chain walked by any insertion so far (diagnostics).
+  int max_chain_seen() const { return max_chain_seen_; }
+
+ protected:
+  void SaveExtras(ByteWriter* writer) const override;
+  Status LoadExtras(ByteReader* reader) override;
+
+ private:
+  ChainedCcf(CcfConfig config, BucketTable table);
+
+  AttrFingerprintCodec codec_;
+  uint64_t num_overflow_rows_ = 0;
+  int max_chain_seen_ = 0;
+};
+
+}  // namespace ccf
+
+#endif  // CCF_CCF_CHAINED_CCF_H_

@@ -1,0 +1,62 @@
+#include "ccf/compress.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace ccf {
+
+std::unordered_map<uint32_t, uint32_t> CompressFingerprintSpace(
+    const std::vector<uint32_t>& fingerprints, int target_bits) {
+  std::unordered_map<uint32_t, uint64_t> freq;
+  for (uint32_t fp : fingerprints) ++freq[fp];
+
+  std::vector<std::pair<uint64_t, uint32_t>> by_freq;  // (count, wide fp)
+  by_freq.reserve(freq.size());
+  for (const auto& [fp, n] : freq) by_freq.emplace_back(n, fp);
+  std::sort(by_freq.begin(), by_freq.end(), [](const auto& a, const auto& b) {
+    return a.first > b.first || (a.first == b.first && a.second < b.second);
+  });
+
+  uint32_t num_codes = uint32_t{1} << target_bits;
+  // Min-heap of (accumulated load, code): each wide fp goes to the least
+  // loaded code, so frequent values get exclusive codes while the tail is
+  // spread evenly.
+  using Load = std::pair<uint64_t, uint32_t>;
+  std::priority_queue<Load, std::vector<Load>, std::greater<>> codes;
+  for (uint32_t c = 0; c < num_codes; ++c) codes.emplace(0, c);
+
+  std::unordered_map<uint32_t, uint32_t> mapping;
+  mapping.reserve(freq.size());
+  for (const auto& [n, fp] : by_freq) {
+    auto [load, code] = codes.top();
+    codes.pop();
+    mapping[fp] = code;
+    codes.emplace(load + n, code);
+  }
+  return mapping;
+}
+
+double AddedCollisionProbability(
+    const std::vector<uint32_t>& fingerprints,
+    const std::unordered_map<uint32_t, uint32_t>& mapping) {
+  if (fingerprints.empty()) return 0.0;
+  std::unordered_map<uint32_t, uint64_t> wide_freq;
+  std::unordered_map<uint32_t, uint64_t> narrow_freq;
+  for (uint32_t fp : fingerprints) {
+    ++wide_freq[fp];
+    ++narrow_freq[mapping.at(fp)];
+  }
+  double total = static_cast<double>(fingerprints.size());
+  double p_wide = 0.0, p_narrow = 0.0;
+  for (const auto& [fp, n] : wide_freq) {
+    double p = static_cast<double>(n) / total;
+    p_wide += p * p;
+  }
+  for (const auto& [code, n] : narrow_freq) {
+    double p = static_cast<double>(n) / total;
+    p_narrow += p * p;
+  }
+  return p_narrow - p_wide;
+}
+
+}  // namespace ccf

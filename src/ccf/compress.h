@@ -1,0 +1,36 @@
+// Attribute compression (§9, "Attribute compression"): a two-stage
+// construction first sketches with wide attribute fingerprints, then remaps
+// them onto a narrower code space while minimizing collisions between
+// frequently co-probed values.
+#ifndef CCF_CCF_COMPRESS_H_
+#define CCF_CCF_COMPRESS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace ccf {
+
+/// \brief Frequency-greedy remapping of wide fingerprints onto `target_bits`
+/// codes.
+///
+/// The most frequent wide fingerprints receive dedicated narrow codes first;
+/// the long tail round-robins across codes in increasing-load order, so
+/// collisions land on the rarest values (minimizing expected spurious
+/// matches).
+///
+/// \param fingerprints one wide fingerprint per occurrence (a multiset)
+/// \returns map wide → narrow; every input fingerprint is mapped
+std::unordered_map<uint32_t, uint32_t> CompressFingerprintSpace(
+    const std::vector<uint32_t>& fingerprints, int target_bits);
+
+/// Expected probability that two independent draws from the value-frequency
+/// distribution collide AFTER remapping but did not collide before — the
+/// added FPR of the compression. Used to compare candidate mappings.
+double AddedCollisionProbability(
+    const std::vector<uint32_t>& fingerprints,
+    const std::unordered_map<uint32_t, uint32_t>& mapping);
+
+}  // namespace ccf
+
+#endif  // CCF_CCF_COMPRESS_H_

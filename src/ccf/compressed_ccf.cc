@@ -1,0 +1,89 @@
+#include "ccf/compressed_ccf.h"
+
+#include "hash/fingerprint.h"
+#include "hash/hasher.h"
+
+namespace ccf {
+
+Result<CompressedCcf> CompressedCcf::Build(
+    CcfVariant variant, CcfConfig config, int wide_bits,
+    const std::vector<uint64_t>& keys,
+    const std::vector<std::vector<uint64_t>>& attrs) {
+  if (keys.size() != attrs.size()) {
+    return Status::Invalid("keys/attrs size mismatch");
+  }
+  if (wide_bits <= config.attr_fp_bits || wide_bits > 32) {
+    return Status::Invalid(
+        "wide_bits must exceed the compressed attr_fp_bits (and be <= 32)");
+  }
+
+  CompressedCcf out;
+  out.wide_bits_ = wide_bits;
+  out.salt_ = config.salt;
+
+  // Stage 1: compute wide fingerprints per column and derive the
+  // frequency-greedy narrow mapping.
+  Hasher hasher(config.salt);
+  int num_attrs = config.num_attrs;
+  std::vector<std::vector<uint32_t>> wide_per_column(
+      static_cast<size_t>(num_attrs));
+  for (const auto& row : attrs) {
+    if (static_cast<int>(row.size()) != num_attrs) {
+      return Status::Invalid("row arity mismatch");
+    }
+    for (int a = 0; a < num_attrs; ++a) {
+      wide_per_column[static_cast<size_t>(a)].push_back(AttributeFingerprint(
+          hasher, row[static_cast<size_t>(a)], wide_bits,
+          /*small_value_opt=*/true));
+    }
+  }
+  for (int a = 0; a < num_attrs; ++a) {
+    auto mapping = CompressFingerprintSpace(
+        wide_per_column[static_cast<size_t>(a)], config.attr_fp_bits);
+    out.added_collisions_.push_back(AddedCollisionProbability(
+        wide_per_column[static_cast<size_t>(a)], mapping));
+    out.mappings_.push_back(std::move(mapping));
+  }
+
+  // Stage 2: build the narrow CCF over remapped values. Small-value
+  // optimization must be off — narrow codes are already the fingerprints.
+  config.small_value_opt = false;
+  CCF_ASSIGN_OR_RETURN(out.inner_,
+                       ConditionalCuckooFilter::Make(variant, config));
+  std::vector<uint64_t> row(static_cast<size_t>(num_attrs));
+  for (size_t i = 0; i < keys.size(); ++i) {
+    for (int a = 0; a < num_attrs; ++a) {
+      row[static_cast<size_t>(a)] =
+          out.RemapValue(a, attrs[i][static_cast<size_t>(a)]);
+    }
+    CCF_RETURN_NOT_OK(out.inner_->Insert(keys[i], row));
+  }
+  return out;
+}
+
+uint64_t CompressedCcf::RemapValue(int attr, uint64_t value) const {
+  Hasher hasher(salt_);
+  uint32_t wide =
+      AttributeFingerprint(hasher, value, wide_bits_, /*small_value_opt=*/true);
+  const auto& mapping = mappings_[static_cast<size_t>(attr)];
+  auto it = mapping.find(wide);
+  if (it != mapping.end()) return it->second;
+  // Never-observed value: any narrow code works (it was not inserted, so a
+  // match is an ordinary collision); derive one from the wide fingerprint.
+  return wide & ((uint64_t{1} << inner_->config().attr_fp_bits) - 1);
+}
+
+bool CompressedCcf::Contains(uint64_t key, const Predicate& pred) const {
+  Predicate remapped;
+  for (const AttributeTerm& term : pred.terms()) {
+    std::vector<uint64_t> values;
+    values.reserve(term.values.size());
+    for (uint64_t v : term.values) {
+      values.push_back(RemapValue(term.attr_index, v));
+    }
+    remapped.AndIn(term.attr_index, std::move(values));
+  }
+  return inner_->Contains(key, remapped);
+}
+
+}  // namespace ccf

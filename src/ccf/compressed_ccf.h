@@ -1,0 +1,62 @@
+// Two-stage attribute compression (§9, "Attribute compression"): build with
+// wide attribute fingerprints, then remap each column's observed wide
+// fingerprints onto a narrow code space chosen to minimize collisions
+// between frequent values (compress.h). Queries translate predicate values
+// through the same per-column mapping.
+#ifndef CCF_CCF_COMPRESSED_CCF_H_
+#define CCF_CCF_COMPRESSED_CCF_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "ccf/ccf.h"
+#include "ccf/compress.h"
+
+namespace ccf {
+
+/// \brief A CCF whose attribute fingerprints were compressed from
+/// `wide_bits` to `config.attr_fp_bits` via frequency-greedy remapping.
+///
+/// Unknown query values (never seen at build time) fall back to hashing
+/// into the narrow space; since they were never inserted, any match is an
+/// ordinary fingerprint collision — no false negatives are introduced.
+class CompressedCcf {
+ public:
+  /// Builds in two stages from the full row set. `wide_bits` is the stage-1
+  /// fingerprint width (e.g. 16); `config.attr_fp_bits` the compressed one.
+  static Result<CompressedCcf> Build(
+      CcfVariant variant, CcfConfig config, int wide_bits,
+      const std::vector<uint64_t>& keys,
+      const std::vector<std::vector<uint64_t>>& attrs);
+
+  bool ContainsKey(uint64_t key) const { return inner_->ContainsKey(key); }
+
+  /// Key + predicate; values are remapped per column before probing.
+  bool Contains(uint64_t key, const Predicate& pred) const;
+
+  uint64_t SizeInBits() const { return inner_->SizeInBits(); }
+  const ConditionalCuckooFilter& inner() const { return *inner_; }
+
+  /// Collision probability added by compression on column `attr`
+  /// (diagnostic, see AddedCollisionProbability).
+  double added_collisions(int attr) const {
+    return added_collisions_[static_cast<size_t>(attr)];
+  }
+
+ private:
+  CompressedCcf() = default;
+
+  uint64_t RemapValue(int attr, uint64_t value) const;
+
+  std::unique_ptr<ConditionalCuckooFilter> inner_;
+  // Per column: wide fingerprint → narrow code.
+  std::vector<std::unordered_map<uint32_t, uint32_t>> mappings_;
+  std::vector<double> added_collisions_;
+  int wide_bits_ = 16;
+  uint64_t salt_ = 0;
+};
+
+}  // namespace ccf
+
+#endif  // CCF_CCF_COMPRESSED_CCF_H_

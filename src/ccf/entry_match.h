@@ -1,0 +1,35 @@
+// Matching a predicate against a stored attribute fingerprint vector: each
+// conjunct must have some in-list value whose fingerprint equals the stored
+// one (per-entry conjunction preserves co-occurrence, §5.2).
+#ifndef CCF_CCF_ENTRY_MATCH_H_
+#define CCF_CCF_ENTRY_MATCH_H_
+
+#include "cuckoo/bucket_table.h"
+#include "predicate/predicate.h"
+#include "sketch/attr_fingerprint.h"
+
+namespace ccf {
+
+/// True if the fingerprint vector stored at (bucket, slot) — payload offset
+/// `base` — satisfies every term of `pred`.
+inline bool VectorEntryMatches(const BucketTable& table, uint64_t bucket,
+                               int slot, int base,
+                               const AttrFingerprintCodec& codec,
+                               const Predicate& pred) {
+  for (const AttributeTerm& term : pred.terms()) {
+    uint32_t stored = codec.Load(table, bucket, slot, base, term.attr_index);
+    bool any = false;
+    for (uint64_t v : term.values) {
+      if (codec.ValueFingerprint(v) == stored) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return false;
+  }
+  return true;
+}
+
+}  // namespace ccf
+
+#endif  // CCF_CCF_ENTRY_MATCH_H_

@@ -1,0 +1,40 @@
+#include "ccf/fpr_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccf {
+
+double KeyOnlyFprBound(double mean_pair_occupancy, int key_fp_bits) {
+  return std::min(1.0, mean_pair_occupancy * std::pow(2.0, -key_fp_bits));
+}
+
+double VectorEntryFpr(int attr_fp_bits, int num_nonmatching_attrs) {
+  return std::pow(2.0, -static_cast<double>(attr_fp_bits) *
+                           num_nonmatching_attrs);
+}
+
+double ChainedPredicateFprBound(std::span<const int> nonmatching_counts,
+                                int attr_fp_bits) {
+  double sum = 0.0;
+  for (int v : nonmatching_counts) {
+    sum += VectorEntryFpr(attr_fp_bits, v);
+  }
+  return std::min(1.0, sum);
+}
+
+double BloomFprApprox(int num_hashes, int num_bits, double num_items) {
+  double h = static_cast<double>(num_hashes);
+  double s = static_cast<double>(num_bits);
+  return std::pow(1.0 - std::exp(-h * num_items / s), h);
+}
+
+double BloomPredicateFpr(double sketch_fpr, int num_absent_values) {
+  return std::pow(sketch_fpr, num_absent_values);
+}
+
+double ComposedFpr(double p_key, double p_pred) {
+  return std::min(1.0, p_key * p_pred);
+}
+
+}  // namespace ccf

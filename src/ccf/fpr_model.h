@@ -1,0 +1,40 @@
+// False-positive-rate bounds of §7 (eqs. 4-7). These are the model curves
+// Figure 2 plots against measured FPRs.
+#ifndef CCF_CCF_FPR_MODEL_H_
+#define CCF_CCF_FPR_MODEL_H_
+
+#include <cstdint>
+#include <span>
+
+namespace ccf {
+
+/// Eq. (4): FPR of a key-only query for an absent key — E[D]·2^{-|κ|}, with
+/// D the occupied entries in the probed bucket pair.
+double KeyOnlyFprBound(double mean_pair_occupancy, int key_fp_bits);
+
+/// Per-entry spurious-match probability for an attribute fingerprint vector:
+/// 2^{-|α|·Ṽ}, Ṽ = number of predicate attributes not matching the row.
+double VectorEntryFpr(int attr_fp_bits, int num_nonmatching_attrs);
+
+/// Eq. (7): bound for key-present, predicate-unsatisfied queries on the
+/// chained variant — (#entries checked)·E[2^{-|α|Ṽ}]. `nonmatching_counts`
+/// holds Ṽ for each entry the query can probe (≤ d·Lmax of them).
+double ChainedPredicateFprBound(std::span<const int> nonmatching_counts,
+                                int attr_fp_bits);
+
+/// Eq. (6) companion: classic Bloom FPR approximation (1 - e^{-hn/s})^h.
+/// §7.2 notes this underestimates for small filters (Bose et al.).
+double BloomFprApprox(int num_hashes, int num_bits, double num_items);
+
+/// Eq. (6): predicate FPR on a Bloom attribute sketch — ρ^v where ρ is the
+/// sketch's FPR and v the number of never-inserted attribute values probed.
+double BloomPredicateFpr(double sketch_fpr, int num_absent_values);
+
+/// Eq. (5) composition: overall FPR of a (k, P) query. `p_key` is the
+/// probability the key matches (1 if the key is in the data), `p_pred` the
+/// conditional predicate FPR.
+double ComposedFpr(double p_key, double p_pred);
+
+}  // namespace ccf
+
+#endif  // CCF_CCF_FPR_MODEL_H_

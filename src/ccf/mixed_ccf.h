@@ -1,0 +1,99 @@
+// Mixed CCF (§6.1, "Bloom conversion"): entries start as attribute
+// fingerprint vectors; once a bucket pair accumulates d copies of a key
+// fingerprint, those d entries are converted in place into one Bloom filter
+// packed across their payload windows. Conversion never fails, so the Mixed
+// variant absorbs unbounded duplicates without chaining.
+//
+// Layout per slot payload:
+//   bit 0                  mode (0 vector, 1 converted fragment)
+//   bits [1, 1+seq_bits)   fragment sequence number (converted only)
+//   bits [base, base+#α·|α|) fingerprint vector or Bloom fragment,
+//                            base = 1 + seq_bits
+//
+// The sequence number makes the packed Bloom's bit order independent of
+// slot positions, so converted fragments can be displaced by cuckoo kicks
+// like any other entry (they still never leave their bucket pair, by the
+// XOR involution). This costs ⌈log2 d⌉ bits per slot, comparable to the
+// paper's 2(|κ| + ⌈log2 d⌉)-bit count fields, and avoids re-packing the
+// Bloom filter on every kick.
+#ifndef CCF_CCF_MIXED_CCF_H_
+#define CCF_CCF_MIXED_CCF_H_
+
+#include <memory>
+
+#include "bloom/bloom_sketch.h"
+#include "ccf/ccf_base.h"
+
+namespace ccf {
+
+/// \brief Fingerprint-vector CCF with in-place Bloom conversion at d
+/// duplicates.
+class MixedCcf : public CcfBase {
+ public:
+  static Result<std::unique_ptr<ConditionalCuckooFilter>> Make(
+      const CcfConfig& config);
+
+  Status Insert(uint64_t key, std::span<const uint64_t> attrs) override;
+  bool ContainsKey(uint64_t key) const override;
+  bool Contains(uint64_t key, const Predicate& pred) const override;
+  Result<std::unique_ptr<KeyFilter>> PredicateQuery(
+      const Predicate& pred) const override;
+  CcfVariant variant() const override { return CcfVariant::kMixed; }
+
+  /// Number of vector→Bloom conversions performed (diagnostics).
+  uint64_t num_conversions() const { return num_conversions_; }
+  /// Bloom probes used by converted sketches (eq. 2 when
+  /// optimize_bloom_hashes, else the fixed bloom_hashes setting).
+  int conversion_hashes() const { return conversion_hashes_; }
+
+ protected:
+  void SaveExtras(ByteWriter* writer) const override;
+  Status LoadExtras(ByteReader* reader) override;
+
+ private:
+  MixedCcf(CcfConfig config, BucketTable table);
+
+  bool IsConverted(uint64_t bucket, int slot) const {
+    return table_.GetPayloadField(bucket, slot, 0, 1) != 0;
+  }
+  void SetConverted(uint64_t bucket, int slot, bool converted) {
+    table_.SetPayloadField(bucket, slot, 0, 1, converted ? 1 : 0);
+  }
+  uint64_t SeqOf(uint64_t bucket, int slot) const {
+    return seq_bits_ == 0 ? 0
+                          : table_.GetPayloadField(bucket, slot, 1, seq_bits_);
+  }
+  void SetSeq(uint64_t bucket, int slot, uint64_t seq) {
+    if (seq_bits_ > 0) table_.SetPayloadField(bucket, slot, 1, seq_bits_, seq);
+  }
+
+  /// Converted fragments of κ in the pair, ordered by sequence number (the
+  /// stable order the packed Bloom bits were written in).
+  std::vector<std::pair<uint64_t, int>> CanonicalFragments(
+      const BucketPair& pair, uint32_t fp) const;
+
+  /// Bloom view spanning the given fragment windows (in the given order).
+  BloomSketchView FragmentSketch(
+      const std::vector<std::pair<uint64_t, int>>& frags) const;
+
+  /// Converts the d vector entries of κ into one packed Bloom filter and
+  /// folds `attrs` (the (d+1)-th duplicate) into it. Never fails.
+  void ConvertToBloom(const BucketPair& pair, uint32_t fp,
+                      std::span<const uint64_t> attrs);
+
+  void FoldRowIntoSketch(BloomSketchView* sketch,
+                         std::span<const uint64_t> attrs) const;
+  bool SketchMatches(const BloomSketchView& sketch,
+                     const Predicate& pred) const;
+
+  AttrFingerprintCodec codec_;
+  int seq_bits_;
+  int vec_base_;  // payload offset of the vector / fragment window
+  int vec_bits_;
+  int conversion_hashes_;
+  uint64_t num_conversions_ = 0;
+};
+
+}  // namespace ccf
+
+#endif  // CCF_CCF_MIXED_CCF_H_

@@ -1,0 +1,77 @@
+#include "ccf/per_value_filters.h"
+
+#include <set>
+#include <unordered_set>
+
+namespace ccf {
+
+Result<PerValueFilterBank> PerValueFilterBank::Build(
+    int num_attrs, int fingerprint_bits, const std::vector<uint64_t>& keys,
+    const std::vector<std::vector<uint64_t>>& attrs, uint64_t salt) {
+  if (keys.size() != attrs.size()) {
+    return Status::Invalid("keys/attrs size mismatch");
+  }
+  // Collect distinct keys per (column, value).
+  std::map<std::pair<int, uint64_t>, std::unordered_set<uint64_t>> groups;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (static_cast<int>(attrs[i].size()) != num_attrs) {
+      return Status::Invalid("row arity mismatch");
+    }
+    for (int a = 0; a < num_attrs; ++a) {
+      groups[{a, attrs[i][static_cast<size_t>(a)]}].insert(keys[i]);
+    }
+  }
+
+  PerValueFilterBank bank;
+  for (const auto& [col_value, key_set] : groups) {
+    CuckooFilterConfig config;
+    config.fingerprint_bits = fingerprint_bits;
+    config.slots_per_bucket = 4;
+    config.salt = salt ^ (static_cast<uint64_t>(col_value.first) << 32) ^
+                  col_value.second;
+    CCF_ASSIGN_OR_RETURN(
+        CuckooFilter filter,
+        CuckooFilter::MakeForCapacity(key_set.size(), config, 0.9));
+    for (uint64_t k : key_set) {
+      Status st = filter.Insert(k);
+      if (!st.ok()) {
+        // Tiny filters occasionally spill at 90%; rebuild once at 2x.
+        config.num_buckets = filter.config().num_buckets * 2;
+        CCF_ASSIGN_OR_RETURN(filter, CuckooFilter::Make(config));
+        for (uint64_t k2 : key_set) {
+          CCF_RETURN_NOT_OK(filter.Insert(k2));
+        }
+        break;
+      }
+    }
+    bank.filters_.emplace(col_value, std::move(filter));
+  }
+  return bank;
+}
+
+Result<bool> PerValueFilterBank::Contains(uint64_t key,
+                                          const Predicate& pred) const {
+  for (const AttributeTerm& term : pred.terms()) {
+    bool any = false;
+    for (uint64_t v : term.values) {
+      auto it = filters_.find({term.attr_index, v});
+      if (it == filters_.end()) continue;  // value never seen: no keys
+      if (it->second.Contains(key)) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return false;
+  }
+  return true;
+}
+
+uint64_t PerValueFilterBank::SizeInBits() const {
+  uint64_t bits = 0;
+  for (const auto& [unused, filter] : filters_) {
+    bits += filter.SizeInBits();
+  }
+  return bits;
+}
+
+}  // namespace ccf

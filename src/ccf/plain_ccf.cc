@@ -1,0 +1,87 @@
+#include "ccf/plain_ccf.h"
+
+#include "ccf/entry_match.h"
+
+namespace ccf {
+
+PlainCcf::PlainCcf(CcfConfig config, BucketTable table)
+    : CcfBase(config, std::move(table)),
+      codec_(&hasher_, config.num_attrs, config.attr_fp_bits,
+             config.small_value_opt) {}
+
+Result<std::unique_ptr<ConditionalCuckooFilter>> PlainCcf::Make(
+    const CcfConfig& config) {
+  CCF_ASSIGN_OR_RETURN(
+      BucketTable table,
+      BucketTable::Make(config.num_buckets, config.slots_per_bucket,
+                        config.key_fp_bits,
+                        config.num_attrs * config.attr_fp_bits));
+  return std::unique_ptr<ConditionalCuckooFilter>(
+      new PlainCcf(config, std::move(table)));
+}
+
+Status PlainCcf::Insert(uint64_t key, std::span<const uint64_t> attrs) {
+  if (static_cast<int>(attrs.size()) != config_.num_attrs) {
+    return Status::Invalid("attribute count does not match schema");
+  }
+  uint64_t bucket;
+  uint32_t fp;
+  KeyAddress(key, &bucket, &fp);
+  BucketPair pair = PairOf(bucket, fp);
+
+  // Collapse duplicate (κ, α) rows.
+  for (const auto& [b, s] : SlotsWithFp(pair, fp)) {
+    if (codec_.EqualsStored(table_, b, s, /*base=*/0, attrs)) {
+      return Status::OK();
+    }
+  }
+
+  bool placed = PlaceWithKicks(pair, fp, [&](uint64_t b, int s) {
+    codec_.Store(&table_, b, s, /*base=*/0, attrs);
+  });
+  if (!placed) {
+    return Status::CapacityError(
+        "plain CCF: bucket pair cannot absorb another duplicate");
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+bool PlainCcf::ContainsKey(uint64_t key) const {
+  uint64_t bucket;
+  uint32_t fp;
+  KeyAddress(key, &bucket, &fp);
+  return CountFpInPair(PairOf(bucket, fp), fp) > 0;
+}
+
+bool PlainCcf::Contains(uint64_t key, const Predicate& pred) const {
+  uint64_t bucket;
+  uint32_t fp;
+  KeyAddress(key, &bucket, &fp);
+  for (const auto& [b, s] : SlotsWithFp(PairOf(bucket, fp), fp)) {
+    if (VectorEntryMatches(table_, b, s, /*base=*/0, codec_, pred)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<std::unique_ptr<KeyFilter>> PlainCcf::PredicateQuery(
+    const Predicate& pred) const {
+  BitVector marks(table_.num_slots());
+  for (uint64_t b = 0; b < table_.num_buckets(); ++b) {
+    for (int s = 0; s < table_.slots_per_bucket(); ++s) {
+      if (!table_.occupied(b, s)) continue;
+      if (!VectorEntryMatches(table_, b, s, /*base=*/0, codec_, pred)) {
+        marks.SetBit(b * static_cast<uint64_t>(table_.slots_per_bucket()) +
+                         static_cast<uint64_t>(s),
+                     true);
+      }
+    }
+  }
+  return std::unique_ptr<KeyFilter>(new MarkedKeyFilter(
+      table_, std::move(marks), hasher_, config_.max_dupes, /*chain_cap=*/1,
+      /*chain_on_full_pair=*/false));
+}
+
+}  // namespace ccf

@@ -1,0 +1,36 @@
+// Plain CCF: a cuckoo filter whose entries carry attribute fingerprint
+// vectors (§5.1) with duplicate keys stored as extra entries in the bucket
+// pair (§4.3's multiset extension). No chaining, no conversion — the
+// failure-prone baseline whose collapse Figures 4 and the JOB-light "Plain"
+// rows demonstrate.
+#ifndef CCF_CCF_PLAIN_CCF_H_
+#define CCF_CCF_PLAIN_CCF_H_
+
+#include <memory>
+
+#include "ccf/ccf_base.h"
+
+namespace ccf {
+
+/// \brief Fingerprint-vector CCF limited to one bucket pair per key.
+class PlainCcf : public CcfBase {
+ public:
+  static Result<std::unique_ptr<ConditionalCuckooFilter>> Make(
+      const CcfConfig& config);
+
+  Status Insert(uint64_t key, std::span<const uint64_t> attrs) override;
+  bool ContainsKey(uint64_t key) const override;
+  bool Contains(uint64_t key, const Predicate& pred) const override;
+  Result<std::unique_ptr<KeyFilter>> PredicateQuery(
+      const Predicate& pred) const override;
+  CcfVariant variant() const override { return CcfVariant::kPlain; }
+
+ private:
+  PlainCcf(CcfConfig config, BucketTable table);
+
+  AttrFingerprintCodec codec_;
+};
+
+}  // namespace ccf
+
+#endif  // CCF_CCF_PLAIN_CCF_H_

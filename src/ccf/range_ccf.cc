@@ -1,0 +1,56 @@
+#include "ccf/range_ccf.h"
+
+#include <vector>
+
+namespace ccf {
+
+Result<RangeCcf> RangeCcf::Make(CcfVariant variant, const CcfConfig& config,
+                                int range_attr_index, int max_level) {
+  if (range_attr_index < 0 || range_attr_index >= config.num_attrs) {
+    return Status::Invalid("range_attr_index out of schema range");
+  }
+  if (max_level < 0 || max_level > 57) {
+    return Status::Invalid("max_level must be in [0, 57]");
+  }
+  // Dyadic labels are large (level in the top bits), so exact small-value
+  // storage never applies to them; that is fine — they hash uniformly.
+  CCF_ASSIGN_OR_RETURN(std::unique_ptr<ConditionalCuckooFilter> inner,
+                       ConditionalCuckooFilter::Make(variant, config));
+  return RangeCcf(std::move(inner), range_attr_index, max_level);
+}
+
+Status RangeCcf::Insert(uint64_t key, std::span<const uint64_t> attrs) {
+  std::vector<uint64_t> row(attrs.begin(), attrs.end());
+  uint64_t value = attrs[static_cast<size_t>(range_attr_)];
+  // η insertions per item (§9.1): one per containing dyadic interval.
+  for (const DyadicInterval& interval : DyadicLabels(value, max_level_)) {
+    row[static_cast<size_t>(range_attr_)] = interval.Label();
+    CCF_RETURN_NOT_OK(inner_->Insert(key, row));
+  }
+  return Status::OK();
+}
+
+bool RangeCcf::ContainsInRange(uint64_t key, uint64_t lo, uint64_t hi,
+                               const Predicate& other) const {
+  // A range query probes the covering intervals as an in-list of labels.
+  std::vector<DyadicInterval> cover = DyadicCover(lo, hi, max_level_);
+  std::vector<uint64_t> labels;
+  labels.reserve(cover.size());
+  for (const DyadicInterval& interval : cover) {
+    labels.push_back(interval.Label());
+  }
+  Predicate pred = other;
+  pred.AndIn(range_attr_, std::move(labels));
+  return inner_->Contains(key, pred);
+}
+
+bool RangeCcf::ContainsRow(uint64_t key,
+                           std::span<const uint64_t> attrs) const {
+  std::vector<uint64_t> row(attrs.begin(), attrs.end());
+  uint64_t value = attrs[static_cast<size_t>(range_attr_)];
+  row[static_cast<size_t>(range_attr_)] =
+      DyadicInterval{0, value}.Label();
+  return inner_->ContainsRow(key, row);
+}
+
+}  // namespace ccf

@@ -1,0 +1,59 @@
+// Range-predicate CCF via dyadic decomposition — §9.1's second method. Each
+// row is inserted η = max_level + 1 times, once per dyadic interval
+// containing its range-column value; a range query probes the O(log range)
+// covering intervals. Compared to binning: no fixed-resolution error, at
+// the cost of η× insertions and larger sketches.
+#ifndef CCF_CCF_RANGE_CCF_H_
+#define CCF_CCF_RANGE_CCF_H_
+
+#include <memory>
+
+#include "ccf/ccf.h"
+#include "predicate/dyadic.h"
+
+namespace ccf {
+
+/// \brief CCF wrapper supporting range predicates on one designated column.
+///
+/// The wrapped CCF sees the range column's value replaced by dyadic interval
+/// labels; other columns pass through. Equality on the range column is a
+/// level-0 label probe, so all query kinds remain available.
+class RangeCcf {
+ public:
+  /// \param range_attr_index which attribute column carries range queries
+  /// \param max_level dyadic levels (domain up to 2^max_level values)
+  static Result<RangeCcf> Make(CcfVariant variant, const CcfConfig& config,
+                               int range_attr_index, int max_level);
+
+  /// Inserts one row (η inner insertions, one per dyadic level).
+  Status Insert(uint64_t key, std::span<const uint64_t> attrs);
+
+  /// Key + conjunction of: equality terms on other columns (given via
+  /// `other`, may be empty) and range [lo, hi] on the range column.
+  bool ContainsInRange(uint64_t key, uint64_t lo, uint64_t hi,
+                       const Predicate& other = Predicate()) const;
+
+  /// Plain equality query (all columns; range column at level 0).
+  bool ContainsRow(uint64_t key, std::span<const uint64_t> attrs) const;
+
+  bool ContainsKey(uint64_t key) const { return inner_->ContainsKey(key); }
+
+  uint64_t SizeInBits() const { return inner_->SizeInBits(); }
+  const ConditionalCuckooFilter& inner() const { return *inner_; }
+  int max_level() const { return max_level_; }
+
+ private:
+  RangeCcf(std::unique_ptr<ConditionalCuckooFilter> inner,
+           int range_attr_index, int max_level)
+      : inner_(std::move(inner)),
+        range_attr_(range_attr_index),
+        max_level_(max_level) {}
+
+  std::unique_ptr<ConditionalCuckooFilter> inner_;
+  int range_attr_;
+  int max_level_;
+};
+
+}  // namespace ccf
+
+#endif  // CCF_CCF_RANGE_CCF_H_

@@ -1,0 +1,88 @@
+#include "ccf/sizing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math_util.h"
+
+namespace ccf {
+
+DuplicateProfile DuplicateProfile::FromCounts(std::span<const uint64_t> counts,
+                                              int d, int chain_cap) {
+  DuplicateProfile p;
+  p.num_keys = counts.size();
+  if (counts.empty()) return p;
+  uint64_t cap_chain =
+      static_cast<uint64_t>(d) *
+      static_cast<uint64_t>(chain_cap > 0 ? chain_cap : kHardChainCap);
+  double sum = 0, sum_capped = 0, sum_chain = 0;
+  for (uint64_t a : counts) {
+    sum += static_cast<double>(a);
+    sum_capped += static_cast<double>(std::min<uint64_t>(
+        a, static_cast<uint64_t>(d)));
+    sum_chain += static_cast<double>(std::min<uint64_t>(a, cap_chain));
+    p.max_dupes = std::max(p.max_dupes, a);
+    p.num_rows += a;
+  }
+  double n = static_cast<double>(counts.size());
+  p.mean_dupes = sum / n;
+  p.mean_capped = sum_capped / n;
+  p.mean_capped_chain = sum_chain / n;
+  return p;
+}
+
+double PredictedEntries(CcfVariant variant, const DuplicateProfile& profile,
+                        const CcfConfig& config) {
+  double nk = static_cast<double>(profile.num_keys);
+  switch (variant) {
+    case CcfVariant::kBloom:
+      return nk;  // same occupancy as a cuckoo filter
+    case CcfVariant::kMixed: {
+      // A key with A ≤ d duplicates uses A slots; a converted key pins
+      // exactly d. E[min{A, d}] counts both cases.
+      (void)config;
+      return nk * profile.mean_capped;
+    }
+    case CcfVariant::kChained:
+      return nk * profile.mean_capped_chain;
+    case CcfVariant::kPlain:
+      return static_cast<double>(profile.num_rows);
+  }
+  return nk;
+}
+
+double AttainableLoadFactor(CcfVariant variant, int slots_per_bucket) {
+  if (variant == CcfVariant::kBloom) {
+    // Occupancy matches a plain cuckoo filter (§5.2): ≈95% at b=4 per Fan
+    // et al.; slightly higher with larger buckets.
+    return slots_per_bucket >= 4 ? 0.95 : 0.85;
+  }
+  // Figure 4's plateaus for chained structures with duplicates.
+  if (slots_per_bucket <= 4) return 0.75;
+  if (slots_per_bucket <= 6) return 0.87;
+  return 0.90;
+}
+
+Result<CcfConfig> ChooseGeometry(CcfVariant variant, CcfConfig config,
+                                 const DuplicateProfile& profile) {
+  if (config.slots_per_bucket <= 0) {
+    config.slots_per_bucket = 2 * config.max_dupes;  // §8's b ≈ 2d rule
+  }
+  if (config.max_dupes > config.slots_per_bucket) {
+    return Status::Invalid("max_dupes exceeds slots_per_bucket");
+  }
+  double entries = PredictedEntries(variant, profile, config);
+  double beta = AttainableLoadFactor(variant, config.slots_per_bucket);
+  double slots_needed = entries / beta;
+  uint64_t buckets = NextPowerOfTwo(static_cast<uint64_t>(std::ceil(
+      slots_needed / static_cast<double>(config.slots_per_bucket))));
+  config.num_buckets = std::max<uint64_t>(buckets, 2);
+  return config;
+}
+
+double BitsPerRow(uint64_t size_in_bits, uint64_t num_rows) {
+  if (num_rows == 0) return 0.0;
+  return static_cast<double>(size_in_bits) / static_cast<double>(num_rows);
+}
+
+}  // namespace ccf

@@ -1,0 +1,54 @@
+// Sizing rules of §8 / Table 1: predict the number of occupied entries from
+// the key-duplication profile of the data, pick bucket geometry from the
+// empirically attainable load factors, and report bit budgets.
+#ifndef CCF_CCF_SIZING_H_
+#define CCF_CCF_SIZING_H_
+
+#include <cstdint>
+#include <span>
+
+#include "ccf/ccf.h"
+
+namespace ccf {
+
+/// \brief Key-duplication statistics of a dataset (A = number of distinct
+/// attribute vectors of a random key, §8).
+struct DuplicateProfile {
+  uint64_t num_keys = 0;      ///< nk — distinct keys
+  uint64_t num_rows = 0;      ///< total distinct (key, attrs) rows
+  double mean_dupes = 0.0;    ///< E[A]
+  uint64_t max_dupes = 0;     ///< max A
+  double mean_capped = 0.0;   ///< E[min{A, d}]
+  double mean_capped_chain = 0.0;  ///< E[min{A, d·Lmax}]
+
+  /// Computes the profile from per-key distinct-duplicate counts.
+  /// `chain_cap` is Lmax (0 = unbounded → kHardChainCap).
+  static DuplicateProfile FromCounts(std::span<const uint64_t> counts, int d,
+                                     int chain_cap);
+};
+
+/// Upper bound on occupied entries EZ′ per Table 1:
+///   Bloom            → nk
+///   Mixed/conversion → nk·E[min{A, d}]   (a converted key pins d slots)
+///   Chained          → nk·E[min{A, d·Lmax}]
+///   Plain            → num_rows (every distinct row needs a slot)
+double PredictedEntries(CcfVariant variant, const DuplicateProfile& profile,
+                        const CcfConfig& config);
+
+/// Empirically attainable load factor for the chained/mixed structures
+/// (Figure 4: b=4 → ≈0.75, b=6 → ≈0.87, b=8 → ≈0.90; Bloom occupancy
+/// matches a plain cuckoo filter → ≈0.95 at b=4).
+double AttainableLoadFactor(CcfVariant variant, int slots_per_bucket);
+
+/// Fills in config.num_buckets so that m·b ≈ EZ′ / β (§8), honouring the
+/// b ≈ 2d rule of thumb if slots_per_bucket is 0 in `config`.
+Result<CcfConfig> ChooseGeometry(CcfVariant variant, CcfConfig config,
+                                 const DuplicateProfile& profile);
+
+/// Bits per stored row at the chosen geometry (the "bit efficiency"
+/// numerator of eq. 8 divides this by n·log2(1/ρ)).
+double BitsPerRow(uint64_t size_in_bits, uint64_t num_rows);
+
+}  // namespace ccf
+
+#endif  // CCF_CCF_SIZING_H_

@@ -1,0 +1,38 @@
+// Introspection utilities: occupancy and duplication statistics of built
+// filters. Used by the ablation benches and handy when tuning §8 parameters
+// in production.
+#ifndef CCF_CCF_STATS_H_
+#define CCF_CCF_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ccf/ccf_base.h"
+
+namespace ccf {
+
+/// \brief Aggregate occupancy statistics of a CCF's bucket table.
+struct CcfStats {
+  uint64_t num_buckets = 0;
+  int slots_per_bucket = 0;
+  uint64_t occupied_entries = 0;
+  double load_factor = 0.0;
+  /// Histogram: occupied-slot count per bucket → number of buckets.
+  std::map<int, uint64_t> bucket_occupancy_histogram;
+  /// Histogram: copies of one fingerprint within a bucket pair → count of
+  /// (pair, fingerprint) groups. Lemma 1 says no bin above max_dupes.
+  std::map<int, uint64_t> pair_duplication_histogram;
+  /// Distinct fingerprint values present.
+  uint64_t distinct_fingerprints = 0;
+
+  std::string ToString() const;
+};
+
+/// Computes statistics by scanning a CCF's table (any variant).
+CcfStats ComputeStats(const CcfBase& ccf);
+
+}  // namespace ccf
+
+#endif  // CCF_CCF_STATS_H_

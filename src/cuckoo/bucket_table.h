@@ -1,0 +1,157 @@
+// BucketTable: the shared storage substrate for every cuckoo structure in
+// this library (standard cuckoo filter and all CCF variants).
+//
+// Layout: m buckets × b slots. Each slot is `fingerprint_bits +
+// payload_bits` wide, packed contiguously in one BitVector; occupancy is a
+// separate bitmap so that fingerprint value 0 stays valid. Reported sizes
+// are the physical bit counts of this storage, which is what the paper's
+// space accounting measures.
+#ifndef CCF_CUCKOO_BUCKET_TABLE_H_
+#define CCF_CUCKOO_BUCKET_TABLE_H_
+
+#include <cstdint>
+
+#include "util/bit_vector.h"
+#include "util/math_util.h"
+#include "util/result.h"
+
+namespace ccf {
+
+/// \brief Bit-packed bucketized slot storage.
+class BucketTable {
+ public:
+  /// Creates a table with `num_buckets` (rounded up to a power of two so
+  /// partial-key XOR addressing closes over the bucket set), `slots_per
+  /// bucket` slots each, and the given slot field widths.
+  static Result<BucketTable> Make(uint64_t num_buckets, int slots_per_bucket,
+                                  int fingerprint_bits, int payload_bits);
+
+  uint64_t num_buckets() const { return num_buckets_; }
+  int slots_per_bucket() const { return slots_per_bucket_; }
+  int fingerprint_bits() const { return fingerprint_bits_; }
+  int payload_bits() const { return payload_bits_; }
+  uint64_t num_slots() const {
+    return num_buckets_ * static_cast<uint64_t>(slots_per_bucket_);
+  }
+  uint64_t bucket_mask() const { return num_buckets_ - 1; }
+
+  uint64_t num_occupied() const { return num_occupied_; }
+  double LoadFactor() const {
+    return static_cast<double>(num_occupied_) /
+           static_cast<double>(num_slots());
+  }
+
+  /// Total physical size: slot bits plus occupancy bitmap.
+  uint64_t SizeInBits() const {
+    return slots_.size() + occupied_.size();
+  }
+
+  bool occupied(uint64_t bucket, int slot) const {
+    return occupied_.GetBit(SlotIndex(bucket, slot));
+  }
+
+  uint32_t fingerprint(uint64_t bucket, int slot) const {
+    CCF_DCHECK(occupied(bucket, slot));
+    return static_cast<uint32_t>(
+        slots_.GetField(SlotBitOffset(bucket, slot), fingerprint_bits_));
+  }
+
+  /// Writes fingerprint + marks occupied. Payload bits are untouched (callers
+  /// set them separately, possibly field by field).
+  void Put(uint64_t bucket, int slot, uint32_t fp) {
+    slots_.SetField(SlotBitOffset(bucket, slot), fingerprint_bits_, fp);
+    uint64_t idx = SlotIndex(bucket, slot);
+    if (!occupied_.GetBit(idx)) {
+      occupied_.SetBit(idx, true);
+      ++num_occupied_;
+    }
+  }
+
+  /// Clears occupancy and zeroes the whole slot (fingerprint + payload).
+  void Erase(uint64_t bucket, int slot);
+
+  /// Index of the first free slot in `bucket`, or -1 if full.
+  int FirstFreeSlot(uint64_t bucket) const;
+
+  /// Number of occupied slots in `bucket` whose fingerprint equals `fp`.
+  int CountFingerprint(uint64_t bucket, uint32_t fp) const;
+
+  /// Number of occupied slots in `bucket`.
+  int CountOccupied(uint64_t bucket) const;
+
+  // --- Payload access ------------------------------------------------------
+
+  /// Reads `width` bits of the slot payload starting at payload-relative bit
+  /// `field_pos`.
+  uint64_t GetPayloadField(uint64_t bucket, int slot, int field_pos,
+                           int width) const {
+    CCF_DCHECK(field_pos + width <= payload_bits_);
+    return slots_.GetField(PayloadBitOffset(bucket, slot) +
+                               static_cast<size_t>(field_pos),
+                           width);
+  }
+
+  void SetPayloadField(uint64_t bucket, int slot, int field_pos, int width,
+                       uint64_t value) {
+    CCF_DCHECK(field_pos + width <= payload_bits_);
+    slots_.SetField(PayloadBitOffset(bucket, slot) +
+                        static_cast<size_t>(field_pos),
+                    width, value);
+  }
+
+  /// Zeroes the payload bits of a slot.
+  void ClearPayload(uint64_t bucket, int slot);
+
+  /// Absolute bit offset of a slot's payload within bits() — used by
+  /// BloomSketchView to treat payload windows as tiny Bloom filters.
+  size_t PayloadBitOffset(uint64_t bucket, int slot) const {
+    return SlotBitOffset(bucket, slot) +
+           static_cast<size_t>(fingerprint_bits_);
+  }
+
+  /// Underlying storage, exposed for BloomSketchView windows.
+  BitVector* bits() { return &slots_; }
+  const BitVector* bits() const { return &slots_; }
+
+  /// Copies the full slot (fingerprint + payload + occupancy) from
+  /// (src_bucket, src_slot) over (dst_bucket, dst_slot).
+  void CopySlot(uint64_t src_bucket, int src_slot, uint64_t dst_bucket,
+                int dst_slot);
+
+  /// Swaps two slots entirely (fingerprint + payload + occupancy).
+  void SwapSlots(uint64_t bucket_a, int slot_a, uint64_t bucket_b, int slot_b);
+
+  /// Serializes geometry + contents.
+  void Save(ByteWriter* writer) const;
+  /// Restores a table written by Save.
+  static Result<BucketTable> Load(ByteReader* reader);
+
+ private:
+  BucketTable(uint64_t num_buckets, int slots_per_bucket, int fingerprint_bits,
+              int payload_bits);
+
+  uint64_t SlotIndex(uint64_t bucket, int slot) const {
+    CCF_DCHECK(bucket < num_buckets_);
+    CCF_DCHECK(slot >= 0 && slot < slots_per_bucket_);
+    return bucket * static_cast<uint64_t>(slots_per_bucket_) +
+           static_cast<uint64_t>(slot);
+  }
+
+  size_t SlotBitOffset(uint64_t bucket, int slot) const {
+    return static_cast<size_t>(SlotIndex(bucket, slot)) *
+           static_cast<size_t>(slot_bits_);
+  }
+
+  uint64_t num_buckets_;
+  int slots_per_bucket_;
+  int fingerprint_bits_;
+  int payload_bits_;
+  int slot_bits_;
+  uint64_t num_occupied_ = 0;
+  BitVector slots_;
+  BitVector occupied_;
+};
+
+}  // namespace ccf
+
+#endif  // CCF_CUCKOO_BUCKET_TABLE_H_

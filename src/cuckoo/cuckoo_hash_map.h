@@ -1,0 +1,396 @@
+// Cuckoo hash tables storing full keys (the §4 substrate the paper builds
+// on), plus ChainedCuckooMultiMap: the paper's §11 observation that the CCF
+// chaining technique also lets ordinary cuckoo hash tables store duplicate
+// keys.
+#ifndef CCF_CUCKOO_CUCKOO_HASH_MAP_H_
+#define CCF_CUCKOO_CUCKOO_HASH_MAP_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hash/hasher.h"
+#include "util/random.h"
+#include "util/math_util.h"
+#include "util/status.h"
+
+namespace ccf {
+
+/// \brief Bucketized two-choice cuckoo hash map with unique 64-bit keys.
+///
+/// Inserting an existing key updates its value. When a displacement chain
+/// exceeds max_kicks the table doubles and rehashes (§4.1's resize rule), so
+/// Put always succeeds.
+template <typename V>
+class CuckooHashMap {
+ public:
+  explicit CuckooHashMap(uint64_t expected_keys = 64,
+                         int slots_per_bucket = 4, uint64_t salt = 0,
+                         int max_kicks = 500)
+      : slots_per_bucket_(slots_per_bucket),
+        max_kicks_(max_kicks),
+        hasher_(salt),
+        rng_(salt ^ 0x2545f4914f6cdd1dull) {
+    uint64_t buckets = NextPowerOfTwo(
+        CeilDiv(expected_keys, static_cast<uint64_t>(slots_per_bucket)));
+    InitTable(buckets < 2 ? 2 : buckets);
+  }
+
+  /// Inserts or updates. Amortized O(1); resizes internally as needed.
+  void Put(uint64_t key, V value) {
+    if (V* existing = Find(key)) {
+      *existing = std::move(value);
+      return;
+    }
+    Entry entry{key, std::move(value)};
+    while (!TryInsert(std::move(entry), &entry)) {
+      Grow();
+    }
+    ++size_;
+  }
+
+  /// Returns a pointer to the value for `key`, or nullptr.
+  V* Find(uint64_t key) {
+    uint64_t b1 = PrimaryBucket(key);
+    if (V* v = FindInBucket(b1, key)) return v;
+    uint64_t b2 = SecondaryBucket(key);
+    return b2 == b1 ? nullptr : FindInBucket(b2, key);
+  }
+  const V* Find(uint64_t key) const {
+    return const_cast<CuckooHashMap*>(this)->Find(key);
+  }
+
+  bool Contains(uint64_t key) const { return Find(key) != nullptr; }
+
+  /// Removes the key if present; returns whether it was removed.
+  bool Erase(uint64_t key) {
+    for (uint64_t b : {PrimaryBucket(key), SecondaryBucket(key)}) {
+      for (int s = 0; s < slots_per_bucket_; ++s) {
+        Slot& slot = SlotAt(b, s);
+        if (slot.occupied && slot.entry.key == key) {
+          slot.occupied = false;
+          slot.entry.value = V{};
+          --size_;
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  uint64_t size() const { return size_; }
+  uint64_t num_buckets() const { return num_buckets_; }
+  double LoadFactor() const {
+    return static_cast<double>(size_) /
+           static_cast<double>(num_buckets_ *
+                               static_cast<uint64_t>(slots_per_bucket_));
+  }
+
+ private:
+  struct Entry {
+    uint64_t key;
+    V value;
+  };
+  struct Slot {
+    bool occupied = false;
+    Entry entry{};
+  };
+
+  void InitTable(uint64_t buckets) {
+    num_buckets_ = buckets;
+    slots_.assign(buckets * static_cast<uint64_t>(slots_per_bucket_), Slot{});
+  }
+
+  Slot& SlotAt(uint64_t bucket, int slot) {
+    return slots_[bucket * static_cast<uint64_t>(slots_per_bucket_) +
+                  static_cast<uint64_t>(slot)];
+  }
+  const Slot& SlotAt(uint64_t bucket, int slot) const {
+    return slots_[bucket * static_cast<uint64_t>(slots_per_bucket_) +
+                  static_cast<uint64_t>(slot)];
+  }
+
+  uint64_t PrimaryBucket(uint64_t key) const {
+    return hasher_.Hash(key, 0) & (num_buckets_ - 1);
+  }
+  uint64_t SecondaryBucket(uint64_t key) const {
+    return hasher_.Hash(key, 1) & (num_buckets_ - 1);
+  }
+
+  V* FindInBucket(uint64_t bucket, uint64_t key) {
+    for (int s = 0; s < slots_per_bucket_; ++s) {
+      Slot& slot = SlotAt(bucket, s);
+      if (slot.occupied && slot.entry.key == key) return &slot.entry.value;
+    }
+    return nullptr;
+  }
+
+  // Attempts a kick-based insert; on failure returns false and hands the
+  // currently homeless entry back through *left_over.
+  bool TryInsert(Entry entry, Entry* left_over) {
+    uint64_t bucket = PrimaryBucket(entry.key);
+    for (int kick = 0; kick <= max_kicks_; ++kick) {
+      for (uint64_t b : {bucket, OtherBucket(entry.key, bucket)}) {
+        for (int s = 0; s < slots_per_bucket_; ++s) {
+          Slot& slot = SlotAt(b, s);
+          if (!slot.occupied) {
+            slot.occupied = true;
+            slot.entry = std::move(entry);
+            return true;
+          }
+        }
+      }
+      // Both buckets full: evict a random resident of the alternate bucket.
+      uint64_t victim_bucket = OtherBucket(entry.key, bucket);
+      int victim_slot = static_cast<int>(
+          rng_.NextBelow(static_cast<uint64_t>(slots_per_bucket_)));
+      Slot& slot = SlotAt(victim_bucket, victim_slot);
+      std::swap(entry, slot.entry);
+      bucket = OtherBucket(entry.key, victim_bucket);
+    }
+    *left_over = std::move(entry);
+    return false;
+  }
+
+  // The bucket of `key`'s pair that is not `bucket` (or the same bucket when
+  // both hashes collide).
+  uint64_t OtherBucket(uint64_t key, uint64_t bucket) const {
+    uint64_t b1 = PrimaryBucket(key);
+    uint64_t b2 = SecondaryBucket(key);
+    return bucket == b1 ? b2 : b1;
+  }
+
+  void Grow() {
+    std::vector<Slot> old = std::move(slots_);
+    InitTable(num_buckets_ * 2);
+    for (Slot& slot : old) {
+      if (!slot.occupied) continue;
+      Entry entry = std::move(slot.entry);
+      Entry left_over{};
+      while (!TryInsert(std::move(entry), &left_over)) {
+        // Extremely unlikely; keep doubling until the rehash fits.
+        std::vector<Slot> cur = std::move(slots_);
+        InitTable(num_buckets_ * 2);
+        for (Slot& s2 : cur) {
+          if (s2.occupied) {
+            Entry e2 = std::move(s2.entry);
+            Entry dummy{};
+            CCF_CHECK(TryInsert(std::move(e2), &dummy));
+          }
+        }
+        entry = std::move(left_over);
+      }
+    }
+  }
+
+  int slots_per_bucket_;
+  int max_kicks_;
+  Hasher hasher_;
+  Rng rng_;
+  uint64_t num_buckets_ = 0;
+  uint64_t size_ = 0;
+  std::vector<Slot> slots_;
+};
+
+/// \brief Cuckoo hash multimap using the paper's chaining technique (§6.2,
+/// generalized to full key/value storage per §11).
+///
+/// At most `max_dupes` entries of a key live in its bucket pair; further
+/// copies walk the chain ℓ̃ = h(min{ℓ,ℓ′}, κ). GetAll follows the same walk,
+/// so no stored duplicate is ever missed.
+template <typename V>
+class ChainedCuckooMultiMap {
+ public:
+  ChainedCuckooMultiMap(uint64_t num_buckets, int slots_per_bucket = 6,
+                        int max_dupes = 3, int max_chain = 64,
+                        uint64_t salt = 0, int max_kicks = 500)
+      : slots_per_bucket_(slots_per_bucket),
+        max_dupes_(max_dupes),
+        max_chain_(max_chain),
+        max_kicks_(max_kicks),
+        hasher_(salt),
+        rng_(salt ^ 0x9d3a1f2cb5e77d11ull) {
+    num_buckets_ = NextPowerOfTwo(num_buckets < 2 ? 2 : num_buckets);
+    slots_.assign(num_buckets_ * static_cast<uint64_t>(slots_per_bucket_),
+                  Slot{});
+  }
+
+  /// Inserts a (key, value) copy. Returns CapacityError if the chain walk or
+  /// kick budget is exhausted.
+  Status Insert(uint64_t key, V value) {
+    uint64_t bucket = hasher_.Hash(key, 0) & (num_buckets_ - 1);
+    uint32_t fp = static_cast<uint32_t>(hasher_.Hash(key, 0) >> 40);
+    ChainWalk walk(this, bucket, fp);
+    for (int hop = 0; hop < max_chain_; ++hop) {
+      uint64_t l = walk.bucket();
+      uint64_t alt = walk.alt();
+      if (CountKeyInPair(l, alt, key) < max_dupes_) {
+        if (TryPlace(l, alt, key, fp, std::move(value))) {
+          ++size_;
+          return Status::OK();
+        }
+        return Status::CapacityError("chained multimap kick budget exhausted");
+      }
+      walk.Advance();
+    }
+    return Status::CapacityError("chained multimap chain too long");
+  }
+
+  /// Collects all values stored under `key`.
+  std::vector<V> GetAll(uint64_t key) const {
+    std::vector<V> out;
+    uint64_t bucket = hasher_.Hash(key, 0) & (num_buckets_ - 1);
+    uint32_t fp = static_cast<uint32_t>(hasher_.Hash(key, 0) >> 40);
+    ChainWalk walk(const_cast<ChainedCuckooMultiMap*>(this), bucket, fp);
+    for (int hop = 0; hop < max_chain_; ++hop) {
+      uint64_t l = walk.bucket();
+      uint64_t alt = walk.alt();
+      int found = 0;
+      for (uint64_t b : PairBuckets(l, alt)) {
+        for (int s = 0; s < slots_per_bucket_; ++s) {
+          const Slot& slot = SlotAt(b, s);
+          if (slot.occupied && slot.key == key) {
+            out.push_back(slot.value);
+            ++found;
+          }
+        }
+      }
+      if (found < max_dupes_) break;  // chain cannot continue past this pair
+      walk.Advance();
+    }
+    return out;
+  }
+
+  uint64_t size() const { return size_; }
+  double LoadFactor() const {
+    return static_cast<double>(size_) /
+           static_cast<double>(num_buckets_ *
+                               static_cast<uint64_t>(slots_per_bucket_));
+  }
+
+ private:
+  struct Slot {
+    bool occupied = false;
+    uint64_t key = 0;
+    uint32_t fp = 0;
+    V value{};
+  };
+
+  // Deterministic chain-of-pairs walk shared by Insert and GetAll.
+  class ChainWalk {
+   public:
+    ChainWalk(ChainedCuckooMultiMap* map, uint64_t bucket, uint32_t fp)
+        : map_(map), fp_(fp), bucket_(bucket) {
+      alt_ = (bucket_ ^ map_->hasher_.Hash(fp_, 3)) & (map_->num_buckets_ - 1);
+      visited_.push_back(CanonicalPair());
+    }
+    uint64_t bucket() const { return bucket_; }
+    uint64_t alt() const { return alt_; }
+    void Advance() {
+      uint32_t round = 0;
+      for (;;) {
+        uint64_t next =
+            map_->hasher_.HashPair(std::min(bucket_, alt_), fp_, round) &
+            (map_->num_buckets_ - 1);
+        uint64_t next_alt =
+            (next ^ map_->hasher_.Hash(fp_, 3)) & (map_->num_buckets_ - 1);
+        uint64_t canon = std::min(next, next_alt) * map_->num_buckets_ +
+                         std::max(next, next_alt);
+        bool seen = false;
+        for (uint64_t v : visited_) seen = seen || (v == canon);
+        if (!seen || round >= 8) {
+          bucket_ = next;
+          alt_ = next_alt;
+          visited_.push_back(canon);
+          return;
+        }
+        ++round;  // cycle detected: extend the chain with a rehash round
+      }
+    }
+
+   private:
+    uint64_t CanonicalPair() const {
+      return std::min(bucket_, alt_) * map_->num_buckets_ +
+             std::max(bucket_, alt_);
+    }
+    ChainedCuckooMultiMap* map_;
+    uint32_t fp_;
+    uint64_t bucket_;
+    uint64_t alt_;
+    std::vector<uint64_t> visited_;
+  };
+
+  Slot& SlotAt(uint64_t bucket, int slot) {
+    return slots_[bucket * static_cast<uint64_t>(slots_per_bucket_) +
+                  static_cast<uint64_t>(slot)];
+  }
+  const Slot& SlotAt(uint64_t bucket, int slot) const {
+    return slots_[bucket * static_cast<uint64_t>(slots_per_bucket_) +
+                  static_cast<uint64_t>(slot)];
+  }
+
+  std::vector<uint64_t> PairBuckets(uint64_t l, uint64_t alt) const {
+    if (l == alt) return {l};
+    return {l, alt};
+  }
+
+  int CountKeyInPair(uint64_t l, uint64_t alt, uint64_t key) const {
+    int n = 0;
+    for (uint64_t b : PairBuckets(l, alt)) {
+      for (int s = 0; s < slots_per_bucket_; ++s) {
+        const Slot& slot = SlotAt(b, s);
+        if (slot.occupied && slot.key == key) ++n;
+      }
+    }
+    return n;
+  }
+
+  bool TryPlace(uint64_t l, uint64_t alt, uint64_t key, uint32_t fp,
+                V value) {
+    for (uint64_t b : PairBuckets(l, alt)) {
+      for (int s = 0; s < slots_per_bucket_; ++s) {
+        Slot& slot = SlotAt(b, s);
+        if (!slot.occupied) {
+          slot = Slot{true, key, fp, std::move(value)};
+          return true;
+        }
+      }
+    }
+    // Kick loop from the alternate bucket; displaced entries re-home using
+    // their own full key (their pair is recomputable from the stored key).
+    uint64_t cur = alt;
+    Slot homeless{true, key, fp, std::move(value)};
+    for (int kick = 0; kick < max_kicks_; ++kick) {
+      int victim = static_cast<int>(
+          rng_.NextBelow(static_cast<uint64_t>(slots_per_bucket_)));
+      std::swap(homeless, SlotAt(cur, victim));
+      // The displaced entry relocates to the other bucket of its CURRENT
+      // pair via the XOR involution — correct for any hop of its chain
+      // (recomputing from the key would teleport chained entries back to
+      // their first pair and break the ≤max_dupes invariant).
+      cur = (cur ^ hasher_.Hash(homeless.fp, 3)) & (num_buckets_ - 1);
+      for (int s = 0; s < slots_per_bucket_; ++s) {
+        Slot& slot = SlotAt(cur, s);
+        if (!slot.occupied) {
+          slot = std::move(homeless);
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  int slots_per_bucket_;
+  int max_dupes_;
+  int max_chain_;
+  int max_kicks_;
+  Hasher hasher_;
+  Rng rng_;
+  uint64_t num_buckets_;
+  uint64_t size_ = 0;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace ccf
+
+#endif  // CCF_CUCKOO_CUCKOO_HASH_MAP_H_

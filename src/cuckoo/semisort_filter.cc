@@ -1,0 +1,264 @@
+#include "cuckoo/semisort_filter.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "cuckoo/cuckoo_filter.h"
+#include "util/math_util.h"
+
+namespace ccf {
+
+namespace {
+
+// Codec for the sorted 4-nibble multiset: C(19, 4) = 3876 non-decreasing
+// 4-tuples over 0..15 fit in 12 bits. Built once, shared by all filters.
+struct NibbleCodec {
+  std::vector<std::array<uint8_t, 4>> decode;          // code → sorted tuple
+  std::unordered_map<uint32_t, uint16_t> encode_map;   // packed tuple → code
+
+  static uint32_t Pack(const std::array<uint8_t, 4>& t) {
+    return static_cast<uint32_t>(t[0]) | (static_cast<uint32_t>(t[1]) << 4) |
+           (static_cast<uint32_t>(t[2]) << 8) |
+           (static_cast<uint32_t>(t[3]) << 12);
+  }
+
+  NibbleCodec() {
+    for (int a = 0; a < 16; ++a) {
+      for (int b = a; b < 16; ++b) {
+        for (int c = b; c < 16; ++c) {
+          for (int d = c; d < 16; ++d) {
+            std::array<uint8_t, 4> t = {
+                static_cast<uint8_t>(a), static_cast<uint8_t>(b),
+                static_cast<uint8_t>(c), static_cast<uint8_t>(d)};
+            encode_map.emplace(Pack(t),
+                               static_cast<uint16_t>(decode.size()));
+            decode.push_back(t);
+          }
+        }
+      }
+    }
+    CCF_CHECK(decode.size() == 3876);
+  }
+};
+
+const NibbleCodec& Codec() {
+  static const NibbleCodec* codec = new NibbleCodec();
+  return *codec;
+}
+
+}  // namespace
+
+SemiSortedCuckooFilter::SemiSortedCuckooFilter(uint64_t num_buckets,
+                                               int fingerprint_bits,
+                                               uint64_t salt, int max_kicks)
+    : num_buckets_(num_buckets),
+      fingerprint_bits_(fingerprint_bits),
+      suffix_bits_(fingerprint_bits - 4),
+      bucket_bits_(12 + 4 * (fingerprint_bits - 4)),
+      max_kicks_(max_kicks),
+      hasher_(salt),
+      rng_(salt ^ 0xfeedfacecafebeefull),
+      bits_(num_buckets * static_cast<uint64_t>(12 + 4 *
+                                                (fingerprint_bits - 4))),
+      occupied_(num_buckets * 4) {}
+
+Result<SemiSortedCuckooFilter> SemiSortedCuckooFilter::Make(
+    uint64_t num_buckets, int fingerprint_bits, uint64_t salt,
+    int max_kicks) {
+  if (fingerprint_bits < 5 || fingerprint_bits > 20) {
+    return Status::Invalid("fingerprint_bits must be in [5, 20]");
+  }
+  if (num_buckets == 0) {
+    return Status::Invalid("need at least one bucket");
+  }
+  if (max_kicks < 1) {
+    return Status::Invalid("max_kicks must be >= 1");
+  }
+  return SemiSortedCuckooFilter(NextPowerOfTwo(num_buckets),
+                                fingerprint_bits, salt, max_kicks);
+}
+
+SemiSortedCuckooFilter::Bucket SemiSortedCuckooFilter::DecodeBucket(
+    uint64_t bucket) const {
+  Bucket out{};
+  size_t base = BucketBitOffset(bucket);
+  uint16_t code = static_cast<uint16_t>(bits_.GetField(base, 12));
+  const auto& tuple = Codec().decode[code];
+  int count = 0;
+  for (int s = 0; s < kSlotsPerBucket; ++s) {
+    if (occupied_.GetBit(bucket * 4 + static_cast<uint64_t>(s))) ++count;
+  }
+  // The sorted tuple holds `count` real prefixes then 15-padding; suffixes
+  // are stored in the same sorted order. Decoded entries occupy slots
+  // 0..count-1 (slot identity is not meaningful in a sorted bucket).
+  for (int i = 0; i < count; ++i) {
+    out[static_cast<size_t>(i)].prefix = tuple[static_cast<size_t>(i)];
+    out[static_cast<size_t>(i)].suffix = static_cast<uint32_t>(
+        bits_.GetField(base + 12 + static_cast<size_t>(i * suffix_bits_),
+                       suffix_bits_));
+    out[static_cast<size_t>(i)].occupied = true;
+  }
+  return out;
+}
+
+void SemiSortedCuckooFilter::EncodeBucket(uint64_t bucket, Bucket entries) {
+  // Compact occupied entries, sort by (prefix, suffix), pad with 15s.
+  std::vector<Entry> live;
+  for (const Entry& e : entries) {
+    if (e.occupied) live.push_back(e);
+  }
+  std::sort(live.begin(), live.end(), [](const Entry& a, const Entry& b) {
+    return a.prefix < b.prefix ||
+           (a.prefix == b.prefix && a.suffix < b.suffix);
+  });
+  std::array<uint8_t, 4> tuple = {15, 15, 15, 15};
+  for (size_t i = 0; i < live.size(); ++i) {
+    tuple[i] = static_cast<uint8_t>(live[i].prefix);
+  }
+  // Real 15-prefixes and padding are interchangeable in the sorted tuple;
+  // the occupancy count disambiguates how many leading values are real.
+  std::sort(tuple.begin(), tuple.end());
+  uint16_t code = Codec().encode_map.at(NibbleCodec::Pack(tuple));
+
+  size_t base = BucketBitOffset(bucket);
+  bits_.SetField(base, 12, code);
+  for (size_t i = 0; i < live.size(); ++i) {
+    bits_.SetField(base + 12 + i * static_cast<size_t>(suffix_bits_),
+                   suffix_bits_, live[i].suffix);
+  }
+  for (size_t i = live.size(); i < 4; ++i) {
+    bits_.SetField(base + 12 + i * static_cast<size_t>(suffix_bits_),
+                   suffix_bits_, 0);
+  }
+  for (int s = 0; s < kSlotsPerBucket; ++s) {
+    occupied_.SetBit(bucket * 4 + static_cast<uint64_t>(s),
+                     static_cast<size_t>(s) < live.size());
+  }
+}
+
+void SemiSortedCuckooFilter::KeyAddress(uint64_t key, uint64_t* bucket,
+                                        uint32_t* fp) const {
+  cuckoo_addressing::IndexAndFingerprint(hasher_, key, num_buckets_ - 1,
+                                         fingerprint_bits_, bucket, fp);
+}
+
+uint64_t SemiSortedCuckooFilter::AltBucket(uint64_t bucket,
+                                           uint32_t fp) const {
+  return cuckoo_addressing::AltBucket(hasher_, bucket, fp,
+                                      num_buckets_ - 1);
+}
+
+bool SemiSortedCuckooFilter::BucketHasFp(const Bucket& b, uint32_t fp) const {
+  for (const Entry& e : b) {
+    if (e.occupied && EntryFp(e) == fp) return true;
+  }
+  return false;
+}
+
+int SemiSortedCuckooFilter::FreeSlot(const Bucket& b) const {
+  for (int s = 0; s < kSlotsPerBucket; ++s) {
+    if (!b[static_cast<size_t>(s)].occupied) return s;
+  }
+  return -1;
+}
+
+Status SemiSortedCuckooFilter::Insert(uint64_t key) {
+  uint64_t bucket;
+  uint32_t fp;
+  KeyAddress(key, &bucket, &fp);
+  uint64_t alt = AltBucket(bucket, fp);
+
+  Bucket b1 = DecodeBucket(bucket);
+  if (BucketHasFp(b1, fp)) return Status::OK();  // set semantics
+  Bucket b2 = DecodeBucket(alt);
+  if (alt != bucket && BucketHasFp(b2, fp)) return Status::OK();
+
+  int slot = FreeSlot(b1);
+  if (slot >= 0) {
+    b1[static_cast<size_t>(slot)] = MakeEntry(fp);
+    EncodeBucket(bucket, b1);
+    ++num_items_;
+    return Status::OK();
+  }
+  slot = FreeSlot(b2);
+  if (slot >= 0 && alt != bucket) {
+    b2[static_cast<size_t>(slot)] = MakeEntry(fp);
+    EncodeBucket(alt, b2);
+    ++num_items_;
+    return Status::OK();
+  }
+
+  // Displacement with an explicit homeless entry; the chain is applied
+  // eagerly here (mutating), with the final failure handled by re-inserting
+  // the last displaced fingerprint backwards — instead we keep it simple
+  // and roll forward: semi-sorted buckets re-encode on every hop anyway, so
+  // we track the hand and restore it into its origin on failure.
+  uint64_t cur = rng_.NextBool(0.5) ? bucket : alt;
+  uint32_t hand = fp;
+  struct Move {
+    uint64_t bucket;
+    uint32_t evicted;
+    uint32_t inserted;
+  };
+  std::vector<Move> moves;
+  for (int kick = 0; kick < max_kicks_; ++kick) {
+    Bucket b = DecodeBucket(cur);
+    int free = FreeSlot(b);
+    if (free >= 0) {
+      b[static_cast<size_t>(free)] = MakeEntry(hand);
+      EncodeBucket(cur, b);
+      ++num_items_;
+      return Status::OK();
+    }
+    int victim = static_cast<int>(rng_.NextBelow(kSlotsPerBucket));
+    uint32_t victim_fp = EntryFp(b[static_cast<size_t>(victim)]);
+    b[static_cast<size_t>(victim)] = MakeEntry(hand);
+    EncodeBucket(cur, b);
+    moves.push_back(Move{cur, victim_fp, hand});
+    hand = victim_fp;
+    cur = AltBucket(cur, hand);
+  }
+  // Kick budget exhausted: undo the chain so no fingerprint is lost.
+  for (size_t i = moves.size(); i-- > 0;) {
+    Bucket b = DecodeBucket(moves[i].bucket);
+    for (Entry& e : b) {
+      if (e.occupied && EntryFp(e) == moves[i].inserted) {
+        e = MakeEntry(moves[i].evicted);
+        break;
+      }
+    }
+    EncodeBucket(moves[i].bucket, b);
+  }
+  return Status::CapacityError(
+      "semi-sorted cuckoo filter exceeded max kicks");
+}
+
+bool SemiSortedCuckooFilter::Contains(uint64_t key) const {
+  uint64_t bucket;
+  uint32_t fp;
+  KeyAddress(key, &bucket, &fp);
+  if (BucketHasFp(DecodeBucket(bucket), fp)) return true;
+  uint64_t alt = AltBucket(bucket, fp);
+  return alt != bucket && BucketHasFp(DecodeBucket(alt), fp);
+}
+
+bool SemiSortedCuckooFilter::Delete(uint64_t key) {
+  uint64_t bucket;
+  uint32_t fp;
+  KeyAddress(key, &bucket, &fp);
+  for (uint64_t bkt : {bucket, AltBucket(bucket, fp)}) {
+    Bucket b = DecodeBucket(bkt);
+    for (Entry& e : b) {
+      if (e.occupied && EntryFp(e) == fp) {
+        e.occupied = false;
+        EncodeBucket(bkt, b);
+        --num_items_;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace ccf

@@ -1,0 +1,105 @@
+// Semi-sorted cuckoo filter (§4.2's space optimization, from Fan et al.):
+// with b = 4 entries per bucket, each fingerprint is split into a 4-bit
+// prefix and an (f-4)-bit suffix; the bucket's four prefixes are kept
+// sorted, so their multiset can be encoded in ⌈log2 C(19,4)⌉ = 12 bits
+// instead of 16 — one bit saved per entry, which lowers the bits-per-item
+// cost from (log2(1/ρ)+3)/β toward (log2(1/ρ)+2)/β.
+#ifndef CCF_CUCKOO_SEMISORT_FILTER_H_
+#define CCF_CUCKOO_SEMISORT_FILTER_H_
+
+#include <array>
+#include <cstdint>
+
+#include "hash/hasher.h"
+#include "util/bit_vector.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace ccf {
+
+/// \brief Cuckoo filter with semi-sorted buckets (b fixed at 4).
+///
+/// Layout per bucket: 12-bit code for the sorted prefix multiset, then
+/// 4 suffixes of (fingerprint_bits - 4) bits in prefix-sorted order, plus a
+/// 4-bit occupancy mask in a separate bitmap. Buckets are re-encoded on
+/// every mutation; queries only decode.
+class SemiSortedCuckooFilter {
+ public:
+  /// `fingerprint_bits` must be in [5, 20] (4 prefix bits + ≥1 suffix bit).
+  static Result<SemiSortedCuckooFilter> Make(uint64_t num_buckets,
+                                             int fingerprint_bits,
+                                             uint64_t salt = 0,
+                                             int max_kicks = 500);
+
+  Status Insert(uint64_t key);
+  bool Contains(uint64_t key) const;
+  bool Delete(uint64_t key);
+
+  uint64_t num_items() const { return num_items_; }
+  uint64_t num_buckets() const { return num_buckets_; }
+  double LoadFactor() const {
+    return static_cast<double>(num_items_) /
+           static_cast<double>(num_buckets_ * 4);
+  }
+  /// Physical bits: encoded buckets + occupancy bitmap.
+  uint64_t SizeInBits() const { return bits_.size() + occupied_.size(); }
+  /// For comparison: what the unsorted layout would cost.
+  uint64_t UnsortedSizeInBits() const {
+    return num_buckets_ * 4 *
+               static_cast<uint64_t>(fingerprint_bits_) +
+           occupied_.size();
+  }
+
+  static constexpr int kSlotsPerBucket = 4;
+
+ private:
+  SemiSortedCuckooFilter(uint64_t num_buckets, int fingerprint_bits,
+                         uint64_t salt, int max_kicks);
+
+  struct Entry {
+    uint32_t prefix = 0;   // 4 bits
+    uint32_t suffix = 0;   // fingerprint_bits - 4 bits
+    bool occupied = false;
+  };
+  using Bucket = std::array<Entry, kSlotsPerBucket>;
+
+  // Encoded bucket access: decode the 12-bit prefix code + suffixes into
+  // slot entries (sorted order), and re-encode after mutation.
+  Bucket DecodeBucket(uint64_t bucket) const;
+  void EncodeBucket(uint64_t bucket, Bucket entries);
+
+  void KeyAddress(uint64_t key, uint64_t* bucket, uint32_t* fp) const;
+  uint64_t AltBucket(uint64_t bucket, uint32_t fp) const;
+
+  bool BucketHasFp(const Bucket& b, uint32_t fp) const;
+  int FreeSlot(const Bucket& b) const;
+  uint32_t EntryFp(const Entry& e) const {
+    return (e.prefix << (fingerprint_bits_ - 4)) | e.suffix;
+  }
+  Entry MakeEntry(uint32_t fp) const {
+    Entry e;
+    e.prefix = fp >> (fingerprint_bits_ - 4);
+    e.suffix = fp & ((uint32_t{1} << (fingerprint_bits_ - 4)) - 1);
+    e.occupied = true;
+    return e;
+  }
+
+  size_t BucketBitOffset(uint64_t bucket) const {
+    return static_cast<size_t>(bucket) * static_cast<size_t>(bucket_bits_);
+  }
+
+  uint64_t num_buckets_;
+  int fingerprint_bits_;
+  int suffix_bits_;
+  int bucket_bits_;  // 12 + 4 * suffix_bits_
+  int max_kicks_;
+  Hasher hasher_;
+  Rng rng_;
+  uint64_t num_items_ = 0;
+  BitVector bits_;      // encoded buckets
+  BitVector occupied_;  // 4 bits per bucket
+};
+
+}  // namespace ccf
+
+#endif  // CCF_CUCKOO_SEMISORT_FILTER_H_

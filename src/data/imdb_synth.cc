@@ -1,0 +1,235 @@
+#include "data/imdb_synth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "data/zipf.h"
+#include "util/random.h"
+
+namespace ccf {
+
+std::vector<TableSpec> ImdbTableSpecs() {
+  // Row counts, cardinalities, and duplicate statistics from Tables 2-3.
+  // key_coverage values are chosen so that semijoins reduce scans the way
+  // the IMDB join graph does (title covers the universe of ids; fact tables
+  // cover progressively smaller subsets).
+  return {
+      TableSpec{"title", "id", {"kind_id", "production_year"},
+                /*cardinalities=*/{6, 132},
+                /*full_rows=*/2'528'312, /*avg_dupes=*/1.0, /*max_dupes=*/1,
+                /*key_coverage=*/1.0},
+      TableSpec{"cast_info", "movie_id", {"role_id"},
+                {11},
+                36'244'344, 4.70, 11, 0.70},
+      TableSpec{"movie_companies", "movie_id",
+                {"company_id", "company_type_id"},
+                {234'997, 2},
+                2'609'129, 2.14, 87, 0.45},
+      TableSpec{"movie_info", "movie_id", {"info_type_id"},
+                {71},
+                14'835'720, 4.17, 68, 0.60},
+      TableSpec{"movie_info_idx", "movie_id", {"info_type_id"},
+                {5},
+                1'380'035, 3.00, 4, 0.25},
+      TableSpec{"movie_keyword", "movie_id", {"keyword_id"},
+                {134'170, },
+                4'523'930, 9.48, 539, 0.30},
+  };
+}
+
+Result<const TableData*> ImdbDataset::FindTable(
+    const std::string& name) const {
+  for (const TableData& t : tables) {
+    if (t.spec.name == name) return &t;
+  }
+  return Status::KeyNotFound("no table named '" + name + "'");
+}
+
+namespace {
+
+// Scales a cardinality sub-linearly: tiny dictionaries (type ids) keep their
+// size; large dictionaries (company_id) shrink with the data so per-value
+// frequencies stay realistic.
+uint64_t ScaledCardinality(uint64_t card, double scale) {
+  if (card <= 256) return card;
+  double scaled = static_cast<double>(card) * std::sqrt(scale);
+  return std::max<uint64_t>(256, static_cast<uint64_t>(scaled));
+}
+
+// Generates the title table: one row per id; kind_id is Zipf over its tiny
+// dictionary; production_year skews toward recent years (as IMDB does).
+Result<Table> GenerateTitle(const TableSpec& spec, uint64_t num_titles,
+                            Rng& rng) {
+  Table table(spec.name, {spec.key_column, "kind_id", "production_year"});
+  table.Reserve(num_titles);
+  CCF_ASSIGN_OR_RETURN(ZipfMandelbrot kind_dist,
+                       ZipfMandelbrot::Make(1.2, 2.7, 6));
+  CCF_ASSIGN_OR_RETURN(
+      ZipfMandelbrot year_offset,
+      ZipfMandelbrot::Make(1.0, 2.7,
+                           static_cast<uint64_t>(kYearHi - kYearLo + 1)));
+  for (uint64_t id = 1; id <= num_titles; ++id) {
+    uint64_t kind = kind_dist.Sample(rng);
+    uint64_t year = static_cast<uint64_t>(kYearHi) - (year_offset.Sample(rng) - 1);
+    uint64_t row[3] = {id, kind, year};
+    table.AppendRow(row);
+  }
+  return table;
+}
+
+// Generates one fact table: choose covered keys, draw a distinct-duplicate
+// count per key from a truncated Zipf-Mandelbrot tuned to Table 3's
+// mean/max, then emit that many rows with distinct first-attribute values.
+Result<Table> GenerateFact(const TableSpec& spec, uint64_t num_titles,
+                           double scale, Rng& rng) {
+  std::vector<std::string> columns;
+  columns.push_back(spec.key_column);
+  for (const auto& c : spec.predicate_columns) columns.push_back(c);
+  Table table(spec.name, columns);
+
+  uint64_t target_rows = std::max<uint64_t>(
+      16, static_cast<uint64_t>(static_cast<double>(spec.full_rows) * scale));
+  uint64_t covered =
+      std::max<uint64_t>(1, static_cast<uint64_t>(
+                                static_cast<double>(num_titles) *
+                                spec.key_coverage));
+
+  // Per-key duplicate distribution: mean from Table 3, max tail capped by
+  // Table 3's Max Dupes. The per-key value counts DISTINCT first-attribute
+  // values, matching the table's definition.
+  uint64_t dup_cap = std::max<uint64_t>(1, spec.max_dupes);
+  CCF_ASSIGN_OR_RETURN(double alpha,
+                       ZipfMandelbrot::AlphaForMean(spec.avg_dupes, 2.7,
+                                                    dup_cap));
+  CCF_ASSIGN_OR_RETURN(ZipfMandelbrot dup_dist,
+                       ZipfMandelbrot::Make(alpha, 2.7, dup_cap));
+
+  std::vector<ZipfMandelbrot> attr_dists;
+  for (uint64_t card : spec.cardinalities) {
+    CCF_ASSIGN_OR_RETURN(
+        ZipfMandelbrot dist,
+        ZipfMandelbrot::Make(1.05, 2.7, ScaledCardinality(card, scale)));
+    attr_dists.push_back(std::move(dist));
+  }
+
+  table.Reserve(target_rows + dup_cap);
+
+  // Walk title ids in a random-ish order (stride walk) until the row budget
+  // is consumed, so coverage and duplicate skew are both honoured.
+  uint64_t emitted = 0;
+  uint64_t keys_used = 0;
+  // A stride coprime to num_titles walks all ids without repeats (start
+  // near the golden-ratio point and search for coprimality).
+  uint64_t stride = (num_titles * 2 / 3) | 1;
+  while (std::gcd(stride, num_titles) != 1) stride += 2;
+  uint64_t id = 1 + rng.NextBelow(num_titles);
+  std::vector<uint64_t> row(columns.size());
+  std::unordered_set<uint64_t> seen_first_attr;
+  // Phase 1: one visit per covered key, emitting its DISTINCT
+  // (key, first-attribute) rows — this fixes Table 3's distinct-duplicate
+  // statistics and the key coverage.
+  while (emitted < target_rows && keys_used < covered) {
+    uint64_t key = 1 + (id % num_titles);
+    id += stride;
+    ++keys_used;
+
+    uint64_t dupes = dup_dist.Sample(rng);
+    seen_first_attr.clear();
+    for (uint64_t dcount = 0; dcount < dupes; ++dcount) {
+      // Distinct first attribute values per key (Table 3 semantics); the
+      // dictionary is large enough in all specs (cardinality ≥ max dupes).
+      uint64_t v;
+      int attempts = 0;
+      do {
+        v = attr_dists[0].Sample(rng);
+        ++attempts;
+      } while (seen_first_attr.contains(v) && attempts < 64);
+      if (seen_first_attr.contains(v)) break;  // dictionary too hot; move on
+      seen_first_attr.insert(v);
+
+      row[0] = key;
+      row[1] = v;
+      for (size_t a = 1; a < attr_dists.size(); ++a) {
+        row[a + 1] = attr_dists[a].Sample(rng);
+      }
+      table.AppendRow(row);
+      ++emitted;
+    }
+  }
+  // Phase 2: real IMDB tables repeat (key, attribute) combinations many
+  // times (cast_info averages ~20 rows but only 4.7 distinct role ids per
+  // movie). Duplicate random existing rows until the Table 2 row budget is
+  // met — this inflates multiplicities without disturbing the distinct
+  // statistics or coverage.
+  if (emitted > 0 && emitted < target_rows) {
+    // Snapshot phase-1 columns by value: AppendRow reallocates the live
+    // column vectors, so references into them would dangle.
+    std::vector<std::vector<uint64_t>> snapshot;
+    for (int ci = 0; ci < table.num_columns(); ++ci) {
+      snapshot.push_back(table.column(ci));
+    }
+    uint64_t base_rows = snapshot[0].size();
+    while (emitted < target_rows) {
+      uint64_t src = rng.NextBelow(base_rows);
+      for (size_t a = 0; a < snapshot.size(); ++a) {
+        row[a] = snapshot[a][src];
+      }
+      table.AppendRow(row);
+      ++emitted;
+    }
+  }
+  return table;
+}
+
+}  // namespace
+
+Result<ImdbDataset> GenerateImdb(double scale, uint64_t seed) {
+  if (scale <= 0.0 || scale > 1.0) {
+    return Status::Invalid("scale must be in (0, 1]");
+  }
+  Rng rng(seed ^ 0x13db0000ull);
+  ImdbDataset dataset;
+  std::vector<TableSpec> specs = ImdbTableSpecs();
+  dataset.num_titles = std::max<uint64_t>(
+      64, static_cast<uint64_t>(static_cast<double>(specs[0].full_rows) *
+                                scale));
+
+  for (const TableSpec& spec : specs) {
+    TableData td;
+    td.spec = spec;
+    if (spec.name == "title") {
+      CCF_ASSIGN_OR_RETURN(td.table,
+                           GenerateTitle(spec, dataset.num_titles, rng));
+    } else {
+      CCF_ASSIGN_OR_RETURN(
+          td.table, GenerateFact(spec, dataset.num_titles, scale, rng));
+    }
+    dataset.tables.push_back(std::move(td));
+  }
+  return dataset;
+}
+
+std::vector<uint64_t> DistinctDupesPerKey(const Table& table,
+                                          const std::string& key_column,
+                                          const std::string& attr_column) {
+  auto key_col = table.column(key_column);
+  auto attr_col = table.column(attr_column);
+  if (!key_col.ok() || !attr_col.ok()) return {};
+  const auto& keys = **key_col;
+  const auto& attrs = **attr_col;
+  std::unordered_map<uint64_t, std::unordered_set<uint64_t>> per_key;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    per_key[keys[i]].insert(attrs[i]);
+  }
+  std::vector<uint64_t> counts;
+  counts.reserve(per_key.size());
+  for (const auto& [k, vals] : per_key) {
+    counts.push_back(vals.size());
+  }
+  return counts;
+}
+
+}  // namespace ccf

@@ -1,0 +1,83 @@
+// Synthetic IMDB dataset generator.
+//
+// The paper evaluates on a pre-2017 IMDB snapshot (Join Order Benchmark
+// data), which is not redistributable here. This generator reproduces the
+// statistics the CCF results actually depend on — per-table row counts
+// (scaled), predicate-column cardinalities, per-join-key distinct-duplicate
+// distributions (Tables 2 and 3, including movie_keyword's 539-max heavy
+// tail), and cross-table join-key overlap — so that reduction factors and
+// FPRs exhibit the paper's shape. See DESIGN.md §5 for the substitution
+// argument.
+#ifndef CCF_DATA_IMDB_SYNTH_H_
+#define CCF_DATA_IMDB_SYNTH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+#include "util/result.h"
+
+namespace ccf {
+
+/// Statistical targets for one synthetic table (one row of Tables 2-3).
+struct TableSpec {
+  std::string name;
+  std::string key_column;
+  /// Predicate columns in schema order (these become CCF attributes).
+  std::vector<std::string> predicate_columns;
+  /// Cardinality of each predicate column (Table 2).
+  std::vector<uint64_t> cardinalities;
+  /// Full-scale row count (Table 2); multiplied by `scale`.
+  uint64_t full_rows = 0;
+  /// Target mean distinct duplicates per key (Table 3; per first predicate
+  /// column — the dominant duplication driver).
+  double avg_dupes = 1.0;
+  /// Target max distinct duplicates per key (Table 3).
+  uint64_t max_dupes = 1;
+  /// Fraction of title ids that appear in this table at all (drives
+  /// semijoin reduction; not in the paper's tables but implied by it).
+  double key_coverage = 1.0;
+};
+
+/// One generated table plus its spec.
+struct TableData {
+  Table table;
+  TableSpec spec;
+};
+
+/// \brief The synthetic IMDB dataset: `title` plus five fact tables joined
+/// on the movie id.
+struct ImdbDataset {
+  uint64_t num_titles = 0;
+  /// tables[0] is `title`; the join key of every other table references
+  /// title ids.
+  std::vector<TableData> tables;
+
+  const TableData& title() const { return tables[0]; }
+
+  Result<const TableData*> FindTable(const std::string& name) const;
+};
+
+/// production_year domain used by title generation and binning.
+inline constexpr int64_t kYearLo = 1880;
+inline constexpr int64_t kYearHi = 2011;
+/// §10.3: the 132 year values are mapped onto 16 roughly equal bins.
+inline constexpr int kYearBins = 16;
+
+/// The paper's Table 2/3 targets, scaled by `scale` (1.0 = full IMDB).
+std::vector<TableSpec> ImdbTableSpecs();
+
+/// Generates the dataset at `scale` (fraction of full-size row counts) with
+/// deterministic randomness from `seed`.
+Result<ImdbDataset> GenerateImdb(double scale, uint64_t seed);
+
+/// Measured per-key distinct-duplicate counts of `table`'s (key, first
+/// predicate column) pairs — the data for DuplicateProfile / Table 3 checks.
+std::vector<uint64_t> DistinctDupesPerKey(const Table& table,
+                                          const std::string& key_column,
+                                          const std::string& attr_column);
+
+}  // namespace ccf
+
+#endif  // CCF_DATA_IMDB_SYNTH_H_

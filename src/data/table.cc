@@ -1,0 +1,44 @@
+#include "data/table.h"
+
+namespace ccf {
+
+Table::Table(std::string name, std::vector<std::string> column_names)
+    : name_(std::move(name)), column_names_(std::move(column_names)) {
+  columns_.resize(column_names_.size());
+}
+
+Result<int> Table::ColumnIndex(const std::string& column) const {
+  for (size_t i = 0; i < column_names_.size(); ++i) {
+    if (column_names_[i] == column) return static_cast<int>(i);
+  }
+  return Status::KeyNotFound("table '" + name_ + "' has no column '" +
+                             column + "'");
+}
+
+Result<const std::vector<uint64_t>*> Table::column(
+    const std::string& name) const {
+  CCF_ASSIGN_OR_RETURN(int idx, ColumnIndex(name));
+  return &columns_[static_cast<size_t>(idx)];
+}
+
+void Table::AppendRow(std::span<const uint64_t> values) {
+  CCF_DCHECK(values.size() == columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    columns_[i].push_back(values[i]);
+  }
+}
+
+void Table::Reserve(uint64_t rows) {
+  for (auto& col : columns_) col.reserve(rows);
+}
+
+uint64_t Table::BytesWithWidths(std::span<const int> bits_per_column) const {
+  CCF_DCHECK(bits_per_column.size() == columns_.size());
+  uint64_t bits = 0;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    bits += num_rows() * static_cast<uint64_t>(bits_per_column[i]);
+  }
+  return (bits + 7) / 8;
+}
+
+}  // namespace ccf

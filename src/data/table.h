@@ -1,0 +1,63 @@
+// Minimal in-memory column store used by the join-processing evaluation:
+// named uint64 columns of equal length. String columns are expected to be
+// dictionary-encoded upstream (as in the paper's filters).
+#ifndef CCF_DATA_TABLE_H_
+#define CCF_DATA_TABLE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace ccf {
+
+/// \brief A named table of equal-length uint64 columns.
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, std::vector<std::string> column_names);
+
+  const std::string& name() const { return name_; }
+  uint64_t num_rows() const {
+    return columns_.empty() ? 0 : columns_[0].size();
+  }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const std::vector<std::string>& column_names() const {
+    return column_names_;
+  }
+
+  Result<int> ColumnIndex(const std::string& column) const;
+
+  const std::vector<uint64_t>& column(int i) const {
+    return columns_[static_cast<size_t>(i)];
+  }
+  Result<const std::vector<uint64_t>*> column(const std::string& name) const;
+
+  /// Appends one row; `values` must have num_columns() entries.
+  void AppendRow(std::span<const uint64_t> values);
+
+  /// Reserves row capacity in every column.
+  void Reserve(uint64_t rows);
+
+  /// Raw bytes if stored densely as uint64 per cell (diagnostic only; the
+  /// paper's raw-size accounting uses width-aware BytesWithWidths).
+  uint64_t DenseBytes() const {
+    return num_rows() * static_cast<uint64_t>(num_columns()) * 8;
+  }
+
+  /// Size using `bits_per_column[i]` bits per value of column i (the
+  /// paper's §10.7 accounting: 32-bit keys/high-cardinality columns, 8-bit
+  /// low-cardinality ones).
+  uint64_t BytesWithWidths(std::span<const int> bits_per_column) const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> column_names_;
+  std::vector<std::vector<uint64_t>> columns_;
+};
+
+}  // namespace ccf
+
+#endif  // CCF_DATA_TABLE_H_

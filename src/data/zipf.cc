@@ -1,0 +1,56 @@
+#include "data/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccf {
+
+ZipfMandelbrot::ZipfMandelbrot(double alpha, double c, uint64_t max_value)
+    : alpha_(alpha), c_(c), max_value_(max_value) {
+  cdf_.resize(max_value);
+  double total = 0.0;
+  double weighted = 0.0;
+  for (uint64_t x = 1; x <= max_value; ++x) {
+    double p = std::pow(c + static_cast<double>(x), -alpha);
+    total += p;
+    weighted += p * static_cast<double>(x);
+    cdf_[x - 1] = total;
+  }
+  for (double& v : cdf_) v /= total;
+  mean_ = weighted / total;
+}
+
+Result<ZipfMandelbrot> ZipfMandelbrot::Make(double alpha, double c,
+                                            uint64_t max_value) {
+  if (max_value < 1) return Status::Invalid("max_value must be >= 1");
+  if (alpha < 0) return Status::Invalid("alpha must be >= 0");
+  if (c <= -1.0) return Status::Invalid("c must be > -1");
+  return ZipfMandelbrot(alpha, c, max_value);
+}
+
+uint64_t ZipfMandelbrot::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin()) + 1;
+}
+
+Result<double> ZipfMandelbrot::AlphaForMean(double target_mean, double c,
+                                            uint64_t max_value) {
+  double uniform_mean = (1.0 + static_cast<double>(max_value)) / 2.0;
+  if (target_mean <= 1.0) return 64.0;  // degenerate: mass collapses onto 1
+  if (target_mean >= uniform_mean) return 0.0;
+  double lo = 0.0, hi = 64.0;
+  for (int iter = 0; iter < 100; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    CCF_ASSIGN_OR_RETURN(ZipfMandelbrot z, Make(mid, c, max_value));
+    // Mean decreases as alpha increases.
+    if (z.Mean() > target_mean) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace ccf

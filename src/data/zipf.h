@@ -1,0 +1,46 @@
+// Truncated Zipf-Mandelbrot sampler — the paper's skewed key-frequency model
+// for the multiset experiments (§10.1: p(x) ∝ (c + x)^{-α}, offset c = 2.7,
+// domain truncated to [1, 500], α tuned for a target mean).
+#ifndef CCF_DATA_ZIPF_H_
+#define CCF_DATA_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+#include "util/result.h"
+
+namespace ccf {
+
+/// \brief Samples from p(x) ∝ (c + x)^{-α} on the integer domain
+/// [1, max_value] via an inverse-CDF table.
+class ZipfMandelbrot {
+ public:
+  static Result<ZipfMandelbrot> Make(double alpha, double c,
+                                     uint64_t max_value);
+
+  uint64_t Sample(Rng& rng) const;
+
+  /// Exact mean of the truncated distribution.
+  double Mean() const { return mean_; }
+  double alpha() const { return alpha_; }
+
+  /// Finds α (by bisection) such that the truncated mean equals
+  /// `target_mean`. target_mean must lie in (1, uniform-mean] where the
+  /// uniform mean is (1 + max)/2 at α = 0.
+  static Result<double> AlphaForMean(double target_mean, double c,
+                                     uint64_t max_value);
+
+ private:
+  ZipfMandelbrot(double alpha, double c, uint64_t max_value);
+
+  double alpha_;
+  double c_;
+  uint64_t max_value_;
+  double mean_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace ccf
+
+#endif  // CCF_DATA_ZIPF_H_

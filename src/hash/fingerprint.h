@@ -1,0 +1,34 @@
+// Fingerprint derivation helpers shared by cuckoo filters and CCFs.
+#ifndef CCF_HASH_FINGERPRINT_H_
+#define CCF_HASH_FINGERPRINT_H_
+
+#include <cstdint>
+
+#include "hash/hasher.h"
+
+namespace ccf {
+
+/// Derives a `bits`-wide key fingerprint κ from a hash value. Fingerprint 0
+/// is valid in this library (occupancy is tracked explicitly), so no remap
+/// is applied.
+inline uint32_t FingerprintFromHash(uint64_t hash, int bits) {
+  // Use the high bits: the low bits determine the bucket index, and reusing
+  // them would correlate κ with ℓ.
+  return static_cast<uint32_t>(hash >> (64 - bits));
+}
+
+/// \brief Attribute value fingerprinting with the paper's small-value
+/// optimization (§9): values that fit in the fingerprint width are stored
+/// exactly; only larger values are hashed.
+inline uint32_t AttributeFingerprint(const Hasher& hasher, uint64_t value,
+                                     int bits, bool small_value_opt) {
+  uint64_t limit = uint64_t{1} << bits;
+  if (small_value_opt && value < limit) {
+    return static_cast<uint32_t>(value);
+  }
+  return static_cast<uint32_t>(hasher.Hash(value, /*i=*/7) >> (64 - bits));
+}
+
+}  // namespace ccf
+
+#endif  // CCF_HASH_FINGERPRINT_H_

@@ -1,0 +1,25 @@
+#include "hash/hasher.h"
+
+namespace ccf {
+
+Hasher::Hasher(uint64_t salt) : salt_(salt) {}
+
+uint64_t Hasher::HashBytes(std::string_view bytes, uint32_t i) const {
+  uint64_t seed = salt_ ^ (0x9e3779b97f4a7c15ull * (i + 1));
+  uint32_t pc = static_cast<uint32_t>(seed);
+  uint32_t pb = static_cast<uint32_t>(seed >> 32);
+  Lookup3Hash2(bytes.data(), bytes.size(), &pc, &pb);
+  return (static_cast<uint64_t>(pb) << 32) | pc;
+}
+
+uint64_t Hasher::HashPair(uint64_t bucket, uint64_t fingerprint,
+                          uint32_t round) const {
+  uint64_t packed[2] = {bucket, fingerprint ^ (uint64_t{round} << 48)};
+  uint64_t seed = salt_ ^ 0xc2b2ae3d27d4eb4full;
+  uint32_t pc = static_cast<uint32_t>(seed);
+  uint32_t pb = static_cast<uint32_t>(seed >> 32);
+  Lookup3Hash2(packed, sizeof(packed), &pc, &pb);
+  return (static_cast<uint64_t>(pb) << 32) | pc;
+}
+
+}  // namespace ccf

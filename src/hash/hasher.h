@@ -1,0 +1,44 @@
+// Salted hash family used by all filters. Every structure owns a Hasher with
+// an independent salt so experiments can average over hash randomness (the
+// paper averages 20 runs "using random salts for the hash functions").
+#ifndef CCF_HASH_HASHER_H_
+#define CCF_HASH_HASHER_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "hash/lookup3.h"
+
+namespace ccf {
+
+/// \brief A family of salted 64-bit hash functions over integer keys.
+///
+/// `Hash(x, i)` gives the i-th member of the family; derived convenience
+/// functions produce fingerprints, bucket indices, and the chaining hash of
+/// the CCF paper (h(min{ℓ,ℓ′}, κ), §6.2).
+class Hasher {
+ public:
+  explicit Hasher(uint64_t salt = 0);
+
+  uint64_t salt() const { return salt_; }
+
+  /// i-th hash of a 64-bit key.
+  uint64_t Hash(uint64_t key, uint32_t i = 0) const {
+    return Lookup3Hash64(key, salt_ ^ (0x9e3779b97f4a7c15ull * (i + 1)));
+  }
+
+  /// Hash of a byte string (for string-valued attribute columns).
+  uint64_t HashBytes(std::string_view bytes, uint32_t i = 0) const;
+
+  /// Hash of a (key, fingerprint) pair — the chain hash h(pair, κ). `round`
+  /// is the cycle-extension counter (0 for the normal chain step).
+  uint64_t HashPair(uint64_t bucket, uint64_t fingerprint,
+                    uint32_t round = 0) const;
+
+ private:
+  uint64_t salt_;
+};
+
+}  // namespace ccf
+
+#endif  // CCF_HASH_HASHER_H_

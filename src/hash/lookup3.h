@@ -1,0 +1,28 @@
+// Bob Jenkins' lookup3 hash (public domain, 2006). This is the hash function
+// used by the original cuckoo filter paper (Fan et al. 2014) and by the CCF
+// paper's evaluation (§10.8), so we reproduce it here from the published
+// algorithm.
+#ifndef CCF_HASH_LOOKUP3_H_
+#define CCF_HASH_LOOKUP3_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ccf {
+
+/// Hashes `length` bytes of `key`, returning a 32-bit value. `initval` seeds
+/// the hash (acts as a salt).
+uint32_t Lookup3Hash32(const void* key, size_t length, uint32_t initval);
+
+/// Hashes `length` bytes producing two 32-bit values (lookup3's hashlittle2):
+/// *pc is the primary hash, *pb a secondary one. Together they form a 64-bit
+/// hash.
+void Lookup3Hash2(const void* key, size_t length, uint32_t* pc, uint32_t* pb);
+
+/// Convenience: 64-bit hash of a 64-bit key via hashlittle2 with the two seed
+/// words initialized from `seed`.
+uint64_t Lookup3Hash64(uint64_t key, uint64_t seed);
+
+}  // namespace ccf
+
+#endif  // CCF_HASH_LOOKUP3_H_

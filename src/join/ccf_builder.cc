@@ -1,0 +1,177 @@
+#include "join/ccf_builder.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ccf {
+
+CcfBuildParams LargeParams(CcfVariant variant) {
+  CcfBuildParams p;
+  p.variant = variant;
+  p.key_fp_bits = 12;
+  p.attr_fp_bits = 8;
+  p.bloom_bits = 24;
+  p.bloom_hashes = 4;  // §10.5: "4 hash functions for Bloom filters"
+  return p;
+}
+
+CcfBuildParams SmallParams(CcfVariant variant) {
+  CcfBuildParams p;
+  p.variant = variant;
+  p.key_fp_bits = 7;
+  p.attr_fp_bits = 4;
+  p.bloom_bits = 8;
+  p.bloom_hashes = 2;
+  return p;
+}
+
+Result<Predicate> BuiltCcf::CompilePredicates(
+    const std::vector<const QueryPredicate*>& preds) const {
+  Predicate out;
+  for (const QueryPredicate* p : preds) {
+    CCF_ASSIGN_OR_RETURN(int attr, schema.IndexOf(p->column));
+    if (!p->is_range) {
+      out.AndEquals(attr, p->value);
+      continue;
+    }
+    if (!year_binner.has_value()) {
+      return Status::Invalid("range predicate on a table without a binner");
+    }
+    out.AndIn(attr, year_binner->Cover(p->lo, p->hi));
+  }
+  return out;
+}
+
+namespace {
+
+// Rows presented to the CCF: key + predicate-column values, with
+// production_year replaced by its bin id.
+struct SketchRows {
+  std::vector<uint64_t> keys;
+  std::vector<std::vector<uint64_t>> attrs;  // row-major
+  std::vector<uint64_t> distinct_dupes_per_key;
+};
+
+Result<SketchRows> ExtractRows(const TableData& table,
+                               const std::optional<RangeBinner>& binner) {
+  SketchRows rows;
+  CCF_ASSIGN_OR_RETURN(const std::vector<uint64_t>* key_col,
+                       table.table.column(table.spec.key_column));
+  std::vector<const std::vector<uint64_t>*> attr_cols;
+  for (const std::string& col : table.spec.predicate_columns) {
+    CCF_ASSIGN_OR_RETURN(const std::vector<uint64_t>* c,
+                         table.table.column(col));
+    attr_cols.push_back(c);
+  }
+  uint64_t n = key_col->size();
+  rows.keys.reserve(n);
+  rows.attrs.reserve(n);
+  bool has_year = false;
+  size_t year_idx = 0;
+  for (size_t i = 0; i < table.spec.predicate_columns.size(); ++i) {
+    if (table.spec.predicate_columns[i] == "production_year") {
+      has_year = true;
+      year_idx = i;
+    }
+  }
+  // Per-key distinct attribute-vector counts for §8 sizing.
+  std::unordered_map<uint64_t, std::unordered_set<uint64_t>> distinct;
+  for (uint64_t i = 0; i < n; ++i) {
+    std::vector<uint64_t> attrs(attr_cols.size());
+    for (size_t a = 0; a < attr_cols.size(); ++a) {
+      uint64_t v = (*attr_cols[a])[i];
+      if (has_year && a == year_idx && binner.has_value()) {
+        v = binner->BinOf(static_cast<int64_t>(v));
+      }
+      attrs[a] = v;
+    }
+    uint64_t key = (*key_col)[i];
+    // Cheap distinct-vector hash: mixes all attribute values.
+    uint64_t sig = 0xcbf29ce484222325ull;
+    for (uint64_t v : attrs) {
+      sig = (sig ^ v) * 0x100000001b3ull;
+    }
+    distinct[key].insert(sig);
+    rows.keys.push_back(key);
+    rows.attrs.push_back(std::move(attrs));
+  }
+  rows.distinct_dupes_per_key.reserve(distinct.size());
+  for (const auto& [k, sigs] : distinct) {
+    rows.distinct_dupes_per_key.push_back(sigs.size());
+  }
+  return rows;
+}
+
+}  // namespace
+
+Result<BuiltCcf> BuildCcf(const TableData& table,
+                          const CcfBuildParams& params) {
+  BuiltCcf built;
+  built.source = &table;
+  built.schema = AttributeSchema(table.spec.predicate_columns);
+  for (const std::string& col : table.spec.predicate_columns) {
+    if (col == "production_year") {
+      CCF_ASSIGN_OR_RETURN(RangeBinner binner,
+                           RangeBinner::Make(kYearLo, kYearHi, kYearBins));
+      built.year_binner = binner;
+    }
+  }
+
+  CCF_ASSIGN_OR_RETURN(SketchRows rows,
+                       ExtractRows(table, built.year_binner));
+
+  CcfConfig config;
+  config.key_fp_bits = params.key_fp_bits;
+  config.attr_fp_bits = params.attr_fp_bits;
+  config.num_attrs = static_cast<int>(table.spec.predicate_columns.size());
+  config.max_dupes = params.max_dupes;
+  config.max_chain = params.max_chain;
+  config.bloom_bits = params.bloom_bits;
+  config.bloom_hashes = params.bloom_hashes;
+  config.optimize_bloom_hashes = params.optimize_bloom_hashes;
+  config.salt = params.salt;
+  config.slots_per_bucket = params.slots_per_bucket;
+
+  DuplicateProfile profile = DuplicateProfile::FromCounts(
+      rows.distinct_dupes_per_key, config.max_dupes, config.max_chain);
+  CCF_ASSIGN_OR_RETURN(config,
+                       ChooseGeometry(params.variant, config, profile));
+
+  Status last_error = Status::OK();
+  for (int attempt = 0; attempt <= params.max_rebuilds; ++attempt) {
+    CCF_ASSIGN_OR_RETURN(built.filter,
+                         ConditionalCuckooFilter::Make(params.variant,
+                                                       config));
+    bool ok = true;
+    for (size_t i = 0; i < rows.keys.size(); ++i) {
+      Status st = built.filter->Insert(rows.keys[i], rows.attrs[i]);
+      if (!st.ok()) {
+        last_error = std::move(st);
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      built.rebuilds = attempt;
+      return built;
+    }
+    config.num_buckets *= 2;  // §4.1's resize rule
+  }
+  return Status::CapacityError(
+      "CCF for table '" + table.spec.name + "' failed after " +
+      std::to_string(params.max_rebuilds) + " rebuilds: " +
+      last_error.message());
+}
+
+Result<std::vector<BuiltCcf>> BuildAllCcfs(const ImdbDataset& dataset,
+                                           const CcfBuildParams& params) {
+  std::vector<BuiltCcf> out;
+  out.reserve(dataset.tables.size());
+  for (const TableData& table : dataset.tables) {
+    CCF_ASSIGN_OR_RETURN(BuiltCcf built, BuildCcf(table, params));
+    out.push_back(std::move(built));
+  }
+  return out;
+}
+
+}  // namespace ccf

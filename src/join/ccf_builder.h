@@ -1,0 +1,73 @@
+// Building CCFs over dataset tables: one filter per table keyed on the join
+// key with the table's predicate columns as attributes (production_year is
+// stored binned, §10.3). Geometry follows §8's sizing rules from the
+// measured duplicate profile, with resize-and-rebuild on insertion failure.
+#ifndef CCF_JOIN_CCF_BUILDER_H_
+#define CCF_JOIN_CCF_BUILDER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ccf/ccf.h"
+#include "ccf/sizing.h"
+#include "data/imdb_synth.h"
+#include "data/workload.h"
+#include "predicate/range_binning.h"
+#include "sketch/attribute_schema.h"
+
+namespace ccf {
+
+/// Filter-family parameters shared across the per-table CCFs (the paper's
+/// "large" and "small" settings).
+struct CcfBuildParams {
+  CcfVariant variant = CcfVariant::kChained;
+  int key_fp_bits = 12;
+  int attr_fp_bits = 8;
+  int bloom_bits = 16;
+  int bloom_hashes = 2;
+  bool optimize_bloom_hashes = false;
+  int max_dupes = 3;
+  /// 0 → §8's b ≈ 2d rule.
+  int slots_per_bucket = 0;
+  int max_chain = 0;  // unbounded
+  uint64_t salt = 0;
+  /// Rebuild attempts (each doubles the bucket count) before giving up.
+  int max_rebuilds = 5;
+};
+
+/// The paper's evaluated settings (§10.5): large = 8-bit attributes, 12-bit
+/// fingerprints, larger Bloom sketches; small = 4-bit attributes, 7-bit
+/// fingerprints, 2 Bloom hashes.
+CcfBuildParams LargeParams(CcfVariant variant);
+CcfBuildParams SmallParams(CcfVariant variant);
+
+/// \brief A CCF bound to its source table: knows how to translate
+/// QueryPredicates into attribute-index predicates (including year binning).
+struct BuiltCcf {
+  std::unique_ptr<ConditionalCuckooFilter> filter;
+  const TableData* source = nullptr;
+  AttributeSchema schema;          // predicate columns in attribute order
+  std::optional<RangeBinner> year_binner;  // set if a year column exists
+  int rebuilds = 0;                // resize-and-rebuild count
+
+  /// Compiles query predicates on this table into a CCF predicate
+  /// (equality → singleton; year range → binned in-list).
+  Result<Predicate> CompilePredicates(
+      const std::vector<const QueryPredicate*>& preds) const;
+};
+
+/// Builds the CCF for one table. Fails with CapacityError if the variant
+/// cannot absorb the table even after max_rebuilds resizes (the paper's
+/// Plain rows).
+Result<BuiltCcf> BuildCcf(const TableData& table,
+                          const CcfBuildParams& params);
+
+/// Builds one CCF per dataset table with shared parameters.
+Result<std::vector<BuiltCcf>> BuildAllCcfs(const ImdbDataset& dataset,
+                                           const CcfBuildParams& params);
+
+}  // namespace ccf
+
+#endif  // CCF_JOIN_CCF_BUILDER_H_

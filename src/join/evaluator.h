@@ -1,0 +1,116 @@
+// Workload evaluator: combines exact per-instance counts with filtered scan
+// counts for any filter set (CCFs, the key-only cuckoo baseline, or derived
+// predicate-only filters), producing the reduction factors and FPRs of
+// Figures 6-10 and the §10.6 aggregates.
+#ifndef CCF_JOIN_EVALUATOR_H_
+#define CCF_JOIN_EVALUATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cuckoo/cuckoo_filter.h"
+#include "join/ccf_builder.h"
+#include "join/semijoin.h"
+
+namespace ccf {
+
+/// \brief A set of per-table filters probeable as (key, query-predicates).
+class FilterSet {
+ public:
+  virtual ~FilterSet() = default;
+  /// True if `key` may appear in `table` restricted to `preds`.
+  virtual Result<bool> Probe(
+      const std::string& table, uint64_t key,
+      const std::vector<const QueryPredicate*>& preds) const = 0;
+  /// Total physical bits of all filters.
+  virtual uint64_t TotalSizeInBits() const = 0;
+};
+
+/// CCF-backed filter set (one BuiltCcf per table).
+class CcfFilterSet : public FilterSet {
+ public:
+  explicit CcfFilterSet(const std::vector<BuiltCcf>* filters)
+      : filters_(filters) {}
+  Result<bool> Probe(
+      const std::string& table, uint64_t key,
+      const std::vector<const QueryPredicate*>& preds) const override;
+  uint64_t TotalSizeInBits() const override;
+
+ private:
+  Result<const BuiltCcf*> Find(const std::string& table) const;
+  const std::vector<BuiltCcf>* filters_;
+};
+
+/// Key-only cuckoo filters (the paper's state-of-the-art baseline): probes
+/// ignore predicates entirely.
+class CuckooFilterSet : public FilterSet {
+ public:
+  /// Builds one cuckoo filter per table over its distinct join keys.
+  static Result<CuckooFilterSet> Build(const ImdbDataset& dataset,
+                                       int fingerprint_bits, uint64_t salt);
+  Result<bool> Probe(
+      const std::string& table, uint64_t key,
+      const std::vector<const QueryPredicate*>& preds) const override;
+  uint64_t TotalSizeInBits() const override;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<CuckooFilter> filters_;
+};
+
+/// Per-instance filtered count joined with its exact counts.
+struct InstanceResult {
+  InstanceExact exact;
+  uint64_t m_filtered = 0;  ///< rows surviving local preds + filter probes
+
+  double RfFiltered() const {
+    return exact.m_predicate == 0
+               ? 0.0
+               : static_cast<double>(m_filtered) /
+                     static_cast<double>(exact.m_predicate);
+  }
+};
+
+/// Aggregates over a set of instances (§10.6's summary numbers).
+struct AggregateResult {
+  double rf_filtered = 0.0;        ///< Σ filtered / Σ predicate
+  double rf_semijoin = 0.0;        ///< Σ semijoin / Σ predicate (optimal)
+  double rf_semijoin_binned = 0.0;
+  double fpr_vs_binned = 0.0;      ///< FP rate relative to binned semijoin
+  double fpr_vs_exact = 0.0;       ///< including binning error
+  uint64_t total_size_bits = 0;
+};
+
+/// \brief Evaluates the workload: exact counts once, then any number of
+/// filter sets against them.
+class WorkloadEvaluator {
+ public:
+  /// Computes and caches exact counts (the expensive part).
+  static Result<WorkloadEvaluator> Make(const ImdbDataset* dataset,
+                                        const std::vector<JoinQuery>* queries);
+
+  const std::vector<InstanceExact>& exact() const { return exact_; }
+
+  /// Filtered count per instance, aligned with exact().
+  Result<std::vector<InstanceResult>> Evaluate(const FilterSet& filters) const;
+
+  /// §10.6 aggregates for a finished evaluation.
+  static AggregateResult Aggregate(const std::vector<InstanceResult>& results,
+                                   uint64_t filter_size_bits);
+
+ private:
+  WorkloadEvaluator(const ImdbDataset* dataset,
+                    const std::vector<JoinQuery>* queries,
+                    std::vector<InstanceExact> exact, RangeBinner binner);
+
+  const ImdbDataset* dataset_;
+  const std::vector<JoinQuery>* queries_;
+  std::vector<InstanceExact> exact_;
+  RangeBinner year_binner_;
+};
+
+}  // namespace ccf
+
+#endif  // CCF_JOIN_EVALUATOR_H_

@@ -1,0 +1,57 @@
+#include "join/hash_join.h"
+
+#include <unordered_map>
+
+#include "join/semijoin.h"
+
+namespace ccf {
+
+Result<HashJoinStats> ExecuteHashJoin(
+    const TableData& build,
+    const std::vector<const QueryPredicate*>& build_preds,
+    const TableData& probe,
+    const std::vector<const QueryPredicate*>& probe_preds,
+    const RangeBinner& year_binner,
+    const std::function<bool(uint64_t)>& build_prefilter) {
+  HashJoinStats stats;
+
+  CCF_ASSIGN_OR_RETURN(
+      std::vector<char> build_mask,
+      MatchMask(build, build_preds, YearMode::kExact, year_binner));
+  CCF_ASSIGN_OR_RETURN(const std::vector<uint64_t>* build_keys,
+                       build.table.column(build.spec.key_column));
+
+  // Build phase: hash table key → row ids, after local predicates and the
+  // prefilter.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> hash_table;
+  for (size_t i = 0; i < build_keys->size(); ++i) {
+    if (!build_mask[i]) continue;
+    ++stats.build_input_rows;
+    uint64_t key = (*build_keys)[i];
+    if (build_prefilter && !build_prefilter(key)) continue;
+    ++stats.build_kept_rows;
+    hash_table[key].push_back(static_cast<uint32_t>(i));
+  }
+  // Approximate memory: per distinct key one 8-byte key + bucket overhead
+  // (~16B) and 4 bytes per row id.
+  stats.build_table_bytes =
+      hash_table.size() * 24 + stats.build_kept_rows * 4;
+
+  // Probe phase.
+  CCF_ASSIGN_OR_RETURN(
+      std::vector<char> probe_mask,
+      MatchMask(probe, probe_preds, YearMode::kExact, year_binner));
+  CCF_ASSIGN_OR_RETURN(const std::vector<uint64_t>* probe_keys,
+                       probe.table.column(probe.spec.key_column));
+  for (size_t i = 0; i < probe_keys->size(); ++i) {
+    if (!probe_mask[i]) continue;
+    ++stats.probe_input_rows;
+    auto it = hash_table.find((*probe_keys)[i]);
+    if (it != hash_table.end()) {
+      stats.result_rows += it->second.size();
+    }
+  }
+  return stats;
+}
+
+}  // namespace ccf

@@ -1,0 +1,110 @@
+#include "join/semijoin.h"
+
+#include <algorithm>
+
+namespace ccf {
+
+Result<std::vector<char>> MatchMask(
+    const TableData& table, const std::vector<const QueryPredicate*>& preds,
+    YearMode year_mode, const RangeBinner& year_binner) {
+  uint64_t n = table.table.num_rows();
+  std::vector<char> mask(n, 1);
+  for (const QueryPredicate* pred : preds) {
+    CCF_ASSIGN_OR_RETURN(const std::vector<uint64_t>* col,
+                         table.table.column(pred->column));
+    if (!pred->is_range) {
+      for (uint64_t i = 0; i < n; ++i) {
+        if ((*col)[i] != pred->value) mask[i] = 0;
+      }
+      continue;
+    }
+    if (year_mode == YearMode::kExact) {
+      for (uint64_t i = 0; i < n; ++i) {
+        int64_t v = static_cast<int64_t>((*col)[i]);
+        if (v < pred->lo || v > pred->hi) mask[i] = 0;
+      }
+    } else {
+      // Binned semantics: the value's bin must be covered — edge bins admit
+      // out-of-range values (the binning error Figure 7 isolates).
+      std::vector<uint64_t> cover = year_binner.Cover(pred->lo, pred->hi);
+      for (uint64_t i = 0; i < n; ++i) {
+        uint64_t bin = year_binner.BinOf(static_cast<int64_t>((*col)[i]));
+        if (std::find(cover.begin(), cover.end(), bin) == cover.end()) {
+          mask[i] = 0;
+        }
+      }
+    }
+  }
+  return mask;
+}
+
+std::unordered_set<uint64_t> SurvivingKeys(const TableData& table,
+                                           const std::vector<char>& mask) {
+  std::unordered_set<uint64_t> keys;
+  auto key_col = table.table.column(table.spec.key_column);
+  if (!key_col.ok()) return keys;
+  const auto& kc = **key_col;
+  for (size_t i = 0; i < kc.size(); ++i) {
+    if (mask[i]) keys.insert(kc[i]);
+  }
+  return keys;
+}
+
+Result<std::vector<InstanceExact>> ComputeExactCounts(
+    const ImdbDataset& dataset, const std::vector<JoinQuery>& queries,
+    const RangeBinner& year_binner) {
+  std::vector<InstanceExact> out;
+  for (const JoinQuery& query : queries) {
+    // Per-query caches: surviving key sets of each member table under its
+    // predicates, exact and binned.
+    std::vector<const TableData*> tables;
+    std::vector<std::unordered_set<uint64_t>> keys_exact;
+    std::vector<std::unordered_set<uint64_t>> keys_binned;
+    std::vector<std::vector<char>> masks_exact;
+    for (const std::string& name : query.tables) {
+      CCF_ASSIGN_OR_RETURN(const TableData* td, dataset.FindTable(name));
+      tables.push_back(td);
+      auto preds = query.PredicatesOn(name);
+      CCF_ASSIGN_OR_RETURN(
+          std::vector<char> me,
+          MatchMask(*td, preds, YearMode::kExact, year_binner));
+      CCF_ASSIGN_OR_RETURN(
+          std::vector<char> mb,
+          MatchMask(*td, preds, YearMode::kBinned, year_binner));
+      keys_exact.push_back(SurvivingKeys(*td, me));
+      keys_binned.push_back(SurvivingKeys(*td, mb));
+      masks_exact.push_back(std::move(me));
+    }
+
+    for (size_t b = 0; b < tables.size(); ++b) {
+      const TableData& base = *tables[b];
+      InstanceExact inst;
+      inst.query_id = query.id;
+      inst.base_table = base.spec.name;
+      inst.num_joins = static_cast<int>(tables.size()) - 1;
+
+      CCF_ASSIGN_OR_RETURN(const std::vector<uint64_t>* key_col,
+                           base.table.column(base.spec.key_column));
+      const std::vector<char>& base_mask = masks_exact[b];
+      for (size_t i = 0; i < key_col->size(); ++i) {
+        if (!base_mask[i]) continue;
+        ++inst.m_predicate;
+        uint64_t key = (*key_col)[i];
+        bool exact_ok = true;
+        bool binned_ok = true;
+        for (size_t t = 0; t < tables.size(); ++t) {
+          if (t == b) continue;
+          if (exact_ok && !keys_exact[t].contains(key)) exact_ok = false;
+          if (binned_ok && !keys_binned[t].contains(key)) binned_ok = false;
+          if (!exact_ok && !binned_ok) break;
+        }
+        if (exact_ok) ++inst.m_semijoin;
+        if (binned_ok) ++inst.m_semijoin_binned;
+      }
+      out.push_back(std::move(inst));
+    }
+  }
+  return out;
+}
+
+}  // namespace ccf

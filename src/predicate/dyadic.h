@@ -1,0 +1,40 @@
+// Dyadic range decomposition (§9.1's alternative to binning): an item is
+// represented by the chain of dyadic intervals containing it; a range is
+// covered by O(log |range|) maximal dyadic intervals. Items insert all their
+// interval labels; a range query checks the covering labels.
+#ifndef CCF_PREDICATE_DYADIC_H_
+#define CCF_PREDICATE_DYADIC_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ccf {
+
+/// A dyadic interval at `level` (0 = single values) covering
+/// [index << level, ((index + 1) << level) - 1].
+struct DyadicInterval {
+  int level = 0;
+  uint64_t index = 0;
+
+  /// Packs (level, index) into one attribute value: level lives in the top
+  /// 6 bits so labels at different levels never collide.
+  uint64_t Label() const {
+    return (static_cast<uint64_t>(level) << 58) | index;
+  }
+
+  bool operator==(const DyadicInterval& other) const = default;
+};
+
+/// All dyadic intervals containing `value`, levels 0..max_level inclusive
+/// (the η insertions per item of §9.1).
+std::vector<DyadicInterval> DyadicLabels(uint64_t value, int max_level);
+
+/// Minimal set of dyadic intervals with level ≤ max_level exactly covering
+/// the closed range [lo, hi]. Standard greedy decomposition; the result has
+/// at most 2·(max_level + 1) intervals.
+std::vector<DyadicInterval> DyadicCover(uint64_t lo, uint64_t hi,
+                                        int max_level);
+
+}  // namespace ccf
+
+#endif  // CCF_PREDICATE_DYADIC_H_

@@ -1,0 +1,54 @@
+// Predicate model: a conjunction of per-attribute membership terms. Equality
+// predicates are singleton terms; range predicates become in-lists through
+// binning (range_binning.h) or dyadic decomposition (dyadic.h) per §9.1.
+#ifndef CCF_PREDICATE_PREDICATE_H_
+#define CCF_PREDICATE_PREDICATE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ccf {
+
+/// One conjunct: attribute `attr_index` must take a value in `values`.
+struct AttributeTerm {
+  int attr_index = 0;
+  std::vector<uint64_t> values;  // disjunction (IN-list); equality = size 1
+};
+
+/// \brief Conjunction of attribute membership terms.
+///
+/// An empty predicate matches every row (a key-only query).
+class Predicate {
+ public:
+  Predicate() = default;
+
+  /// attr = value.
+  static Predicate Equals(int attr_index, uint64_t value);
+
+  /// attr IN (values).
+  static Predicate In(int attr_index, std::vector<uint64_t> values);
+
+  /// Adds a conjunct; returns *this for chaining
+  /// (`Predicate::Equals(0, 4).AndEquals(1, 2)`).
+  Predicate& AndEquals(int attr_index, uint64_t value);
+  Predicate& AndIn(int attr_index, std::vector<uint64_t> values);
+
+  const std::vector<AttributeTerm>& terms() const { return terms_; }
+  bool empty() const { return terms_.empty(); }
+
+  /// Exact evaluation against a full attribute row (ground truth in tests
+  /// and the semijoin evaluator).
+  bool Matches(std::span<const uint64_t> attrs) const;
+
+  /// Diagnostic rendering, e.g. "a0=4 AND a1 IN (2,3)".
+  std::string ToString() const;
+
+ private:
+  std::vector<AttributeTerm> terms_;
+};
+
+}  // namespace ccf
+
+#endif  // CCF_PREDICATE_PREDICATE_H_

@@ -1,0 +1,43 @@
+#include "predicate/range_binning.h"
+
+#include <algorithm>
+
+#include "util/math_util.h"
+
+namespace ccf {
+
+RangeBinner::RangeBinner(int64_t lo, int64_t hi, int num_bins)
+    : lo_(lo), hi_(hi), num_bins_(num_bins) {
+  // Proportional binning: all num_bins bins are used, with widths differing
+  // by at most one ("roughly equal-sized intervals", §10.3).
+  width_ = 0;  // unused; kept for ABI stability of the header layout
+}
+
+Result<RangeBinner> RangeBinner::Make(int64_t lo, int64_t hi, int num_bins) {
+  if (hi < lo) return Status::Invalid("RangeBinner domain is empty");
+  if (num_bins < 1) return Status::Invalid("num_bins must be >= 1");
+  return RangeBinner(lo, hi, num_bins);
+}
+
+uint64_t RangeBinner::BinOf(int64_t value) const {
+  value = std::clamp(value, lo_, hi_);
+  int64_t domain = hi_ - lo_ + 1;
+  return static_cast<uint64_t>((value - lo_) * num_bins_ / domain);
+}
+
+std::vector<uint64_t> RangeBinner::Cover(int64_t lo, int64_t hi) const {
+  if (hi < lo) return {};
+  uint64_t first = BinOf(lo);
+  uint64_t last = BinOf(hi);
+  std::vector<uint64_t> bins;
+  bins.reserve(last - first + 1);
+  for (uint64_t b = first; b <= last; ++b) bins.push_back(b);
+  return bins;
+}
+
+Predicate RangeBinner::RangePredicate(int attr_index, int64_t lo,
+                                      int64_t hi) const {
+  return Predicate::In(attr_index, Cover(lo, hi));
+}
+
+}  // namespace ccf

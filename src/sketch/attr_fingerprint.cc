@@ -1,0 +1,38 @@
+#include "sketch/attr_fingerprint.h"
+
+namespace ccf {
+
+std::vector<uint32_t> AttrFingerprintCodec::Encode(
+    std::span<const uint64_t> attrs) const {
+  CCF_DCHECK(static_cast<int>(attrs.size()) == num_attrs_);
+  std::vector<uint32_t> out(attrs.size());
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    out[i] = ValueFingerprint(attrs[i]);
+  }
+  return out;
+}
+
+void AttrFingerprintCodec::Store(BucketTable* table, uint64_t bucket, int slot,
+                                 int base,
+                                 std::span<const uint64_t> attrs) const {
+  CCF_DCHECK(static_cast<int>(attrs.size()) == num_attrs_);
+  for (int i = 0; i < num_attrs_; ++i) {
+    table->SetPayloadField(bucket, slot, base + i * bits_per_attr_,
+                           bits_per_attr_,
+                           ValueFingerprint(attrs[static_cast<size_t>(i)]));
+  }
+}
+
+bool AttrFingerprintCodec::EqualsStored(const BucketTable& table,
+                                        uint64_t bucket, int slot, int base,
+                                        std::span<const uint64_t> attrs) const {
+  for (int i = 0; i < num_attrs_; ++i) {
+    if (Load(table, bucket, slot, base, i) !=
+        ValueFingerprint(attrs[static_cast<size_t>(i)])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ccf

@@ -1,0 +1,76 @@
+// Attribute fingerprint vector codec (§5.1): each attribute value hashes to
+// an s-bit fingerprint; a row's attributes pack into one fixed-width vector
+// stored in a cuckoo slot's payload.
+#ifndef CCF_SKETCH_ATTR_FINGERPRINT_H_
+#define CCF_SKETCH_ATTR_FINGERPRINT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cuckoo/bucket_table.h"
+#include "hash/fingerprint.h"
+#include "hash/hasher.h"
+
+namespace ccf {
+
+/// \brief Encodes / matches attribute fingerprint vectors against slot
+/// payloads.
+///
+/// Layout inside a payload: attribute i occupies bits
+/// [base + i*bits_per_attr, base + (i+1)*bits_per_attr).
+class AttrFingerprintCodec {
+ public:
+  /// \param num_attrs   #α, number of attribute columns
+  /// \param bits_per_attr  |α| per attribute (4 or 8 in the paper)
+  /// \param small_value_opt  §9: store values < 2^|α| exactly
+  AttrFingerprintCodec(const Hasher* hasher, int num_attrs, int bits_per_attr,
+                       bool small_value_opt = true)
+      : hasher_(hasher),
+        num_attrs_(num_attrs),
+        bits_per_attr_(bits_per_attr),
+        small_value_opt_(small_value_opt) {}
+
+  int num_attrs() const { return num_attrs_; }
+  int bits_per_attr() const { return bits_per_attr_; }
+  /// Total payload bits used by the vector (#α × |α|).
+  int vector_bits() const { return num_attrs_ * bits_per_attr_; }
+  bool small_value_opt() const { return small_value_opt_; }
+
+  /// Fingerprint of one attribute value.
+  uint32_t ValueFingerprint(uint64_t value) const {
+    return AttributeFingerprint(*hasher_, value, bits_per_attr_,
+                                small_value_opt_);
+  }
+
+  /// Computes the full fingerprint vector for a row's attributes.
+  std::vector<uint32_t> Encode(std::span<const uint64_t> attrs) const;
+
+  /// Writes a row's fingerprint vector into a slot payload starting at
+  /// payload-relative bit `base`.
+  void Store(BucketTable* table, uint64_t bucket, int slot, int base,
+             std::span<const uint64_t> attrs) const;
+
+  /// Reads attribute i's stored fingerprint from a slot payload.
+  uint32_t Load(const BucketTable& table, uint64_t bucket, int slot, int base,
+                int attr_index) const {
+    return static_cast<uint32_t>(
+        table.GetPayloadField(bucket, slot, base + attr_index * bits_per_attr_,
+                              bits_per_attr_));
+  }
+
+  /// True if the stored vector at (bucket, slot) equals the vector for
+  /// `attrs` exactly (used for duplicate collapsing at insert).
+  bool EqualsStored(const BucketTable& table, uint64_t bucket, int slot,
+                    int base, std::span<const uint64_t> attrs) const;
+
+ private:
+  const Hasher* hasher_;
+  int num_attrs_;
+  int bits_per_attr_;
+  bool small_value_opt_;
+};
+
+}  // namespace ccf
+
+#endif  // CCF_SKETCH_ATTR_FINGERPRINT_H_

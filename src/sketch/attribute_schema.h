@@ -1,0 +1,45 @@
+// Attribute schema: describes the attribute columns a CCF sketches next to
+// each key (names are for diagnostics; positions are what the filters use).
+#ifndef CCF_SKETCH_ATTRIBUTE_SCHEMA_H_
+#define CCF_SKETCH_ATTRIBUTE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace ccf {
+
+/// \brief Ordered list of attribute columns covered by a CCF.
+///
+/// Attribute values are 64-bit integers; string columns are expected to be
+/// dictionary- or hash-encoded upstream (the paper's filters likewise only
+/// ever see integer attribute codes).
+class AttributeSchema {
+ public:
+  AttributeSchema() = default;
+  explicit AttributeSchema(std::vector<std::string> names)
+      : names_(std::move(names)) {}
+
+  /// Schema with `n` anonymous columns ("a0", "a1", ...).
+  static AttributeSchema Anonymous(int n);
+
+  int num_attrs() const { return static_cast<int>(names_.size()); }
+  const std::string& name(int i) const {
+    return names_[static_cast<size_t>(i)];
+  }
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Index of the column with `name`, or error.
+  Result<int> IndexOf(const std::string& name) const;
+
+  bool operator==(const AttributeSchema& other) const = default;
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace ccf
+
+#endif  // CCF_SKETCH_ATTRIBUTE_SCHEMA_H_

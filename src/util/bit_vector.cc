@@ -1,0 +1,80 @@
+#include "util/bit_vector.h"
+
+#include <bit>
+
+namespace ccf {
+
+void BitVector::Resize(size_t num_bits) {
+  num_bits_ = num_bits;
+  words_.resize((num_bits + 63) / 64, 0);
+  // Clear any stale bits beyond the new logical size in the last word so
+  // PopCount and equality stay exact after shrinking.
+  if (num_bits_ % 64 != 0 && !words_.empty()) {
+    uint64_t keep = (uint64_t{1} << (num_bits_ % 64)) - 1;
+    words_.back() &= keep;
+  }
+}
+
+void BitVector::Clear() {
+  std::fill(words_.begin(), words_.end(), 0);
+}
+
+uint64_t BitVector::GetField(size_t pos, int width) const {
+  CCF_DCHECK(width >= 1 && width <= 64);
+  CCF_DCHECK(pos + static_cast<size_t>(width) <= num_bits_);
+  size_t word = pos >> 6;
+  int shift = static_cast<int>(pos & 63);
+  uint64_t lo = words_[word] >> shift;
+  int bits_from_lo = 64 - shift;
+  uint64_t value = lo;
+  if (width > bits_from_lo) {
+    value |= words_[word + 1] << bits_from_lo;
+  }
+  if (width < 64) {
+    value &= (uint64_t{1} << width) - 1;
+  }
+  return value;
+}
+
+void BitVector::SetField(size_t pos, int width, uint64_t value) {
+  CCF_DCHECK(width >= 1 && width <= 64);
+  CCF_DCHECK(pos + static_cast<size_t>(width) <= num_bits_);
+  uint64_t mask = width == 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1;
+  value &= mask;
+  size_t word = pos >> 6;
+  int shift = static_cast<int>(pos & 63);
+  words_[word] = (words_[word] & ~(mask << shift)) | (value << shift);
+  int bits_in_lo = 64 - shift;
+  if (width > bits_in_lo) {
+    uint64_t hi_mask = mask >> bits_in_lo;
+    words_[word + 1] =
+        (words_[word + 1] & ~hi_mask) | (value >> bits_in_lo);
+  }
+}
+
+void BitVector::Save(ByteWriter* writer) const {
+  writer->WriteU64(num_bits_);
+  for (uint64_t w : words_) writer->WriteU64(w);
+}
+
+Result<BitVector> BitVector::Load(ByteReader* reader) {
+  CCF_ASSIGN_OR_RETURN(uint64_t num_bits, reader->ReadU64());
+  if (num_bits > (uint64_t{1} << 40)) {
+    return Status::Invalid("implausible BitVector size");
+  }
+  BitVector out(num_bits);
+  for (uint64_t& w : out.words_) {
+    CCF_ASSIGN_OR_RETURN(w, reader->ReadU64());
+  }
+  // Enforce the invariant that bits beyond num_bits are zero.
+  out.Resize(num_bits);
+  return out;
+}
+
+size_t BitVector::PopCount() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+  return n;
+}
+
+}  // namespace ccf

@@ -1,0 +1,80 @@
+// Packed bit storage with fixed-width field accessors. This is the backing
+// store for all sketch structures in the library: bucketized cuckoo tables
+// pack (fingerprint, payload) slots into one contiguous BitVector so that
+// reported sketch sizes are the true physical bit counts.
+#ifndef CCF_UTIL_BIT_VECTOR_H_
+#define CCF_UTIL_BIT_VECTOR_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "util/serde.h"
+#include "util/status.h"
+
+namespace ccf {
+
+/// \brief A dense, resizable vector of bits with multi-bit field access.
+///
+/// Fields of up to 64 bits may be read/written at arbitrary (unaligned) bit
+/// offsets. Storage is zero-initialized. Not thread-safe for concurrent
+/// writes.
+class BitVector {
+ public:
+  BitVector() = default;
+  /// Creates a vector of `num_bits` zero bits.
+  explicit BitVector(size_t num_bits) { Resize(num_bits); }
+
+  /// Number of addressable bits.
+  size_t size() const { return num_bits_; }
+
+  /// Physical storage in bytes (rounded up to whole words).
+  size_t SizeInBytes() const { return words_.size() * sizeof(uint64_t); }
+
+  /// Grows or shrinks to `num_bits`; new bits are zero.
+  void Resize(size_t num_bits);
+
+  /// Sets every bit to zero without changing size.
+  void Clear();
+
+  bool GetBit(size_t i) const {
+    CCF_DCHECK(i < num_bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  void SetBit(size_t i, bool value) {
+    CCF_DCHECK(i < num_bits_);
+    uint64_t mask = uint64_t{1} << (i & 63);
+    if (value) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+
+  /// Reads `width` (1..64) bits starting at bit offset `pos`.
+  uint64_t GetField(size_t pos, int width) const;
+
+  /// Writes the low `width` (1..64) bits of `value` at bit offset `pos`.
+  void SetField(size_t pos, int width, uint64_t value);
+
+  /// Number of set bits in the whole vector.
+  size_t PopCount() const;
+
+  bool operator==(const BitVector& other) const {
+    return num_bits_ == other.num_bits_ && words_ == other.words_;
+  }
+
+  /// Serializes size + words.
+  void Save(ByteWriter* writer) const;
+  /// Restores a vector written by Save.
+  static Result<BitVector> Load(ByteReader* reader);
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace ccf
+
+#endif  // CCF_UTIL_BIT_VECTOR_H_

@@ -1,0 +1,38 @@
+#include "util/file_io.h"
+
+#include <cstdio>
+
+namespace ccf {
+
+Status WriteFileBytes(const std::string& path, std::string_view data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Invalid("cannot open for write: " + path);
+  }
+  size_t written = data.empty() ? 0 : std::fwrite(data.data(), 1,
+                                                  data.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != data.size() || close_rc != 0) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::KeyNotFound("cannot open for read: " + path);
+  }
+  std::string out;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  bool err = std::ferror(f) != 0;
+  std::fclose(f);
+  if (err) return Status::Internal("read error on " + path);
+  return out;
+}
+
+}  // namespace ccf

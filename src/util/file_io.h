@@ -1,0 +1,22 @@
+// Whole-file byte-buffer persistence for serialized sketches: the paper's
+// workflow precomputes filters and stores them (§2); these helpers move
+// Serialize()/Deserialize() buffers to and from disk.
+#ifndef CCF_UTIL_FILE_IO_H_
+#define CCF_UTIL_FILE_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace ccf {
+
+/// Writes `data` to `path`, replacing any existing file.
+Status WriteFileBytes(const std::string& path, std::string_view data);
+
+/// Reads the whole file at `path`.
+Result<std::string> ReadFileBytes(const std::string& path);
+
+}  // namespace ccf
+
+#endif  // CCF_UTIL_FILE_IO_H_

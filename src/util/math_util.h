@@ -1,0 +1,35 @@
+// Small numeric helpers shared across modules.
+#ifndef CCF_UTIL_MATH_UTIL_H_
+#define CCF_UTIL_MATH_UTIL_H_
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace ccf {
+
+/// Smallest power of two >= n (n >= 1).
+inline uint64_t NextPowerOfTwo(uint64_t n) {
+  return n <= 1 ? 1 : std::bit_ceil(n);
+}
+
+/// ceil(log2(n)) for n >= 1.
+inline int CeilLog2(uint64_t n) {
+  return n <= 1 ? 0 : 64 - std::countl_zero(n - 1);
+}
+
+/// ceil(a / b) for positive integers.
+inline uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+/// True if n is a power of two (n >= 1).
+inline bool IsPowerOfTwo(uint64_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+/// Bits needed for a fingerprint achieving false-match probability p per
+/// comparison: ceil(log2(1/p)).
+inline int FingerprintBitsForFpp(double p) {
+  return static_cast<int>(std::ceil(std::log2(1.0 / p)));
+}
+
+}  // namespace ccf
+
+#endif  // CCF_UTIL_MATH_UTIL_H_

@@ -1,0 +1,50 @@
+// Deterministic pseudo-random number generation for experiments and tests.
+// splitmix64 for seeding, xoshiro256** for streams — fast, reproducible,
+// and independent of libstdc++'s distribution implementations so benches
+// emit identical workloads across platforms.
+#ifndef CCF_UTIL_RANDOM_H_
+#define CCF_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ccf {
+
+/// splitmix64 step; good seed expander and standalone integer mixer.
+uint64_t SplitMix64(uint64_t& state);
+
+/// \brief xoshiro256** PRNG (Blackman & Vigna), seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0xccf0ccf0ccf0ccf0ull);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, n) without modulo bias (Lemire's method).
+  uint64_t NextBelow(uint64_t n);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli(p).
+  bool NextBool(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBelow(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace ccf
+
+#endif  // CCF_UTIL_RANDOM_H_

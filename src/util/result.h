@@ -1,0 +1,71 @@
+// Result<T>: value-or-Status, the return type for fallible constructors
+// (e.g. CuckooFilter::Make). Mirrors arrow::Result in miniature.
+#ifndef CCF_UTIL_RESULT_H_
+#define CCF_UTIL_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace ccf {
+
+/// \brief Either a value of type T or a non-OK Status.
+///
+/// Accessing the value of an errored Result is a checked programming error.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, enables `return T{...};`).
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Constructs from a non-OK status (implicit, enables
+  /// `return Status::Invalid(...);`).
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    CCF_CHECK(!std::get<Status>(rep_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    return ok() ? kOk : std::get<Status>(rep_);
+  }
+
+  /// Returns the contained value; aborts if this holds an error.
+  T& ValueOrDie() & {
+    CCF_CHECK(ok());
+    return std::get<T>(rep_);
+  }
+  const T& ValueOrDie() const& {
+    CCF_CHECK(ok());
+    return std::get<T>(rep_);
+  }
+  T&& ValueOrDie() && {
+    CCF_CHECK(ok());
+    return std::move(std::get<T>(rep_));
+  }
+
+  T& operator*() & { return ValueOrDie(); }
+  const T& operator*() const& { return ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+}  // namespace ccf
+
+/// Unwraps a Result into `lhs`, propagating errors (Arrow's ARROW_ASSIGN_OR_RAISE).
+#define CCF_RESULT_CONCAT_IMPL(a, b) a##b
+#define CCF_RESULT_CONCAT(a, b) CCF_RESULT_CONCAT_IMPL(a, b)
+#define CCF_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto&& tmp = (rexpr);                            \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).ValueOrDie()
+#define CCF_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  CCF_ASSIGN_OR_RETURN_IMPL(CCF_RESULT_CONCAT(_ccf_result_tmp_, __LINE__), \
+                            lhs, rexpr)
+
+#endif  // CCF_UTIL_RESULT_H_

@@ -1,0 +1,103 @@
+// Lightweight Status / error model in the Arrow/RocksDB tradition: fallible
+// operations on cold paths return Status (or Result<T>, see result.h); hot
+// paths (insert/lookup) return bool or small enums and never throw.
+#ifndef CCF_UTIL_STATUS_H_
+#define CCF_UTIL_STATUS_H_
+
+#include <cstdlib>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace ccf {
+
+/// Error categories used across the library.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kCapacityError = 2,   // structure is full / insertion failed permanently
+  kKeyNotFound = 3,
+  kOutOfRange = 4,
+  kUnimplemented = 5,
+  kInternal = 6,
+};
+
+/// Returns a short human-readable name for a StatusCode ("OK", "Invalid", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation.
+///
+/// Cheap to construct and move in the OK case (no allocation). Carries a
+/// message only on error.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status CapacityError(std::string msg) {
+    return Status(StatusCode::kCapacityError, std::move(msg));
+  }
+  static Status KeyNotFound(std::string msg) {
+    return Status(StatusCode::kKeyNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process with the status message if not OK. For use in
+  /// examples and benches where errors are programming bugs.
+  void Abort() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string msg_;
+};
+
+}  // namespace ccf
+
+/// Propagates a non-OK Status to the caller (Arrow idiom).
+#define CCF_RETURN_NOT_OK(expr)                  \
+  do {                                           \
+    ::ccf::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+/// Internal invariant check: aborts with location info when violated.
+/// Enabled in all build types; the checks guard cold paths only.
+#define CCF_CHECK(cond)                                                     \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "CCF_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+#ifndef NDEBUG
+#define CCF_DCHECK(cond) CCF_CHECK(cond)
+#else
+#define CCF_DCHECK(cond) \
+  do {                   \
+  } while (false)
+#endif
+
+#endif  // CCF_UTIL_STATUS_H_

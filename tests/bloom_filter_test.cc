@@ -1,0 +1,104 @@
+#include "bloom/bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ccf {
+namespace {
+
+TEST(BloomFilterTest, RejectsInvalidGeometry) {
+  EXPECT_FALSE(BloomFilter::Make(0, 2).ok());
+  EXPECT_FALSE(BloomFilter::Make(64, 0).ok());
+  EXPECT_FALSE(BloomFilter::Make(64, 65).ok());
+}
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  auto filter = BloomFilter::Make(4096, 3, /*salt=*/1).ValueOrDie();
+  for (uint64_t i = 0; i < 300; ++i) filter.Insert(i * 7919);
+  for (uint64_t i = 0; i < 300; ++i) {
+    EXPECT_TRUE(filter.Contains(i * 7919)) << i;
+  }
+}
+
+TEST(BloomFilterTest, EmptyFilterContainsNothing) {
+  auto filter = BloomFilter::Make(1024, 2).ValueOrDie();
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_FALSE(filter.Contains(i));
+  }
+}
+
+TEST(BloomFilterTest, FprNearTheoreticalAtOptimalLoad) {
+  // m/n = 10 bits per item, k = 7 → theoretical FPR ≈ 0.8%.
+  constexpr uint64_t kItems = 2000;
+  auto filter = BloomFilter::Make(10 * kItems, 7, /*salt=*/3).ValueOrDie();
+  for (uint64_t i = 0; i < kItems; ++i) filter.Insert(i);
+  int fp = 0;
+  constexpr int kProbes = 20000;
+  for (int i = 0; i < kProbes; ++i) {
+    if (filter.Contains(1'000'000 + static_cast<uint64_t>(i))) ++fp;
+  }
+  double fpr = static_cast<double>(fp) / kProbes;
+  EXPECT_LT(fpr, 0.03);
+  EXPECT_NEAR(fpr, filter.EstimatedFpr(), 0.02);
+}
+
+TEST(BloomFilterTest, OptimalBitsFormula) {
+  // m = -n ln(p) / ln(2)^2 ; for n=1000, p=1% → ≈ 9586 bits.
+  EXPECT_NEAR(static_cast<double>(BloomFilter::OptimalBits(1000, 0.01)),
+              9585.0, 5.0);
+  EXPECT_GE(BloomFilter::OptimalBits(0, 0.01), 64u);
+}
+
+TEST(BloomFilterTest, OptimalNumHashesFormula) {
+  // k = m/n ln2; for 10 bits/item → ≈ 7.
+  EXPECT_EQ(BloomFilter::OptimalNumHashes(10000, 1000), 7);
+  EXPECT_GE(BloomFilter::OptimalNumHashes(10, 1000), 1);
+  EXPECT_LE(BloomFilter::OptimalNumHashes(1000000, 1), 16);
+}
+
+TEST(BloomFilterTest, UnionContainsBothSides) {
+  auto a = BloomFilter::Make(2048, 3, 7).ValueOrDie();
+  auto b = BloomFilter::Make(2048, 3, 7).ValueOrDie();
+  for (uint64_t i = 0; i < 50; ++i) a.Insert(i);
+  for (uint64_t i = 100; i < 150; ++i) b.Insert(i);
+  ASSERT_TRUE(a.UnionWith(b).ok());
+  for (uint64_t i = 0; i < 50; ++i) EXPECT_TRUE(a.Contains(i));
+  for (uint64_t i = 100; i < 150; ++i) EXPECT_TRUE(a.Contains(i));
+}
+
+TEST(BloomFilterTest, UnionRejectsMismatchedGeometry) {
+  auto a = BloomFilter::Make(2048, 3, 7).ValueOrDie();
+  auto b = BloomFilter::Make(1024, 3, 7).ValueOrDie();
+  auto c = BloomFilter::Make(2048, 4, 7).ValueOrDie();
+  auto d = BloomFilter::Make(2048, 3, 8).ValueOrDie();
+  EXPECT_FALSE(a.UnionWith(b).ok());
+  EXPECT_FALSE(a.UnionWith(c).ok());
+  EXPECT_FALSE(a.UnionWith(d).ok());  // different salt probes differently
+}
+
+TEST(BloomFilterTest, ClearEmptiesFilter) {
+  auto filter = BloomFilter::Make(512, 2).ValueOrDie();
+  filter.Insert(5);
+  ASSERT_TRUE(filter.Contains(5));
+  filter.Clear();
+  EXPECT_FALSE(filter.Contains(5));
+  EXPECT_EQ(filter.num_set_bits(), 0u);
+}
+
+TEST(BloomFilterTest, FillMonotonicallyIncreasesEstimatedFpr) {
+  auto filter = BloomFilter::Make(1024, 2, 5).ValueOrDie();
+  double prev = filter.EstimatedFpr();
+  for (int round = 0; round < 5; ++round) {
+    for (uint64_t i = 0; i < 100; ++i) {
+      filter.Insert(static_cast<uint64_t>(round) * 100 + i);
+    }
+    double cur = filter.EstimatedFpr();
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+  EXPECT_GT(prev, 0.1);  // heavily overloaded small filter
+}
+
+}  // namespace
+}  // namespace ccf

@@ -1,0 +1,167 @@
+#include "cuckoo/bucket_table.h"
+
+#include <gtest/gtest.h>
+
+namespace ccf {
+namespace {
+
+TEST(BucketTableTest, RejectsInvalidGeometry) {
+  EXPECT_FALSE(BucketTable::Make(0, 4, 8, 0).ok());
+  EXPECT_FALSE(BucketTable::Make(16, 0, 8, 0).ok());
+  EXPECT_FALSE(BucketTable::Make(16, 65, 8, 0).ok());
+  EXPECT_FALSE(BucketTable::Make(16, 4, 0, 0).ok());
+  EXPECT_FALSE(BucketTable::Make(16, 4, 33, 0).ok());
+  EXPECT_FALSE(BucketTable::Make(16, 4, 8, -1).ok());
+}
+
+TEST(BucketTableTest, RoundsBucketsToPowerOfTwo) {
+  auto t = BucketTable::Make(100, 4, 8, 0).ValueOrDie();
+  EXPECT_EQ(t.num_buckets(), 128u);
+  EXPECT_EQ(t.bucket_mask(), 127u);
+  EXPECT_EQ(t.num_slots(), 512u);
+}
+
+TEST(BucketTableTest, PutAndReadFingerprint) {
+  auto t = BucketTable::Make(16, 4, 12, 0).ValueOrDie();
+  EXPECT_FALSE(t.occupied(3, 2));
+  t.Put(3, 2, 0xABC);
+  EXPECT_TRUE(t.occupied(3, 2));
+  EXPECT_EQ(t.fingerprint(3, 2), 0xABCu);
+  EXPECT_EQ(t.num_occupied(), 1u);
+}
+
+TEST(BucketTableTest, FingerprintZeroIsValid) {
+  auto t = BucketTable::Make(16, 4, 8, 0).ValueOrDie();
+  t.Put(0, 0, 0);
+  EXPECT_TRUE(t.occupied(0, 0));
+  EXPECT_EQ(t.fingerprint(0, 0), 0u);
+  EXPECT_EQ(t.CountFingerprint(0, 0), 1);
+}
+
+TEST(BucketTableTest, EraseClearsSlotAndPayload) {
+  auto t = BucketTable::Make(16, 4, 8, 16).ValueOrDie();
+  t.Put(5, 1, 0x7F);
+  t.SetPayloadField(5, 1, 0, 16, 0xFFFF);
+  t.Erase(5, 1);
+  EXPECT_FALSE(t.occupied(5, 1));
+  EXPECT_EQ(t.num_occupied(), 0u);
+  // Payload bits must be zeroed so later packings see a clean slot.
+  t.Put(5, 1, 0x01);
+  EXPECT_EQ(t.GetPayloadField(5, 1, 0, 16), 0u);
+}
+
+TEST(BucketTableTest, FirstFreeSlotScansInOrder) {
+  auto t = BucketTable::Make(16, 3, 8, 0).ValueOrDie();
+  EXPECT_EQ(t.FirstFreeSlot(7), 0);
+  t.Put(7, 0, 1);
+  EXPECT_EQ(t.FirstFreeSlot(7), 1);
+  t.Put(7, 1, 2);
+  t.Put(7, 2, 3);
+  EXPECT_EQ(t.FirstFreeSlot(7), -1);
+  t.Erase(7, 1);
+  EXPECT_EQ(t.FirstFreeSlot(7), 1);
+}
+
+TEST(BucketTableTest, CountFingerprintCountsOnlyMatches) {
+  auto t = BucketTable::Make(16, 4, 8, 0).ValueOrDie();
+  t.Put(2, 0, 9);
+  t.Put(2, 1, 9);
+  t.Put(2, 2, 5);
+  EXPECT_EQ(t.CountFingerprint(2, 9), 2);
+  EXPECT_EQ(t.CountFingerprint(2, 5), 1);
+  EXPECT_EQ(t.CountFingerprint(2, 7), 0);
+  EXPECT_EQ(t.CountOccupied(2), 3);
+}
+
+TEST(BucketTableTest, PayloadFieldsAreSlotLocal) {
+  auto t = BucketTable::Make(8, 2, 8, 24).ValueOrDie();
+  t.Put(1, 0, 1);
+  t.Put(1, 1, 2);
+  t.SetPayloadField(1, 0, 0, 24, 0xAAAAAA);
+  t.SetPayloadField(1, 1, 0, 24, 0x555555);
+  EXPECT_EQ(t.GetPayloadField(1, 0, 0, 24), 0xAAAAAAu);
+  EXPECT_EQ(t.GetPayloadField(1, 1, 0, 24), 0x555555u);
+  EXPECT_EQ(t.fingerprint(1, 0), 1u);  // payload writes don't clobber fp
+}
+
+TEST(BucketTableTest, SubFieldAccessWithinPayload) {
+  auto t = BucketTable::Make(8, 2, 8, 17).ValueOrDie();
+  t.Put(0, 0, 3);
+  t.SetPayloadField(0, 0, 0, 1, 1);    // mode bit
+  t.SetPayloadField(0, 0, 1, 8, 0x5A); // first attr
+  t.SetPayloadField(0, 0, 9, 8, 0xC3); // second attr
+  EXPECT_EQ(t.GetPayloadField(0, 0, 0, 1), 1u);
+  EXPECT_EQ(t.GetPayloadField(0, 0, 1, 8), 0x5Au);
+  EXPECT_EQ(t.GetPayloadField(0, 0, 9, 8), 0xC3u);
+}
+
+TEST(BucketTableTest, ClearPayloadLeavesFingerprint) {
+  auto t = BucketTable::Make(8, 2, 8, 16).ValueOrDie();
+  t.Put(0, 0, 0x42);
+  t.SetPayloadField(0, 0, 0, 16, 0xFFFF);
+  t.ClearPayload(0, 0);
+  EXPECT_EQ(t.GetPayloadField(0, 0, 0, 16), 0u);
+  EXPECT_EQ(t.fingerprint(0, 0), 0x42u);
+  EXPECT_TRUE(t.occupied(0, 0));
+}
+
+TEST(BucketTableTest, CopySlotMovesEverything) {
+  auto t = BucketTable::Make(8, 2, 8, 16).ValueOrDie();
+  t.Put(0, 0, 0x11);
+  t.SetPayloadField(0, 0, 0, 16, 0xBEEF);
+  t.CopySlot(0, 0, 3, 1);
+  EXPECT_TRUE(t.occupied(3, 1));
+  EXPECT_EQ(t.fingerprint(3, 1), 0x11u);
+  EXPECT_EQ(t.GetPayloadField(3, 1, 0, 16), 0xBEEFu);
+  EXPECT_EQ(t.num_occupied(), 2u);  // copy, not move
+}
+
+TEST(BucketTableTest, SwapSlotsExchangesContents) {
+  auto t = BucketTable::Make(8, 2, 8, 8).ValueOrDie();
+  t.Put(0, 0, 0xAA);
+  t.SetPayloadField(0, 0, 0, 8, 1);
+  t.Put(4, 1, 0xBB);
+  t.SetPayloadField(4, 1, 0, 8, 2);
+  t.SwapSlots(0, 0, 4, 1);
+  EXPECT_EQ(t.fingerprint(0, 0), 0xBBu);
+  EXPECT_EQ(t.GetPayloadField(0, 0, 0, 8), 2u);
+  EXPECT_EQ(t.fingerprint(4, 1), 0xAAu);
+  EXPECT_EQ(t.GetPayloadField(4, 1, 0, 8), 1u);
+}
+
+TEST(BucketTableTest, SwapWithEmptySlotTransfersOccupancy) {
+  auto t = BucketTable::Make(8, 2, 8, 8).ValueOrDie();
+  t.Put(0, 0, 0x77);
+  t.SwapSlots(0, 0, 5, 0);
+  EXPECT_FALSE(t.occupied(0, 0));
+  EXPECT_TRUE(t.occupied(5, 0));
+  EXPECT_EQ(t.fingerprint(5, 0), 0x77u);
+  EXPECT_EQ(t.num_occupied(), 1u);
+}
+
+TEST(BucketTableTest, LoadFactorTracksOccupancy) {
+  auto t = BucketTable::Make(4, 4, 8, 0).ValueOrDie();
+  EXPECT_DOUBLE_EQ(t.LoadFactor(), 0.0);
+  for (int s = 0; s < 4; ++s) t.Put(0, s, 1);
+  EXPECT_DOUBLE_EQ(t.LoadFactor(), 4.0 / 16.0);
+}
+
+TEST(BucketTableTest, SizeInBitsCountsSlotsAndOccupancy) {
+  auto t = BucketTable::Make(16, 4, 12, 20).ValueOrDie();
+  // 16 buckets × 4 slots × 32 bits + 64 occupancy bits.
+  EXPECT_EQ(t.SizeInBits(), 16u * 4 * 32 + 64);
+}
+
+TEST(BucketTableTest, WidePayloadAcrossWords) {
+  // Payload wider than 64 bits (Bloom windows can be) must round-trip via
+  // chunked field access.
+  auto t = BucketTable::Make(4, 2, 8, 100).ValueOrDie();
+  t.Put(0, 0, 1);
+  t.SetPayloadField(0, 0, 0, 64, 0x0123456789ABCDEFull);
+  t.SetPayloadField(0, 0, 64, 36, 0xFEDCBA987ull);
+  EXPECT_EQ(t.GetPayloadField(0, 0, 0, 64), 0x0123456789ABCDEFull);
+  EXPECT_EQ(t.GetPayloadField(0, 0, 64, 36), 0xFEDCBA987ull);
+}
+
+}  // namespace
+}  // namespace ccf

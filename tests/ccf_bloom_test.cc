@@ -1,0 +1,153 @@
+#include "ccf/bloom_ccf.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/random.h"
+
+namespace ccf {
+namespace {
+
+CcfConfig BaseConfig() {
+  CcfConfig c;
+  c.num_buckets = 1024;
+  c.slots_per_bucket = 4;
+  c.key_fp_bits = 12;
+  c.num_attrs = 2;
+  c.bloom_bits = 24;
+  c.bloom_hashes = 2;
+  c.salt = 17;
+  return c;
+}
+
+std::unique_ptr<ConditionalCuckooFilter> MakeBloom(const CcfConfig& c) {
+  return ConditionalCuckooFilter::Make(CcfVariant::kBloom, c).ValueOrDie();
+}
+
+TEST(BloomCcfTest, BasicInsertQuery) {
+  auto ccf = MakeBloom(BaseConfig());
+  ASSERT_TRUE(ccf->Insert(10, std::vector<uint64_t>{4, 1990}).ok());
+  EXPECT_TRUE(ccf->ContainsKey(10));
+  EXPECT_TRUE(ccf->Contains(10, Predicate::Equals(0, 4)));
+  EXPECT_TRUE(ccf->Contains(10, Predicate::Equals(1, 1990)));
+  EXPECT_TRUE(ccf->Contains(10, Predicate::Equals(0, 4).AndEquals(1, 1990)));
+}
+
+TEST(BloomCcfTest, RejectsInvalidBloomBits) {
+  CcfConfig c = BaseConfig();
+  c.bloom_bits = 0;
+  EXPECT_FALSE(ConditionalCuckooFilter::Make(CcfVariant::kBloom, c).ok());
+}
+
+TEST(BloomCcfTest, OneEntryPerKeyRegardlessOfDuplicates) {
+  // §5.2: occupancy equals a plain cuckoo filter's — duplicates fold into
+  // the entry's Bloom sketch.
+  auto ccf = MakeBloom(BaseConfig());
+  for (uint64_t v = 0; v < 50; ++v) {
+    ASSERT_TRUE(ccf->Insert(10, std::vector<uint64_t>{v, v + 1}).ok());
+  }
+  EXPECT_EQ(ccf->num_entries(), 1u);
+  EXPECT_EQ(ccf->num_rows(), 50u);
+  // Every inserted value still matches (no false negatives).
+  for (uint64_t v = 0; v < 50; ++v) {
+    EXPECT_TRUE(ccf->Contains(10, Predicate::Equals(0, v)));
+  }
+}
+
+TEST(BloomCcfTest, NeverFailsOnUnboundedDuplicates) {
+  // Bloom sketches absorb any number of duplicates without insertion
+  // failure — the robustness the paper trades precision for.
+  auto ccf = MakeBloom(BaseConfig());
+  for (uint64_t v = 0; v < 2000; ++v) {
+    ASSERT_TRUE(ccf->Insert(7, std::vector<uint64_t>{v, v}).ok());
+  }
+  EXPECT_EQ(ccf->num_entries(), 1u);
+}
+
+TEST(BloomCcfTest, CoOccurrenceFalsePositiveIsGuaranteed) {
+  // §5.2's structural weakness: rows (a1, a2) and (a1', a2') make the
+  // predicate a0=a1 ∧ a1=a2' a GUARANTEED false positive because the Bloom
+  // sketch loses row boundaries.
+  auto ccf = MakeBloom(BaseConfig());
+  ASSERT_TRUE(ccf->Insert(5, std::vector<uint64_t>{100, 200}).ok());
+  ASSERT_TRUE(ccf->Insert(5, std::vector<uint64_t>{101, 201}).ok());
+  EXPECT_TRUE(ccf->Contains(5, Predicate::Equals(0, 100).AndEquals(1, 201)));
+  EXPECT_TRUE(ccf->Contains(5, Predicate::Equals(0, 101).AndEquals(1, 200)));
+}
+
+TEST(BloomCcfTest, NonMatchingPredicateUsuallyRejected) {
+  auto ccf = MakeBloom(BaseConfig());
+  Rng rng(2);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    ASSERT_TRUE(
+        ccf->Insert(k, std::vector<uint64_t>{rng.NextBelow(50),
+                                             rng.NextBelow(50)})
+            .ok());
+  }
+  int fp = 0;
+  for (uint64_t k = 0; k < 1000; ++k) {
+    if (ccf->Contains(k, Predicate::Equals(0, 777777))) ++fp;
+  }
+  // 24-bit sketch with ~2 rows per key keeps the FPR moderate.
+  EXPECT_LT(fp, 300);
+}
+
+TEST(BloomCcfTest, AbsentKeyFprMatchesCuckooFilter) {
+  auto ccf = MakeBloom(BaseConfig());
+  for (uint64_t k = 0; k < 3000; ++k) {
+    ASSERT_TRUE(ccf->Insert(k, std::vector<uint64_t>{1, 2}).ok());
+  }
+  int fp = 0;
+  constexpr int kProbes = 50000;
+  for (int i = 0; i < kProbes; ++i) {
+    if (ccf->ContainsKey(1'000'000 + static_cast<uint64_t>(i))) ++fp;
+  }
+  EXPECT_LT(static_cast<double>(fp) / kProbes, 0.01);  // 12-bit fingerprints
+}
+
+TEST(BloomCcfTest, SketchHashesFixedByDefault) {
+  CcfConfig c = BaseConfig();
+  auto base = ConditionalCuckooFilter::Make(CcfVariant::kBloom, c)
+                  .ValueOrDie();
+  EXPECT_EQ(static_cast<BloomCcf*>(base.get())->sketch_hashes(), 2);
+}
+
+TEST(BloomCcfTest, OptimizedHashCountUsesEqTwo) {
+  CcfConfig c = BaseConfig();
+  c.optimize_bloom_hashes = true;
+  c.bloom_bits = 24;
+  c.num_attrs = 2;
+  auto base = ConditionalCuckooFilter::Make(CcfVariant::kBloom, c)
+                  .ValueOrDie();
+  // k ≈ (24 / (2·2)) ln2 ≈ 4.2 → 4.
+  EXPECT_EQ(static_cast<BloomCcf*>(base.get())->sketch_hashes(), 4);
+}
+
+TEST(BloomCcfTest, InListPredicateMatchesAnyValue) {
+  auto ccf = MakeBloom(BaseConfig());
+  ASSERT_TRUE(ccf->Insert(1, std::vector<uint64_t>{7, 0}).ok());
+  EXPECT_TRUE(ccf->Contains(1, Predicate::In(0, {6, 7, 8})));
+}
+
+TEST(BloomCcfTest, PayloadTravelsWithKicks) {
+  // Fill the filter enough to force displacement chains, then verify every
+  // row's attributes still match — i.e. Bloom windows moved with their
+  // fingerprints.
+  CcfConfig c = BaseConfig();
+  c.num_buckets = 256;
+  auto ccf = MakeBloom(c);
+  Rng rng(9);
+  std::vector<std::pair<uint64_t, uint64_t>> rows;
+  for (uint64_t k = 0; k < 900; ++k) {  // ~88% load
+    uint64_t v = rng.NextBelow(10000);
+    ASSERT_TRUE(ccf->Insert(k, std::vector<uint64_t>{v, v}).ok()) << k;
+    rows.emplace_back(k, v);
+  }
+  for (const auto& [k, v] : rows) {
+    ASSERT_TRUE(ccf->Contains(k, Predicate::Equals(0, v))) << k;
+  }
+}
+
+}  // namespace
+}  // namespace ccf

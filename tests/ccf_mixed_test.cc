@@ -1,0 +1,192 @@
+#include "ccf/mixed_ccf.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/random.h"
+
+namespace ccf {
+namespace {
+
+CcfConfig BaseConfig() {
+  CcfConfig c;
+  c.num_buckets = 1024;
+  c.slots_per_bucket = 6;
+  c.key_fp_bits = 12;
+  c.attr_fp_bits = 8;
+  c.num_attrs = 2;
+  c.max_dupes = 3;
+  c.bloom_hashes = 2;
+  c.salt = 23;
+  return c;
+}
+
+std::unique_ptr<ConditionalCuckooFilter> MakeMixed(const CcfConfig& c) {
+  return ConditionalCuckooFilter::Make(CcfVariant::kMixed, c).ValueOrDie();
+}
+
+MixedCcf* AsMixed(std::unique_ptr<ConditionalCuckooFilter>& p) {
+  return static_cast<MixedCcf*>(p.get());
+}
+
+TEST(MixedCcfTest, BehavesLikeVectorCcfBelowThreshold) {
+  auto ccf = MakeMixed(BaseConfig());
+  for (uint64_t v = 0; v < 3; ++v) {  // exactly d rows: no conversion yet
+    ASSERT_TRUE(ccf->Insert(1, std::vector<uint64_t>{v, v + 10}).ok());
+  }
+  EXPECT_EQ(AsMixed(ccf)->num_conversions(), 0u);
+  EXPECT_EQ(ccf->num_entries(), 3u);
+  for (uint64_t v = 0; v < 3; ++v) {
+    EXPECT_TRUE(ccf->Contains(1, Predicate::Equals(0, v)));
+  }
+  // Co-occurrence still exact before conversion.
+  EXPECT_FALSE(ccf->Contains(1, Predicate::Equals(0, 0).AndEquals(1, 11)));
+}
+
+TEST(MixedCcfTest, ConvertsOnFourthDistinctDuplicate) {
+  auto ccf = MakeMixed(BaseConfig());
+  for (uint64_t v = 0; v < 4; ++v) {  // d=3 + 1 triggers Algorithm 3
+    ASSERT_TRUE(ccf->Insert(1, std::vector<uint64_t>{v, v}).ok());
+  }
+  EXPECT_EQ(AsMixed(ccf)->num_conversions(), 1u);
+  // Entry count stays at d: the 4th row folded into the packed Bloom.
+  EXPECT_EQ(ccf->num_entries(), 3u);
+  // All four rows (including pre-conversion ones) must still match.
+  for (uint64_t v = 0; v < 4; ++v) {
+    EXPECT_TRUE(ccf->Contains(1, Predicate::Equals(0, v))) << v;
+  }
+}
+
+TEST(MixedCcfTest, NeverFailsOnUnboundedDuplicates) {
+  // §6.1: "This conversion operation has the advantage that it can never
+  // fail."
+  auto ccf = MakeMixed(BaseConfig());
+  for (uint64_t v = 0; v < 3000; ++v) {
+    ASSERT_TRUE(ccf->Insert(7, std::vector<uint64_t>{v, v}).ok()) << v;
+  }
+  EXPECT_EQ(ccf->num_entries(), 3u);  // d slots pinned, everything else folded
+  EXPECT_EQ(AsMixed(ccf)->num_conversions(), 1u);
+}
+
+TEST(MixedCcfTest, NoFalseNegativesAfterConversion) {
+  auto ccf = MakeMixed(BaseConfig());
+  std::vector<std::pair<uint64_t, uint64_t>> rows;
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    uint64_t a = rng.NextBelow(100);
+    uint64_t b = rng.NextBelow(100);
+    ASSERT_TRUE(ccf->Insert(42, std::vector<uint64_t>{a, b}).ok());
+    rows.emplace_back(a, b);
+  }
+  for (const auto& [a, b] : rows) {
+    ASSERT_TRUE(ccf->Contains(42, Predicate::Equals(0, a).AndEquals(1, b)));
+  }
+}
+
+TEST(MixedCcfTest, ConversionLosesCoOccurrence) {
+  // After conversion the Bloom sketch merges rows, so cross-row conjunctions
+  // become false positives (as with Bloom CCF).
+  auto ccf = MakeMixed(BaseConfig());
+  ASSERT_TRUE(ccf->Insert(5, std::vector<uint64_t>{10, 20}).ok());
+  ASSERT_TRUE(ccf->Insert(5, std::vector<uint64_t>{11, 21}).ok());
+  ASSERT_TRUE(ccf->Insert(5, std::vector<uint64_t>{12, 22}).ok());
+  ASSERT_TRUE(ccf->Insert(5, std::vector<uint64_t>{13, 23}).ok());  // converts
+  EXPECT_TRUE(ccf->Contains(5, Predicate::Equals(0, 10).AndEquals(1, 23)));
+}
+
+TEST(MixedCcfTest, UnrelatedKeysUnaffectedByConversion) {
+  auto ccf = MakeMixed(BaseConfig());
+  ASSERT_TRUE(ccf->Insert(1000, std::vector<uint64_t>{1, 2}).ok());
+  for (uint64_t v = 0; v < 10; ++v) {
+    ASSERT_TRUE(ccf->Insert(7, std::vector<uint64_t>{v, v}).ok());
+  }
+  EXPECT_TRUE(ccf->Contains(1000, Predicate::Equals(0, 1).AndEquals(1, 2)));
+  EXPECT_FALSE(ccf->Contains(1000, Predicate::Equals(0, 3)));
+}
+
+TEST(MixedCcfTest, InsertsKeepWorkingAroundConvertedFragments) {
+  // Fill a filter with converted keys and singles; inserts must keep
+  // working by displacing fragments within their pairs when needed.
+  CcfConfig c = BaseConfig();
+  c.num_buckets = 256;
+  auto ccf = MakeMixed(c);
+  Rng rng(8);
+  uint64_t inserted = 0;
+  for (uint64_t k = 0; k < 200; ++k) {
+    // Every 4th key gets enough duplicates to convert.
+    int copies = (k % 4 == 0) ? 6 : 1;
+    for (int cpy = 0; cpy < copies; ++cpy) {
+      if (ccf->Insert(k, std::vector<uint64_t>{rng.NextBelow(500),
+                                               rng.NextBelow(500)})
+              .ok()) {
+        ++inserted;
+      }
+    }
+  }
+  EXPECT_GT(AsMixed(ccf)->num_conversions(), 0u);
+  EXPECT_GT(inserted, 300u);
+  EXPECT_GT(ccf->LoadFactor(), 0.15);
+}
+
+TEST(MixedCcfTest, FalsePositiveRateReasonableAfterManyConversions) {
+  auto ccf = MakeMixed(BaseConfig());
+  Rng rng(6);
+  for (uint64_t k = 0; k < 300; ++k) {
+    for (int copy = 0; copy < 5; ++copy) {  // every key converts
+      ASSERT_TRUE(ccf->Insert(k, std::vector<uint64_t>{rng.NextBelow(64),
+                                                       rng.NextBelow(64)})
+                      .ok());
+    }
+  }
+  int fp = 0;
+  for (uint64_t k = 0; k < 300; ++k) {
+    // Values outside the inserted domain; 2 attributes probed.
+    if (ccf->Contains(k, Predicate::Equals(0, 500000).AndEquals(1, 600000))) {
+      ++fp;
+    }
+  }
+  EXPECT_LT(fp, 150);  // packed Bloom over 2·8·3=48 bits holds up
+}
+
+TEST(MixedCcfTest, ConversionHashesOptimizedVariant) {
+  CcfConfig c = BaseConfig();
+  c.optimize_bloom_hashes = true;
+  auto base = ConditionalCuckooFilter::Make(CcfVariant::kMixed, c)
+                  .ValueOrDie();
+  // eq (2): window = 2 attrs × 8 bits = 16; |B| = d·16 = 48 bits;
+  // n = (d+1)·#α = 8 items; k ≈ (48/8)·ln2 ≈ 4.16 → 4.
+  EXPECT_EQ(static_cast<MixedCcf*>(base.get())->conversion_hashes(), 4);
+}
+
+TEST(MixedCcfTest, DedupeBeforeConversionCountsDistinctRows) {
+  auto ccf = MakeMixed(BaseConfig());
+  // Re-inserting the same row d+5 times must NOT trigger conversion.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ccf->Insert(1, std::vector<uint64_t>{5, 5}).ok());
+  }
+  EXPECT_EQ(AsMixed(ccf)->num_conversions(), 0u);
+  EXPECT_EQ(ccf->num_entries(), 1u);
+}
+
+TEST(MixedCcfTest, MixedWorkloadNoFalseNegatives) {
+  CcfConfig c = BaseConfig();
+  c.num_buckets = 2048;
+  auto ccf = MakeMixed(c);
+  Rng rng(11);
+  std::vector<std::tuple<uint64_t, uint64_t, uint64_t>> rows;
+  for (int i = 0; i < 8000; ++i) {
+    uint64_t key = rng.NextBelow(600);
+    uint64_t a = rng.NextBelow(2000);
+    uint64_t b = rng.NextBelow(2000);
+    ASSERT_TRUE(ccf->Insert(key, std::vector<uint64_t>{a, b}).ok());
+    rows.emplace_back(key, a, b);
+  }
+  for (const auto& [key, a, b] : rows) {
+    ASSERT_TRUE(ccf->Contains(key, Predicate::Equals(0, a).AndEquals(1, b)))
+        << key << "," << a << "," << b;
+  }
+}
+
+}  // namespace
+}  // namespace ccf

@@ -1,0 +1,139 @@
+#include "ccf/plain_ccf.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ccf {
+namespace {
+
+CcfConfig BaseConfig() {
+  CcfConfig c;
+  c.num_buckets = 512;
+  c.slots_per_bucket = 4;
+  c.key_fp_bits = 12;
+  c.attr_fp_bits = 8;
+  c.num_attrs = 2;
+  c.salt = 7;
+  return c;
+}
+
+std::unique_ptr<ConditionalCuckooFilter> MakePlain(const CcfConfig& c) {
+  return ConditionalCuckooFilter::Make(CcfVariant::kPlain, c).ValueOrDie();
+}
+
+TEST(PlainCcfTest, InsertThenQueryRow) {
+  auto ccf = MakePlain(BaseConfig());
+  std::vector<uint64_t> attrs = {4, 1995};
+  ASSERT_TRUE(ccf->Insert(100, attrs).ok());
+  EXPECT_TRUE(ccf->ContainsKey(100));
+  EXPECT_TRUE(ccf->ContainsRow(100, attrs));
+  EXPECT_TRUE(ccf->Contains(100, Predicate::Equals(0, 4)));
+  EXPECT_TRUE(ccf->Contains(100, Predicate::Equals(1, 1995)));
+}
+
+TEST(PlainCcfTest, NonMatchingPredicateRejected) {
+  auto ccf = MakePlain(BaseConfig());
+  ASSERT_TRUE(ccf->Insert(100, std::vector<uint64_t>{4, 1995}).ok());
+  // Small-value optimization stores 4 exactly, so 5 cannot collide.
+  EXPECT_FALSE(ccf->Contains(100, Predicate::Equals(0, 5)));
+}
+
+TEST(PlainCcfTest, AbsentKeyUsuallyRejected) {
+  auto ccf = MakePlain(BaseConfig());
+  for (uint64_t k = 0; k < 500; ++k) {
+    ASSERT_TRUE(ccf->Insert(k, std::vector<uint64_t>{k % 7, k % 11}).ok());
+  }
+  int fp = 0;
+  for (uint64_t k = 10000; k < 20000; ++k) {
+    if (ccf->ContainsKey(k)) ++fp;
+  }
+  EXPECT_LT(fp, 100);  // 12-bit fingerprints → FPR well under 1%
+}
+
+TEST(PlainCcfTest, RejectsWrongAttributeCount) {
+  auto ccf = MakePlain(BaseConfig());
+  std::vector<uint64_t> wrong = {1};
+  EXPECT_FALSE(ccf->Insert(1, wrong).ok());
+}
+
+TEST(PlainCcfTest, CollapsesIdenticalRows) {
+  auto ccf = MakePlain(BaseConfig());
+  std::vector<uint64_t> attrs = {1, 2};
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(ccf->Insert(55, attrs).ok());
+  }
+  EXPECT_EQ(ccf->num_entries(), 1u);
+}
+
+TEST(PlainCcfTest, DistinctAttributesOccupyDistinctEntries) {
+  auto ccf = MakePlain(BaseConfig());
+  for (uint64_t v = 0; v < 5; ++v) {
+    ASSERT_TRUE(ccf->Insert(55, std::vector<uint64_t>{v, 0}).ok());
+  }
+  EXPECT_EQ(ccf->num_entries(), 5u);
+  for (uint64_t v = 0; v < 5; ++v) {
+    EXPECT_TRUE(ccf->Contains(55, Predicate::Equals(0, v)));
+  }
+}
+
+TEST(PlainCcfTest, FailsOncePairIsSaturated) {
+  // A key's pair has at most 2b = 8 slots; the 9th distinct duplicate must
+  // fail (§4.3 — the weakness motivating chaining).
+  auto ccf = MakePlain(BaseConfig());
+  int ok = 0;
+  for (uint64_t v = 0; v < 20; ++v) {
+    if (ccf->Insert(55, std::vector<uint64_t>{v, v}).ok()) ++ok;
+  }
+  EXPECT_EQ(ok, 8);
+}
+
+TEST(PlainCcfTest, CoOccurrencePreserved) {
+  // Row (a0=1, a1=2) and row (a0=3, a1=4): predicate a0=1 AND a1=4 matches
+  // neither row — fingerprint vectors keep per-row conjunctions (§5.2).
+  auto ccf = MakePlain(BaseConfig());
+  ASSERT_TRUE(ccf->Insert(9, std::vector<uint64_t>{1, 2}).ok());
+  ASSERT_TRUE(ccf->Insert(9, std::vector<uint64_t>{3, 4}).ok());
+  EXPECT_TRUE(ccf->Contains(9, Predicate::Equals(0, 1).AndEquals(1, 2)));
+  EXPECT_TRUE(ccf->Contains(9, Predicate::Equals(0, 3).AndEquals(1, 4)));
+  EXPECT_FALSE(ccf->Contains(9, Predicate::Equals(0, 1).AndEquals(1, 4)));
+  EXPECT_FALSE(ccf->Contains(9, Predicate::Equals(0, 3).AndEquals(1, 2)));
+}
+
+TEST(PlainCcfTest, InListPredicates) {
+  auto ccf = MakePlain(BaseConfig());
+  ASSERT_TRUE(ccf->Insert(1, std::vector<uint64_t>{6, 0}).ok());
+  EXPECT_TRUE(ccf->Contains(1, Predicate::In(0, {5, 6, 7})));
+  EXPECT_FALSE(ccf->Contains(1, Predicate::In(0, {8, 9})));
+}
+
+TEST(PlainCcfTest, SizeAndLoadFactorReporting) {
+  CcfConfig c = BaseConfig();
+  auto ccf = MakePlain(c);
+  // 512 × 4 slots × (12 + 16) bits + 2048 occupancy bits.
+  EXPECT_EQ(ccf->SizeInBits(), 512u * 4 * 28 + 2048);
+  EXPECT_DOUBLE_EQ(ccf->LoadFactor(), 0.0);
+  ASSERT_TRUE(ccf->Insert(1, std::vector<uint64_t>{1, 1}).ok());
+  EXPECT_GT(ccf->LoadFactor(), 0.0);
+  EXPECT_EQ(ccf->name(), "Plain");
+}
+
+TEST(PlainCcfTest, FailedInsertLeavesEarlierRowsQueryable) {
+  CcfConfig c = BaseConfig();
+  c.num_buckets = 8;  // tiny to force kick failures
+  auto ccf = MakePlain(c);
+  std::vector<std::pair<uint64_t, std::vector<uint64_t>>> stored;
+  for (uint64_t k = 0; k < 1000; ++k) {
+    std::vector<uint64_t> attrs = {k % 13, k % 17};
+    if (ccf->Insert(k, attrs).ok()) {
+      stored.emplace_back(k, attrs);
+    }
+  }
+  ASSERT_FALSE(stored.empty());
+  for (const auto& [k, attrs] : stored) {
+    EXPECT_TRUE(ccf->ContainsRow(k, attrs)) << k;
+  }
+}
+
+}  // namespace
+}  // namespace ccf

@@ -1,0 +1,75 @@
+// Concurrent-reader safety: query methods are const and documented safe for
+// concurrent readers. Hammer a built filter from several threads and verify
+// answers stay consistent with the single-threaded baseline.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "ccf/ccf.h"
+#include "util/random.h"
+
+namespace ccf {
+namespace {
+
+class ConcurrencyTest : public ::testing::TestWithParam<CcfVariant> {};
+
+TEST_P(ConcurrencyTest, ParallelReadersSeeConsistentAnswers) {
+  CcfConfig config;
+  config.num_buckets = 2048;
+  config.slots_per_bucket = 6;
+  config.num_attrs = 1;
+  config.salt = 12;
+  auto ccf = ConditionalCuckooFilter::Make(GetParam(), config).ValueOrDie();
+  Rng rng(1);
+  for (int i = 0; i < 4000; ++i) {
+    std::vector<uint64_t> attrs = {rng.NextBelow(200)};
+    Status st = ccf->Insert(rng.NextBelow(700), attrs);
+    if (!st.ok()) break;
+  }
+
+  // Single-threaded baseline over a fixed probe set.
+  constexpr int kProbes = 4000;
+  std::vector<uint64_t> probe_keys(kProbes);
+  std::vector<uint64_t> probe_vals(kProbes);
+  std::vector<char> expected(kProbes);
+  Rng probe_rng(2);
+  for (int i = 0; i < kProbes; ++i) {
+    probe_keys[static_cast<size_t>(i)] = probe_rng.NextBelow(1400);
+    probe_vals[static_cast<size_t>(i)] = probe_rng.NextBelow(400);
+    expected[static_cast<size_t>(i)] =
+        ccf->Contains(probe_keys[static_cast<size_t>(i)],
+                      Predicate::Equals(
+                          0, probe_vals[static_cast<size_t>(i)]))
+            ? 1
+            : 0;
+  }
+
+  std::atomic<int> mismatches{0};
+  auto worker = [&](int stride_offset) {
+    for (int i = stride_offset; i < kProbes; i += 4) {
+      bool got = ccf->Contains(
+          probe_keys[static_cast<size_t>(i)],
+          Predicate::Equals(0, probe_vals[static_cast<size_t>(i)]));
+      if (got != (expected[static_cast<size_t>(i)] != 0)) {
+        mismatches.fetch_add(1);
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) threads.emplace_back(worker, t);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, ConcurrencyTest,
+    ::testing::Values(CcfVariant::kPlain, CcfVariant::kChained,
+                      CcfVariant::kBloom, CcfVariant::kMixed),
+    [](const ::testing::TestParamInfo<CcfVariant>& pinfo) {
+      return std::string(CcfVariantName(pinfo.param));
+    });
+
+}  // namespace
+}  // namespace ccf

@@ -1,0 +1,140 @@
+#include "cuckoo/cuckoo_hash_map.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/random.h"
+
+namespace ccf {
+namespace {
+
+TEST(CuckooHashMapTest, PutFindRoundTrip) {
+  CuckooHashMap<std::string> map(16);
+  map.Put(1, "one");
+  map.Put(2, "two");
+  ASSERT_NE(map.Find(1), nullptr);
+  EXPECT_EQ(*map.Find(1), "one");
+  EXPECT_EQ(*map.Find(2), "two");
+  EXPECT_EQ(map.Find(3), nullptr);
+  EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(CuckooHashMapTest, PutUpdatesExistingKey) {
+  CuckooHashMap<int> map(16);
+  map.Put(5, 10);
+  map.Put(5, 20);
+  EXPECT_EQ(*map.Find(5), 20);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(CuckooHashMapTest, EraseRemovesKey) {
+  CuckooHashMap<int> map(16);
+  map.Put(5, 10);
+  EXPECT_TRUE(map.Erase(5));
+  EXPECT_FALSE(map.Contains(5));
+  EXPECT_FALSE(map.Erase(5));
+  EXPECT_EQ(map.size(), 0u);
+}
+
+TEST(CuckooHashMapTest, GrowsBeyondInitialCapacity) {
+  CuckooHashMap<uint64_t> map(4);  // deliberately undersized
+  constexpr uint64_t kN = 50000;
+  for (uint64_t k = 0; k < kN; ++k) map.Put(k, k * 2);
+  EXPECT_EQ(map.size(), kN);
+  for (uint64_t k = 0; k < kN; ++k) {
+    ASSERT_NE(map.Find(k), nullptr) << k;
+    ASSERT_EQ(*map.Find(k), k * 2);
+  }
+}
+
+TEST(CuckooHashMapTest, MatchesReferenceMapUnderRandomOps) {
+  CuckooHashMap<uint64_t> map(64, 4, /*salt=*/5);
+  std::unordered_map<uint64_t, uint64_t> ref;
+  Rng rng(123);
+  for (int op = 0; op < 30000; ++op) {
+    uint64_t key = rng.NextBelow(2000);
+    switch (rng.NextBelow(3)) {
+      case 0: {
+        uint64_t v = rng.Next();
+        map.Put(key, v);
+        ref[key] = v;
+        break;
+      }
+      case 1: {
+        EXPECT_EQ(map.Erase(key), ref.erase(key) > 0);
+        break;
+      }
+      default: {
+        auto it = ref.find(key);
+        uint64_t* found = map.Find(key);
+        if (it == ref.end()) {
+          ASSERT_EQ(found, nullptr) << "key " << key;
+        } else {
+          ASSERT_NE(found, nullptr) << "key " << key;
+          ASSERT_EQ(*found, it->second);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(map.size(), ref.size());
+}
+
+TEST(ChainedCuckooMultiMapTest, StoresManyDuplicatesOfOneKey) {
+  // A plain cuckoo structure caps a key at 2b entries; chaining (§11) must
+  // go far beyond.
+  ChainedCuckooMultiMap<int> map(1024, 6, /*max_dupes=*/3);
+  constexpr int kCopies = 40;
+  for (int i = 0; i < kCopies; ++i) {
+    ASSERT_TRUE(map.Insert(7, i).ok()) << i;
+  }
+  std::vector<int> values = map.GetAll(7);
+  ASSERT_EQ(values.size(), static_cast<size_t>(kCopies));
+  std::sort(values.begin(), values.end());
+  for (int i = 0; i < kCopies; ++i) EXPECT_EQ(values[static_cast<size_t>(i)], i);
+}
+
+TEST(ChainedCuckooMultiMapTest, MixedKeysWithSkewedDuplicates) {
+  ChainedCuckooMultiMap<uint64_t> map(4096, 6, 3);
+  Rng rng(9);
+  std::unordered_map<uint64_t, std::vector<uint64_t>> ref;
+  for (int i = 0; i < 8000; ++i) {
+    // Zipf-ish: small keys get many duplicates.
+    uint64_t key = rng.NextBelow(rng.NextBelow(500) + 1);
+    uint64_t value = rng.Next();
+    ASSERT_TRUE(map.Insert(key, value).ok());
+    ref[key].push_back(value);
+  }
+  for (auto& [key, expected] : ref) {
+    std::vector<uint64_t> got = map.GetAll(key);
+    std::sort(expected.begin(), expected.end());
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, expected) << "key " << key;
+  }
+}
+
+TEST(ChainedCuckooMultiMapTest, AbsentKeyReturnsEmpty) {
+  ChainedCuckooMultiMap<int> map(64);
+  map.Insert(1, 10).Abort();
+  EXPECT_TRUE(map.GetAll(999).empty());
+}
+
+TEST(ChainedCuckooMultiMapTest, LoadFactorStaysHealthyWithDuplicates) {
+  ChainedCuckooMultiMap<int> map(512, 6, 3);
+  uint64_t capacity = 512 * 6;
+  uint64_t inserted = 0;
+  Rng rng(77);
+  // Every key duplicated ~8 times on average.
+  while (inserted < capacity * 7 / 10) {
+    uint64_t key = rng.NextBelow(capacity / 10);
+    if (!map.Insert(key, static_cast<int>(inserted)).ok()) break;
+    ++inserted;
+  }
+  EXPECT_GT(map.LoadFactor(), 0.6);
+}
+
+}  // namespace
+}  // namespace ccf

@@ -1,0 +1,151 @@
+// Differential fuzzing: drive every CCF variant with long random operation
+// sequences and cross-check each answer against an exact reference
+// (multimap of rows). The reference proves the no-false-negative guarantee
+// on arbitrary interleavings and bounds the false-positive rate.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ccf/ccf.h"
+#include "util/random.h"
+
+namespace ccf {
+namespace {
+
+struct FuzzCase {
+  CcfVariant variant;
+  int num_attrs;
+  int attr_fp_bits;
+  uint64_t key_space;   // smaller space → heavier duplication
+  uint64_t value_space;
+  uint64_t seed;
+  // FPR guardrail. Bloom/Mixed sketches saturate under extreme duplication
+  // (hundreds of rows folded into a 16-bit sketch) — §5.2's documented
+  // trade-off — so heavy-duplication cases allow a high ceiling; the test's
+  // real teeth are the false-negative assertions.
+  double max_fpr;
+};
+
+std::string FuzzName(const ::testing::TestParamInfo<FuzzCase>& info) {
+  const FuzzCase& c = info.param;
+  return std::string(CcfVariantName(c.variant)) + "_k" +
+         std::to_string(c.key_space) + "_v" +
+         std::to_string(c.value_space) + "_s" + std::to_string(c.seed);
+}
+
+class DifferentialFuzzTest : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(DifferentialFuzzTest, AgreesWithExactReference) {
+  const FuzzCase& fuzz = GetParam();
+  CcfConfig config;
+  config.num_buckets = 4096;
+  config.slots_per_bucket = fuzz.variant == CcfVariant::kBloom ? 4 : 6;
+  config.key_fp_bits = 12;
+  config.attr_fp_bits = fuzz.attr_fp_bits;
+  config.num_attrs = fuzz.num_attrs;
+  config.bloom_bits = 16;
+  config.salt = fuzz.seed;
+  auto ccf = ConditionalCuckooFilter::Make(fuzz.variant, config).ValueOrDie();
+
+  // Exact reference: key → set of attribute rows.
+  std::map<uint64_t, std::set<std::vector<uint64_t>>> reference;
+  Rng rng(fuzz.seed * 7 + 1);
+
+  int false_positives = 0;
+  int negative_probes = 0;
+  bool saturated = false;
+  for (int op = 0; op < 12000 && !saturated; ++op) {
+    uint64_t roll = rng.NextBelow(10);
+    if (roll < 4) {
+      // Insert a random row.
+      uint64_t key = rng.NextBelow(fuzz.key_space);
+      std::vector<uint64_t> attrs(static_cast<size_t>(fuzz.num_attrs));
+      for (auto& a : attrs) a = rng.NextBelow(fuzz.value_space);
+      Status st = ccf->Insert(key, attrs);
+      if (!st.ok()) {
+        saturated = true;  // Plain fills up legitimately; stop inserting
+        break;
+      }
+      reference[key].insert(attrs);
+    } else if (roll < 7) {
+      // Row query on a random (possibly present) row.
+      uint64_t key = rng.NextBelow(fuzz.key_space);
+      std::vector<uint64_t> attrs(static_cast<size_t>(fuzz.num_attrs));
+      for (auto& a : attrs) a = rng.NextBelow(fuzz.value_space);
+      bool truth = reference.contains(key) &&
+                   reference.at(key).contains(attrs);
+      bool answer = ccf->ContainsRow(key, attrs);
+      if (truth) {
+        ASSERT_TRUE(answer) << "FALSE NEGATIVE at op " << op;
+      } else {
+        ++negative_probes;
+        if (answer) ++false_positives;
+      }
+    } else if (roll < 9) {
+      // Single-term query: must be true if ANY row of the key matches.
+      uint64_t key = rng.NextBelow(fuzz.key_space);
+      int attr = static_cast<int>(rng.NextBelow(
+          static_cast<uint64_t>(fuzz.num_attrs)));
+      uint64_t value = rng.NextBelow(fuzz.value_space);
+      bool truth = false;
+      if (auto it = reference.find(key); it != reference.end()) {
+        for (const auto& row : it->second) {
+          if (row[static_cast<size_t>(attr)] == value) truth = true;
+        }
+      }
+      bool answer = ccf->Contains(key, Predicate::Equals(attr, value));
+      if (truth) {
+        ASSERT_TRUE(answer) << "FALSE NEGATIVE at op " << op;
+      } else {
+        ++negative_probes;
+        if (answer) ++false_positives;
+      }
+    } else {
+      // Key-only query.
+      uint64_t key = rng.NextBelow(fuzz.key_space * 2);  // half absent
+      bool truth = reference.contains(key);
+      bool answer = ccf->ContainsKey(key);
+      if (truth) {
+        ASSERT_TRUE(answer) << "FALSE NEGATIVE (key) at op " << op;
+      } else {
+        ++negative_probes;
+        if (answer) ++false_positives;
+      }
+    }
+  }
+
+  // FPR sanity: attribute fingerprints and chains keep it moderate. The
+  // bound is intentionally loose — this is a guardrail, not a measurement.
+  ASSERT_GT(negative_probes, 100);
+  EXPECT_LT(static_cast<double>(false_positives) /
+                static_cast<double>(negative_probes),
+            fuzz.max_fpr)
+      << CcfVariantName(fuzz.variant);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sequences, DifferentialFuzzTest,
+    ::testing::Values(
+        // Heavy duplication (tiny key space): ~100 rows per key saturate
+        // Bloom-style sketches, so their ceiling is near 1.
+        FuzzCase{CcfVariant::kChained, 1, 8, 50, 1000, 1, 0.30},
+        FuzzCase{CcfVariant::kMixed, 1, 8, 50, 1000, 2, 0.95},
+        FuzzCase{CcfVariant::kBloom, 1, 8, 50, 1000, 3, 0.95},
+        // Moderate duplication, two attributes.
+        FuzzCase{CcfVariant::kChained, 2, 8, 500, 200, 4, 0.30},
+        FuzzCase{CcfVariant::kMixed, 2, 8, 500, 200, 5, 0.30},
+        FuzzCase{CcfVariant::kBloom, 2, 8, 500, 200, 6, 0.60},
+        FuzzCase{CcfVariant::kPlain, 2, 8, 2000, 200, 7, 0.30},
+        // Narrow fingerprints (more collisions; FPR guardrail active).
+        FuzzCase{CcfVariant::kChained, 2, 4, 300, 64, 8, 0.40},
+        FuzzCase{CcfVariant::kMixed, 2, 4, 300, 64, 9, 0.60},
+        // Small value domain: exact small-value storage everywhere.
+        FuzzCase{CcfVariant::kChained, 3, 8, 200, 16, 10, 0.30},
+        FuzzCase{CcfVariant::kMixed, 3, 8, 200, 16, 11, 0.40}),
+    FuzzName);
+
+}  // namespace
+}  // namespace ccf

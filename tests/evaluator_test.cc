@@ -1,0 +1,87 @@
+// Unit tests for the workload evaluator's aggregate arithmetic and the
+// filter-set adapters (the integration test exercises the full pipeline).
+#include "join/evaluator.h"
+
+#include <gtest/gtest.h>
+
+namespace ccf {
+namespace {
+
+InstanceResult MakeResult(uint64_t pred, uint64_t semi, uint64_t binned,
+                          uint64_t filtered) {
+  InstanceResult r;
+  r.exact.m_predicate = pred;
+  r.exact.m_semijoin = semi;
+  r.exact.m_semijoin_binned = binned;
+  r.m_filtered = filtered;
+  return r;
+}
+
+TEST(AggregateTest, RatiosOverSums) {
+  std::vector<InstanceResult> results = {
+      MakeResult(100, 10, 12, 15),
+      MakeResult(300, 50, 60, 70),
+  };
+  AggregateResult agg = WorkloadEvaluator::Aggregate(results, 4096);
+  EXPECT_DOUBLE_EQ(agg.rf_filtered, 85.0 / 400.0);
+  EXPECT_DOUBLE_EQ(agg.rf_semijoin, 60.0 / 400.0);
+  EXPECT_DOUBLE_EQ(agg.rf_semijoin_binned, 72.0 / 400.0);
+  EXPECT_EQ(agg.total_size_bits, 4096u);
+  // FPR vs binned = (85 - 72) / (400 - 72).
+  EXPECT_DOUBLE_EQ(agg.fpr_vs_binned, 13.0 / 328.0);
+  // FPR vs exact = (85 - 60) / (400 - 60).
+  EXPECT_DOUBLE_EQ(agg.fpr_vs_exact, 25.0 / 340.0);
+}
+
+TEST(AggregateTest, PerfectFilterHasZeroFpr) {
+  std::vector<InstanceResult> results = {MakeResult(100, 20, 20, 20)};
+  AggregateResult agg = WorkloadEvaluator::Aggregate(results, 1);
+  EXPECT_DOUBLE_EQ(agg.fpr_vs_binned, 0.0);
+  EXPECT_DOUBLE_EQ(agg.fpr_vs_exact, 0.0);
+  EXPECT_DOUBLE_EQ(agg.rf_filtered, 0.2);
+}
+
+TEST(AggregateTest, EmptyAndDegenerateInputsAreSafe) {
+  AggregateResult empty = WorkloadEvaluator::Aggregate({}, 0);
+  EXPECT_DOUBLE_EQ(empty.rf_filtered, 0.0);
+  // All rows pass the predicate and the semijoin: no negatives exist, so
+  // the FPR denominators vanish and must not divide by zero.
+  std::vector<InstanceResult> degenerate = {MakeResult(50, 50, 50, 50)};
+  AggregateResult agg = WorkloadEvaluator::Aggregate(degenerate, 8);
+  EXPECT_DOUBLE_EQ(agg.fpr_vs_binned, 0.0);
+  EXPECT_DOUBLE_EQ(agg.rf_filtered, 1.0);
+}
+
+TEST(InstanceExactTest, ReductionFactorAccessors) {
+  InstanceExact inst;
+  inst.m_predicate = 200;
+  inst.m_semijoin = 50;
+  inst.m_semijoin_binned = 60;
+  EXPECT_DOUBLE_EQ(inst.RfSemijoin(), 0.25);
+  EXPECT_DOUBLE_EQ(inst.RfSemijoinBinned(), 0.30);
+  InstanceExact zero;
+  EXPECT_DOUBLE_EQ(zero.RfSemijoin(), 0.0);  // no matching rows: defined 0
+}
+
+TEST(FilterSetTest, CuckooSetRejectsUnknownTable) {
+  ImdbDataset dataset = GenerateImdb(1.0 / 4096, 2).ValueOrDie();
+  auto set = CuckooFilterSet::Build(dataset, 12, 1).ValueOrDie();
+  EXPECT_FALSE(set.Probe("not_a_table", 1, {}).ok());
+  EXPECT_TRUE(set.Probe("title", 1, {}).ok());
+  EXPECT_GT(set.TotalSizeInBits(), 0u);
+}
+
+TEST(FilterSetTest, CuckooSetIgnoresPredicates) {
+  // The key-only baseline must answer identically with and without
+  // predicates — that blindness is exactly what Figure 6b/6d plots.
+  ImdbDataset dataset = GenerateImdb(1.0 / 4096, 2).ValueOrDie();
+  auto set = CuckooFilterSet::Build(dataset, 12, 1).ValueOrDie();
+  QueryPredicate pred{"title", "kind_id", false, 1, 0, 0};
+  for (uint64_t key = 1; key < 60; ++key) {
+    EXPECT_EQ(*set.Probe("title", key, {}),
+              *set.Probe("title", key, {&pred}));
+  }
+}
+
+}  // namespace
+}  // namespace ccf

@@ -1,0 +1,69 @@
+#include "util/file_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "ccf/ccf.h"
+
+namespace ccf {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir ? dir : "/tmp") + "/" + name;
+}
+
+TEST(FileIoTest, RoundTripBytes) {
+  std::string path = TempPath("ccf_file_io_test.bin");
+  std::string data = "hello\0world", padded(data);
+  padded.push_back('\0');
+  ASSERT_TRUE(WriteFileBytes(path, padded).ok());
+  auto read = ReadFileBytes(path).ValueOrDie();
+  EXPECT_EQ(read, padded);
+  std::remove(path.c_str());
+}
+
+TEST(FileIoTest, EmptyFileRoundTrip) {
+  std::string path = TempPath("ccf_file_io_empty.bin");
+  ASSERT_TRUE(WriteFileBytes(path, "").ok());
+  EXPECT_EQ(ReadFileBytes(path).ValueOrDie(), "");
+  std::remove(path.c_str());
+}
+
+TEST(FileIoTest, MissingFileIsKeyNotFound) {
+  auto result = ReadFileBytes(TempPath("ccf_does_not_exist.bin"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kKeyNotFound);
+}
+
+TEST(FileIoTest, UnwritablePathFails) {
+  EXPECT_FALSE(WriteFileBytes("/nonexistent_dir_xyz/file.bin", "x").ok());
+}
+
+TEST(FileIoTest, FilterSurvivesDiskRoundTrip) {
+  // End-to-end precomputed-sketch workflow: build → save → load → query.
+  CcfConfig config;
+  config.num_buckets = 512;
+  config.num_attrs = 1;
+  config.salt = 2;
+  auto ccf = ConditionalCuckooFilter::Make(CcfVariant::kMixed, config)
+                 .ValueOrDie();
+  for (uint64_t k = 0; k < 800; ++k) {
+    std::vector<uint64_t> attrs = {k % 50};
+    ccf->Insert(k, attrs).Abort();
+  }
+  std::string path = TempPath("ccf_sketch.bin");
+  ASSERT_TRUE(WriteFileBytes(path, ccf->Serialize()).ok());
+
+  auto bytes = ReadFileBytes(path).ValueOrDie();
+  auto loaded = ConditionalCuckooFilter::Deserialize(bytes).ValueOrDie();
+  for (uint64_t k = 0; k < 800; ++k) {
+    ASSERT_TRUE(loaded->Contains(k, Predicate::Equals(0, k % 50)));
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ccf

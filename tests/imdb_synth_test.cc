@@ -1,0 +1,162 @@
+#include "data/imdb_synth.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "data/table.h"
+
+namespace ccf {
+namespace {
+
+// Small scale keeps the test fast while preserving the statistics we check.
+constexpr double kScale = 1.0 / 512;
+
+const ImdbDataset& Dataset() {
+  static const ImdbDataset* dataset = [] {
+    auto* d = new ImdbDataset(GenerateImdb(kScale, 99).ValueOrDie());
+    return d;
+  }();
+  return *dataset;
+}
+
+TEST(TableTest, ColumnAccessRoundTrip) {
+  Table t("demo", {"k", "v"});
+  t.AppendRow(std::vector<uint64_t>{1, 10});
+  t.AppendRow(std::vector<uint64_t>{2, 20});
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_columns(), 2);
+  EXPECT_EQ(*t.ColumnIndex("v"), 1);
+  EXPECT_FALSE(t.ColumnIndex("x").ok());
+  EXPECT_EQ((*t.column("v").ValueOrDie())[1], 20u);
+}
+
+TEST(TableTest, BytesWithWidthsAccounting) {
+  Table t("demo", {"k", "v"});
+  for (uint64_t i = 0; i < 100; ++i) {
+    t.AppendRow(std::vector<uint64_t>{i, i});
+  }
+  // 32-bit keys + 8-bit values → 100 × 40 bits = 500 bytes.
+  std::vector<int> widths = {32, 8};
+  EXPECT_EQ(t.BytesWithWidths(widths), 500u);
+  EXPECT_EQ(t.DenseBytes(), 1600u);
+}
+
+TEST(ImdbSynthTest, GeneratesAllSixTables) {
+  const ImdbDataset& d = Dataset();
+  ASSERT_EQ(d.tables.size(), 6u);
+  EXPECT_EQ(d.title().spec.name, "title");
+  EXPECT_TRUE(d.FindTable("movie_keyword").ok());
+  EXPECT_FALSE(d.FindTable("nonexistent").ok());
+}
+
+TEST(ImdbSynthTest, RejectsBadScale) {
+  EXPECT_FALSE(GenerateImdb(0.0, 1).ok());
+  EXPECT_FALSE(GenerateImdb(1.5, 1).ok());
+}
+
+TEST(ImdbSynthTest, RowCountsScaleWithTableTwo) {
+  const ImdbDataset& d = Dataset();
+  for (const TableData& td : d.tables) {
+    double expected = static_cast<double>(td.spec.full_rows) * kScale;
+    double actual = static_cast<double>(td.table.num_rows());
+    // Fact-table row budgets are approximate (row emission stops at the
+    // budget); within 40% is enough to preserve relative table sizes.
+    EXPECT_GT(actual, expected * 0.6) << td.spec.name;
+    EXPECT_LT(actual, expected * 1.4) << td.spec.name;
+  }
+  // Relative ordering from Table 2: cast_info ≫ movie_info > movie_keyword.
+  EXPECT_GT(d.FindTable("cast_info").ValueOrDie()->table.num_rows(),
+            d.FindTable("movie_info").ValueOrDie()->table.num_rows());
+  EXPECT_GT(d.FindTable("movie_info").ValueOrDie()->table.num_rows(),
+            d.FindTable("movie_keyword").ValueOrDie()->table.num_rows());
+}
+
+TEST(ImdbSynthTest, TitleHasUniqueKeysAndYearDomain) {
+  const TableData& title = Dataset().title();
+  const auto& ids = *title.table.column("id").ValueOrDie();
+  std::unordered_set<uint64_t> distinct(ids.begin(), ids.end());
+  EXPECT_EQ(distinct.size(), ids.size());  // Table 3: avg dupes 1.0
+  for (uint64_t y : *title.table.column("production_year").ValueOrDie()) {
+    ASSERT_GE(y, static_cast<uint64_t>(kYearLo));
+    ASSERT_LE(y, static_cast<uint64_t>(kYearHi));
+  }
+}
+
+TEST(ImdbSynthTest, FactKeysReferenceTitles) {
+  const ImdbDataset& d = Dataset();
+  for (const TableData& td : d.tables) {
+    if (td.spec.name == "title") continue;
+    for (uint64_t k : *td.table.column(td.spec.key_column).ValueOrDie()) {
+      ASSERT_GE(k, 1u);
+      ASSERT_LE(k, d.num_titles);
+    }
+  }
+}
+
+TEST(ImdbSynthTest, DuplicateProfilesTrackTableThree) {
+  const ImdbDataset& d = Dataset();
+  for (const TableData& td : d.tables) {
+    if (td.spec.name == "title") continue;
+    std::vector<uint64_t> dupes = DistinctDupesPerKey(
+        td.table, td.spec.key_column, td.spec.predicate_columns[0]);
+    ASSERT_FALSE(dupes.empty()) << td.spec.name;
+    double mean = 0;
+    uint64_t max = 0;
+    for (uint64_t c : dupes) {
+      mean += static_cast<double>(c);
+      max = std::max(max, c);
+    }
+    mean /= static_cast<double>(dupes.size());
+    // Mean within 35% of Table 3's target.
+    EXPECT_GT(mean, td.spec.avg_dupes * 0.65) << td.spec.name;
+    EXPECT_LT(mean, td.spec.avg_dupes * 1.35) << td.spec.name;
+    // Max never exceeds Table 3's cap.
+    EXPECT_LE(max, td.spec.max_dupes) << td.spec.name;
+  }
+}
+
+TEST(ImdbSynthTest, HeavyTailPresentForMovieKeyword) {
+  // movie_keyword's 539-max tail is the stress case for multiset handling;
+  // the generator must produce keys well beyond d=3.
+  const TableData* mk = Dataset().FindTable("movie_keyword").ValueOrDie();
+  std::vector<uint64_t> dupes =
+      DistinctDupesPerKey(mk->table, "movie_id", "keyword_id");
+  uint64_t max = *std::max_element(dupes.begin(), dupes.end());
+  EXPECT_GT(max, 30u);
+}
+
+TEST(ImdbSynthTest, KeyCoverageCreatesSemijoinOpportunities) {
+  // Fact tables must NOT cover all titles — otherwise semijoins reduce
+  // nothing and the whole evaluation degenerates.
+  const ImdbDataset& d = Dataset();
+  const TableData* mi = d.FindTable("movie_info_idx").ValueOrDie();
+  const auto& keys = *mi->table.column("movie_id").ValueOrDie();
+  std::unordered_set<uint64_t> distinct(keys.begin(), keys.end());
+  double coverage = static_cast<double>(distinct.size()) /
+                    static_cast<double>(d.num_titles);
+  EXPECT_LT(coverage, 0.5);
+  EXPECT_GT(coverage, 0.02);
+}
+
+TEST(ImdbSynthTest, DeterministicForSameSeed) {
+  auto a = GenerateImdb(1.0 / 2048, 7).ValueOrDie();
+  auto b = GenerateImdb(1.0 / 2048, 7).ValueOrDie();
+  ASSERT_EQ(a.tables.size(), b.tables.size());
+  for (size_t t = 0; t < a.tables.size(); ++t) {
+    ASSERT_EQ(a.tables[t].table.num_rows(), b.tables[t].table.num_rows());
+  }
+  const auto& col_a = a.tables[1].table.column(0);
+  const auto& col_b = b.tables[1].table.column(0);
+  EXPECT_EQ(col_a, col_b);
+}
+
+TEST(ImdbSynthTest, DifferentSeedsDiffer) {
+  auto a = GenerateImdb(1.0 / 2048, 7).ValueOrDie();
+  auto b = GenerateImdb(1.0 / 2048, 8).ValueOrDie();
+  EXPECT_NE(a.tables[1].table.column(0), b.tables[1].table.column(0));
+}
+
+}  // namespace
+}  // namespace ccf

@@ -1,0 +1,144 @@
+// Shape-regression tests: the paper's headline experimental claims, pinned
+// at small scale so regressions in the algorithms (not just crashes) fail
+// CI. EXPERIMENTS.md holds the full-scale measurements.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ccf/ccf.h"
+#include "cuckoo/cuckoo_filter.h"
+#include "data/zipf.h"
+#include "util/random.h"
+
+namespace ccf {
+namespace {
+
+// Figure 4's claim: at b = 6, d = 3, chained load-at-failure stays high as
+// duplicates grow while the plain multiset filter collapses.
+TEST(PaperClaimsTest, Figure4ChainedBeatsPlainUnderDuplication) {
+  constexpr uint64_t kBuckets = 512;
+  constexpr int kB = 6;
+  constexpr uint64_t kCapacity = kBuckets * kB;
+
+  auto run_plain = [&](uint64_t dupes_per_key) {
+    CuckooFilterConfig config;
+    config.num_buckets = kBuckets;
+    config.slots_per_bucket = kB;
+    config.multiset = true;
+    config.salt = 3;
+    auto filter = CuckooFilter::Make(config).ValueOrDie();
+    uint64_t key = 0, i = 0;
+    for (; i < kCapacity * 12 / 10; ++i) {
+      if (!filter.Insert(i / dupes_per_key + key).ok()) break;
+    }
+    return filter.LoadFactor();
+  };
+  auto run_chained = [&](uint64_t dupes_per_key) {
+    CcfConfig config;
+    config.num_buckets = kBuckets;
+    config.slots_per_bucket = kB;
+    config.num_attrs = 1;
+    config.max_dupes = 3;
+    config.salt = 3;
+    auto ccf = ConditionalCuckooFilter::Make(CcfVariant::kChained, config)
+                   .ValueOrDie();
+    for (uint64_t i = 0; i < kCapacity * 12 / 10; ++i) {
+      std::vector<uint64_t> attrs = {i % dupes_per_key};
+      if (!ccf->Insert(i / dupes_per_key, attrs).ok()) break;
+    }
+    return ccf->LoadFactor();
+  };
+
+  // Without duplicates both are high.
+  EXPECT_GT(run_plain(1), 0.93);
+  EXPECT_GT(run_chained(1), 0.93);
+  // With 10 duplicates per key: plain collapses, chained holds the plateau.
+  double plain10 = run_plain(10);
+  double chained10 = run_chained(10);
+  EXPECT_LT(plain10, 0.60);
+  EXPECT_GT(chained10, 0.78);
+  EXPECT_GT(chained10, plain10 + 0.2);
+}
+
+// §7.1's claim: "although insertions can probe up to 2·Lmax buckets, there
+// is no penalty for probing more buckets at query time" — key-only queries
+// stop at the first pair, so a duplicate-heavy chained CCF's key-only FPR
+// never exceeds a duplicate-free one's at equal load (and is actually lower
+// because duplicate fingerprints cluster).
+TEST(PaperClaimsTest, Section71KeyOnlyFprUnaffectedByChains) {
+  auto measure_fpr = [](uint64_t dupes_per_key, uint64_t salt) {
+    CcfConfig config;
+    config.num_buckets = 2048;
+    config.slots_per_bucket = 6;
+    config.key_fp_bits = 10;
+    config.num_attrs = 1;
+    config.max_dupes = 3;
+    config.salt = salt;
+    auto ccf = ConditionalCuckooFilter::Make(CcfVariant::kChained, config)
+                   .ValueOrDie();
+    uint64_t capacity = 2048 * 6;
+    // Fill to ~70% load with the requested duplication.
+    for (uint64_t i = 0; i < capacity * 7 / 10; ++i) {
+      std::vector<uint64_t> attrs = {i % dupes_per_key};
+      ccf->Insert(i / dupes_per_key, attrs).Abort();
+    }
+    uint64_t fp = 0;
+    constexpr uint64_t kProbes = 150000;
+    for (uint64_t i = 0; i < kProbes; ++i) {
+      if (ccf->ContainsKey((uint64_t{1} << 43) + i)) ++fp;
+    }
+    return static_cast<double>(fp) / static_cast<double>(kProbes);
+  };
+
+  double no_dupes = 0, heavy_dupes = 0;
+  for (uint64_t salt = 1; salt <= 3; ++salt) {
+    no_dupes += measure_fpr(1, salt) / 3;
+    heavy_dupes += measure_fpr(12, salt) / 3;
+  }
+  // No penalty: chains never RAISE the key-only FPR. In fact duplication
+  // clusters d identical fingerprints per pair, so the distinct-fingerprint
+  // count a probe can spuriously hit drops by up to d — the duplicate-heavy
+  // filter measures LOWER (here ≈ no_dupes / d with d = 3).
+  EXPECT_LE(heavy_dupes, no_dupes * 1.15);
+  EXPECT_GE(heavy_dupes, no_dupes / (3.0 * 1.5));
+}
+
+// §5.1's arithmetic: with Mtrue/Moriginal ≈ 0, even a 10% FPR cuts scan
+// output by ≈10× — verify EMoutput = Mtrue + FPR·(Moriginal − Mtrue) on a
+// real filter.
+TEST(PaperClaimsTest, Section51OutputSizeArithmetic) {
+  CcfConfig config;
+  config.num_buckets = 4096;
+  config.num_attrs = 1;
+  config.attr_fp_bits = 4;     // deliberately weak: measurable FPR
+  config.small_value_opt = false;
+  config.salt = 6;
+  auto ccf = ConditionalCuckooFilter::Make(CcfVariant::kChained, config)
+                 .ValueOrDie();
+  constexpr uint64_t kRows = 10000;
+  constexpr uint64_t kMatchValue = 123456;
+  uint64_t m_true = 0;
+  Rng rng(4);
+  for (uint64_t k = 0; k < kRows; ++k) {
+    bool match = k % 100 == 0;  // 1% truly match
+    std::vector<uint64_t> attrs = {match ? kMatchValue
+                                         : 1'000'000 + rng.NextBelow(50000)};
+    ccf->Insert(k, attrs).Abort();
+    if (match) ++m_true;
+  }
+  uint64_t output = 0;
+  for (uint64_t k = 0; k < kRows; ++k) {
+    if (ccf->Contains(k, Predicate::Equals(0, kMatchValue))) ++output;
+  }
+  // All true matches retained (no false negatives)...
+  EXPECT_GE(output, m_true);
+  // ...and the reduction is close to the §5.1 formula with ρ ≈ 2^-4.
+  double expected = static_cast<double>(m_true) +
+                    (1.0 / 16) * static_cast<double>(kRows - m_true);
+  EXPECT_NEAR(static_cast<double>(output), expected, expected * 0.35);
+  // A ~6% FPR still shrinks the scan by an order of magnitude.
+  EXPECT_LT(output, kRows / 8);
+}
+
+}  // namespace
+}  // namespace ccf

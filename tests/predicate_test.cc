@@ -1,0 +1,165 @@
+#include "predicate/predicate.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "predicate/dyadic.h"
+#include "predicate/range_binning.h"
+
+namespace ccf {
+namespace {
+
+TEST(PredicateTest, EmptyPredicateMatchesEverything) {
+  Predicate p;
+  std::vector<uint64_t> row = {1, 2, 3};
+  EXPECT_TRUE(p.empty());
+  EXPECT_TRUE(p.Matches(row));
+}
+
+TEST(PredicateTest, EqualityMatchesExactValue) {
+  Predicate p = Predicate::Equals(1, 42);
+  EXPECT_TRUE(p.Matches(std::vector<uint64_t>{0, 42, 0}));
+  EXPECT_FALSE(p.Matches(std::vector<uint64_t>{0, 43, 0}));
+  EXPECT_FALSE(p.Matches(std::vector<uint64_t>{42, 0, 0}));
+}
+
+TEST(PredicateTest, InListMatchesAnyListedValue) {
+  Predicate p = Predicate::In(0, {1, 3, 5});
+  EXPECT_TRUE(p.Matches(std::vector<uint64_t>{3}));
+  EXPECT_FALSE(p.Matches(std::vector<uint64_t>{2}));
+}
+
+TEST(PredicateTest, ConjunctionRequiresAllTerms) {
+  Predicate p = Predicate::Equals(0, 1).AndEquals(1, 2);
+  EXPECT_TRUE(p.Matches(std::vector<uint64_t>{1, 2}));
+  EXPECT_FALSE(p.Matches(std::vector<uint64_t>{1, 3}));
+  EXPECT_FALSE(p.Matches(std::vector<uint64_t>{0, 2}));
+}
+
+TEST(PredicateTest, ToStringRendersTerms) {
+  Predicate p = Predicate::Equals(0, 4).AndIn(1, {2, 3});
+  EXPECT_EQ(p.ToString(), "a0=4 AND a1 IN (2,3)");
+  EXPECT_EQ(Predicate().ToString(), "TRUE");
+}
+
+TEST(RangeBinnerTest, RejectsEmptyDomainAndBins) {
+  EXPECT_FALSE(RangeBinner::Make(10, 5, 4).ok());
+  EXPECT_FALSE(RangeBinner::Make(0, 10, 0).ok());
+}
+
+TEST(RangeBinnerTest, PaperSetting132ValuesInto16Bins) {
+  // §10.3: production_year 1880..2011 (132 values) → 16 bins.
+  auto binner = RangeBinner::Make(1880, 2011, 16).ValueOrDie();
+  EXPECT_EQ(binner.BinOf(1880), 0u);
+  EXPECT_EQ(binner.BinOf(2011), 15u);
+  // Bin ids are monotone and cover 0..15.
+  uint64_t prev = 0;
+  for (int64_t y = 1880; y <= 2011; ++y) {
+    uint64_t b = binner.BinOf(y);
+    EXPECT_GE(b, prev);
+    EXPECT_LT(b, 16u);
+    prev = b;
+  }
+}
+
+TEST(RangeBinnerTest, ValuesOutsideDomainClamp) {
+  auto binner = RangeBinner::Make(1880, 2011, 16).ValueOrDie();
+  EXPECT_EQ(binner.BinOf(1000), 0u);
+  EXPECT_EQ(binner.BinOf(3000), 15u);
+}
+
+TEST(RangeBinnerTest, CoverSpansExactlyTouchedBins) {
+  auto binner = RangeBinner::Make(0, 159, 16).ValueOrDie();  // width 10
+  std::vector<uint64_t> cover = binner.Cover(25, 47);
+  // Touches bins 2, 3, 4.
+  ASSERT_EQ(cover.size(), 3u);
+  EXPECT_EQ(cover.front(), 2u);
+  EXPECT_EQ(cover.back(), 4u);
+  EXPECT_TRUE(binner.Cover(200, 100).empty());  // inverted range
+}
+
+TEST(RangeBinnerTest, CoverNeverMissesAValueInRange) {
+  // No false negatives: every value in [lo, hi] must land in a covered bin.
+  auto binner = RangeBinner::Make(1880, 2011, 16).ValueOrDie();
+  for (int64_t lo = 1900; lo <= 2000; lo += 13) {
+    for (int64_t hi = lo; hi <= 2011; hi += 17) {
+      std::vector<uint64_t> cover = binner.Cover(lo, hi);
+      for (int64_t v = lo; v <= hi; ++v) {
+        uint64_t bin = binner.BinOf(v);
+        EXPECT_NE(std::find(cover.begin(), cover.end(), bin), cover.end())
+            << "value " << v << " in [" << lo << "," << hi << "]";
+      }
+    }
+  }
+}
+
+TEST(RangeBinnerTest, RangePredicateBuildsInList) {
+  auto binner = RangeBinner::Make(1880, 2011, 16).ValueOrDie();
+  Predicate p = binner.RangePredicate(1, 1990, 2011);
+  ASSERT_EQ(p.terms().size(), 1u);
+  EXPECT_EQ(p.terms()[0].attr_index, 1);
+  EXPECT_FALSE(p.terms()[0].values.empty());
+}
+
+TEST(DyadicTest, LabelsCoverAllLevels) {
+  auto labels = DyadicLabels(13, 3);  // 13 = 0b1101
+  ASSERT_EQ(labels.size(), 4u);
+  EXPECT_EQ(labels[0], (DyadicInterval{0, 13}));
+  EXPECT_EQ(labels[1], (DyadicInterval{1, 6}));
+  EXPECT_EQ(labels[2], (DyadicInterval{2, 3}));
+  EXPECT_EQ(labels[3], (DyadicInterval{3, 1}));
+}
+
+TEST(DyadicTest, CoverIsMinimalForAlignedRange) {
+  // [0, 7] at max_level 3 is exactly one level-3 interval.
+  auto cover = DyadicCover(0, 7, 3);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], (DyadicInterval{3, 0}));
+}
+
+TEST(DyadicTest, CoverDecomposesUnalignedRange) {
+  // [1, 6]: {1}, [2,3], [4,5], {6} — 4 intervals.
+  auto cover = DyadicCover(1, 6, 4);
+  ASSERT_EQ(cover.size(), 4u);
+  EXPECT_EQ(cover[0], (DyadicInterval{0, 1}));
+  EXPECT_EQ(cover[1], (DyadicInterval{1, 1}));
+  EXPECT_EQ(cover[2], (DyadicInterval{1, 2}));
+  EXPECT_EQ(cover[3], (DyadicInterval{0, 6}));
+}
+
+TEST(DyadicTest, CoverQueryMatchesLabelsExactly) {
+  // Correctness contract: value v ∈ [lo, hi] ⇔ labels(v) ∩ cover(lo, hi) ≠ ∅.
+  constexpr int kMaxLevel = 6;
+  for (uint64_t lo = 0; lo < 40; lo += 7) {
+    for (uint64_t hi = lo; hi < 64; hi += 11) {
+      auto cover = DyadicCover(lo, hi, kMaxLevel);
+      for (uint64_t v = 0; v < 64; ++v) {
+        auto labels = DyadicLabels(v, kMaxLevel);
+        bool hit = false;
+        for (const auto& c : cover) {
+          for (const auto& l : labels) {
+            if (c == l) hit = true;
+          }
+        }
+        EXPECT_EQ(hit, v >= lo && v <= hi)
+            << "v=" << v << " range=[" << lo << "," << hi << "]";
+      }
+    }
+  }
+}
+
+TEST(DyadicTest, CoverSizeIsLogarithmic) {
+  // At most 2·(max_level+1) intervals for any range.
+  auto cover = DyadicCover(1, 1022, 10);
+  EXPECT_LE(cover.size(), 22u);
+}
+
+TEST(DyadicTest, LabelPacksLevelAndIndexDistinctly) {
+  EXPECT_NE((DyadicInterval{0, 5}).Label(), (DyadicInterval{1, 5}).Label());
+  EXPECT_NE((DyadicInterval{1, 5}).Label(), (DyadicInterval{1, 6}).Label());
+}
+
+}  // namespace
+}  // namespace ccf

@@ -1,0 +1,103 @@
+#include "sketch/attr_fingerprint.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sketch/attribute_schema.h"
+
+namespace ccf {
+namespace {
+
+TEST(AttributeSchemaTest, AnonymousSchemaNamesColumns) {
+  AttributeSchema schema = AttributeSchema::Anonymous(3);
+  EXPECT_EQ(schema.num_attrs(), 3);
+  EXPECT_EQ(schema.name(0), "a0");
+  EXPECT_EQ(schema.name(2), "a2");
+}
+
+TEST(AttributeSchemaTest, IndexOfFindsColumns) {
+  AttributeSchema schema({"kind_id", "production_year"});
+  EXPECT_EQ(*schema.IndexOf("kind_id"), 0);
+  EXPECT_EQ(*schema.IndexOf("production_year"), 1);
+  EXPECT_FALSE(schema.IndexOf("missing").ok());
+}
+
+class AttrFingerprintTest : public ::testing::Test {
+ protected:
+  Hasher hasher_{31};
+  AttrFingerprintCodec codec_{&hasher_, /*num_attrs=*/3, /*bits=*/8,
+                              /*small_value_opt=*/true};
+  BucketTable table_ = BucketTable::Make(8, 2, 8, 24).ValueOrDie();
+};
+
+TEST_F(AttrFingerprintTest, GeometryAccessors) {
+  EXPECT_EQ(codec_.num_attrs(), 3);
+  EXPECT_EQ(codec_.bits_per_attr(), 8);
+  EXPECT_EQ(codec_.vector_bits(), 24);
+}
+
+TEST_F(AttrFingerprintTest, EncodeMatchesValueFingerprints) {
+  std::vector<uint64_t> attrs = {4, 1000, 77};
+  std::vector<uint32_t> vec = codec_.Encode(attrs);
+  ASSERT_EQ(vec.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(vec[static_cast<size_t>(i)],
+              codec_.ValueFingerprint(attrs[static_cast<size_t>(i)]));
+  }
+}
+
+TEST_F(AttrFingerprintTest, StoreLoadRoundTrip) {
+  std::vector<uint64_t> attrs = {4, 123456, 255};
+  table_.Put(1, 0, 0x5);
+  codec_.Store(&table_, 1, 0, /*base=*/0, attrs);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(codec_.Load(table_, 1, 0, 0, i),
+              codec_.ValueFingerprint(attrs[static_cast<size_t>(i)]));
+  }
+}
+
+TEST_F(AttrFingerprintTest, EqualsStoredDetectsDifferences) {
+  std::vector<uint64_t> attrs = {4, 9, 77};
+  table_.Put(0, 0, 1);
+  codec_.Store(&table_, 0, 0, 0, attrs);
+  EXPECT_TRUE(codec_.EqualsStored(table_, 0, 0, 0, attrs));
+  std::vector<uint64_t> other = {4, 9, 78};
+  EXPECT_FALSE(codec_.EqualsStored(table_, 0, 0, 0, other));
+}
+
+TEST_F(AttrFingerprintTest, SmallValuesAreExactSoNoCollisions) {
+  // With the §9 optimization all values < 256 are distinct fingerprints.
+  for (uint64_t a = 0; a < 256; a += 17) {
+    for (uint64_t b = a + 1; b < 256; b += 23) {
+      EXPECT_NE(codec_.ValueFingerprint(a), codec_.ValueFingerprint(b));
+    }
+  }
+}
+
+TEST_F(AttrFingerprintTest, VectorsAtNonzeroBaseDoNotClobberEarlierBits) {
+  // Mixed CCF stores vectors at payload base 1 (after the mode bit).
+  AttrFingerprintCodec codec(&hasher_, 2, 8, true);
+  auto table = BucketTable::Make(4, 2, 8, 17).ValueOrDie();
+  table.Put(0, 0, 1);
+  table.SetPayloadField(0, 0, 0, 1, 1);  // mode bit set
+  std::vector<uint64_t> attrs = {200, 201};
+  codec.Store(&table, 0, 0, /*base=*/1, attrs);
+  EXPECT_EQ(table.GetPayloadField(0, 0, 0, 1), 1u);  // untouched
+  EXPECT_EQ(codec.Load(table, 0, 0, 1, 0), 200u);
+  EXPECT_EQ(codec.Load(table, 0, 0, 1, 1), 201u);
+}
+
+TEST(AttrFingerprintNarrowTest, FourBitFingerprints) {
+  Hasher hasher(11);
+  AttrFingerprintCodec codec(&hasher, 2, 4, true);
+  auto table = BucketTable::Make(4, 2, 8, 8).ValueOrDie();
+  table.Put(0, 0, 1);
+  std::vector<uint64_t> attrs = {15, 99999};
+  codec.Store(&table, 0, 0, 0, attrs);
+  EXPECT_EQ(codec.Load(table, 0, 0, 0, 0), 15u);
+  EXPECT_LT(codec.Load(table, 0, 0, 0, 1), 16u);
+}
+
+}  // namespace
+}  // namespace ccf

@@ -1,0 +1,119 @@
+#include "util/bit_vector.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace ccf {
+namespace {
+
+TEST(BitVectorTest, StartsZeroed) {
+  BitVector bits(130);
+  EXPECT_EQ(bits.size(), 130u);
+  for (size_t i = 0; i < bits.size(); ++i) {
+    EXPECT_FALSE(bits.GetBit(i)) << "bit " << i;
+  }
+  EXPECT_EQ(bits.PopCount(), 0u);
+}
+
+TEST(BitVectorTest, SetAndClearSingleBits) {
+  BitVector bits(200);
+  bits.SetBit(0, true);
+  bits.SetBit(63, true);
+  bits.SetBit(64, true);
+  bits.SetBit(199, true);
+  EXPECT_TRUE(bits.GetBit(0));
+  EXPECT_TRUE(bits.GetBit(63));
+  EXPECT_TRUE(bits.GetBit(64));
+  EXPECT_TRUE(bits.GetBit(199));
+  EXPECT_FALSE(bits.GetBit(1));
+  EXPECT_EQ(bits.PopCount(), 4u);
+  bits.SetBit(63, false);
+  EXPECT_FALSE(bits.GetBit(63));
+  EXPECT_EQ(bits.PopCount(), 3u);
+}
+
+TEST(BitVectorTest, FieldRoundTripAligned) {
+  BitVector bits(256);
+  bits.SetField(0, 16, 0xBEEF);
+  EXPECT_EQ(bits.GetField(0, 16), 0xBEEFu);
+  bits.SetField(64, 64, 0x0123456789ABCDEFull);
+  EXPECT_EQ(bits.GetField(64, 64), 0x0123456789ABCDEFull);
+}
+
+TEST(BitVectorTest, FieldRoundTripStraddlingWordBoundary) {
+  BitVector bits(256);
+  // 40-bit field starting at bit 50 crosses the 64-bit word boundary.
+  bits.SetField(50, 40, 0xABCDEF0123ull);
+  EXPECT_EQ(bits.GetField(50, 40), 0xABCDEF0123ull);
+  // Neighbours untouched.
+  EXPECT_EQ(bits.GetField(0, 50), 0u);
+  EXPECT_EQ(bits.GetField(90, 64), 0u);
+}
+
+TEST(BitVectorTest, FieldWriteMasksHighBits) {
+  BitVector bits(64);
+  bits.SetField(4, 8, 0xFFFFFF12);  // only low 8 bits should land
+  EXPECT_EQ(bits.GetField(4, 8), 0x12u);
+  EXPECT_EQ(bits.GetField(0, 4), 0u);
+  EXPECT_EQ(bits.GetField(12, 8), 0u);
+}
+
+TEST(BitVectorTest, OverwritingFieldReplacesOldValue) {
+  BitVector bits(128);
+  bits.SetField(30, 12, 0xFFF);
+  bits.SetField(30, 12, 0x421);
+  EXPECT_EQ(bits.GetField(30, 12), 0x421u);
+}
+
+TEST(BitVectorTest, ResizeShrinkClearsTail) {
+  BitVector bits(100);
+  for (size_t i = 0; i < 100; ++i) bits.SetBit(i, true);
+  bits.Resize(40);
+  EXPECT_EQ(bits.size(), 40u);
+  EXPECT_EQ(bits.PopCount(), 40u);
+  bits.Resize(100);
+  // Re-grown bits must be zero.
+  for (size_t i = 40; i < 100; ++i) EXPECT_FALSE(bits.GetBit(i));
+}
+
+TEST(BitVectorTest, ClearZeroesEverything) {
+  BitVector bits(77);
+  for (size_t i = 0; i < 77; i += 3) bits.SetBit(i, true);
+  bits.Clear();
+  EXPECT_EQ(bits.PopCount(), 0u);
+  EXPECT_EQ(bits.size(), 77u);
+}
+
+TEST(BitVectorTest, EqualityComparesContent) {
+  BitVector a(64), b(64);
+  EXPECT_EQ(a, b);
+  a.SetBit(10, true);
+  EXPECT_FALSE(a == b);
+  b.SetBit(10, true);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BitVectorTest, RandomizedFieldRoundTrips) {
+  Rng rng(42);
+  BitVector bits(4096);
+  // Write/read back random (pos, width, value) triples on a clean slate.
+  for (int iter = 0; iter < 2000; ++iter) {
+    int width = static_cast<int>(rng.NextBelow(64)) + 1;
+    size_t pos = rng.NextBelow(4096 - static_cast<uint64_t>(width));
+    uint64_t value = rng.Next();
+    bits.SetField(pos, width, value);
+    uint64_t mask = width == 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1;
+    ASSERT_EQ(bits.GetField(pos, width), value & mask)
+        << "pos=" << pos << " width=" << width;
+  }
+}
+
+TEST(BitVectorTest, SizeInBytesRoundsUpToWords) {
+  EXPECT_EQ(BitVector(1).SizeInBytes(), 8u);
+  EXPECT_EQ(BitVector(64).SizeInBytes(), 8u);
+  EXPECT_EQ(BitVector(65).SizeInBytes(), 16u);
+}
+
+}  // namespace
+}  // namespace ccf

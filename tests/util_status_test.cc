@@ -1,0 +1,97 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "util/result.h"
+
+namespace ccf {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::CapacityError("table full");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCapacityError);
+  EXPECT_EQ(st.message(), "table full");
+  EXPECT_EQ(st.ToString(), "CapacityError: table full");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::Invalid("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::KeyNotFound("x").code(), StatusCode::kKeyNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+Status FailsInner() { return Status::Invalid("inner"); }
+
+Status Propagates() {
+  CCF_RETURN_NOT_OK(FailsInner());
+  return Status::Internal("unreachable");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  Status st = Propagates();
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "inner");
+}
+
+Result<int> MakeValue(bool fail) {
+  if (fail) return Status::OutOfRange("nope");
+  return 42;
+}
+
+Result<int> Doubled(bool fail) {
+  CCF_ASSIGN_OR_RETURN(int v, MakeValue(fail));
+  return v * 2;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = MakeValue(false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = MakeValue(true);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, AssignOrReturnUnwrapsAndPropagates) {
+  Result<int> ok = Doubled(false);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 84);
+  Result<int> bad = Doubled(true);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, MoveOnlyValueWorks) {
+  struct MoveOnly {
+    explicit MoveOnly(int x) : v(x) {}
+    MoveOnly(MoveOnly&&) = default;
+    MoveOnly& operator=(MoveOnly&&) = default;
+    int v;
+  };
+  Result<MoveOnly> r = MoveOnly(7);
+  ASSERT_TRUE(r.ok());
+  MoveOnly m = std::move(r).ValueOrDie();
+  EXPECT_EQ(m.v, 7);
+}
+
+TEST(StatusCodeTest, NamesAreStable) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCapacityError), "CapacityError");
+}
+
+}  // namespace
+}  // namespace ccf

@@ -1,0 +1,145 @@
+#include "data/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace ccf {
+namespace {
+
+const ImdbDataset& Dataset() {
+  static const ImdbDataset* dataset = [] {
+    return new ImdbDataset(GenerateImdb(1.0 / 1024, 5).ValueOrDie());
+  }();
+  return *dataset;
+}
+
+std::vector<JoinQuery> DefaultWorkload() {
+  WorkloadConfig config;
+  return GenerateWorkload(Dataset(), config).ValueOrDie();
+}
+
+TEST(WorkloadTest, GeneratesSeventyQueries) {
+  auto queries = DefaultWorkload();
+  EXPECT_EQ(queries.size(), 70u);
+}
+
+TEST(WorkloadTest, InstanceCountMatchesPaper) {
+  // §10.3: 237 (query, base-table) instances across the 70 queries.
+  auto queries = DefaultWorkload();
+  size_t instances = 0;
+  for (const JoinQuery& q : queries) instances += q.tables.size();
+  EXPECT_EQ(instances, 237u);
+}
+
+TEST(WorkloadTest, EveryQueryJoinsTwoToFiveTablesIncludingTitle) {
+  for (const JoinQuery& q : DefaultWorkload()) {
+    EXPECT_GE(q.tables.size(), 2u) << q.ToString();
+    EXPECT_LE(q.tables.size(), 5u) << q.ToString();
+    EXPECT_TRUE(q.HasTable("title")) << q.ToString();
+    // No duplicate tables.
+    std::unordered_set<std::string> distinct(q.tables.begin(),
+                                             q.tables.end());
+    EXPECT_EQ(distinct.size(), q.tables.size()) << q.ToString();
+  }
+}
+
+TEST(WorkloadTest, FiftyFiveQueriesHaveYearRanges) {
+  int with_range = 0;
+  for (const JoinQuery& q : DefaultWorkload()) {
+    bool has = false;
+    for (const QueryPredicate& p : q.predicates) {
+      if (p.is_range) {
+        has = true;
+        EXPECT_EQ(p.table, "title");
+        EXPECT_EQ(p.column, "production_year");
+        EXPECT_LE(p.lo, p.hi);
+        EXPECT_GE(p.lo, kYearLo);
+        EXPECT_LE(p.hi, kYearHi);
+      }
+    }
+    if (has) ++with_range;
+  }
+  EXPECT_EQ(with_range, 55);
+}
+
+TEST(WorkloadTest, EveryQueryHasAtLeastOnePredicate) {
+  for (const JoinQuery& q : DefaultWorkload()) {
+    EXPECT_FALSE(q.predicates.empty()) << q.ToString();
+  }
+}
+
+TEST(WorkloadTest, PredicatesReferenceMemberTablesAndRealColumns) {
+  const ImdbDataset& d = Dataset();
+  for (const JoinQuery& q : DefaultWorkload()) {
+    for (const QueryPredicate& p : q.predicates) {
+      EXPECT_TRUE(q.HasTable(p.table)) << q.ToString();
+      const TableData* td = d.FindTable(p.table).ValueOrDie();
+      EXPECT_TRUE(td->table.ColumnIndex(p.column).ok())
+          << p.table << "." << p.column;
+    }
+  }
+}
+
+TEST(WorkloadTest, EqualityConstantsExistInData) {
+  // Constants are sampled from the columns, so scans must find matches —
+  // keeps selectivities realistic rather than vacuous.
+  const ImdbDataset& d = Dataset();
+  for (const JoinQuery& q : DefaultWorkload()) {
+    for (const QueryPredicate& p : q.predicates) {
+      if (p.is_range) continue;
+      const TableData* td = d.FindTable(p.table).ValueOrDie();
+      const auto& col = *td->table.column(p.column).ValueOrDie();
+      bool found = false;
+      for (uint64_t v : col) {
+        if (v == p.value) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << q.ToString();
+    }
+  }
+}
+
+TEST(WorkloadTest, PredicatesOnFiltersByTable) {
+  auto queries = DefaultWorkload();
+  for (const JoinQuery& q : queries) {
+    size_t total = 0;
+    for (const std::string& t : q.tables) {
+      for (const QueryPredicate* p : q.PredicatesOn(t)) {
+        EXPECT_EQ(p->table, t);
+        ++total;
+      }
+    }
+    EXPECT_EQ(total, q.predicates.size());
+  }
+}
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  WorkloadConfig config;
+  auto a = GenerateWorkload(Dataset(), config).ValueOrDie();
+  auto b = GenerateWorkload(Dataset(), config).ValueOrDie();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ToString(), b[i].ToString());
+  }
+  config.seed = 999;
+  auto c = GenerateWorkload(Dataset(), config).ValueOrDie();
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].ToString() != c[i].ToString()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(WorkloadTest, SmallerWorkloadsScaleMix) {
+  WorkloadConfig config;
+  config.num_queries = 10;
+  config.num_year_range_queries = 5;
+  auto queries = GenerateWorkload(Dataset(), config).ValueOrDie();
+  EXPECT_EQ(queries.size(), 10u);
+}
+
+}  // namespace
+}  // namespace ccf

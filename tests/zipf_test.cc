@@ -1,0 +1,84 @@
+#include "data/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ccf {
+namespace {
+
+TEST(ZipfMandelbrotTest, RejectsInvalidParameters) {
+  EXPECT_FALSE(ZipfMandelbrot::Make(1.0, 2.7, 0).ok());
+  EXPECT_FALSE(ZipfMandelbrot::Make(-1.0, 2.7, 10).ok());
+  EXPECT_FALSE(ZipfMandelbrot::Make(1.0, -2.0, 10).ok());
+}
+
+TEST(ZipfMandelbrotTest, SamplesStayInDomain) {
+  auto z = ZipfMandelbrot::Make(1.5, 2.7, 500).ValueOrDie();
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t x = z.Sample(rng);
+    ASSERT_GE(x, 1u);
+    ASSERT_LE(x, 500u);
+  }
+}
+
+TEST(ZipfMandelbrotTest, AlphaZeroIsUniform) {
+  auto z = ZipfMandelbrot::Make(0.0, 2.7, 10).ValueOrDie();
+  EXPECT_NEAR(z.Mean(), 5.5, 1e-9);
+  Rng rng(2);
+  std::vector<int> counts(11, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[z.Sample(rng)];
+  for (size_t v = 1; v <= 10; ++v) {
+    EXPECT_NEAR(counts[v], 5000, 400) << v;
+  }
+}
+
+TEST(ZipfMandelbrotTest, LargerAlphaSkewsTowardSmallValues) {
+  auto mild = ZipfMandelbrot::Make(0.5, 2.7, 500).ValueOrDie();
+  auto steep = ZipfMandelbrot::Make(3.0, 2.7, 500).ValueOrDie();
+  EXPECT_GT(mild.Mean(), steep.Mean());
+  EXPECT_LT(steep.Mean(), 5.0);
+}
+
+TEST(ZipfMandelbrotTest, EmpiricalMeanMatchesAnalytic) {
+  auto z = ZipfMandelbrot::Make(1.2, 2.7, 500).ValueOrDie();
+  Rng rng(3);
+  double sum = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += static_cast<double>(z.Sample(rng));
+  EXPECT_NEAR(sum / kN, z.Mean(), z.Mean() * 0.03);
+}
+
+TEST(ZipfMandelbrotTest, AlphaForMeanInvertsMean) {
+  // The paper's setup: fix c = 2.7, truncate to [1, 500], vary α to hit a
+  // target average number of duplicates.
+  for (double target : {2.0, 4.0, 8.0, 12.0}) {
+    double alpha = ZipfMandelbrot::AlphaForMean(target, 2.7, 500).ValueOrDie();
+    auto z = ZipfMandelbrot::Make(alpha, 2.7, 500).ValueOrDie();
+    EXPECT_NEAR(z.Mean(), target, target * 0.02) << "target " << target;
+  }
+}
+
+TEST(ZipfMandelbrotTest, AlphaForMeanEdgeCases) {
+  // Mean at or below 1 → maximal alpha (degenerate point mass).
+  double hi = ZipfMandelbrot::AlphaForMean(0.5, 2.7, 500).ValueOrDie();
+  EXPECT_GE(hi, 32.0);
+  // Mean at the uniform limit → alpha 0.
+  double lo = ZipfMandelbrot::AlphaForMean(250.5, 2.7, 500).ValueOrDie();
+  EXPECT_DOUBLE_EQ(lo, 0.0);
+}
+
+TEST(ZipfMandelbrotTest, HeadValuesDominateUnderSkew) {
+  auto z = ZipfMandelbrot::Make(2.0, 2.7, 500).ValueOrDie();
+  Rng rng(5);
+  int head = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    if (z.Sample(rng) <= 5) ++head;
+  }
+  EXPECT_GT(head, kN / 2);  // top-5 values carry most of the mass
+}
+
+}  // namespace
+}  // namespace ccf
