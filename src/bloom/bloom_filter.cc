@@ -53,6 +53,33 @@ bool BloomFilter::Contains(uint64_t item) const {
   return true;
 }
 
+void BloomFilter::ContainsBatch(std::span<const uint64_t> items,
+                                std::span<bool> out) const {
+  CCF_DCHECK(out.size() == items.size());
+  constexpr size_t kBlock = 128;
+  uint64_t h1s[kBlock];
+  uint64_t h2s[kBlock];
+  uint64_t m = bits_.size();
+  for (size_t base = 0; base < items.size(); base += kBlock) {
+    size_t n = std::min(kBlock, items.size() - base);
+    for (size_t i = 0; i < n; ++i) {
+      h1s[i] = hasher_.Hash(items[base + i], 0);
+      h2s[i] = hasher_.Hash(items[base + i], 1) | 1;
+      bits_.PrefetchBit(h1s[i] % m);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      bool hit = true;
+      for (int k = 0; k < num_hashes_; ++k) {
+        if (!bits_.GetBit((h1s[i] + static_cast<uint64_t>(k) * h2s[i]) % m)) {
+          hit = false;
+          break;
+        }
+      }
+      out[base + i] = hit;
+    }
+  }
+}
+
 double BloomFilter::EstimatedFpr() const {
   double fill = static_cast<double>(bits_.PopCount()) /
                 static_cast<double>(bits_.size());

@@ -5,6 +5,7 @@
 #define CCF_BLOOM_BLOOM_FILTER_H_
 
 #include <cstdint>
+#include <span>
 
 #include "hash/hasher.h"
 #include "util/bit_vector.h"
@@ -31,6 +32,13 @@ class BloomFilter {
 
   void Insert(uint64_t item);
   bool Contains(uint64_t item) const;
+
+  /// Batched Contains: out[i] = Contains(items[i]), bit-identical to the
+  /// scalar loop. Hashes a block of items up front and prefetches each
+  /// item's first probe line before resolving. Requires
+  /// out.size() == items.size().
+  void ContainsBatch(std::span<const uint64_t> items,
+                     std::span<bool> out) const;
 
   /// Expected FPR given the current fill: (set_bits / m)^k.
   double EstimatedFpr() const;

@@ -110,10 +110,31 @@ bool BloomCcf::Contains(uint64_t key, const Predicate& pred) const {
   uint64_t bucket;
   uint32_t fp;
   KeyAddress(key, &bucket, &fp);
-  for (const auto& [b, s] : SlotsWithFp(PairOf(bucket, fp), fp)) {
-    if (EntryMatches(b, s, pred)) return true;
-  }
-  return false;
+  return ContainsAddressed(bucket, fp, pred);
+}
+
+bool BloomCcf::ContainsAddressed(uint64_t bucket, uint32_t fp,
+                                 const Predicate& pred) const {
+  return ScanPairWithFp(PairOf(bucket, fp), fp,
+                        [&](uint64_t b, int s) {
+                          return EntryMatches(b, s, pred);
+                        })
+      .second;
+}
+
+void BloomCcf::LookupBatchBroadcast(std::span<const uint64_t> keys,
+                                    const Predicate& pred,
+                                    std::span<bool> out) const {
+  // Consumes the precomputed pair directly (no alt-bucket rehash). The
+  // per-entry sketch probes still hash per candidate; precomputing their
+  // bit positions per (term, value) is a noted follow-on.
+  BatchResolve(keys, out, [&](size_t, const BucketPair& pair, uint32_t fp) {
+    return ScanPairWithFp(pair, fp,
+                          [&](uint64_t b, int s) {
+                            return EntryMatches(b, s, pred);
+                          })
+        .second;
+  });
 }
 
 Result<std::unique_ptr<KeyFilter>> BloomCcf::PredicateQuery(

@@ -22,6 +22,8 @@ class BloomCcf : public CcfBase {
   Status Insert(uint64_t key, std::span<const uint64_t> attrs) override;
   bool ContainsKey(uint64_t key) const override;
   bool Contains(uint64_t key, const Predicate& pred) const override;
+  bool ContainsAddressed(uint64_t bucket, uint32_t fp,
+                         const Predicate& pred) const override;
 
   /// Algorithm 2 verbatim: erase non-matching entries, return the remaining
   /// key fingerprints as a plain cuckoo filter.
@@ -31,6 +33,11 @@ class BloomCcf : public CcfBase {
 
   /// Number of Bloom probes per item in the per-entry sketches.
   int sketch_hashes() const { return sketch_hashes_; }
+
+ protected:
+  void LookupBatchBroadcast(std::span<const uint64_t> keys,
+                            const Predicate& pred,
+                            std::span<bool> out) const override;
 
  private:
   BloomCcf(CcfConfig config, BucketTable table);

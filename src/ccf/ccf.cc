@@ -1,10 +1,14 @@
 #include "ccf/ccf.h"
 
+#include <algorithm>
+#include <cstring>
+
 #include "ccf/bloom_ccf.h"
 #include "ccf/ccf_base.h"
 #include "ccf/chained_ccf.h"
 #include "ccf/mixed_ccf.h"
 #include "ccf/plain_ccf.h"
+#include "ccf/sharded_ccf.h"
 
 namespace ccf {
 
@@ -20,6 +24,42 @@ std::string_view CcfVariantName(CcfVariant variant) {
       return "Mixed";
   }
   return "Unknown";
+}
+
+void KeyFilter::ContainsBatch(std::span<const uint64_t> keys,
+                              std::span<bool> out) const {
+  CCF_DCHECK(out.size() == keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) out[i] = Contains(keys[i]);
+}
+
+Status ValidateLookupBatchShape(size_t num_keys, size_t num_preds,
+                                size_t num_out) {
+  if (num_out != num_keys) {
+    return Status::Invalid("LookupBatch: out.size() must equal keys.size()");
+  }
+  if (num_preds != 1 && num_preds != num_keys) {
+    return Status::Invalid(
+        "LookupBatch: preds must hold 1 (broadcast) or keys.size() entries");
+  }
+  return Status::OK();
+}
+
+Status ConditionalCuckooFilter::LookupBatch(std::span<const uint64_t> keys,
+                                            std::span<const Predicate> preds,
+                                            std::span<bool> out) const {
+  CCF_RETURN_NOT_OK(
+      ValidateLookupBatchShape(keys.size(), preds.size(), out.size()));
+  const bool broadcast = preds.size() == 1;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    out[i] = Contains(keys[i], broadcast ? preds[0] : preds[i]);
+  }
+  return Status::OK();
+}
+
+void ConditionalCuckooFilter::ContainsKeyBatch(std::span<const uint64_t> keys,
+                                               std::span<bool> out) const {
+  CCF_DCHECK(out.size() == keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) out[i] = ContainsKey(keys[i]);
 }
 
 bool ConditionalCuckooFilter::ContainsRow(
@@ -150,6 +190,12 @@ Result<std::unique_ptr<ConditionalCuckooFilter>> DeserializeCcfImpl(
 
 Result<std::unique_ptr<ConditionalCuckooFilter>>
 ConditionalCuckooFilter::Deserialize(std::string_view data) {
+  // Sharded containers carry their own magic; peek and dispatch.
+  if (data.size() >= 4) {
+    uint32_t magic;
+    std::memcpy(&magic, data.data(), 4);
+    if (magic == ShardedCcf::kMagic) return ShardedCcf::Deserialize(data);
+  }
   return DeserializeCcfImpl(data);
 }
 
@@ -198,6 +244,37 @@ CcfBase::CcfBase(CcfConfig config, BucketTable table)
       hasher_(config.salt),
       rng_(config.salt ^ 0xd1b54a32d192ed03ull) {
   config_.num_buckets = table_.num_buckets();
+}
+
+Status CcfBase::LookupBatch(std::span<const uint64_t> keys,
+                            std::span<const Predicate> preds,
+                            std::span<bool> out) const {
+  CCF_RETURN_NOT_OK(
+      ValidateLookupBatchShape(keys.size(), preds.size(), out.size()));
+  if (preds.size() == 1) {
+    LookupBatchBroadcast(keys, preds[0], out);
+    return Status::OK();
+  }
+  BatchResolve(keys, out, [&](size_t i, const BucketPair& pair, uint32_t fp) {
+    return ContainsAddressed(pair.primary, fp, preds[i]);
+  });
+  return Status::OK();
+}
+
+void CcfBase::LookupBatchBroadcast(std::span<const uint64_t> keys,
+                                   const Predicate& pred,
+                                   std::span<bool> out) const {
+  BatchResolve(keys, out, [&](size_t, const BucketPair& pair, uint32_t fp) {
+    return ContainsAddressed(pair.primary, fp, pred);
+  });
+}
+
+void CcfBase::ContainsKeyBatch(std::span<const uint64_t> keys,
+                               std::span<bool> out) const {
+  CCF_DCHECK(out.size() == keys.size());
+  BatchResolve(keys, out, [&](size_t, const BucketPair& pair, uint32_t fp) {
+    return CountFpInPair(pair, fp) > 0;
+  });
 }
 
 void CcfBase::KeyAddress(uint64_t key, uint64_t* bucket, uint32_t* fp) const {
@@ -287,6 +364,32 @@ bool MarkedKeyFilter::Contains(uint64_t key) const {
   cuckoo_addressing::IndexAndFingerprint(hasher_, key, table_.bucket_mask(),
                                          table_.fingerprint_bits(), &bucket,
                                          &fp);
+  return ContainsAddressed(bucket, fp);
+}
+
+void MarkedKeyFilter::ContainsBatch(std::span<const uint64_t> keys,
+                                    std::span<bool> out) const {
+  CCF_DCHECK(out.size() == keys.size());
+  constexpr size_t kBatchBlock = 128;
+  uint64_t buckets[kBatchBlock];
+  uint32_t fps[kBatchBlock];
+  for (size_t base = 0; base < keys.size(); base += kBatchBlock) {
+    size_t n = std::min(kBatchBlock, keys.size() - base);
+    for (size_t i = 0; i < n; ++i) {
+      cuckoo_addressing::IndexAndFingerprint(
+          hasher_, keys[base + i], table_.bucket_mask(),
+          table_.fingerprint_bits(), &buckets[i], &fps[i]);
+      table_.PrefetchBucket(buckets[i]);
+      table_.PrefetchBucket(cuckoo_addressing::AltBucket(
+          hasher_, buckets[i], fps[i], table_.bucket_mask()));
+    }
+    for (size_t i = 0; i < n; ++i) {
+      out[base + i] = ContainsAddressed(buckets[i], fps[i]);
+    }
+  }
+}
+
+bool MarkedKeyFilter::ContainsAddressed(uint64_t bucket, uint32_t fp) const {
   ChainWalk walk(&hasher_, table_.bucket_mask(), bucket, fp);
   for (int hop = 0; hop < chain_cap_; ++hop) {
     const BucketPair& pair = walk.pair();

@@ -11,6 +11,7 @@
 #ifndef CCF_CCF_CCF_H_
 #define CCF_CCF_CCF_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -65,6 +66,11 @@ struct CcfConfig {
 /// Hard cap on chain walks when max_chain is 0 ("unbounded").
 inline constexpr int kHardChainCap = 64;
 
+/// Shared shape validation for LookupBatch implementations: out must match
+/// keys, preds must be broadcast (1) or per-key (keys.size()).
+Status ValidateLookupBatchShape(size_t num_keys, size_t num_preds,
+                                size_t num_out);
+
 /// \brief Result of a predicate-only query (Algorithm 2): a key-only filter
 /// for S_P = {k : (k, a) ∈ D, P(a) = true}, with no false negatives.
 class KeyFilter {
@@ -72,6 +78,12 @@ class KeyFilter {
   virtual ~KeyFilter() = default;
   virtual bool Contains(uint64_t key) const = 0;
   virtual uint64_t SizeInBits() const = 0;
+
+  /// Batched Contains: out[i] = Contains(keys[i]). The default is the
+  /// scalar loop; implementations override with prefetched two-pass
+  /// resolution. Requires out.size() == keys.size().
+  virtual void ContainsBatch(std::span<const uint64_t> keys,
+                             std::span<bool> out) const;
 };
 
 /// \brief Approximate membership filter for (key, predicate) queries.
@@ -99,6 +111,22 @@ class ConditionalCuckooFilter {
   /// Membership of key under an equality/in-list predicate (Algorithm 1 /
   /// Algorithm 5).
   virtual bool Contains(uint64_t key, const Predicate& pred) const = 0;
+
+  /// Batched Contains: out[i] = Contains(keys[i], pred_i), bit-identical to
+  /// the scalar loop. `preds` holds either one predicate applied to every
+  /// key (the join-pushdown pattern: millions of keys, one predicate) or
+  /// exactly keys.size() per-key predicates. The base implementation is the
+  /// scalar loop; CcfBase overrides it with a two-pass hot path that hashes
+  /// a block of keys up front and software-prefetches both candidate
+  /// buckets per key before resolving. Safe for concurrent readers.
+  virtual Status LookupBatch(std::span<const uint64_t> keys,
+                             std::span<const Predicate> preds,
+                             std::span<bool> out) const;
+
+  /// Batched ContainsKey with the same prefetched two-pass structure.
+  /// Requires out.size() == keys.size().
+  virtual void ContainsKeyBatch(std::span<const uint64_t> keys,
+                                std::span<bool> out) const;
 
   /// Convenience for Query(k, a): all attributes must match exactly.
   bool ContainsRow(uint64_t key, std::span<const uint64_t> attrs) const;

@@ -5,6 +5,7 @@
 #ifndef CCF_CCF_CCF_BASE_H_
 #define CCF_CCF_CCF_BASE_H_
 
+#include <algorithm>
 #include <string>
 #include <utility>
 #include <vector>
@@ -82,10 +83,78 @@ class CcfBase : public ConditionalCuckooFilter {
   const BucketTable& table() const { return table_; }
   const Hasher& hasher() const { return hasher_; }
 
+  /// Resolves Contains for a pre-hashed key: `bucket` and `fp` must come
+  /// from KeyAddress (equivalently cuckoo_addressing::IndexAndFingerprint
+  /// with this filter's hasher/geometry) for some key k; then
+  /// ContainsAddressed(bucket, fp, pred) == Contains(k, pred). This is the
+  /// second-pass hook of the batched hot path, also used by ShardedCcf.
+  virtual bool ContainsAddressed(uint64_t bucket, uint32_t fp,
+                                 const Predicate& pred) const = 0;
+
+  /// ContainsKey for a pre-hashed key (§7.1: identical for every variant —
+  /// the first bucket pair always holds a copy of a present key).
+  bool ContainsKeyAddressed(uint64_t bucket, uint32_t fp) const {
+    return CountFpInPair(PairOf(bucket, fp), fp) > 0;
+  }
+
+  /// Prefetched two-pass batch lookup (see ConditionalCuckooFilter): pass 1
+  /// hashes a block of keys and prefetches both buckets of each pair; pass
+  /// 2 resolves via ContainsAddressed. Bit-identical to the scalar loop.
+  /// The broadcast (single-predicate) shape additionally compiles the
+  /// predicate's value fingerprints once for the whole batch.
+  Status LookupBatch(std::span<const uint64_t> keys,
+                     std::span<const Predicate> preds,
+                     std::span<bool> out) const override;
+
+  /// Key-only membership is CountFpInPair > 0 for every variant (§7.1), so
+  /// the batched form lives here once.
+  void ContainsKeyBatch(std::span<const uint64_t> keys,
+                        std::span<bool> out) const override;
+
   std::string Serialize() const override;
 
  protected:
   CcfBase(CcfConfig config, BucketTable table);
+
+  /// Block size of the two-pass batch loop: small enough that the address
+  /// scratch and prefetched lines stay cached, large enough that a
+  /// DRAM-latency prefetch has completed by the time pass 2 reaches it
+  /// (measured best among 64/128/256/512 and a constant-distance ring).
+  static constexpr size_t kBatchBlock = 128;
+
+  /// The shared two-pass skeleton: per block, pass 1 computes the bucket
+  /// pair and fingerprint of every key and prefetches both buckets; pass 2
+  /// invokes `resolve(index, pair, fp)` with the lines (likely) cached.
+  /// The pair is handed through so resolvers that can consume it directly
+  /// (the variant broadcast overrides) skip the alt-bucket rehash; the
+  /// generic per-key-predicate fallback still resolves via
+  /// ContainsAddressed(bucket, fp, ...) and re-derives it.
+  template <typename Resolver>
+  void BatchResolve(std::span<const uint64_t> keys, std::span<bool> out,
+                    Resolver&& resolve) const {
+    BucketPair pairs[kBatchBlock];
+    uint32_t fps[kBatchBlock];
+    for (size_t base = 0; base < keys.size(); base += kBatchBlock) {
+      size_t n = std::min(kBatchBlock, keys.size() - base);
+      for (size_t i = 0; i < n; ++i) {
+        uint64_t bucket;
+        KeyAddress(keys[base + i], &bucket, &fps[i]);
+        pairs[i] = PairOf(bucket, fps[i]);
+        table_.PrefetchBucket(pairs[i].primary);
+        if (!pairs[i].degenerate()) table_.PrefetchBucket(pairs[i].alt);
+      }
+      for (size_t i = 0; i < n; ++i) {
+        out[base + i] = resolve(base + i, pairs[i], fps[i]);
+      }
+    }
+  }
+
+  /// Broadcast-shape hook of LookupBatch: one predicate, every key. The
+  /// default resolves through ContainsAddressed; fingerprint-vector
+  /// variants override it to match against a once-compiled predicate.
+  virtual void LookupBatchBroadcast(std::span<const uint64_t> keys,
+                                    const Predicate& pred,
+                                    std::span<bool> out) const;
 
   /// Variant-specific serialized state (counters etc.). Defaults to none.
   virtual void SaveExtras(ByteWriter* writer) const { (void)writer; }
@@ -118,6 +187,34 @@ class CcfBase : public ConditionalCuckooFilter {
                                                     uint32_t fp) const;
 
   int CountFpInPair(const BucketPair& pair, uint32_t fp) const;
+
+  /// Allocation-free pair scan for the query hot path: calls
+  /// `matches(bucket, slot)` on every occupied slot of the pair holding
+  /// `fp`, short-circuiting on the first true. Returns {copies seen so
+  /// far, matched}; when matched is false the count covers the whole pair
+  /// (the chained variant's saturation test). Unlike SlotsWithFp this
+  /// never touches the heap — per-query allocations would dominate the
+  /// batched path's prefetch win.
+  template <typename EntryMatcher>
+  std::pair<int, bool> ScanPairWithFp(const BucketPair& pair, uint32_t fp,
+                                      EntryMatcher&& matches) const {
+    int count = 0;
+    auto scan = [&](uint64_t b) -> bool {
+      // Fingerprint-first: the slots line must be read anyway, while the
+      // occupancy line is only consulted on a fingerprint hit (erased
+      // slots read 0, so occupancy stays authoritative).
+      for (int s = 0; s < table_.slots_per_bucket(); ++s) {
+        if (table_.fingerprint_any(b, s) == fp && table_.occupied(b, s)) {
+          ++count;
+          if (matches(b, s)) return true;
+        }
+      }
+      return false;
+    };
+    if (scan(pair.primary)) return {count, true};
+    if (!pair.degenerate() && scan(pair.alt)) return {count, true};
+    return {count, false};
+  }
 
   /// First free slot in the pair (primary preferred); slot == -1 if full.
   std::pair<uint64_t, int> FreeSlotInPair(const BucketPair& pair) const;
@@ -248,11 +345,15 @@ class MarkedKeyFilter : public KeyFilter {
                   int max_dupes, int chain_cap, bool chain_on_full_pair);
 
   bool Contains(uint64_t key) const override;
+  void ContainsBatch(std::span<const uint64_t> keys,
+                     std::span<bool> out) const override;
   uint64_t SizeInBits() const override {
     return table_.SizeInBits() + marks_.size();
   }
 
  private:
+  bool ContainsAddressed(uint64_t bucket, uint32_t fp) const;
+
   BucketTable table_;
   BitVector marks_;
   Hasher hasher_;
@@ -267,6 +368,10 @@ class CuckooKeyFilter : public KeyFilter {
  public:
   explicit CuckooKeyFilter(CuckooFilter filter) : filter_(std::move(filter)) {}
   bool Contains(uint64_t key) const override { return filter_.Contains(key); }
+  void ContainsBatch(std::span<const uint64_t> keys,
+                     std::span<bool> out) const override {
+    filter_.ContainsBatch(keys, out);
+  }
   uint64_t SizeInBits() const override { return filter_.SizeInBits(); }
   const CuckooFilter& filter() const { return filter_; }
 

@@ -1,5 +1,7 @@
 #include "ccf/chained_ccf.h"
 
+#include <optional>
+
 #include "ccf/entry_match.h"
 
 namespace ccf {
@@ -78,25 +80,29 @@ bool ChainedCcf::Contains(uint64_t key, const Predicate& pred) const {
   uint64_t bucket;
   uint32_t fp;
   KeyAddress(key, &bucket, &fp);
+  return ContainsAddressed(bucket, fp, pred);
+}
 
-  ChainWalk walk(&hasher_, table_.bucket_mask(), bucket, fp);
-  for (int hop = 0; hop < ChainCap(); ++hop) {
-    const BucketPair& pair = walk.pair();
-    auto slots = SlotsWithFp(pair, fp);
-    for (const auto& [b, s] : slots) {
-      if (VectorEntryMatches(table_, b, s, /*base=*/0, codec_, pred)) {
-        return true;
-      }
-    }
-    if (static_cast<int>(slots.size()) == config_.max_dupes) {
-      walk.Advance();  // exactly d copies: the chain may continue
-      continue;
-    }
-    return false;
-  }
-  // Lmax pairs checked, all holding d copies: true regardless of predicate
-  // (Algorithm 5's terminal case).
-  return true;
+bool ChainedCcf::ContainsAddressed(uint64_t bucket, uint32_t fp,
+                                   const Predicate& pred) const {
+  return WalkContains(PairOf(bucket, fp), fp, [&](uint64_t b, int s) {
+    return VectorEntryMatches(table_, b, s, /*base=*/0, codec_, pred);
+  });
+}
+
+void ChainedCcf::LookupBatchBroadcast(std::span<const uint64_t> keys,
+                                      const Predicate& pred,
+                                      std::span<bool> out) const {
+  // One predicate for the whole batch: hash its values once, compare raw
+  // fingerprints per entry.
+  CompiledVectorPredicate compiled =
+      CompiledVectorPredicate::Compile(codec_, pred);
+  BatchResolve(keys, out, [&](size_t, const BucketPair& pair, uint32_t fp) {
+    return WalkContains(pair, fp, [&](uint64_t b, int s) {
+      return VectorEntryMatchesCompiled(table_, b, s, /*base=*/0, codec_,
+                                        compiled);
+    });
+  });
 }
 
 Result<std::unique_ptr<KeyFilter>> ChainedCcf::PredicateQuery(

@@ -6,6 +6,7 @@
 #define CCF_CCF_CHAINED_CCF_H_
 
 #include <memory>
+#include <optional>
 
 #include "ccf/ccf_base.h"
 
@@ -29,6 +30,8 @@ class ChainedCcf : public CcfBase {
 
   bool ContainsKey(uint64_t key) const override;
   bool Contains(uint64_t key, const Predicate& pred) const override;
+  bool ContainsAddressed(uint64_t bucket, uint32_t fp,
+                         const Predicate& pred) const override;
   Result<std::unique_ptr<KeyFilter>> PredicateQuery(
       const Predicate& pred) const override;
   CcfVariant variant() const override { return CcfVariant::kChained; }
@@ -40,11 +43,42 @@ class ChainedCcf : public CcfBase {
   int max_chain_seen() const { return max_chain_seen_; }
 
  protected:
+  void LookupBatchBroadcast(std::span<const uint64_t> keys,
+                            const Predicate& pred,
+                            std::span<bool> out) const override;
   void SaveExtras(ByteWriter* writer) const override;
   Status LoadExtras(ByteReader* reader) override;
 
  private:
   ChainedCcf(CcfConfig config, BucketTable table);
+
+  /// Algorithm 5's walk with a pluggable entry matcher (raw predicate or
+  /// precompiled fingerprints), starting from the key's already-computed
+  /// first pair. The ChainWalk is only materialized once the first pair is
+  /// saturated, keeping the common case allocation-free.
+  template <typename EntryMatcher>
+  bool WalkContains(BucketPair first_pair, uint32_t fp,
+                    EntryMatcher&& matches) const {
+    std::optional<ChainWalk> walk;
+    BucketPair pair = first_pair;
+    for (int hop = 0; hop < ChainCap(); ++hop) {
+      if (hop > 0) pair = walk->pair();
+      auto [count, matched] = ScanPairWithFp(pair, fp, matches);
+      if (matched) return true;
+      if (count != config_.max_dupes) return false;
+      if (hop + 1 < ChainCap()) {
+        // Exactly d copies: the chain may continue at the next pair.
+        if (!walk) {
+          walk.emplace(&hasher_, table_.bucket_mask(), first_pair.primary,
+                       fp);
+        }
+        walk->Advance();
+      }
+    }
+    // Lmax pairs checked, all holding d copies: true regardless of
+    // predicate (Algorithm 5's terminal case).
+    return true;
+  }
 
   AttrFingerprintCodec codec_;
   uint64_t num_overflow_rows_ = 0;

@@ -10,6 +10,55 @@
 
 namespace ccf {
 
+/// A predicate compiled against a codec: every term's in-list value
+/// fingerprints are precomputed. The broadcast batch path compiles once per
+/// batch instead of hashing the same predicate values once per candidate
+/// entry — for a million-key probe that removes millions of redundant
+/// hashes, which would otherwise dominate the prefetched resolution pass.
+struct CompiledVectorPredicate {
+  struct Term {
+    int attr_index = 0;
+    std::vector<uint32_t> fps;
+  };
+  std::vector<Term> terms;
+
+  static CompiledVectorPredicate Compile(const AttrFingerprintCodec& codec,
+                                         const Predicate& pred) {
+    CompiledVectorPredicate out;
+    out.terms.reserve(pred.terms().size());
+    for (const AttributeTerm& term : pred.terms()) {
+      Term t;
+      t.attr_index = term.attr_index;
+      t.fps.reserve(term.values.size());
+      for (uint64_t v : term.values) {
+        t.fps.push_back(codec.ValueFingerprint(v));
+      }
+      out.terms.push_back(std::move(t));
+    }
+    return out;
+  }
+};
+
+/// VectorEntryMatches against precompiled term fingerprints; answers are
+/// identical because matching only ever compares value fingerprints.
+inline bool VectorEntryMatchesCompiled(const BucketTable& table,
+                                       uint64_t bucket, int slot, int base,
+                                       const AttrFingerprintCodec& codec,
+                                       const CompiledVectorPredicate& pred) {
+  for (const CompiledVectorPredicate::Term& term : pred.terms) {
+    uint32_t stored = codec.Load(table, bucket, slot, base, term.attr_index);
+    bool any = false;
+    for (uint32_t fp : term.fps) {
+      if (fp == stored) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return false;
+  }
+  return true;
+}
+
 /// True if the fingerprint vector stored at (bucket, slot) — payload offset
 /// `base` — satisfies every term of `pred`.
 inline bool VectorEntryMatches(const BucketTable& table, uint64_t bucket,

@@ -196,21 +196,31 @@ bool MixedCcf::Contains(uint64_t key, const Predicate& pred) const {
   uint64_t bucket;
   uint32_t fp;
   KeyAddress(key, &bucket, &fp);
-  BucketPair pair = PairOf(bucket, fp);
+  return ContainsAddressed(bucket, fp, pred);
+}
 
-  auto slots = SlotsWithFp(pair, fp);
-  bool any_converted = false;
-  for (const auto& [b, s] : slots) {
-    if (IsConverted(b, s)) {
-      any_converted = true;
-    } else if (VectorEntryMatches(table_, b, s, vec_base_, codec_, pred)) {
-      return true;
-    }
-  }
-  if (any_converted) {
-    return SketchMatches(FragmentSketch(CanonicalFragments(pair, fp)), pred);
-  }
-  return false;
+bool MixedCcf::ContainsAddressed(uint64_t bucket, uint32_t fp,
+                                 const Predicate& pred) const {
+  return ResolveAddressed(PairOf(bucket, fp), fp, pred,
+                          [&](uint64_t b, int s) {
+                            return VectorEntryMatches(table_, b, s, vec_base_,
+                                                      codec_, pred);
+                          });
+}
+
+void MixedCcf::LookupBatchBroadcast(std::span<const uint64_t> keys,
+                                    const Predicate& pred,
+                                    std::span<bool> out) const {
+  // One predicate for the whole batch: hash its values once, compare raw
+  // fingerprints per entry (converted keys still take the sketch path).
+  CompiledVectorPredicate compiled =
+      CompiledVectorPredicate::Compile(codec_, pred);
+  BatchResolve(keys, out, [&](size_t, const BucketPair& pair, uint32_t fp) {
+    return ResolveAddressed(pair, fp, pred, [&](uint64_t b, int s) {
+      return VectorEntryMatchesCompiled(table_, b, s, vec_base_, codec_,
+                                        compiled);
+    });
+  });
 }
 
 Result<std::unique_ptr<KeyFilter>> MixedCcf::PredicateQuery(

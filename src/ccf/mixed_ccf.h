@@ -36,6 +36,8 @@ class MixedCcf : public CcfBase {
   Status Insert(uint64_t key, std::span<const uint64_t> attrs) override;
   bool ContainsKey(uint64_t key) const override;
   bool Contains(uint64_t key, const Predicate& pred) const override;
+  bool ContainsAddressed(uint64_t bucket, uint32_t fp,
+                         const Predicate& pred) const override;
   Result<std::unique_ptr<KeyFilter>> PredicateQuery(
       const Predicate& pred) const override;
   CcfVariant variant() const override { return CcfVariant::kMixed; }
@@ -47,6 +49,9 @@ class MixedCcf : public CcfBase {
   int conversion_hashes() const { return conversion_hashes_; }
 
  protected:
+  void LookupBatchBroadcast(std::span<const uint64_t> keys,
+                            const Predicate& pred,
+                            std::span<bool> out) const override;
   void SaveExtras(ByteWriter* writer) const override;
   Status LoadExtras(ByteReader* reader) override;
 
@@ -85,6 +90,31 @@ class MixedCcf : public CcfBase {
                          std::span<const uint64_t> attrs) const;
   bool SketchMatches(const BloomSketchView& sketch,
                      const Predicate& pred) const;
+
+  /// Contains resolution with a pluggable vector-entry matcher; converted
+  /// keys fall back to the (rare) packed-sketch path, which always
+  /// evaluates the raw predicate.
+  template <typename EntryMatcher>
+  bool ResolveAddressed(const BucketPair& pair, uint32_t fp,
+                        const Predicate& pred,
+                        EntryMatcher&& matches) const {
+    bool any_converted = false;
+    auto [count, matched] = ScanPairWithFp(
+        pair, fp, [&](uint64_t b, int s) {
+          if (IsConverted(b, s)) {
+            any_converted = true;
+            return false;
+          }
+          return matches(b, s);
+        });
+    (void)count;
+    if (matched) return true;
+    if (any_converted) {
+      return SketchMatches(FragmentSketch(CanonicalFragments(pair, fp)),
+                           pred);
+    }
+    return false;
+  }
 
   AttrFingerprintCodec codec_;
   int seq_bits_;

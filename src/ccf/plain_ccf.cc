@@ -58,12 +58,34 @@ bool PlainCcf::Contains(uint64_t key, const Predicate& pred) const {
   uint64_t bucket;
   uint32_t fp;
   KeyAddress(key, &bucket, &fp);
-  for (const auto& [b, s] : SlotsWithFp(PairOf(bucket, fp), fp)) {
-    if (VectorEntryMatches(table_, b, s, /*base=*/0, codec_, pred)) {
-      return true;
-    }
-  }
-  return false;
+  return ContainsAddressed(bucket, fp, pred);
+}
+
+bool PlainCcf::ContainsAddressed(uint64_t bucket, uint32_t fp,
+                                 const Predicate& pred) const {
+  return ScanPairWithFp(PairOf(bucket, fp), fp,
+                        [&](uint64_t b, int s) {
+                          return VectorEntryMatches(table_, b, s, /*base=*/0,
+                                                    codec_, pred);
+                        })
+      .second;
+}
+
+void PlainCcf::LookupBatchBroadcast(std::span<const uint64_t> keys,
+                                    const Predicate& pred,
+                                    std::span<bool> out) const {
+  // One predicate for the whole batch: hash its values once, compare raw
+  // fingerprints per entry.
+  CompiledVectorPredicate compiled =
+      CompiledVectorPredicate::Compile(codec_, pred);
+  BatchResolve(keys, out, [&](size_t, const BucketPair& pair, uint32_t fp) {
+    return ScanPairWithFp(pair, fp,
+                          [&](uint64_t b, int s) {
+                            return VectorEntryMatchesCompiled(
+                                table_, b, s, /*base=*/0, codec_, compiled);
+                          })
+        .second;
+  });
 }
 
 Result<std::unique_ptr<KeyFilter>> PlainCcf::PredicateQuery(

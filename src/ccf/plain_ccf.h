@@ -21,9 +21,16 @@ class PlainCcf : public CcfBase {
   Status Insert(uint64_t key, std::span<const uint64_t> attrs) override;
   bool ContainsKey(uint64_t key) const override;
   bool Contains(uint64_t key, const Predicate& pred) const override;
+  bool ContainsAddressed(uint64_t bucket, uint32_t fp,
+                         const Predicate& pred) const override;
   Result<std::unique_ptr<KeyFilter>> PredicateQuery(
       const Predicate& pred) const override;
   CcfVariant variant() const override { return CcfVariant::kPlain; }
+
+ protected:
+  void LookupBatchBroadcast(std::span<const uint64_t> keys,
+                            const Predicate& pred,
+                            std::span<bool> out) const override;
 
  private:
   PlainCcf(CcfConfig config, BucketTable table);

@@ -1,0 +1,374 @@
+#include "ccf/sharded_ccf.h"
+
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "cuckoo/cuckoo_filter.h"
+#include "util/math_util.h"
+
+namespace ccf {
+
+namespace {
+
+constexpr uint32_t kShardedMagic = ShardedCcf::kMagic;
+
+// Salt stream for shard routing; must stay uncorrelated with the in-shard
+// addressing hash (Hash(key, 0) under config.salt), which the distinct salt
+// guarantees.
+constexpr uint64_t kShardSaltMix = 0x517cc1b727220a95ull;
+
+/// \brief Key filter over per-shard derived filters, routed like the source.
+class ShardedKeyFilter : public KeyFilter {
+ public:
+  ShardedKeyFilter(std::vector<std::unique_ptr<KeyFilter>> shards,
+                   Hasher shard_hasher, uint64_t shard_mask)
+      : shards_(std::move(shards)),
+        shard_hasher_(shard_hasher),
+        shard_mask_(shard_mask) {}
+
+  bool Contains(uint64_t key) const override {
+    return shards_[shard_hasher_.Hash(key, 0) & shard_mask_]->Contains(key);
+  }
+
+  void ContainsBatch(std::span<const uint64_t> keys,
+                     std::span<bool> out) const override {
+    // Gather per shard, delegate to each derived filter's own batched
+    // (prefetched) path, scatter back — mirroring ShardedCcf::LookupBatch.
+    CCF_DCHECK(out.size() == keys.size());
+    std::vector<std::vector<uint64_t>> shard_keys(shards_.size());
+    std::vector<std::vector<size_t>> shard_pos(shards_.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      size_t s = shard_hasher_.Hash(keys[i], 0) & shard_mask_;
+      shard_keys[s].push_back(keys[i]);
+      shard_pos[s].push_back(i);
+    }
+    std::unique_ptr<bool[]> shard_out;
+    size_t cap = 0;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      size_t n = shard_keys[s].size();
+      if (n == 0) continue;
+      if (n > cap) {
+        shard_out.reset(new bool[n]);
+        cap = n;
+      }
+      shards_[s]->ContainsBatch(shard_keys[s],
+                                std::span<bool>(shard_out.get(), n));
+      for (size_t j = 0; j < n; ++j) out[shard_pos[s][j]] = shard_out[j];
+    }
+  }
+
+  uint64_t SizeInBits() const override {
+    uint64_t bits = 0;
+    for (const auto& s : shards_) bits += s->SizeInBits();
+    return bits;
+  }
+
+ private:
+  std::vector<std::unique_ptr<KeyFilter>> shards_;
+  Hasher shard_hasher_;
+  uint64_t shard_mask_;
+};
+
+}  // namespace
+
+ShardedCcf::ShardedCcf(
+    std::vector<std::unique_ptr<ConditionalCuckooFilter>> shards,
+    ShardedCcfOptions options)
+    : shards_(std::move(shards)),
+      options_(options),
+      shard_mask_(shards_.size() - 1),
+      shard_hasher_(shards_[0]->config().salt ^ kShardSaltMix) {
+  bases_.reserve(shards_.size());
+  for (const auto& s : shards_) {
+    bases_.push_back(static_cast<const CcfBase*>(s.get()));
+  }
+}
+
+Result<std::unique_ptr<ShardedCcf>> ShardedCcf::Make(
+    CcfVariant variant, const CcfConfig& config,
+    const ShardedCcfOptions& options) {
+  if (options.num_shards < 1 || options.num_shards > 4096) {
+    return Status::Invalid("num_shards must be in [1, 4096]");
+  }
+  ShardedCcfOptions opts = options;
+  opts.num_shards = static_cast<int>(
+      NextPowerOfTwo(static_cast<uint64_t>(options.num_shards)));
+
+  CcfConfig shard_config = config;
+  shard_config.num_buckets =
+      std::max<uint64_t>(1, config.num_buckets /
+                                static_cast<uint64_t>(opts.num_shards));
+  std::vector<std::unique_ptr<ConditionalCuckooFilter>> shards;
+  shards.reserve(static_cast<size_t>(opts.num_shards));
+  for (int i = 0; i < opts.num_shards; ++i) {
+    CCF_ASSIGN_OR_RETURN(std::unique_ptr<ConditionalCuckooFilter> shard,
+                         ConditionalCuckooFilter::Make(variant, shard_config));
+    shards.push_back(std::move(shard));
+  }
+  return std::unique_ptr<ShardedCcf>(
+      new ShardedCcf(std::move(shards), opts));
+}
+
+Status ShardedCcf::Insert(uint64_t key, std::span<const uint64_t> attrs) {
+  return shards_[ShardOf(key)]->Insert(key, attrs);
+}
+
+Status ShardedCcf::InsertParallel(std::span<const uint64_t> keys,
+                                  std::span<const uint64_t> attrs,
+                                  int num_threads) {
+  int num_attrs = config().num_attrs;
+  if (attrs.size() != keys.size() * static_cast<size_t>(num_attrs)) {
+    return Status::Invalid(
+        "InsertParallel: attrs must hold keys.size() * num_attrs values");
+  }
+  // Partition row indices by shard (insertion order preserved per shard).
+  std::vector<std::vector<size_t>> per_shard(shards_.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    per_shard[ShardOf(keys[i])].push_back(i);
+  }
+
+  int threads = num_threads > 0 ? num_threads : options_.build_threads;
+  if (threads <= 0) threads = static_cast<int>(shards_.size());
+  threads = std::min<int>(threads, static_cast<int>(shards_.size()));
+
+  Status first_error = Status::OK();
+  std::mutex error_mu;
+  auto build_stripe = [&](int t) {
+    for (size_t s = static_cast<size_t>(t); s < shards_.size();
+         s += static_cast<size_t>(threads)) {
+      for (size_t i : per_shard[s]) {
+        Status st = shards_[s]->Insert(
+            keys[i], attrs.subspan(i * static_cast<size_t>(num_attrs),
+                                   static_cast<size_t>(num_attrs)));
+        if (!st.ok()) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (first_error.ok()) first_error = std::move(st);
+          break;  // this shard stops; the stripe's other shards still build
+        }
+      }
+    }
+  };
+
+  if (threads <= 1) {
+    build_stripe(0);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) workers.emplace_back(build_stripe, t);
+    for (auto& w : workers) w.join();
+  }
+  return first_error;
+}
+
+bool ShardedCcf::ContainsKey(uint64_t key) const {
+  return shards_[ShardOf(key)]->ContainsKey(key);
+}
+
+bool ShardedCcf::Contains(uint64_t key, const Predicate& pred) const {
+  return shards_[ShardOf(key)]->Contains(key, pred);
+}
+
+namespace {
+
+constexpr size_t kShardBatchBlock = 128;
+
+// Shared two-pass skeleton over the shard set: pass 1 computes each key's
+// shard and (bucket, fp) with shard 0's hasher (all shards share salt and
+// geometry, so one address computation serves whichever shard the key
+// routes to) and prefetches both buckets of the pair in the target shard;
+// pass 2 calls resolve(index, shard, bucket, fp) with the lines (likely)
+// cached.
+template <typename Resolver>
+void ShardedTwoPass(const ShardedCcf& self,
+                    const std::vector<const CcfBase*>& bases,
+                    std::span<const uint64_t> keys, Resolver&& resolve) {
+  const CcfBase& rep = *bases[0];
+  size_t shard_idx[kShardBatchBlock];
+  uint64_t buckets[kShardBatchBlock];
+  uint32_t fps[kShardBatchBlock];
+  for (size_t base = 0; base < keys.size(); base += kShardBatchBlock) {
+    size_t n = std::min(kShardBatchBlock, keys.size() - base);
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t key = keys[base + i];
+      shard_idx[i] = self.ShardOf(key);
+      cuckoo_addressing::IndexAndFingerprint(
+          rep.hasher(), key, rep.table().bucket_mask(),
+          rep.config().key_fp_bits, &buckets[i], &fps[i]);
+      const BucketTable& table = bases[shard_idx[i]]->table();
+      table.PrefetchBucket(buckets[i]);
+      uint64_t alt = cuckoo_addressing::AltBucket(
+          rep.hasher(), buckets[i], fps[i], table.bucket_mask());
+      if (alt != buckets[i]) table.PrefetchBucket(alt);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      resolve(base + i, shard_idx[i], buckets[i], fps[i]);
+    }
+  }
+}
+
+}  // namespace
+
+Status ShardedCcf::LookupBatch(std::span<const uint64_t> keys,
+                               std::span<const Predicate> preds,
+                               std::span<bool> out) const {
+  CCF_RETURN_NOT_OK(
+      ValidateLookupBatchShape(keys.size(), preds.size(), out.size()));
+
+  if (preds.size() == 1) {
+    // Broadcast: gather keys per shard and delegate to each shard's own
+    // batch hot path (which prefetches and compiles the predicate once),
+    // then scatter the answers back. The gather/scatter passes are pure
+    // L1-resident index work — far cheaper than the per-key rehash the
+    // generic route would pay.
+    std::vector<std::vector<uint64_t>> shard_keys(shards_.size());
+    std::vector<std::vector<size_t>> shard_pos(shards_.size());
+    size_t expect = keys.size() / shards_.size() + 16;
+    for (auto& v : shard_keys) v.reserve(expect);
+    for (auto& v : shard_pos) v.reserve(expect);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      size_t s = ShardOf(keys[i]);
+      shard_keys[s].push_back(keys[i]);
+      shard_pos[s].push_back(i);
+    }
+    std::unique_ptr<bool[]> shard_out;
+    size_t cap = 0;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      size_t n = shard_keys[s].size();
+      if (n == 0) continue;
+      if (n > cap) {
+        shard_out.reset(new bool[n]);
+        cap = n;
+      }
+      CCF_RETURN_NOT_OK(shards_[s]->LookupBatch(
+          shard_keys[s], preds, std::span<bool>(shard_out.get(), n)));
+      for (size_t j = 0; j < n; ++j) out[shard_pos[s][j]] = shard_out[j];
+    }
+    return Status::OK();
+  }
+
+  // Per-key predicates: resolve in place through the shared skeleton.
+  ShardedTwoPass(*this, bases_, keys,
+                 [&](size_t i, size_t s, uint64_t bucket, uint32_t fp) {
+                   out[i] = bases_[s]->ContainsAddressed(bucket, fp,
+                                                         preds[i]);
+                 });
+  return Status::OK();
+}
+
+void ShardedCcf::ContainsKeyBatch(std::span<const uint64_t> keys,
+                                  std::span<bool> out) const {
+  CCF_DCHECK(out.size() == keys.size());
+  ShardedTwoPass(*this, bases_, keys,
+                 [&](size_t i, size_t s, uint64_t bucket, uint32_t fp) {
+                   out[i] = bases_[s]->ContainsKeyAddressed(bucket, fp);
+                 });
+}
+
+Result<std::unique_ptr<KeyFilter>> ShardedCcf::PredicateQuery(
+    const Predicate& pred) const {
+  std::vector<std::unique_ptr<KeyFilter>> derived;
+  derived.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    CCF_ASSIGN_OR_RETURN(std::unique_ptr<KeyFilter> kf,
+                         shard->PredicateQuery(pred));
+    derived.push_back(std::move(kf));
+  }
+  return std::unique_ptr<KeyFilter>(new ShardedKeyFilter(
+      std::move(derived), shard_hasher_, shard_mask_));
+}
+
+uint64_t ShardedCcf::SizeInBits() const {
+  uint64_t bits = 0;
+  for (const auto& s : shards_) bits += s->SizeInBits();
+  return bits;
+}
+
+double ShardedCcf::LoadFactor() const {
+  // Shards share geometry, so the global load factor is the shard mean.
+  double sum = 0;
+  for (const auto& s : shards_) sum += s->LoadFactor();
+  return sum / static_cast<double>(shards_.size());
+}
+
+uint64_t ShardedCcf::num_entries() const {
+  uint64_t n = 0;
+  for (const auto& s : shards_) n += s->num_entries();
+  return n;
+}
+
+uint64_t ShardedCcf::num_rows() const {
+  uint64_t n = 0;
+  for (const auto& s : shards_) n += s->num_rows();
+  return n;
+}
+
+const CcfConfig& ShardedCcf::config() const { return shards_[0]->config(); }
+
+CcfVariant ShardedCcf::variant() const { return shards_[0]->variant(); }
+
+std::string ShardedCcf::Serialize() const {
+  std::string out;
+  ByteWriter writer(&out);
+  writer.WriteU32(kShardedMagic);
+  writer.WriteU32(static_cast<uint32_t>(shards_.size()));
+  writer.WriteU32(static_cast<uint32_t>(options_.build_threads));
+  for (const auto& s : shards_) writer.WriteBytes(s->Serialize());
+  return out;
+}
+
+Result<std::unique_ptr<ConditionalCuckooFilter>> ShardedCcf::Deserialize(
+    std::string_view data) {
+  ByteReader reader(data);
+  CCF_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
+  if (magic != kShardedMagic) {
+    return Status::Invalid("not a serialized ShardedCcf");
+  }
+  CCF_ASSIGN_OR_RETURN(uint32_t num_shards, reader.ReadU32());
+  if (num_shards < 1 || num_shards > 4096 ||
+      (num_shards & (num_shards - 1)) != 0) {
+    return Status::Invalid("serialized ShardedCcf has invalid shard count");
+  }
+  CCF_ASSIGN_OR_RETURN(uint32_t build_threads, reader.ReadU32());
+  std::vector<std::unique_ptr<ConditionalCuckooFilter>> shards;
+  shards.reserve(num_shards);
+  for (uint32_t i = 0; i < num_shards; ++i) {
+    CCF_ASSIGN_OR_RETURN(std::string_view blob, reader.ReadBytes());
+    // Shard blobs must be plain variants: a nested sharded blob would
+    // recurse unboundedly on crafted input, and the hot path downcasts
+    // shards to CcfBase.
+    if (blob.size() >= 4) {
+      uint32_t shard_magic;
+      std::memcpy(&shard_magic, blob.data(), 4);
+      if (shard_magic == kShardedMagic) {
+        return Status::Invalid("nested sharded CCF blobs are not supported");
+      }
+    }
+    CCF_ASSIGN_OR_RETURN(std::unique_ptr<ConditionalCuckooFilter> shard,
+                         ConditionalCuckooFilter::Deserialize(blob));
+    // The batched hot path computes one address per key with shard 0's
+    // hasher and geometry; every shard must agree or lookups would index
+    // out of range / mis-route.
+    if (!shards.empty()) {
+      const CcfConfig& a = shards.front()->config();
+      const CcfConfig& b = shard->config();
+      if (shard->variant() != shards.front()->variant() ||
+          b.num_buckets != a.num_buckets || b.salt != a.salt ||
+          b.slots_per_bucket != a.slots_per_bucket ||
+          b.key_fp_bits != a.key_fp_bits) {
+        return Status::Invalid(
+            "sharded CCF blob has non-uniform shard variant/geometry");
+      }
+    }
+    shards.push_back(std::move(shard));
+  }
+  ShardedCcfOptions opts;
+  opts.num_shards = static_cast<int>(num_shards);
+  opts.build_threads = static_cast<int>(build_threads);
+  return std::unique_ptr<ConditionalCuckooFilter>(
+      new ShardedCcf(std::move(shards), opts));
+}
+
+}  // namespace ccf

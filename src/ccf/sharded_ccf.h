@@ -1,0 +1,117 @@
+// Sharded CCF: partitions keys across N independent ConditionalCuckooFilter
+// shards behind the same interface. Each key is routed to exactly one shard
+// by a hash that is uncorrelated with the in-shard addressing hash, so shard
+// answers are bit-identical to a single filter holding that shard's rows.
+//
+// Concurrency model:
+//   * Build: InsertParallel partitions rows by shard and inserts with one
+//     std::thread per stripe of shards — shards never share mutable state,
+//     so no locks are needed.
+//   * Serve: all query methods are const and lock-free; any number of
+//     concurrent readers may probe while no writer is active (the same
+//     single-writer/multi-reader contract as the unsharded filter, now with
+//     N-way write parallelism at build time).
+//
+// The batched lookup path prefetches the target shard's bucket pair per key
+// (all shards share one salt, hence one address computation) and resolves
+// through CcfBase::ContainsAddressed.
+#ifndef CCF_CCF_SHARDED_CCF_H_
+#define CCF_CCF_SHARDED_CCF_H_
+
+#include <memory>
+#include <vector>
+
+#include "ccf/ccf.h"
+#include "ccf/ccf_base.h"
+
+namespace ccf {
+
+/// Sharding parameters.
+struct ShardedCcfOptions {
+  /// Number of shards (rounded up to a power of two).
+  int num_shards = 4;
+  /// Threads used by InsertParallel; 0 means one per shard.
+  int build_threads = 0;
+};
+
+/// \brief N independent CCF shards behind the ConditionalCuckooFilter
+/// interface.
+class ShardedCcf : public ConditionalCuckooFilter {
+ public:
+  /// Creates `options.num_shards` shards of `variant`. `config.num_buckets`
+  /// is the TOTAL bucket budget; each shard gets num_buckets / num_shards
+  /// (at least 1, rounded up to a power of two). All shards share
+  /// config.salt so a key's (bucket, fingerprint) address is shard-
+  /// independent.
+  static Result<std::unique_ptr<ShardedCcf>> Make(
+      CcfVariant variant, const CcfConfig& config,
+      const ShardedCcfOptions& options);
+
+  /// Routes the row to its shard (single-writer).
+  Status Insert(uint64_t key, std::span<const uint64_t> attrs) override;
+
+  /// Bulk parallel build. `attrs` is row-major: row i occupies
+  /// attrs[i*num_attrs, (i+1)*num_attrs). Rows are partitioned by shard and
+  /// inserted by `num_threads` threads (0 → options.build_threads);
+  /// insertion order within a shard follows the input order. Returns the
+  /// first per-shard error, if any (remaining shards still finish, so the
+  /// structure stays consistent — CapacityError here means resize and
+  /// rebuild, as for the unsharded filter).
+  Status InsertParallel(std::span<const uint64_t> keys,
+                        std::span<const uint64_t> attrs, int num_threads = 0);
+
+  bool ContainsKey(uint64_t key) const override;
+  bool Contains(uint64_t key, const Predicate& pred) const override;
+  Status LookupBatch(std::span<const uint64_t> keys,
+                     std::span<const Predicate> preds,
+                     std::span<bool> out) const override;
+  void ContainsKeyBatch(std::span<const uint64_t> keys,
+                        std::span<bool> out) const override;
+
+  /// Derives one key filter per shard, routed like the source filter.
+  Result<std::unique_ptr<KeyFilter>> PredicateQuery(
+      const Predicate& pred) const override;
+
+  uint64_t SizeInBits() const override;
+  double LoadFactor() const override;
+  uint64_t num_entries() const override;
+  uint64_t num_rows() const override;
+
+  /// Per-shard configuration (num_buckets is the per-shard value).
+  const CcfConfig& config() const override;
+  CcfVariant variant() const override;
+
+  /// Serialized-blob magic ("SCF1"); ConditionalCuckooFilter::Deserialize
+  /// dispatches here when it leads a blob.
+  static constexpr uint32_t kMagic = 0x53434631;
+
+  std::string Serialize() const override;
+  static Result<std::unique_ptr<ConditionalCuckooFilter>> Deserialize(
+      std::string_view data);
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  const ConditionalCuckooFilter& shard(int i) const {
+    return *shards_[static_cast<size_t>(i)];
+  }
+
+  /// Shard index of a key (uncorrelated with in-shard addressing).
+  size_t ShardOf(uint64_t key) const {
+    return static_cast<size_t>(shard_hasher_.Hash(key, 0) & shard_mask_);
+  }
+
+ private:
+  ShardedCcf(std::vector<std::unique_ptr<ConditionalCuckooFilter>> shards,
+             ShardedCcfOptions options);
+
+  std::vector<std::unique_ptr<ConditionalCuckooFilter>> shards_;
+  /// Cached downcasts for the addressed hot path (every variant derives
+  /// from CcfBase).
+  std::vector<const CcfBase*> bases_;
+  ShardedCcfOptions options_;
+  uint64_t shard_mask_ = 0;
+  Hasher shard_hasher_;
+};
+
+}  // namespace ccf
+
+#endif  // CCF_CCF_SHARDED_CCF_H_

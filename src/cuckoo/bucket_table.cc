@@ -60,9 +60,11 @@ int BucketTable::FirstFreeSlot(uint64_t bucket) const {
 }
 
 int BucketTable::CountFingerprint(uint64_t bucket, uint32_t fp) const {
+  // Fingerprint-first (see fingerprint_any): the occupancy line is only
+  // touched on a slots-line hit.
   int n = 0;
   for (int s = 0; s < slots_per_bucket_; ++s) {
-    if (occupied(bucket, s) && fingerprint(bucket, s) == fp) ++n;
+    if (fingerprint_any(bucket, s) == fp && occupied(bucket, s)) ++n;
   }
   return n;
 }

@@ -50,8 +50,31 @@ class BucketTable {
     return occupied_.GetBit(SlotIndex(bucket, slot));
   }
 
+  /// Prefetches a bucket's slot storage and occupancy bits. Batched query
+  /// paths call this for every bucket a block of keys will probe before
+  /// resolving any of them.
+  void PrefetchBucket(uint64_t bucket) const {
+    size_t first = SlotBitOffset(bucket, 0);
+    slots_.PrefetchBit(first);
+    // A bucket's slots are contiguous but may straddle a cache-line
+    // boundary; touch the last bit's line too (usually the same line).
+    slots_.PrefetchBit(first + static_cast<size_t>(slot_bits_) *
+                                   static_cast<size_t>(slots_per_bucket_) -
+                       1);
+    occupied_.PrefetchBit(SlotIndex(bucket, 0));
+  }
+
   uint32_t fingerprint(uint64_t bucket, int slot) const {
     CCF_DCHECK(occupied(bucket, slot));
+    return static_cast<uint32_t>(
+        slots_.GetField(SlotBitOffset(bucket, slot), fingerprint_bits_));
+  }
+
+  /// Fingerprint field of a slot regardless of occupancy (Erase zeroes the
+  /// whole slot, so erased slots read 0). Hot-path scans test this cheap
+  /// slots-line match first and confirm occupancy only on hits, keeping
+  /// the occupancy bitmap's cache line untouched for most probes.
+  uint32_t fingerprint_any(uint64_t bucket, int slot) const {
     return static_cast<uint32_t>(
         slots_.GetField(SlotBitOffset(bucket, slot), fingerprint_bits_));
   }

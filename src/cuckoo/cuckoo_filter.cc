@@ -1,5 +1,6 @@
 #include "cuckoo/cuckoo_filter.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 #include <vector>
@@ -127,6 +128,34 @@ bool CuckooFilter::Contains(uint64_t key) const {
   if (table_.CountFingerprint(bucket, fp) > 0) return true;
   uint64_t alt = AltBucket(hasher_, bucket, fp, table_.bucket_mask());
   return alt != bucket && table_.CountFingerprint(alt, fp) > 0;
+}
+
+void CuckooFilter::ContainsBatch(std::span<const uint64_t> keys,
+                                 std::span<bool> out) const {
+  CCF_DCHECK(out.size() == keys.size());
+  // Block-wise two-pass: pass 1 hashes and prefetches, pass 2 resolves.
+  // The block is small enough that its address scratch stays in L1 while
+  // the prefetches for the (much larger) table land.
+  constexpr size_t kBlock = 128;
+  uint64_t buckets[kBlock];
+  uint64_t alts[kBlock];
+  uint32_t fps[kBlock];
+  for (size_t base = 0; base < keys.size(); base += kBlock) {
+    size_t n = std::min(kBlock, keys.size() - base);
+    for (size_t i = 0; i < n; ++i) {
+      IndexAndFingerprint(hasher_, keys[base + i], table_.bucket_mask(),
+                          config_.fingerprint_bits, &buckets[i], &fps[i]);
+      alts[i] = AltBucket(hasher_, buckets[i], fps[i], table_.bucket_mask());
+      table_.PrefetchBucket(buckets[i]);
+      table_.PrefetchBucket(alts[i]);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      out[base + i] =
+          table_.CountFingerprint(buckets[i], fps[i]) > 0 ||
+          (alts[i] != buckets[i] &&
+           table_.CountFingerprint(alts[i], fps[i]) > 0);
+    }
+  }
 }
 
 bool CuckooFilter::Delete(uint64_t key) {

@@ -7,6 +7,7 @@
 #define CCF_CUCKOO_CUCKOO_FILTER_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 
@@ -76,6 +77,13 @@ class CuckooFilter {
 
   /// True if the key may be in the set (no false negatives).
   bool Contains(uint64_t key) const;
+
+  /// Batched Contains: out[i] = Contains(keys[i]), bit-identical to the
+  /// scalar loop. Hashes each block of keys up front, prefetches both
+  /// candidate buckets per key, then resolves in a second pass (§10.8-style
+  /// hot path). Requires out.size() == keys.size().
+  void ContainsBatch(std::span<const uint64_t> keys,
+                     std::span<bool> out) const;
 
   /// Removes one copy of the key's fingerprint if present. Only safe for
   /// keys that were actually inserted (standard cuckoo filter caveat).

@@ -3,6 +3,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "ccf/sharded_ccf.h"
+
 namespace ccf {
 
 CcfBuildParams LargeParams(CcfVariant variant) {
@@ -23,6 +25,20 @@ CcfBuildParams SmallParams(CcfVariant variant) {
   p.bloom_bits = 8;
   p.bloom_hashes = 2;
   return p;
+}
+
+Status BuiltCcf::ProbeKeys(std::span<const uint64_t> keys,
+                           const std::vector<const QueryPredicate*>& preds,
+                           std::span<bool> out) const {
+  if (out.size() != keys.size()) {
+    return Status::Invalid("ProbeKeys: out.size() must equal keys.size()");
+  }
+  if (preds.empty()) {
+    filter->ContainsKeyBatch(keys, out);
+    return Status::OK();
+  }
+  CCF_ASSIGN_OR_RETURN(Predicate pred, CompilePredicates(preds));
+  return filter->LookupBatch(keys, std::span<const Predicate>(&pred, 1), out);
 }
 
 Result<Predicate> BuiltCcf::CompilePredicates(
@@ -137,18 +153,43 @@ Result<BuiltCcf> BuildCcf(const TableData& table,
   CCF_ASSIGN_OR_RETURN(config,
                        ChooseGeometry(params.variant, config, profile));
 
+  // Sharded builds flatten rows once (row-major) for InsertParallel.
+  std::vector<uint64_t> flat_attrs;
+  if (params.num_shards > 1) {
+    flat_attrs.reserve(rows.keys.size() *
+                       static_cast<size_t>(config.num_attrs));
+    for (const auto& row : rows.attrs) {
+      flat_attrs.insert(flat_attrs.end(), row.begin(), row.end());
+    }
+  }
+
   Status last_error = Status::OK();
   for (int attempt = 0; attempt <= params.max_rebuilds; ++attempt) {
-    CCF_ASSIGN_OR_RETURN(built.filter,
-                         ConditionalCuckooFilter::Make(params.variant,
-                                                       config));
     bool ok = true;
-    for (size_t i = 0; i < rows.keys.size(); ++i) {
-      Status st = built.filter->Insert(rows.keys[i], rows.attrs[i]);
+    if (params.num_shards > 1) {
+      ShardedCcfOptions opts;
+      opts.num_shards = params.num_shards;
+      opts.build_threads = params.build_threads;
+      CCF_ASSIGN_OR_RETURN(
+          std::unique_ptr<ShardedCcf> sharded,
+          ShardedCcf::Make(params.variant, config, opts));
+      Status st = sharded->InsertParallel(rows.keys, flat_attrs);
       if (!st.ok()) {
         last_error = std::move(st);
         ok = false;
-        break;
+      }
+      built.filter = std::move(sharded);
+    } else {
+      CCF_ASSIGN_OR_RETURN(built.filter,
+                           ConditionalCuckooFilter::Make(params.variant,
+                                                         config));
+      for (size_t i = 0; i < rows.keys.size(); ++i) {
+        Status st = built.filter->Insert(rows.keys[i], rows.attrs[i]);
+        if (!st.ok()) {
+          last_error = std::move(st);
+          ok = false;
+          break;
+        }
       }
     }
     if (ok) {

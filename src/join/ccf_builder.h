@@ -7,6 +7,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,12 @@ struct CcfBuildParams {
   uint64_t salt = 0;
   /// Rebuild attempts (each doubles the bucket count) before giving up.
   int max_rebuilds = 5;
+  /// Shards per filter (> 1 builds a ShardedCcf with parallel insert and
+  /// the same query answers as a well-sized single filter of that shard's
+  /// rows; 1 keeps the unsharded filter).
+  int num_shards = 1;
+  /// Threads for the sharded parallel build; 0 means one per shard.
+  int build_threads = 0;
 };
 
 /// The paper's evaluated settings (§10.5): large = 8-bit attributes, 12-bit
@@ -56,6 +63,14 @@ struct BuiltCcf {
   /// (equality → singleton; year range → binned in-list).
   Result<Predicate> CompilePredicates(
       const std::vector<const QueryPredicate*>& preds) const;
+
+  /// Batched probe: out[i] = (keys[i], preds) membership. Compiles `preds`
+  /// once and runs the filter's prefetched LookupBatch — the join-pushdown
+  /// hot path (one predicate, millions of keys). Empty `preds` degrades to
+  /// the batched key-only probe. Requires out.size() == keys.size().
+  Status ProbeKeys(std::span<const uint64_t> keys,
+                   const std::vector<const QueryPredicate*>& preds,
+                   std::span<bool> out) const;
 };
 
 /// Builds the CCF for one table. Fails with CapacityError if the variant

@@ -1,9 +1,26 @@
 #include "join/evaluator.h"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_map>
 
 namespace ccf {
+
+// --- FilterSet ----------------------------------------------------------------
+
+Status FilterSet::ProbeBatch(const std::string& table,
+                             std::span<const uint64_t> keys,
+                             const std::vector<const QueryPredicate*>& preds,
+                             std::span<bool> out) const {
+  if (out.size() != keys.size()) {
+    return Status::Invalid("ProbeBatch: out.size() must equal keys.size()");
+  }
+  for (size_t i = 0; i < keys.size(); ++i) {
+    CCF_ASSIGN_OR_RETURN(bool ok, Probe(table, keys[i], preds));
+    out[i] = ok;
+  }
+  return Status::OK();
+}
 
 // --- CcfFilterSet -------------------------------------------------------------
 
@@ -21,6 +38,14 @@ Result<bool> CcfFilterSet::Probe(
   if (preds.empty()) return ccf->filter->ContainsKey(key);
   CCF_ASSIGN_OR_RETURN(Predicate pred, ccf->CompilePredicates(preds));
   return ccf->filter->Contains(key, pred);
+}
+
+Status CcfFilterSet::ProbeBatch(
+    const std::string& table, std::span<const uint64_t> keys,
+    const std::vector<const QueryPredicate*>& preds,
+    std::span<bool> out) const {
+  CCF_ASSIGN_OR_RETURN(const BuiltCcf* ccf, Find(table));
+  return ccf->ProbeKeys(keys, preds, out);
 }
 
 uint64_t CcfFilterSet::TotalSizeInBits() const {
@@ -67,14 +92,33 @@ Result<CuckooFilterSet> CuckooFilterSet::Build(const ImdbDataset& dataset,
   return set;
 }
 
+Result<const CuckooFilter*> CuckooFilterSet::Find(
+    const std::string& table) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == table) return &filters_[i];
+  }
+  return Status::KeyNotFound("no cuckoo filter for table '" + table + "'");
+}
+
 Result<bool> CuckooFilterSet::Probe(
     const std::string& table, uint64_t key,
     const std::vector<const QueryPredicate*>& preds) const {
   (void)preds;  // key-only baseline throws away predicate information
-  for (size_t i = 0; i < names_.size(); ++i) {
-    if (names_[i] == table) return filters_[i].Contains(key);
+  CCF_ASSIGN_OR_RETURN(const CuckooFilter* filter, Find(table));
+  return filter->Contains(key);
+}
+
+Status CuckooFilterSet::ProbeBatch(
+    const std::string& table, std::span<const uint64_t> keys,
+    const std::vector<const QueryPredicate*>& preds,
+    std::span<bool> out) const {
+  (void)preds;
+  if (out.size() != keys.size()) {
+    return Status::Invalid("ProbeBatch: out.size() must equal keys.size()");
   }
-  return Status::KeyNotFound("no cuckoo filter for table '" + table + "'");
+  CCF_ASSIGN_OR_RETURN(const CuckooFilter* filter, Find(table));
+  filter->ContainsBatch(keys, out);
+  return Status::OK();
 }
 
 uint64_t CuckooFilterSet::TotalSizeInBits() const {
@@ -132,27 +176,43 @@ Result<std::vector<InstanceResult>> WorkloadEvaluator::Evaluate(
                            base.table.column(base.spec.key_column));
 
       // Probe answers are a function of the key only (per other table), so
-      // memoize per distinct key: fact tables average several rows per key.
-      std::unordered_map<uint64_t, char> memo;
+      // gather the distinct surviving keys once and push them through the
+      // batched probe hot path of every other table's filter. Keys that
+      // fail a filter are compacted out before the next table (the batch
+      // analogue of the scalar path's early exit), so a selective first
+      // filter shrinks every later probe batch. Identical answers to
+      // probing row by row, minus the repeated hashing, predicate
+      // compilation, and cache misses.
+      CCF_ASSIGN_OR_RETURN(DistinctKeys distinct,
+                           CollectDistinctKeys(base, mask));
+      size_t num_keys = distinct.keys.size();
+      std::vector<char> pass(num_keys, 1);
+      // Only distinct.index is read after this point; take the key vector.
+      std::vector<uint64_t> alive_keys = std::move(distinct.keys);
+      std::vector<size_t> alive_pos(num_keys);
+      for (size_t k = 0; k < num_keys; ++k) alive_pos[k] = k;
+      std::unique_ptr<bool[]> probe(new bool[num_keys]);
+      for (size_t t = 0; t < tables.size() && !alive_keys.empty(); ++t) {
+        if (t == b) continue;
+        CCF_RETURN_NOT_OK(filters.ProbeBatch(
+            tables[t]->spec.name, alive_keys, preds[t],
+            std::span<bool>(probe.get(), alive_keys.size())));
+        size_t kept = 0;
+        for (size_t k = 0; k < alive_keys.size(); ++k) {
+          if (probe[k]) {
+            alive_keys[kept] = alive_keys[k];
+            alive_pos[kept] = alive_pos[k];
+            ++kept;
+          } else {
+            pass[alive_pos[k]] = 0;
+          }
+        }
+        alive_keys.resize(kept);
+        alive_pos.resize(kept);
+      }
       for (size_t i = 0; i < key_col->size(); ++i) {
         if (!mask[i]) continue;
-        uint64_t key = (*key_col)[i];
-        auto it = memo.find(key);
-        if (it == memo.end()) {
-          bool pass = true;
-          for (size_t t = 0; t < tables.size(); ++t) {
-            if (t == b) continue;
-            CCF_ASSIGN_OR_RETURN(
-                bool ok,
-                filters.Probe(tables[t]->spec.name, key, preds[t]));
-            if (!ok) {
-              pass = false;
-              break;
-            }
-          }
-          it = memo.emplace(key, pass ? 1 : 0).first;
-        }
-        if (it->second) ++result.m_filtered;
+        if (pass[distinct.index.at((*key_col)[i])]) ++result.m_filtered;
       }
       results.push_back(std::move(result));
       ++inst;

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,14 @@ class FilterSet {
   virtual Result<bool> Probe(
       const std::string& table, uint64_t key,
       const std::vector<const QueryPredicate*>& preds) const = 0;
+  /// Batched Probe: out[i] = Probe(table, keys[i], preds), identical
+  /// answers to the scalar loop. The default is that loop; filter-backed
+  /// sets override with the prefetched batch hot path (and compile `preds`
+  /// once instead of per key). Requires out.size() == keys.size().
+  virtual Status ProbeBatch(const std::string& table,
+                            std::span<const uint64_t> keys,
+                            const std::vector<const QueryPredicate*>& preds,
+                            std::span<bool> out) const;
   /// Total physical bits of all filters.
   virtual uint64_t TotalSizeInBits() const = 0;
 };
@@ -36,6 +45,9 @@ class CcfFilterSet : public FilterSet {
   Result<bool> Probe(
       const std::string& table, uint64_t key,
       const std::vector<const QueryPredicate*>& preds) const override;
+  Status ProbeBatch(const std::string& table, std::span<const uint64_t> keys,
+                    const std::vector<const QueryPredicate*>& preds,
+                    std::span<bool> out) const override;
   uint64_t TotalSizeInBits() const override;
 
  private:
@@ -53,9 +65,14 @@ class CuckooFilterSet : public FilterSet {
   Result<bool> Probe(
       const std::string& table, uint64_t key,
       const std::vector<const QueryPredicate*>& preds) const override;
+  Status ProbeBatch(const std::string& table, std::span<const uint64_t> keys,
+                    const std::vector<const QueryPredicate*>& preds,
+                    std::span<bool> out) const override;
   uint64_t TotalSizeInBits() const override;
 
  private:
+  Result<const CuckooFilter*> Find(const std::string& table) const;
+
   std::vector<std::string> names_;
   std::vector<CuckooFilter> filters_;
 };

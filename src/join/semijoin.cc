@@ -50,6 +50,22 @@ std::unordered_set<uint64_t> SurvivingKeys(const TableData& table,
   return keys;
 }
 
+Result<DistinctKeys> CollectDistinctKeys(const TableData& table,
+                                         const std::vector<char>& mask) {
+  DistinctKeys out;
+  CCF_ASSIGN_OR_RETURN(const std::vector<uint64_t>* key_col,
+                       table.table.column(table.spec.key_column));
+  out.index.reserve(key_col->size() / 2);
+  for (size_t i = 0; i < key_col->size(); ++i) {
+    if (!mask[i]) continue;
+    uint64_t key = (*key_col)[i];
+    if (out.index.emplace(key, out.keys.size()).second) {
+      out.keys.push_back(key);
+    }
+  }
+  return out;
+}
+
 Result<std::vector<InstanceExact>> ComputeExactCounts(
     const ImdbDataset& dataset, const std::vector<JoinQuery>& queries,
     const RangeBinner& year_binner) {

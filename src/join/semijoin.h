@@ -7,6 +7,7 @@
 #define CCF_JOIN_SEMIJOIN_H_
 
 #include <cstdint>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -32,6 +33,19 @@ Result<std::vector<char>> MatchMask(
 /// Distinct join-key values of rows where `mask` is set.
 std::unordered_set<uint64_t> SurvivingKeys(const TableData& table,
                                            const std::vector<char>& mask);
+
+/// Distinct join keys of masked rows in first-appearance order, plus the
+/// key → position map. This is the gather step of the batched probe path:
+/// `keys` feeds FilterSet::ProbeBatch directly (probe answers are a
+/// function of the key only, so each distinct key is probed once), and
+/// `index` maps row keys back to their batch slot when counting survivors.
+struct DistinctKeys {
+  std::vector<uint64_t> keys;
+  std::unordered_map<uint64_t, size_t> index;
+};
+
+Result<DistinctKeys> CollectDistinctKeys(const TableData& table,
+                                         const std::vector<char>& mask);
 
 /// Exact per-instance counts for one (query, base-table) pair.
 struct InstanceExact {

@@ -1,12 +1,50 @@
 #include "util/bit_vector.h"
 
 #include <bit>
+#include <cstdint>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
 
 namespace ccf {
+
+namespace {
+
+// Large tables are probed at random offsets; on 4 KiB pages the dTLB
+// thrashes and — worse for the batched hot path — x86 drops prefetch
+// instructions whose page is not in the TLB, silently disabling the
+// two-pass prefetch. Huge pages make the whole table a handful of TLB
+// entries. Only worth a syscall for multi-megabyte vectors.
+constexpr size_t kHugePageBytes = 2 * 1024 * 1024;
+constexpr size_t kMadviseThresholdBytes = 2 * kHugePageBytes;
+
+void AdviseHugePages(void* data, size_t bytes) {
+#if defined(__linux__)
+  if (bytes < kMadviseThresholdBytes) return;
+  // madvise needs page alignment; advise the aligned interior of the
+  // allocation (for tables this is almost all of it).
+  uintptr_t start = reinterpret_cast<uintptr_t>(data);
+  uintptr_t aligned = (start + kHugePageBytes - 1) & ~(kHugePageBytes - 1);
+  uintptr_t end = (start + bytes) & ~(kHugePageBytes - 1);
+  if (end > aligned) {
+    (void)madvise(reinterpret_cast<void*>(aligned), end - aligned,
+                  MADV_HUGEPAGE);
+  }
+#else
+  (void)data;
+  (void)bytes;
+#endif
+}
+
+}  // namespace
 
 void BitVector::Resize(size_t num_bits) {
   num_bits_ = num_bits;
   words_.resize((num_bits + 63) / 64, 0);
+  if (!words_.empty()) {
+    AdviseHugePages(words_.data(), words_.size() * sizeof(uint64_t));
+  }
   // Clear any stale bits beyond the new logical size in the last word so
   // PopCount and equality stay exact after shrinking.
   if (num_bits_ % 64 != 0 && !words_.empty()) {

@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/prefetch.h"
 #include "util/serde.h"
 #include "util/status.h"
 
@@ -50,6 +51,12 @@ class BitVector {
     } else {
       words_[i >> 6] &= ~mask;
     }
+  }
+
+  /// Prefetches the cache line holding bit `i` (read intent).
+  void PrefetchBit(size_t i) const {
+    CCF_DCHECK(i < num_bits_);
+    PrefetchRead(&words_[i >> 6]);
   }
 
   /// Reads `width` (1..64) bits starting at bit offset `pos`.

@@ -1,0 +1,23 @@
+// Portable software prefetch. Batched query paths hash a block of keys up
+// front, issue prefetches for every bucket the block will touch, and only
+// then resolve matches — hiding DRAM latency behind useful work instead of
+// stalling once per key.
+#ifndef CCF_UTIL_PREFETCH_H_
+#define CCF_UTIL_PREFETCH_H_
+
+namespace ccf {
+
+/// Hints the cache hierarchy to load the line containing `addr` for a read.
+/// No-op on compilers without __builtin_prefetch; correctness never depends
+/// on it.
+inline void PrefetchRead(const void* addr) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(addr, /*rw=*/0, /*locality=*/3);
+#else
+  (void)addr;
+#endif
+}
+
+}  // namespace ccf
+
+#endif  // CCF_UTIL_PREFETCH_H_

@@ -1,0 +1,234 @@
+// ShardedCcf: routing correctness (answers identical to the owning shard),
+// no false negatives through scalar/batched/parallel-build paths,
+// equivalence of sequential and parallel builds, derived key filters, and
+// serialization round-trips through the ConditionalCuckooFilter dispatch.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ccf/sharded_ccf.h"
+#include "util/random.h"
+
+namespace ccf {
+namespace {
+
+CcfConfig TestConfig(uint64_t salt) {
+  CcfConfig config;
+  config.num_buckets = 8192;  // total budget across shards
+  config.slots_per_bucket = 6;
+  config.key_fp_bits = 12;
+  config.attr_fp_bits = 8;
+  config.num_attrs = 2;
+  config.max_dupes = 3;
+  config.salt = salt;
+  return config;
+}
+
+struct Rows {
+  std::vector<uint64_t> keys;
+  std::vector<uint64_t> flat_attrs;  // row-major, 2 per key
+};
+
+Rows MakeRows(int n, uint64_t seed) {
+  // Every key appears exactly 3 times (with varying attributes), exercising
+  // the duplicate paths of all variants while staying inside the Plain
+  // variant's one-pair capacity.
+  Rows rows;
+  Rng rng(seed);
+  int num_keys = n / 3;
+  for (int i = 0; i < n; ++i) {
+    rows.keys.push_back(static_cast<uint64_t>(i % num_keys));
+    rows.flat_attrs.push_back(rng.NextBelow(200));
+    rows.flat_attrs.push_back(rng.NextBelow(50));
+  }
+  return rows;
+}
+
+class ShardedCcfTest : public ::testing::TestWithParam<CcfVariant> {};
+
+TEST_P(ShardedCcfTest, ParallelBuildMatchesSequentialBuild) {
+  ShardedCcfOptions opts;
+  opts.num_shards = 4;
+  Rows rows = MakeRows(12000, 101);
+
+  auto sequential =
+      ShardedCcf::Make(GetParam(), TestConfig(51), opts).ValueOrDie();
+  for (size_t i = 0; i < rows.keys.size(); ++i) {
+    ASSERT_TRUE(sequential
+                    ->Insert(rows.keys[i],
+                             std::span<const uint64_t>(
+                                 &rows.flat_attrs[2 * i], 2))
+                    .ok());
+  }
+
+  auto parallel =
+      ShardedCcf::Make(GetParam(), TestConfig(51), opts).ValueOrDie();
+  ASSERT_TRUE(parallel
+                  ->InsertParallel(rows.keys, rows.flat_attrs,
+                                   /*num_threads=*/4)
+                  .ok());
+
+  // Same routing and same per-shard insertion order ⇒ identical state.
+  EXPECT_EQ(sequential->Serialize(), parallel->Serialize());
+  EXPECT_EQ(sequential->num_rows(), parallel->num_rows());
+}
+
+TEST_P(ShardedCcfTest, NoFalseNegativesAndBatchMatchesScalar) {
+  ShardedCcfOptions opts;
+  opts.num_shards = 8;
+  auto sharded =
+      ShardedCcf::Make(GetParam(), TestConfig(7), opts).ValueOrDie();
+  Rows rows = MakeRows(10000, 19);
+  ASSERT_TRUE(sharded->InsertParallel(rows.keys, rows.flat_attrs).ok());
+
+  // Every inserted row must answer true under its own attributes.
+  for (size_t i = 0; i < rows.keys.size(); ++i) {
+    EXPECT_TRUE(sharded->Contains(
+        rows.keys[i], Predicate::Equals(0, rows.flat_attrs[2 * i])
+                          .AndEquals(1, rows.flat_attrs[2 * i + 1])))
+        << "false negative at row " << i;
+  }
+
+  // Batched answers are bit-identical to scalar ones, present or absent.
+  Rng rng(77);
+  std::vector<uint64_t> probe_keys;
+  std::vector<Predicate> preds;
+  for (int i = 0; i < 5000; ++i) {
+    probe_keys.push_back(rng.NextBelow(8000));
+    preds.push_back(Predicate::Equals(0, rng.NextBelow(200)));
+  }
+  size_t n = probe_keys.size();
+  std::unique_ptr<bool[]> out(new bool[n]);
+  ASSERT_TRUE(
+      sharded->LookupBatch(probe_keys, preds, std::span<bool>(out.get(), n))
+          .ok());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i], sharded->Contains(probe_keys[i], preds[i]))
+        << "i=" << i;
+  }
+
+  sharded->ContainsKeyBatch(probe_keys, std::span<bool>(out.get(), n));
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i], sharded->ContainsKey(probe_keys[i])) << "i=" << i;
+  }
+
+  // Broadcast shape (one predicate, many keys): the production join-probe
+  // pattern, which takes the per-shard gather/delegate/scatter path.
+  Predicate broadcast = Predicate::Equals(0, 42);
+  ASSERT_TRUE(sharded
+                  ->LookupBatch(probe_keys,
+                                std::span<const Predicate>(&broadcast, 1),
+                                std::span<bool>(out.get(), n))
+                  .ok());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i], sharded->Contains(probe_keys[i], broadcast))
+        << "broadcast i=" << i;
+  }
+}
+
+TEST_P(ShardedCcfTest, AggregateCountersSumOverShards) {
+  ShardedCcfOptions opts;
+  opts.num_shards = 4;
+  auto sharded =
+      ShardedCcf::Make(GetParam(), TestConfig(13), opts).ValueOrDie();
+  Rows rows = MakeRows(6000, 29);
+  ASSERT_TRUE(sharded->InsertParallel(rows.keys, rows.flat_attrs).ok());
+
+  uint64_t entries = 0, rows_sum = 0, bits = 0;
+  for (int s = 0; s < sharded->num_shards(); ++s) {
+    entries += sharded->shard(s).num_entries();
+    rows_sum += sharded->shard(s).num_rows();
+    bits += sharded->shard(s).SizeInBits();
+  }
+  EXPECT_EQ(sharded->num_entries(), entries);
+  EXPECT_EQ(sharded->num_rows(), rows_sum);
+  EXPECT_EQ(sharded->SizeInBits(), bits);
+  EXPECT_GT(sharded->num_entries(), 0u);
+}
+
+TEST_P(ShardedCcfTest, PredicateQueryRoutesLikeSource) {
+  ShardedCcfOptions opts;
+  opts.num_shards = 4;
+  auto sharded =
+      ShardedCcf::Make(GetParam(), TestConfig(3), opts).ValueOrDie();
+  Rows rows = MakeRows(8000, 37);
+  ASSERT_TRUE(sharded->InsertParallel(rows.keys, rows.flat_attrs).ok());
+
+  Predicate pred = Predicate::Equals(0, 42);
+  auto derived = sharded->PredicateQuery(pred).ValueOrDie();
+  // No false negatives: every key inserted with a0 == 42 must be present.
+  for (size_t i = 0; i < rows.keys.size(); ++i) {
+    if (rows.flat_attrs[2 * i] == 42) {
+      EXPECT_TRUE(derived->Contains(rows.keys[i]));
+    }
+  }
+  EXPECT_GT(derived->SizeInBits(), 0u);
+
+  // The derived filter's batched path answers identically to scalar.
+  std::vector<uint64_t> probes;
+  Rng rng(71);
+  for (int i = 0; i < 3000; ++i) probes.push_back(rng.NextBelow(6000));
+  std::unique_ptr<bool[]> out(new bool[probes.size()]);
+  derived->ContainsBatch(probes, std::span<bool>(out.get(), probes.size()));
+  for (size_t i = 0; i < probes.size(); ++i) {
+    EXPECT_EQ(out[i], derived->Contains(probes[i])) << "i=" << i;
+  }
+}
+
+TEST_P(ShardedCcfTest, SerializeRoundTripsThroughBaseDispatch) {
+  ShardedCcfOptions opts;
+  opts.num_shards = 2;
+  auto sharded =
+      ShardedCcf::Make(GetParam(), TestConfig(23), opts).ValueOrDie();
+  Rows rows = MakeRows(4000, 53);
+  ASSERT_TRUE(sharded->InsertParallel(rows.keys, rows.flat_attrs).ok());
+
+  std::string blob = sharded->Serialize();
+  auto restored = ConditionalCuckooFilter::Deserialize(blob).ValueOrDie();
+  EXPECT_EQ(restored->variant(), sharded->variant());
+  EXPECT_EQ(restored->num_rows(), sharded->num_rows());
+  EXPECT_EQ(restored->SizeInBits(), sharded->SizeInBits());
+
+  Rng rng(61);
+  for (int i = 0; i < 3000; ++i) {
+    uint64_t key = rng.NextBelow(8000);
+    Predicate pred = Predicate::Equals(0, rng.NextBelow(200));
+    EXPECT_EQ(restored->Contains(key, pred), sharded->Contains(key, pred));
+    EXPECT_EQ(restored->ContainsKey(key), sharded->ContainsKey(key));
+  }
+}
+
+TEST(ShardedCcfValidationTest, RejectsBadShapes) {
+  ShardedCcfOptions opts;
+  opts.num_shards = 4;
+  auto sharded =
+      ShardedCcf::Make(CcfVariant::kChained, TestConfig(1), opts)
+          .ValueOrDie();
+  std::vector<uint64_t> keys = {1, 2};
+  std::vector<uint64_t> bad_attrs = {1, 2, 3};  // not keys.size() * num_attrs
+  EXPECT_FALSE(sharded->InsertParallel(keys, bad_attrs).ok());
+  EXPECT_FALSE(
+      ShardedCcf::Make(CcfVariant::kChained, TestConfig(1), {.num_shards = 0})
+          .ok());
+}
+
+TEST(ShardedCcfValidationTest, ShardCountRoundsUpToPowerOfTwo) {
+  ShardedCcfOptions opts;
+  opts.num_shards = 3;
+  auto sharded =
+      ShardedCcf::Make(CcfVariant::kMixed, TestConfig(1), opts).ValueOrDie();
+  EXPECT_EQ(sharded->num_shards(), 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, ShardedCcfTest,
+    ::testing::Values(CcfVariant::kPlain, CcfVariant::kChained,
+                      CcfVariant::kBloom, CcfVariant::kMixed),
+    [](const ::testing::TestParamInfo<CcfVariant>& pinfo) {
+      return std::string(CcfVariantName(pinfo.param));
+    });
+
+}  // namespace
+}  // namespace ccf
