@@ -5,10 +5,18 @@
 // out-of-cache table, and sharded parallel-build scaling by thread count.
 // The paper reports ≥1M matches/second on a 2016 Xeon core; items/second
 // appear in google-benchmark's counters.
+//
+// `--json <path>` additionally writes one machine-readable row per run
+// (name, variant/mode label, keys/s, ns/key, table MB) so perf
+// trajectories can accumulate across commits (CI uploads the smoke run's
+// file as an artifact).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "ccf/ccf.h"
@@ -231,6 +239,11 @@ const HotPathFixture& HotPath() {
   return *fixture;
 }
 
+void SetTableMb(benchmark::State& state, uint64_t size_in_bits) {
+  state.counters["table_mb"] = benchmark::Counter(
+      static_cast<double>(size_in_bits) / 8.0 / 1e6);
+}
+
 // Scalar baseline: one dependent cache-missing probe per key.
 void BM_HotLookupScalar(benchmark::State& state) {
   const HotPathFixture& f = HotPath();
@@ -243,6 +256,7 @@ void BM_HotLookupScalar(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(kHotProbes));
+  SetTableMb(state, f.ccf->SizeInBits());
   state.SetLabel("scalar");
 }
 BENCHMARK(BM_HotLookupScalar)->Unit(benchmark::kMillisecond);
@@ -260,9 +274,44 @@ void BM_HotLookupBatch(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(kHotProbes));
+  SetTableMb(state, f.ccf->SizeInBits());
   state.SetLabel("batched");
 }
 BENCHMARK(BM_HotLookupBatch)->Unit(benchmark::kMillisecond);
+
+// Key-only membership, scalar: same probe set, no predicate.
+void BM_HotContainsKeyScalar(benchmark::State& state) {
+  const HotPathFixture& f = HotPath();
+  for (auto _ : state) {
+    size_t hits = 0;
+    for (uint64_t key : f.probe_keys) {
+      hits += f.ccf->ContainsKey(key) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kHotProbes));
+  SetTableMb(state, f.ccf->SizeInBits());
+  state.SetLabel("key-scalar");
+}
+BENCHMARK(BM_HotContainsKeyScalar)->Unit(benchmark::kMillisecond);
+
+// Key-only membership, batched: the two-wave pipeline — a key whose
+// primary bucket holds a copy never fetches its alt bucket.
+void BM_HotContainsKeyBatch(benchmark::State& state) {
+  const HotPathFixture& f = HotPath();
+  std::unique_ptr<bool[]> out(new bool[kHotProbes]);
+  for (auto _ : state) {
+    f.ccf->ContainsKeyBatch(f.probe_keys,
+                            std::span<bool>(out.get(), kHotProbes));
+    benchmark::DoNotOptimize(out.get());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kHotProbes));
+  SetTableMb(state, f.ccf->SizeInBits());
+  state.SetLabel("key-batched");
+}
+BENCHMARK(BM_HotContainsKeyBatch)->Unit(benchmark::kMillisecond);
 
 // Sharded scalar: routing plus the shard's (smaller) table per key.
 void BM_HotLookupShardedScalar(benchmark::State& state) {
@@ -276,6 +325,7 @@ void BM_HotLookupShardedScalar(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(kHotProbes));
+  SetTableMb(state, f.sharded->SizeInBits());
   state.SetLabel("sharded-scalar");
 }
 BENCHMARK(BM_HotLookupShardedScalar)->Unit(benchmark::kMillisecond);
@@ -293,6 +343,7 @@ void BM_HotLookupShardedBatch(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(kHotProbes));
+  SetTableMb(state, f.sharded->SizeInBits());
   state.SetLabel("sharded-batched");
 }
 BENCHMARK(BM_HotLookupShardedBatch)->Unit(benchmark::kMillisecond);
@@ -349,5 +400,144 @@ void BM_PredicateOnlyDerivation(benchmark::State& state) {
 }
 BENCHMARK(BM_PredicateOnlyDerivation);
 
+// --- JSON row output ----------------------------------------------------------
+
+// Console display plus one machine-readable row per (non-aggregate) run:
+//   {"name", "label" (variant/mode), "iterations", "real_time_ms",
+//    "keys_per_second", "ns_per_key", "table_mb"}
+// written as a JSON array to the --json path so BENCH_*.json trajectories
+// can accumulate per commit.
+// Minimal JSON string escaping (quotes, backslashes, control chars) so no
+// benchmark name or label can corrupt the row file.
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (unsigned char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+class JsonRowsReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonRowsReporter(std::string path) : path_(std::move(path)) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      // Keep plain runs AND aggregates (mean/median/...): under
+      // --benchmark_report_aggregates_only the aggregates are all that
+      // reaches the reporter. cv/stddev rows carry relative values, not
+      // throughputs; skip them so every emitted row means the same thing.
+      if (run.error_occurred) continue;
+      if (run.run_type == Run::RT_Aggregate &&
+          run.aggregate_name != "mean" && run.aggregate_name != "median") {
+        continue;
+      }
+      double items_per_second = 0.0;
+      auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) items_per_second = it->second;
+      double table_mb = 0.0;
+      it = run.counters.find("table_mb");
+      if (it != run.counters.end()) table_mb = it->second;
+      double real_ms = run.iterations > 0
+                           ? run.real_accumulated_time /
+                                 static_cast<double>(run.iterations) * 1e3
+                           : run.real_accumulated_time * 1e3;
+      const char* fmt =
+          "  {\"name\": \"%s\", \"label\": \"%s\", \"aggregate\": \"%s\", "
+          "\"iterations\": %lld, \"real_time_ms\": %.6f, "
+          "\"keys_per_second\": %.1f, \"ns_per_key\": %.3f, "
+          "\"table_mb\": %.3f}";
+      std::string name = JsonEscape(run.benchmark_name());
+      std::string label = JsonEscape(run.report_label);
+      std::string aggregate = JsonEscape(
+          run.run_type == Run::RT_Aggregate ? run.aggregate_name : "");
+      // Two-pass snprintf so arbitrarily long benchmark names cannot
+      // truncate a row into malformed JSON.
+      int len = std::snprintf(nullptr, 0, fmt, name.c_str(), label.c_str(),
+                              aggregate.c_str(),
+                              static_cast<long long>(run.iterations),
+                              real_ms, items_per_second,
+                              items_per_second > 0.0
+                                  ? 1e9 / items_per_second
+                                  : 0.0,
+                              table_mb);
+      if (len <= 0) continue;
+      std::string row(static_cast<size_t>(len) + 1, '\0');
+      std::snprintf(row.data(), row.size(), fmt, name.c_str(),
+                    label.c_str(), aggregate.c_str(),
+                    static_cast<long long>(run.iterations), real_ms,
+                    items_per_second,
+                    items_per_second > 0.0 ? 1e9 / items_per_second : 0.0,
+                    table_mb);
+      row.resize(static_cast<size_t>(len));
+      rows_.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  bool WriteFile() const {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fputs("[\n", f);
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fputs(rows_[i].c_str(), f);
+      std::fputs(i + 1 < rows_.size() ? ",\n" : "\n", f);
+    }
+    std::fputs("]\n", f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::string path_;
+  std::vector<std::string> rows_;
+};
+
 }  // namespace
 }  // namespace ccf
+
+int main(int argc, char** argv) {
+  // Extract --json <path> / --json=<path> before google-benchmark sees the
+  // command line (it rejects flags it does not know).
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  if (json_path.empty()) {
+    benchmark::RunSpecifiedBenchmarks();
+  } else {
+    ccf::JsonRowsReporter reporter(json_path);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    if (!reporter.WriteFile()) {
+      std::fprintf(stderr, "failed to write JSON rows to %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+  }
+  benchmark::Shutdown();
+  return 0;
+}

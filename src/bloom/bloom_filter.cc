@@ -1,8 +1,11 @@
 #include "bloom/bloom_filter.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <numbers>
+
+#include "util/batch_pipeline.h"
 
 namespace ccf {
 
@@ -56,28 +59,36 @@ bool BloomFilter::Contains(uint64_t item) const {
 void BloomFilter::ContainsBatch(std::span<const uint64_t> items,
                                 std::span<bool> out) const {
   CCF_DCHECK(out.size() == items.size());
-  constexpr size_t kBlock = 128;
-  uint64_t h1s[kBlock];
-  uint64_t h2s[kBlock];
-  uint64_t m = bits_.size();
-  for (size_t base = 0; base < items.size(); base += kBlock) {
-    size_t n = std::min(kBlock, items.size() - base);
-    for (size_t i = 0; i < n; ++i) {
-      h1s[i] = hasher_.Hash(items[base + i], 0);
-      h2s[i] = hasher_.Hash(items[base + i], 1) | 1;
-      bits_.PrefetchBit(h1s[i] % m);
-    }
-    for (size_t i = 0; i < n; ++i) {
-      bool hit = true;
-      for (int k = 0; k < num_hashes_; ++k) {
-        if (!bits_.GetBit((h1s[i] + static_cast<uint64_t>(k) * h2s[i]) % m)) {
-          hit = false;
-          break;
+  // The library-wide two-pass pipeline, clustered by first probe bit so
+  // nearby filter regions are tested back-to-back.
+  const uint64_t m = bits_.size();
+  struct Addr {
+    uint64_t cluster_key;  // first probe's bit index
+    uint64_t h1;
+    uint64_t h2;
+  };
+  BatchPipelineOptions options;
+  options.cluster_bits = std::bit_width(m);
+  RunBatchPipeline<Addr>(
+      items.size(), options,
+      [&](size_t i) {
+        Addr a;
+        a.h1 = hasher_.Hash(items[i], 0);
+        a.h2 = hasher_.Hash(items[i], 1) | 1;
+        a.cluster_key = a.h1 % m;
+        return a;
+      },
+      [&](const Addr& a) { bits_.PrefetchBit(a.cluster_key); },
+      [&](size_t i, const Addr& a) {
+        bool hit = true;
+        for (int k = 0; k < num_hashes_; ++k) {
+          if (!bits_.GetBit((a.h1 + static_cast<uint64_t>(k) * a.h2) % m)) {
+            hit = false;
+            break;
+          }
         }
-      }
-      out[base + i] = hit;
-    }
-  }
+        out[i] = hit;
+      });
 }
 
 double BloomFilter::EstimatedFpr() const {

@@ -27,23 +27,19 @@ size_t BloomSketchView::GlobalBit(size_t logical) const {
 
 void BloomSketchView::Insert(uint64_t item) {
   if (total_bits_ == 0) return;
-  uint64_t h1 = hasher_->Hash(item, 11);
-  uint64_t h2 = hasher_->Hash(item, 12) | 1;
+  ProbeSeed seed = SeedFor(*hasher_, item);
   for (int i = 0; i < num_hashes_; ++i) {
-    size_t pos = static_cast<size_t>(
-        (h1 + static_cast<uint64_t>(i) * h2) % total_bits_);
-    bits_->SetBit(GlobalBit(pos), true);
+    bits_->SetBit(GlobalBit(ProbeAt(seed, i, total_bits_)), true);
   }
 }
 
 bool BloomSketchView::Contains(uint64_t item) const {
   if (total_bits_ == 0) return true;  // degenerate window cannot refute
-  uint64_t h1 = hasher_->Hash(item, 11);
-  uint64_t h2 = hasher_->Hash(item, 12) | 1;
+  ProbeSeed seed = SeedFor(*hasher_, item);
   for (int i = 0; i < num_hashes_; ++i) {
-    size_t pos = static_cast<size_t>(
-        (h1 + static_cast<uint64_t>(i) * h2) % total_bits_);
-    if (!bits_->GetBit(GlobalBit(pos))) return false;
+    if (!bits_->GetBit(GlobalBit(ProbeAt(seed, i, total_bits_)))) {
+      return false;
+    }
   }
   return true;
 }

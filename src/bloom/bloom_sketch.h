@@ -45,6 +45,24 @@ class BloomSketchView {
     return value ^ (0x51ed270b9ull * (attr_index + 1));
   }
 
+  /// Double-hashing probe stream of an item. Insert/Contains derive their
+  /// probe positions from exactly this seed, so callers that test many
+  /// same-size windows against one item (the Bloom-CCF broadcast batch)
+  /// can precompute all k logical positions once instead of rehashing per
+  /// candidate entry — answers stay bit-identical by construction.
+  struct ProbeSeed {
+    uint64_t h1;
+    uint64_t h2;
+  };
+  static ProbeSeed SeedFor(const Hasher& hasher, uint64_t item) {
+    return ProbeSeed{hasher.Hash(item, 11), hasher.Hash(item, 12) | 1};
+  }
+  /// Logical bit position of probe `i` within a `total_bits`-bit window.
+  static size_t ProbeAt(const ProbeSeed& seed, int i, size_t total_bits) {
+    return static_cast<size_t>(
+        (seed.h1 + static_cast<uint64_t>(i) * seed.h2) % total_bits);
+  }
+
   void Insert(uint64_t item);
   bool Contains(uint64_t item) const;
 

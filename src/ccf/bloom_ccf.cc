@@ -125,15 +125,68 @@ bool BloomCcf::ContainsAddressed(uint64_t bucket, uint32_t fp,
 void BloomCcf::LookupBatchBroadcast(std::span<const uint64_t> keys,
                                     const Predicate& pred,
                                     std::span<bool> out) const {
-  // Consumes the precomputed pair directly (no alt-bucket rehash). The
-  // per-entry sketch probes still hash per candidate; precomputing their
-  // bit positions per (term, value) is a noted follow-on.
+  // Consumes the precomputed pair directly (no alt-bucket rehash), and
+  // precompiles the sketch probes: every entry's Bloom window has the same
+  // size (bloom_bits), so the k probe positions of each (term, value) are
+  // entry-independent and are hashed ONCE per batch here instead of once
+  // per candidate entry. Matching then only tests window-relative bits —
+  // bit-identical to BloomSketchView::Contains, whose probe stream
+  // (SeedFor/ProbeAt) is reused verbatim.
+  struct CompiledValue {
+    std::vector<uint32_t> positions;  // k logical bits within the window
+  };
+  struct CompiledTerm {
+    std::vector<CompiledValue> values;
+  };
+  std::vector<CompiledTerm> compiled;
+  const size_t window_bits = static_cast<size_t>(config_.bloom_bits);
+  compiled.reserve(pred.terms().size());
+  for (const AttributeTerm& term : pred.terms()) {
+    CompiledTerm ct;
+    ct.values.reserve(term.values.size());
+    for (uint64_t v : term.values) {
+      CompiledValue cv;
+      cv.positions.reserve(static_cast<size_t>(sketch_hashes_));
+      BloomSketchView::ProbeSeed seed = BloomSketchView::SeedFor(
+          hasher_, BloomSketchView::EncodeAttr(
+                       static_cast<uint32_t>(term.attr_index), v));
+      for (int i = 0; i < sketch_hashes_; ++i) {
+        cv.positions.push_back(static_cast<uint32_t>(
+            BloomSketchView::ProbeAt(seed, i, window_bits)));
+      }
+      ct.values.push_back(std::move(cv));
+    }
+    compiled.push_back(std::move(ct));
+  }
+
+  const BitVector& bits = *table_.bits();
+  auto entry_matches = [&](uint64_t b, int s) {
+    size_t base = table_.PayloadBitOffset(b, s);
+    for (const CompiledTerm& term : compiled) {
+      bool any = false;
+      for (const CompiledValue& value : term.values) {
+        bool all = true;
+        for (uint32_t pos : value.positions) {
+          if (!bits.GetBit(base + pos)) {
+            all = false;
+            break;
+          }
+        }
+        if (all) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) return false;
+    }
+    return true;
+  };
+
+  // Single-wave: with a selective predicate a primary-only sketch match is
+  // rare, so the alt-deferring two-wave flavour does not pay here (see
+  // PlainCcf::LookupBatchBroadcast).
   BatchResolve(keys, out, [&](size_t, const BucketPair& pair, uint32_t fp) {
-    return ScanPairWithFp(pair, fp,
-                          [&](uint64_t b, int s) {
-                            return EntryMatches(b, s, pred);
-                          })
-        .second;
+    return ScanPairWithFp(pair, fp, entry_matches).second;
   });
 }
 

@@ -1,6 +1,7 @@
 #include "ccf/ccf.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 
 #include "ccf/bloom_ccf.h"
@@ -272,9 +273,12 @@ void CcfBase::LookupBatchBroadcast(std::span<const uint64_t> keys,
 void CcfBase::ContainsKeyBatch(std::span<const uint64_t> keys,
                                std::span<bool> out) const {
   CCF_DCHECK(out.size() == keys.size());
-  BatchResolve(keys, out, [&](size_t, const BucketPair& pair, uint32_t fp) {
-    return CountFpInPair(pair, fp) > 0;
-  });
+  // Key-only membership is "any occupied copy in the pair" for every
+  // variant (§7.1), which is exactly the two-wave shape: a primary-bucket
+  // copy settles the key without ever fetching the alt bucket.
+  BatchResolveTwoWave(
+      keys, out, [](uint64_t, int) { return true; },
+      [](uint32_t, const BucketPair&, int) { return false; });
 }
 
 void CcfBase::KeyAddress(uint64_t key, uint64_t* bucket, uint32_t* fp) const {
@@ -291,10 +295,11 @@ std::vector<std::pair<uint64_t, int>> CcfBase::SlotsWithFp(
     const BucketPair& pair, uint32_t fp) const {
   std::vector<std::pair<uint64_t, int>> out;
   auto scan = [&](uint64_t b) {
-    for (int s = 0; s < table_.slots_per_bucket(); ++s) {
-      if (table_.occupied(b, s) && table_.fingerprint(b, s) == fp) {
-        out.emplace_back(b, s);
-      }
+    uint64_t mask = table_.MatchMask(b, fp);
+    while (mask != 0) {
+      int s = std::countr_zero(mask);
+      mask &= mask - 1;
+      if (table_.occupied(b, s)) out.emplace_back(b, s);
     }
   };
   scan(pair.primary);
@@ -370,23 +375,34 @@ bool MarkedKeyFilter::Contains(uint64_t key) const {
 void MarkedKeyFilter::ContainsBatch(std::span<const uint64_t> keys,
                                     std::span<bool> out) const {
   CCF_DCHECK(out.size() == keys.size());
-  constexpr size_t kBatchBlock = 128;
-  uint64_t buckets[kBatchBlock];
-  uint32_t fps[kBatchBlock];
-  for (size_t base = 0; base < keys.size(); base += kBatchBlock) {
-    size_t n = std::min(kBatchBlock, keys.size() - base);
-    for (size_t i = 0; i < n; ++i) {
-      cuckoo_addressing::IndexAndFingerprint(
-          hasher_, keys[base + i], table_.bucket_mask(),
-          table_.fingerprint_bits(), &buckets[i], &fps[i]);
-      table_.PrefetchBucket(buckets[i]);
-      table_.PrefetchBucket(cuckoo_addressing::AltBucket(
-          hasher_, buckets[i], fps[i], table_.bucket_mask()));
-    }
-    for (size_t i = 0; i < n; ++i) {
-      out[base + i] = ContainsAddressed(buckets[i], fps[i]);
-    }
-  }
+  struct Addr {
+    uint64_t cluster_key;
+    uint64_t bucket;
+    uint64_t alt;
+    uint32_t fp;
+  };
+  BatchPipelineOptions options;
+  options.cluster_bits = std::bit_width(table_.bucket_mask());
+  RunBatchPipeline<Addr>(
+      keys.size(), options,
+      [&](size_t i) {
+        Addr a;
+        cuckoo_addressing::IndexAndFingerprint(hasher_, keys[i],
+                                               table_.bucket_mask(),
+                                               table_.fingerprint_bits(),
+                                               &a.bucket, &a.fp);
+        a.alt = cuckoo_addressing::AltBucket(hasher_, a.bucket, a.fp,
+                                             table_.bucket_mask());
+        a.cluster_key = a.bucket;
+        return a;
+      },
+      [&](const Addr& a) {
+        table_.PrefetchBucket(a.bucket);
+        if (a.alt != a.bucket) table_.PrefetchBucket(a.alt);
+      },
+      [&](size_t i, const Addr& a) {
+        out[i] = ContainsAddressed(a.bucket, a.fp);
+      });
 }
 
 bool MarkedKeyFilter::ContainsAddressed(uint64_t bucket, uint32_t fp) const {
@@ -396,8 +412,11 @@ bool MarkedKeyFilter::ContainsAddressed(uint64_t bucket, uint32_t fp) const {
     int count = 0;
     bool unmarked = false;
     auto scan = [&](uint64_t b) {
-      for (int s = 0; s < table_.slots_per_bucket(); ++s) {
-        if (table_.occupied(b, s) && table_.fingerprint(b, s) == fp) {
+      uint64_t mask = table_.MatchMask(b, fp);
+      while (mask != 0) {
+        int s = std::countr_zero(mask);
+        mask &= mask - 1;
+        if (table_.occupied(b, s)) {
           ++count;
           uint64_t idx =
               b * static_cast<uint64_t>(table_.slots_per_bucket()) +

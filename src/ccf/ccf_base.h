@@ -6,6 +6,7 @@
 #define CCF_CCF_CCF_BASE_H_
 
 #include <algorithm>
+#include <bit>
 #include <string>
 #include <utility>
 #include <vector>
@@ -14,6 +15,7 @@
 #include "cuckoo/bucket_table.h"
 #include "hash/hasher.h"
 #include "sketch/attr_fingerprint.h"
+#include "util/batch_pipeline.h"
 #include "util/random.h"
 
 namespace ccf {
@@ -116,37 +118,101 @@ class CcfBase : public ConditionalCuckooFilter {
  protected:
   CcfBase(CcfConfig config, BucketTable table);
 
-  /// Block size of the two-pass batch loop: small enough that the address
-  /// scratch and prefetched lines stay cached, large enough that a
-  /// DRAM-latency prefetch has completed by the time pass 2 reaches it
-  /// (measured best among 64/128/256/512 and a constant-distance ring).
-  static constexpr size_t kBatchBlock = 128;
-
-  /// The shared two-pass skeleton: per block, pass 1 computes the bucket
-  /// pair and fingerprint of every key and prefetches both buckets; pass 2
-  /// invokes `resolve(index, pair, fp)` with the lines (likely) cached.
-  /// The pair is handed through so resolvers that can consume it directly
-  /// (the variant broadcast overrides) skip the alt-bucket rehash; the
-  /// generic per-key-predicate fallback still resolves via
-  /// ContainsAddressed(bucket, fp, ...) and re-derives it.
+  /// The shared batch skeleton, instantiating the library-wide two-pass
+  /// pipeline (util/batch_pipeline.h): pass 1 computes the bucket pair and
+  /// fingerprint of every key; the block is then radix-clustered by primary
+  /// bucket, prefetched, and resolved via `resolve(index, pair, fp)` with
+  /// the lines (likely) cached. The pair is handed through so resolvers
+  /// that can consume it directly (the variant broadcast overrides) skip
+  /// the alt-bucket rehash; the generic per-key-predicate fallback still
+  /// resolves via ContainsAddressed(bucket, fp, ...) and re-derives it.
   template <typename Resolver>
   void BatchResolve(std::span<const uint64_t> keys, std::span<bool> out,
                     Resolver&& resolve) const {
-    BucketPair pairs[kBatchBlock];
-    uint32_t fps[kBatchBlock];
-    for (size_t base = 0; base < keys.size(); base += kBatchBlock) {
-      size_t n = std::min(kBatchBlock, keys.size() - base);
-      for (size_t i = 0; i < n; ++i) {
-        uint64_t bucket;
-        KeyAddress(keys[base + i], &bucket, &fps[i]);
-        pairs[i] = PairOf(bucket, fps[i]);
-        table_.PrefetchBucket(pairs[i].primary);
-        if (!pairs[i].degenerate()) table_.PrefetchBucket(pairs[i].alt);
-      }
-      for (size_t i = 0; i < n; ++i) {
-        out[base + i] = resolve(base + i, pairs[i], fps[i]);
-      }
-    }
+    struct Addr {
+      uint64_t cluster_key;
+      BucketPair pair;
+      uint32_t fp;
+    };
+    BatchPipelineOptions options;
+    options.cluster_bits = std::bit_width(table_.bucket_mask());
+    RunBatchPipeline<Addr>(
+        keys.size(), options,
+        [&](size_t i) {
+          Addr a;
+          uint64_t bucket;
+          KeyAddress(keys[i], &bucket, &a.fp);
+          a.pair = PairOf(bucket, a.fp);
+          a.cluster_key = a.pair.primary;
+          return a;
+        },
+        [&](const Addr& a) {
+          table_.PrefetchBucket(a.pair.primary);
+          if (!a.pair.degenerate()) table_.PrefetchBucket(a.pair.alt);
+        },
+        [&](size_t i, const Addr& a) { out[i] = resolve(i, a.pair, a.fp); });
+  }
+
+  /// Two-wave flavour of BatchResolve for resolvers whose pair scan can
+  /// settle on the primary bucket alone (every ScanPairWithFp-shaped
+  /// broadcast: a matching entry in the primary bucket proves membership
+  /// outright). Wave 1 prefetches and scans ONLY primary buckets; a key
+  /// whose primary scan matches never fetches its alt bucket at all — on
+  /// out-of-cache tables that removes the second DRAM access for the
+  /// common present-key case. Inconclusive keys prefetch their alt bucket
+  /// immediately and finish in wave 2 with the pair's full copy count.
+  /// `matches(b, s)` is the per-entry predicate (as in ScanPairWithFp);
+  /// `terminal(fp, pair, count)` decides keys with no matching entry from
+  /// the pair's total fp-copy count (false for pair-local variants; the
+  /// chained variant continues its chain walk when count == max_dupes).
+  /// Bit-identical to resolving via ScanPairWithFp: scan order (primary
+  /// slots ascending, then alt) and count semantics are unchanged.
+  template <typename EntryMatcher, typename Terminal>
+  void BatchResolveTwoWave(std::span<const uint64_t> keys,
+                           std::span<bool> out, EntryMatcher&& matches,
+                           Terminal&& terminal) const {
+    struct Addr {
+      uint64_t cluster_key;
+      BucketPair pair;
+      uint32_t fp;
+      int primary_count;
+    };
+    BatchPipelineOptions options;
+    options.cluster_bits = std::bit_width(table_.bucket_mask());
+    RunBatchPipelineTwoWave<Addr>(
+        keys.size(), options,
+        [&](size_t i) {
+          Addr a;
+          uint64_t bucket;
+          KeyAddress(keys[i], &bucket, &a.fp);
+          a.pair = PairOf(bucket, a.fp);
+          a.cluster_key = a.pair.primary;
+          a.primary_count = 0;
+          return a;
+        },
+        [&](const Addr& a) { table_.PrefetchBucket(a.pair.primary); },
+        [&](size_t i, Addr& a) {
+          auto [count, matched] =
+              ScanBucketWithFp(a.pair.primary, a.fp, matches);
+          if (matched) {
+            out[i] = true;
+            return true;
+          }
+          if (a.pair.degenerate()) {
+            out[i] = terminal(a.fp, a.pair, count);
+            return true;
+          }
+          a.primary_count = count;
+          return false;
+        },
+        [&](const Addr& a) { table_.PrefetchBucket(a.pair.alt); },
+        [&](size_t i, const Addr& a) {
+          auto [alt_count, matched] =
+              ScanBucketWithFp(a.pair.alt, a.fp, matches);
+          out[i] = matched ? true
+                           : terminal(a.fp, a.pair,
+                                      a.primary_count + alt_count);
+        });
   }
 
   /// Broadcast-shape hook of LookupBatch: one predicate, every key. The
@@ -198,21 +264,36 @@ class CcfBase : public ConditionalCuckooFilter {
   template <typename EntryMatcher>
   std::pair<int, bool> ScanPairWithFp(const BucketPair& pair, uint32_t fp,
                                       EntryMatcher&& matches) const {
+    auto [count, matched] = ScanBucketWithFp(pair.primary, fp, matches);
+    if (matched) return {count, true};
+    if (!pair.degenerate()) {
+      auto [alt_count, alt_matched] = ScanBucketWithFp(pair.alt, fp, matches);
+      count += alt_count;
+      if (alt_matched) return {count, true};
+    }
+    return {count, false};
+  }
+
+  /// One bucket of ScanPairWithFp: {copies counted, matched}, matched
+  /// short-circuiting the count as there. Fingerprint-first: the slots
+  /// line must be read anyway, and the bucket view resolves every slot's
+  /// fingerprint in one wide compare; the occupancy line is only consulted
+  /// on a fingerprint hit (erased slots read 0, so occupancy stays
+  /// authoritative). Mask bits are consumed in ascending slot order,
+  /// matching the scalar scan.
+  template <typename EntryMatcher>
+  std::pair<int, bool> ScanBucketWithFp(uint64_t b, uint32_t fp,
+                                        EntryMatcher&& matches) const {
     int count = 0;
-    auto scan = [&](uint64_t b) -> bool {
-      // Fingerprint-first: the slots line must be read anyway, while the
-      // occupancy line is only consulted on a fingerprint hit (erased
-      // slots read 0, so occupancy stays authoritative).
-      for (int s = 0; s < table_.slots_per_bucket(); ++s) {
-        if (table_.fingerprint_any(b, s) == fp && table_.occupied(b, s)) {
-          ++count;
-          if (matches(b, s)) return true;
-        }
+    uint64_t mask = table_.MatchMask(b, fp);
+    while (mask != 0) {
+      int s = std::countr_zero(mask);
+      mask &= mask - 1;
+      if (table_.occupied(b, s)) {
+        ++count;
+        if (matches(b, s)) return {count, true};
       }
-      return false;
-    };
-    if (scan(pair.primary)) return {count, true};
-    if (!pair.degenerate() && scan(pair.alt)) return {count, true};
+    }
     return {count, false};
   }
 

@@ -1,12 +1,14 @@
 #include "ccf/sharded_ccf.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 #include <mutex>
 #include <thread>
 #include <utility>
 
 #include "cuckoo/cuckoo_filter.h"
+#include "util/batch_pipeline.h"
 #include "util/math_util.h"
 
 namespace ccf {
@@ -173,40 +175,53 @@ bool ShardedCcf::Contains(uint64_t key, const Predicate& pred) const {
 
 namespace {
 
-constexpr size_t kShardBatchBlock = 128;
-
-// Shared two-pass skeleton over the shard set: pass 1 computes each key's
-// shard and (bucket, fp) with shard 0's hasher (all shards share salt and
-// geometry, so one address computation serves whichever shard the key
-// routes to) and prefetches both buckets of the pair in the target shard;
-// pass 2 calls resolve(index, shard, bucket, fp) with the lines (likely)
-// cached.
+// Shared two-pass skeleton over the shard set, instantiating the
+// library-wide batch pipeline: pass 1 computes each key's shard and
+// (bucket, fp) with shard 0's hasher (all shards share salt and geometry,
+// so one address computation serves whichever shard the key routes to);
+// the block is radix-clustered by (shard, bucket) so same-shard probes of
+// nearby buckets resolve back-to-back, then both buckets of each pair are
+// prefetched in the target shard and resolve(index, shard, bucket, fp)
+// runs with the lines (likely) cached.
 template <typename Resolver>
 void ShardedTwoPass(const ShardedCcf& self,
                     const std::vector<const CcfBase*>& bases,
                     std::span<const uint64_t> keys, Resolver&& resolve) {
   const CcfBase& rep = *bases[0];
-  size_t shard_idx[kShardBatchBlock];
-  uint64_t buckets[kShardBatchBlock];
-  uint32_t fps[kShardBatchBlock];
-  for (size_t base = 0; base < keys.size(); base += kShardBatchBlock) {
-    size_t n = std::min(kShardBatchBlock, keys.size() - base);
-    for (size_t i = 0; i < n; ++i) {
-      uint64_t key = keys[base + i];
-      shard_idx[i] = self.ShardOf(key);
-      cuckoo_addressing::IndexAndFingerprint(
-          rep.hasher(), key, rep.table().bucket_mask(),
-          rep.config().key_fp_bits, &buckets[i], &fps[i]);
-      const BucketTable& table = bases[shard_idx[i]]->table();
-      table.PrefetchBucket(buckets[i]);
-      uint64_t alt = cuckoo_addressing::AltBucket(
-          rep.hasher(), buckets[i], fps[i], table.bucket_mask());
-      if (alt != buckets[i]) table.PrefetchBucket(alt);
-    }
-    for (size_t i = 0; i < n; ++i) {
-      resolve(base + i, shard_idx[i], buckets[i], fps[i]);
-    }
-  }
+  const uint64_t bucket_mask = rep.table().bucket_mask();
+  const int bucket_bits = std::bit_width(bucket_mask);
+  const int fp_bits = rep.config().key_fp_bits;
+  struct Addr {
+    uint64_t cluster_key;
+    uint64_t bucket;
+    uint64_t alt;
+    uint32_t shard;
+    uint32_t fp;
+  };
+  BatchPipelineOptions options;
+  options.cluster_bits =
+      bucket_bits +
+      std::bit_width(static_cast<uint64_t>(self.num_shards() - 1));
+  RunBatchPipeline<Addr>(
+      keys.size(), options,
+      [&](size_t i) {
+        Addr a;
+        uint64_t key = keys[i];
+        a.shard = static_cast<uint32_t>(self.ShardOf(key));
+        cuckoo_addressing::IndexAndFingerprint(rep.hasher(), key, bucket_mask,
+                                               fp_bits, &a.bucket, &a.fp);
+        a.alt = cuckoo_addressing::AltBucket(rep.hasher(), a.bucket, a.fp,
+                                             bucket_mask);
+        a.cluster_key =
+            (static_cast<uint64_t>(a.shard) << bucket_bits) | a.bucket;
+        return a;
+      },
+      [&](const Addr& a) {
+        const BucketTable& table = bases[a.shard]->table();
+        table.PrefetchBucket(a.bucket);
+        if (a.alt != a.bucket) table.PrefetchBucket(a.alt);
+      },
+      [&](size_t i, const Addr& a) { resolve(i, a.shard, a.bucket, a.fp); });
 }
 
 }  // namespace

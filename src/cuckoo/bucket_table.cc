@@ -9,6 +9,9 @@ BucketTable::BucketTable(uint64_t num_buckets, int slots_per_bucket,
       fingerprint_bits_(fingerprint_bits),
       payload_bits_(payload_bits),
       slot_bits_(fingerprint_bits + payload_bits),
+      layout_(BucketLayout::Make(slots_per_bucket,
+                                 fingerprint_bits + payload_bits,
+                                 fingerprint_bits, payload_bits)),
       slots_(static_cast<size_t>(num_buckets) *
              static_cast<size_t>(slots_per_bucket) *
              static_cast<size_t>(fingerprint_bits + payload_bits)),
@@ -60,13 +63,24 @@ int BucketTable::FirstFreeSlot(uint64_t bucket) const {
 }
 
 int BucketTable::CountFingerprint(uint64_t bucket, uint32_t fp) const {
-  // Fingerprint-first (see fingerprint_any): the occupancy line is only
-  // touched on a slots-line hit.
+  // Fingerprint-first (see fingerprint_any): one wide compare over the
+  // slots line; the occupancy line is only touched on hits.
+  uint64_t mask = MatchMask(bucket, fp);
   int n = 0;
-  for (int s = 0; s < slots_per_bucket_; ++s) {
-    if (fingerprint_any(bucket, s) == fp && occupied(bucket, s)) ++n;
+  while (mask != 0) {
+    int s = std::countr_zero(mask);
+    mask &= mask - 1;
+    if (occupied(bucket, s)) ++n;
   }
   return n;
+}
+
+uint64_t BucketTable::MatchMaskScalar(uint64_t bucket, uint32_t fp) const {
+  uint64_t mask = 0;
+  for (int s = 0; s < slots_per_bucket_; ++s) {
+    if (fingerprint_any(bucket, s) == fp) mask |= uint64_t{1} << s;
+  }
+  return mask;
 }
 
 int BucketTable::CountOccupied(uint64_t bucket) const {

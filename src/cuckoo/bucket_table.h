@@ -9,8 +9,10 @@
 #ifndef CCF_CUCKOO_BUCKET_TABLE_H_
 #define CCF_CUCKOO_BUCKET_TABLE_H_
 
+#include <bit>
 #include <cstdint>
 
+#include "cuckoo/bucket_view.h"
 #include "util/bit_vector.h"
 #include "util/math_util.h"
 #include "util/result.h"
@@ -77,6 +79,28 @@ class BucketTable {
   uint32_t fingerprint_any(uint64_t bucket, int slot) const {
     return static_cast<uint32_t>(
         slots_.GetField(SlotBitOffset(bucket, slot), fingerprint_bits_));
+  }
+
+  /// Wide-loaded view of a bucket's fingerprints (see bucket_view.h). Only
+  /// valid for tables whose geometry admits a vector path — check
+  /// has_bucket_view(), or use MatchMask which falls back itself.
+  BucketView ViewBucket(uint64_t bucket) const {
+    return BucketView(layout_, slots_, SlotBitOffset(bucket, 0));
+  }
+
+  bool has_bucket_view() const {
+    return layout_.mode != BucketLayout::Mode::kScalar;
+  }
+
+  /// Bit s set iff slot s's fingerprint equals `fp`, occupancy ignored —
+  /// the word/vector replacement for a slot-by-slot fingerprint_any scan,
+  /// bit-identical to it on every target. Callers confirm occupancy on the
+  /// (rare) hits only, as before.
+  uint64_t MatchMask(uint64_t bucket, uint32_t fp) const {
+    if (layout_.mode != BucketLayout::Mode::kScalar) {
+      return ViewBucket(bucket).MatchMask(fp);
+    }
+    return MatchMaskScalar(bucket, fp);
   }
 
   /// Writes fingerprint + marks occupied. Payload bits are untouched (callers
@@ -153,6 +177,9 @@ class BucketTable {
   BucketTable(uint64_t num_buckets, int slots_per_bucket, int fingerprint_bits,
               int payload_bits);
 
+  /// Per-slot GetField loop for geometries with no vector path.
+  uint64_t MatchMaskScalar(uint64_t bucket, uint32_t fp) const;
+
   uint64_t SlotIndex(uint64_t bucket, int slot) const {
     CCF_DCHECK(bucket < num_buckets_);
     CCF_DCHECK(slot >= 0 && slot < slots_per_bucket_);
@@ -171,6 +198,7 @@ class BucketTable {
   int payload_bits_;
   int slot_bits_;
   uint64_t num_occupied_ = 0;
+  BucketLayout layout_;
   BitVector slots_;
   BitVector occupied_;
 };

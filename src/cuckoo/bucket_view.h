@@ -1,0 +1,295 @@
+// BucketView: word/vector fingerprint resolution for one bucket.
+//
+// The query hot path of every cuckoo structure here reduces to "which slots
+// of this bucket hold fingerprint κ?". The scalar answer walks the slots
+// calling BitVector::GetField once per slot; this header answers it with
+// one or two wide compares instead:
+//
+//   * kDirect  — payload-free tables (CuckooFilter) whose whole bucket fits
+//     in one unaligned 64-bit load: the probe fingerprint is broadcast with
+//     a multiply and all slots are compared at once with an exact per-lane
+//     SWAR zero test. "One aligned word" in spirit; the load is a single
+//     instruction either way.
+//   * kLanes16 — fingerprints ≤ 16 bits at arbitrary slot stride (every CCF
+//     variant): each slot's fingerprint is gathered with one unaligned load
+//     into a padded array of 16-bit lanes, then all lanes are compared in
+//     one shot — SSE2/AVX2 when compiled in, with a SWAR fallback that is
+//     bit-identical on every target.
+//   * kLanes32 — fingerprints 17..32 bits: gathered the same way, compared
+//     with a short in-register loop.
+//
+// All paths return the same dense slot bitmask the scalar scan would
+// produce (bit s set iff fingerprint_any(bucket, s) == fp; erased slots
+// read 0, so occupancy stays authoritative and is checked by the caller
+// only on hits). The kernels are free functions so differential tests can
+// pin SIMD == SWAR == scalar.
+#ifndef CCF_CUCKOO_BUCKET_VIEW_H_
+#define CCF_CUCKOO_BUCKET_VIEW_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+#include "util/bit_vector.h"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace ccf {
+
+namespace bucket_simd {
+
+/// Maximum slots-per-bucket the vector paths handle; wider buckets use the
+/// table's scalar fallback.
+inline constexpr int kMaxViewSlots = 16;
+
+/// How many logical bits a BitVector::LoadBits64 is guaranteed to deliver
+/// (64 minus the worst-case intra-byte shift).
+inline constexpr int kLoadBits = 57;
+
+/// Precomputed masks for `lanes` lanes of `width` bits packed at stride
+/// `width` from bit 0 of a word.
+struct SwarGeometry {
+  uint64_t ones = 0;   // 1 at each lane's LSB
+  uint64_t lows = 0;   // 2^(width-1) - 1 in each lane
+  uint64_t highs = 0;  // 1 at each lane's MSB
+};
+
+constexpr SwarGeometry MakeSwarGeometry(int width, int lanes) {
+  SwarGeometry g;
+  for (int i = 0; i < lanes; ++i) {
+    g.ones |= uint64_t{1} << (i * width);
+  }
+  g.highs = g.ones << (width - 1);
+  g.lows = g.ones * ((uint64_t{1} << (width - 1)) - 1);
+  return g;
+}
+
+/// Exact per-lane zero test (Hacker's Delight 6-2, per-lane form): the MSB
+/// of each lane of the result is set iff that lane of `x` is zero. Unlike
+/// the cheaper (x - ones) & ~x & highs idiom this cannot false-positive
+/// from cross-lane borrows: (x & lows) + lows stays below 2^width per lane.
+inline uint64_t ZeroLaneMsbs(uint64_t x, const SwarGeometry& g) {
+  return ~(((x & g.lows) + g.lows) | x | g.lows) & g.highs;
+}
+
+/// Collapses lane-MSB flags to a dense per-lane bitmask. Iterates only set
+/// flags (matches are rare on the probe path).
+inline uint32_t DenseMaskFromMsbs(uint64_t msbs, int width) {
+  uint32_t out = 0;
+  while (msbs != 0) {
+    int bit = std::countr_zero(msbs);
+    out |= uint32_t{1} << (bit / width);
+    msbs &= msbs - 1;
+  }
+  return out;
+}
+
+/// kDirect kernel: all lanes live in `word` at stride `width`; `g` must
+/// come from MakeSwarGeometry(width, slots). Bits of `word` above the last
+/// lane are ignored (g's masks do not cover them).
+inline uint32_t MatchDirectSwar(uint64_t word, uint32_t fp, int width,
+                                const SwarGeometry& g) {
+  uint64_t x = word ^ (g.ones * fp);
+  return DenseMaskFromMsbs(ZeroLaneMsbs(x, g), width);
+}
+
+// --- 16-bit-lane kernels ------------------------------------------------------
+//
+// All take a lane array padded with zeros to kMaxViewSlots entries and
+// return a mask limited to the low `n` lanes (padding lanes cannot leak:
+// the result is masked).
+
+inline uint32_t LaneMask(int n) {
+  return n >= 32 ? ~uint32_t{0} : (uint32_t{1} << n) - 1;
+}
+
+inline uint32_t MatchLanes16Scalar(const uint16_t* lanes, int n,
+                                   uint16_t fp) {
+  uint32_t out = 0;
+  for (int i = 0; i < n; ++i) {
+    if (lanes[i] == fp) out |= uint32_t{1} << i;
+  }
+  return out;
+}
+
+inline uint32_t MatchLanes16Swar(const uint16_t* lanes, int n, uint16_t fp) {
+  constexpr SwarGeometry g = MakeSwarGeometry(16, 4);
+  const uint64_t needle = g.ones * fp;
+  uint32_t out = 0;
+  for (int i = 0; i < n; i += 4) {
+    uint64_t word;
+    std::memcpy(&word, lanes + i, sizeof(word));
+    out |= DenseMaskFromMsbs(ZeroLaneMsbs(word ^ needle, g), 16)
+           << static_cast<unsigned>(i);
+  }
+  return out & LaneMask(n);
+}
+
+#if defined(__SSE2__)
+inline uint32_t MatchLanes16Sse2(const uint16_t* lanes, int n, uint16_t fp) {
+  const __m128i needle = _mm_set1_epi16(static_cast<short>(fp));
+  __m128i eq = _mm_cmpeq_epi16(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(lanes)), needle);
+  // Saturating pack turns each 0xFFFF/0x0000 16-bit lane into an 0xFF/0x00
+  // byte, so movemask yields one bit per lane.
+  uint32_t mask = static_cast<uint32_t>(_mm_movemask_epi8(
+                      _mm_packs_epi16(eq, _mm_setzero_si128()))) &
+                  0xFFu;
+  if (n > 8) {
+    __m128i eq_hi = _mm_cmpeq_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(lanes + 8)),
+        needle);
+    mask |= (static_cast<uint32_t>(_mm_movemask_epi8(
+                 _mm_packs_epi16(eq_hi, _mm_setzero_si128()))) &
+             0xFFu)
+            << 8;
+  }
+  return mask & LaneMask(n);
+}
+#endif  // __SSE2__
+
+#if defined(__AVX2__)
+inline uint32_t MatchLanes16Avx2(const uint16_t* lanes, int n, uint16_t fp) {
+  const __m256i needle = _mm256_set1_epi16(static_cast<short>(fp));
+  __m256i eq = _mm256_cmpeq_epi16(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lanes)), needle);
+  __m256i packed = _mm256_packs_epi16(eq, _mm256_setzero_si256());
+  // packs interleaves 128-bit halves; restore lane order before movemask.
+  packed = _mm256_permute4x64_epi64(packed, 0xD8);
+  uint32_t mask =
+      static_cast<uint32_t>(_mm256_movemask_epi8(packed)) & 0xFFFFu;
+  return mask & LaneMask(n);
+}
+#endif  // __AVX2__
+
+/// Production dispatch: widest compiled-in path. All paths produce
+/// identical masks (enforced by bucket_view_test's differentials).
+inline uint32_t MatchLanes16(const uint16_t* lanes, int n, uint16_t fp) {
+#if defined(__AVX2__)
+  return MatchLanes16Avx2(lanes, n, fp);
+#elif defined(__SSE2__)
+  return MatchLanes16Sse2(lanes, n, fp);
+#else
+  return MatchLanes16Swar(lanes, n, fp);
+#endif
+}
+
+}  // namespace bucket_simd
+
+/// Per-table resolver geometry, computed once at BucketTable construction.
+struct BucketLayout {
+  enum class Mode : uint8_t {
+    kDirect,   // payload-free bucket in one 64-bit load
+    kLanes16,  // gather to 16-bit lanes, vector compare
+    kLanes32,  // gather to 32-bit lanes, in-register loop
+    kScalar,   // > kMaxViewSlots slots: per-slot GetField loop in the table
+  };
+
+  Mode mode = Mode::kScalar;
+  int slots = 0;
+  int slot_bits = 0;
+  int fp_bits = 0;
+  uint32_t fp_mask = 0;
+  bucket_simd::SwarGeometry direct_geom;  // kDirect only
+
+  static BucketLayout Make(int slots, int slot_bits, int fp_bits,
+                           int payload_bits) {
+    BucketLayout out;
+    out.slots = slots;
+    out.slot_bits = slot_bits;
+    out.fp_bits = fp_bits;
+    out.fp_mask = fp_bits >= 32 ? ~uint32_t{0}
+                                : (uint32_t{1} << fp_bits) - 1;
+    if (slots > bucket_simd::kMaxViewSlots) {
+      out.mode = Mode::kScalar;
+    } else if (payload_bits == 0 &&
+               slots * slot_bits <= bucket_simd::kLoadBits) {
+      out.mode = Mode::kDirect;
+      out.direct_geom = bucket_simd::MakeSwarGeometry(fp_bits, slots);
+    } else if (fp_bits <= 16) {
+      out.mode = Mode::kLanes16;
+    } else {
+      out.mode = Mode::kLanes32;
+    }
+    return out;
+  }
+};
+
+/// \brief One bucket's fingerprints, loaded wide and ready to compare.
+///
+/// Constructed by BucketTable::ViewBucket; resolves any number of probe
+/// fingerprints against the loaded slots without touching memory again.
+class BucketView {
+ public:
+  BucketView(const BucketLayout& layout, const BitVector& bits,
+             size_t bucket_bit_offset)
+      : layout_(&layout) {
+    switch (layout.mode) {
+      case BucketLayout::Mode::kDirect:
+        direct_ = bits.LoadBits64(bucket_bit_offset);
+        break;
+      case BucketLayout::Mode::kLanes16: {
+        std::memset(lanes16_, 0, sizeof(lanes16_));
+        size_t pos = bucket_bit_offset;
+        for (int s = 0; s < layout.slots; ++s) {
+          lanes16_[s] = static_cast<uint16_t>(bits.LoadBits64(pos) &
+                                              layout.fp_mask);
+          pos += static_cast<size_t>(layout.slot_bits);
+        }
+        break;
+      }
+      case BucketLayout::Mode::kLanes32: {
+        size_t pos = bucket_bit_offset;
+        for (int s = 0; s < layout.slots; ++s) {
+          lanes32_[s] = static_cast<uint32_t>(bits.LoadBits64(pos) &
+                                              layout.fp_mask);
+          pos += static_cast<size_t>(layout.slot_bits);
+        }
+        break;
+      }
+      case BucketLayout::Mode::kScalar:
+        // Callers (BucketTable::MatchMask) never build a view in this mode.
+        break;
+    }
+  }
+
+  /// Bit s set iff slot s's fingerprint field equals `fp` (occupancy not
+  /// consulted — identical to a fingerprint_any scan).
+  uint32_t MatchMask(uint32_t fp) const {
+    switch (layout_->mode) {
+      case BucketLayout::Mode::kDirect:
+        return bucket_simd::MatchDirectSwar(direct_, fp, layout_->fp_bits,
+                                            layout_->direct_geom);
+      case BucketLayout::Mode::kLanes16:
+        return bucket_simd::MatchLanes16(lanes16_, layout_->slots,
+                                         static_cast<uint16_t>(fp));
+      case BucketLayout::Mode::kLanes32: {
+        uint32_t out = 0;
+        for (int s = 0; s < layout_->slots; ++s) {
+          if (lanes32_[s] == fp) out |= uint32_t{1} << s;
+        }
+        return out;
+      }
+      case BucketLayout::Mode::kScalar:
+        break;
+    }
+    return 0;
+  }
+
+ private:
+  const BucketLayout* layout_;
+  union {
+    uint64_t direct_;
+    alignas(16) uint16_t lanes16_[bucket_simd::kMaxViewSlots];
+    uint32_t lanes32_[bucket_simd::kMaxViewSlots];
+  };
+};
+
+}  // namespace ccf
+
+#endif  // CCF_CUCKOO_BUCKET_VIEW_H_

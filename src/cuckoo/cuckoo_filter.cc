@@ -1,9 +1,12 @@
 #include "cuckoo/cuckoo_filter.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <utility>
 #include <vector>
+
+#include "util/batch_pipeline.h"
 
 namespace ccf {
 
@@ -133,29 +136,43 @@ bool CuckooFilter::Contains(uint64_t key) const {
 void CuckooFilter::ContainsBatch(std::span<const uint64_t> keys,
                                  std::span<bool> out) const {
   CCF_DCHECK(out.size() == keys.size());
-  // Block-wise two-pass: pass 1 hashes and prefetches, pass 2 resolves.
-  // The block is small enough that its address scratch stays in L1 while
-  // the prefetches for the (much larger) table land.
-  constexpr size_t kBlock = 128;
-  uint64_t buckets[kBlock];
-  uint64_t alts[kBlock];
-  uint32_t fps[kBlock];
-  for (size_t base = 0; base < keys.size(); base += kBlock) {
-    size_t n = std::min(kBlock, keys.size() - base);
-    for (size_t i = 0; i < n; ++i) {
-      IndexAndFingerprint(hasher_, keys[base + i], table_.bucket_mask(),
-                          config_.fingerprint_bits, &buckets[i], &fps[i]);
-      alts[i] = AltBucket(hasher_, buckets[i], fps[i], table_.bucket_mask());
-      table_.PrefetchBucket(buckets[i]);
-      table_.PrefetchBucket(alts[i]);
-    }
-    for (size_t i = 0; i < n; ++i) {
-      out[base + i] =
-          table_.CountFingerprint(buckets[i], fps[i]) > 0 ||
-          (alts[i] != buckets[i] &&
-           table_.CountFingerprint(alts[i], fps[i]) > 0);
-    }
-  }
+  // The library-wide pipeline in its two-wave form: hash, radix-cluster by
+  // primary bucket, prefetch and test primaries; only keys their primary
+  // bucket cannot settle fetch and test the alt bucket in wave 2.
+  struct Addr {
+    uint64_t cluster_key;
+    uint64_t bucket;
+    uint64_t alt;
+    uint32_t fp;
+  };
+  BatchPipelineOptions options;
+  options.cluster_bits = std::bit_width(table_.bucket_mask());
+  RunBatchPipelineTwoWave<Addr>(
+      keys.size(), options,
+      [&](size_t i) {
+        Addr a;
+        IndexAndFingerprint(hasher_, keys[i], table_.bucket_mask(),
+                            config_.fingerprint_bits, &a.bucket, &a.fp);
+        a.alt = AltBucket(hasher_, a.bucket, a.fp, table_.bucket_mask());
+        a.cluster_key = a.bucket;
+        return a;
+      },
+      [&](const Addr& a) { table_.PrefetchBucket(a.bucket); },
+      [&](size_t i, Addr& a) {
+        if (table_.CountFingerprint(a.bucket, a.fp) > 0) {
+          out[i] = true;
+          return true;
+        }
+        if (a.alt == a.bucket) {
+          out[i] = false;
+          return true;
+        }
+        return false;
+      },
+      [&](const Addr& a) { table_.PrefetchBucket(a.alt); },
+      [&](size_t i, const Addr& a) {
+        out[i] = table_.CountFingerprint(a.alt, a.fp) > 0;
+      });
 }
 
 bool CuckooFilter::Delete(uint64_t key) {

@@ -1,0 +1,192 @@
+// The ONE two-pass batch skeleton behind every batched probe path in the
+// library (CcfBase::BatchResolve / BatchResolveTwoWave, ShardedCcf's
+// ShardedTwoPass, and the CuckooFilter / BloomFilter / MarkedKeyFilter
+// ContainsBatch loops all instantiate this — no call site hand-rolls
+// hash+prefetch+resolve any more, so block size and prefetch policy cannot
+// diverge).
+//
+// Per block of kBatchPipelineBlock items:
+//   1. address pass  — compute each item's probe address (hashing);
+//   2. radix cluster — counting-sort the block's indices by the high bits
+//      of each address's cluster key, so resolution visits the table in
+//      ascending address ranges. Per-shard delegation already demonstrated
+//      this locality win (sharded-batched ≈ 2× scalar vs ≈ 1.2× flat);
+//      clustering gives the flat batch the same dTLB/page-locality benefit
+//      without sharding. Results are written to out[original index], so
+//      output is bit-identical to the unclustered order (tested);
+//   3. prefetch pass — issue every prefetch in clustered order;
+//   4. resolve pass  — resolve in clustered order with the lines (likely)
+//      cached.
+//
+// The two-wave flavour defers an item's SECOND memory target (a cuckoo
+// pair's alt bucket) until its first target has proven insufficient: wave
+// 1 prefetches and scans only the primary bucket; items it cannot settle
+// prefetch their alt bucket on the spot and finish in wave 2 after the
+// rest of the block's wave 1 has given those prefetches time to land.
+// Keys answered by their primary bucket (the common present-key case)
+// never touch — or even fetch — the alt line, cutting DRAM traffic on the
+// dominant cost axis of out-of-cache batches.
+#ifndef CCF_UTIL_BATCH_PIPELINE_H_
+#define CCF_UTIL_BATCH_PIPELINE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace ccf {
+
+/// Block size of the two-pass batch loop: small enough that the address
+/// scratch and the block's prefetched lines stay inside L2, large enough
+/// that every DRAM-latency prefetch has completed — and the radix bins
+/// are populated enough to create real bucket-range locality — by the
+/// time the resolve pass runs. Measured best among 128/256/512/1024/2048/
+/// 4096 on the ~92 MB hot-path table (2048 ≈ +37% lookups/s over the old
+/// 128).
+inline constexpr size_t kBatchPipelineBlock = 2048;
+
+struct BatchPipelineOptions {
+  /// Bit width of the cluster-key domain (e.g. log2(num_buckets)); the
+  /// block is clustered on the top bits of the key. <= 0 disables
+  /// clustering (degenerate domains have no locality to recover).
+  int cluster_bits = 0;
+  /// Escape hatch for differential tests; production callers leave it on.
+  bool radix_cluster = true;
+};
+
+namespace batch_pipeline_internal {
+
+constexpr int kRadixBits = 6;
+constexpr size_t kRadixBins = size_t{1} << kRadixBits;
+static_assert(kBatchPipelineBlock <= 65535, "bin counters are 16-bit");
+
+/// Fills order[0..n) with a stable counting-sort permutation of the block
+/// by (cluster_key >> shift) — or the identity when clustering is off.
+template <typename Addr>
+void ClusterBlock(const Addr* addrs, size_t n, bool cluster, int shift,
+                  uint16_t* order) {
+  if (cluster && n > 1) {
+    uint16_t counts[kRadixBins] = {0};
+    for (size_t i = 0; i < n; ++i) {
+      ++counts[(addrs[i].cluster_key >> shift) & (kRadixBins - 1)];
+    }
+    uint16_t start = 0;
+    for (size_t b = 0; b < kRadixBins; ++b) {
+      uint16_t c = counts[b];
+      counts[b] = start;
+      start = static_cast<uint16_t>(start + c);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      size_t bin = (addrs[i].cluster_key >> shift) & (kRadixBins - 1);
+      order[counts[bin]++] = static_cast<uint16_t>(i);
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) order[i] = static_cast<uint16_t>(i);
+  }
+}
+
+inline int ClusterShift(const BatchPipelineOptions& options) {
+  return options.cluster_bits > kRadixBits
+             ? options.cluster_bits - kRadixBits
+             : 0;
+}
+
+}  // namespace batch_pipeline_internal
+
+/// Runs the blocked two-pass pipeline over `num_items` items.
+///
+/// Addr (explicit template argument) is the caller's per-item address
+/// record; it must expose a `uint64_t cluster_key` member. The callbacks:
+///   * address(i) -> Addr        — pass 1, called in input order;
+///   * prefetch(addr)            — pass 2, called in clustered order;
+///   * resolve(i, addr)          — pass 3, called in clustered order with
+///                                 the ORIGINAL index i, so writing
+///                                 out[i] preserves input order exactly.
+template <typename Addr, typename AddressFn, typename PrefetchFn,
+          typename ResolveFn>
+void RunBatchPipeline(size_t num_items, const BatchPipelineOptions& options,
+                      AddressFn&& address, PrefetchFn&& prefetch,
+                      ResolveFn&& resolve) {
+  namespace internal = batch_pipeline_internal;
+  if (num_items == 0) return;
+  // Heap scratch, one allocation per batch call, sized to the smaller of
+  // the batch and one block: ~80 KB of Addr records per 2048-block would
+  // be a rude stack-frame surprise for callers on small worker-thread
+  // stacks, and the allocation is noise next to even one block's table
+  // probes.
+  const size_t block = std::min(num_items, kBatchPipelineBlock);
+  std::unique_ptr<Addr[]> addrs(new Addr[block]);
+  std::unique_ptr<uint16_t[]> order(new uint16_t[block]);
+  const bool cluster = options.radix_cluster && options.cluster_bits > 0;
+  const int shift = internal::ClusterShift(options);
+  for (size_t base = 0; base < num_items; base += kBatchPipelineBlock) {
+    const size_t n = std::min(kBatchPipelineBlock, num_items - base);
+    for (size_t i = 0; i < n; ++i) {
+      addrs[i] = address(base + i);
+    }
+    internal::ClusterBlock(addrs.get(), n, cluster, shift, order.get());
+    for (size_t i = 0; i < n; ++i) {
+      prefetch(addrs[order[i]]);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const size_t j = order[i];
+      resolve(base + j, addrs[j]);
+    }
+  }
+}
+
+/// The deferred-second-target flavour (see file comment). Callbacks:
+///   * address(i) -> Addr        — as above;
+///   * prefetch1(addr)           — wave 1 prefetch (primary target only);
+///   * resolve1(i, addr&) -> bool — wave 1 resolve, clustered order; may
+///     mutate the addr to stash partial state (e.g. the primary bucket's
+///     copy count). Returning true settles the item; returning false
+///     defers it to wave 2;
+///   * prefetch2(addr)           — issued by the pipeline immediately
+///     after resolve1 defers an item, so its wave-2 line streams in while
+///     the rest of the block's wave 1 runs;
+///   * resolve2(i, addr)         — wave 2, runs after the whole block's
+///     wave 1, in the same clustered order among deferred items.
+template <typename Addr, typename AddressFn, typename Prefetch1Fn,
+          typename Resolve1Fn, typename Prefetch2Fn, typename Resolve2Fn>
+void RunBatchPipelineTwoWave(size_t num_items,
+                             const BatchPipelineOptions& options,
+                             AddressFn&& address, Prefetch1Fn&& prefetch1,
+                             Resolve1Fn&& resolve1, Prefetch2Fn&& prefetch2,
+                             Resolve2Fn&& resolve2) {
+  namespace internal = batch_pipeline_internal;
+  if (num_items == 0) return;
+  // Heap scratch for the same stack-frame reasons as RunBatchPipeline.
+  const size_t block = std::min(num_items, kBatchPipelineBlock);
+  std::unique_ptr<Addr[]> addrs(new Addr[block]);
+  std::unique_ptr<uint16_t[]> order(new uint16_t[2 * block]);
+  uint16_t* deferred = order.get() + block;
+  const bool cluster = options.radix_cluster && options.cluster_bits > 0;
+  const int shift = internal::ClusterShift(options);
+  for (size_t base = 0; base < num_items; base += kBatchPipelineBlock) {
+    const size_t n = std::min(kBatchPipelineBlock, num_items - base);
+    for (size_t i = 0; i < n; ++i) {
+      addrs[i] = address(base + i);
+    }
+    internal::ClusterBlock(addrs.get(), n, cluster, shift, order.get());
+    for (size_t i = 0; i < n; ++i) {
+      prefetch1(addrs[order[i]]);
+    }
+    size_t num_deferred = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const size_t j = order[i];
+      if (!resolve1(base + j, addrs[j])) {
+        prefetch2(addrs[j]);
+        deferred[num_deferred++] = static_cast<uint16_t>(j);
+      }
+    }
+    for (size_t i = 0; i < num_deferred; ++i) {
+      const size_t j = deferred[i];
+      resolve2(base + j, addrs[j]);
+    }
+  }
+}
+
+}  // namespace ccf
+
+#endif  // CCF_UTIL_BATCH_PIPELINE_H_

@@ -2,6 +2,8 @@
 
 #include <bit>
 #include <cstdint>
+#include <cstring>
+#include <new>
 
 #if defined(__linux__)
 #include <sys/mman.h>
@@ -11,50 +13,126 @@ namespace ccf {
 
 namespace {
 
-// Large tables are probed at random offsets; on 4 KiB pages the dTLB
-// thrashes and — worse for the batched hot path — x86 drops prefetch
-// instructions whose page is not in the TLB, silently disabling the
-// two-pass prefetch. Huge pages make the whole table a handful of TLB
-// entries. Only worth a syscall for multi-megabyte vectors.
 constexpr size_t kHugePageBytes = 2 * 1024 * 1024;
-constexpr size_t kMadviseThresholdBytes = 2 * kHugePageBytes;
 
-void AdviseHugePages(void* data, size_t bytes) {
+size_t NumWordsFor(size_t num_bits) { return (num_bits + 63) / 64; }
+
+// Allocation plan for `words` logical words plus one guard word.
+struct Allocation {
+  uint64_t* words = nullptr;
+  void* map_base = nullptr;  // nullptr => heap-backed
+  size_t map_bytes = 0;
+};
+
+// Multi-megabyte vectors get a fresh 2 MiB-aligned anonymous mapping that is
+// MADV_HUGEPAGE-advised before any byte is touched, so first-touch faults
+// populate huge pages directly (no khugepaged collapse delay). Anonymous
+// mappings are zero-filled, so no explicit (page-touching) zeroing happens
+// here either. Smaller vectors use the heap.
+Allocation AllocateWords(size_t words) {
+  Allocation out;
+  size_t bytes = (words + 1) * sizeof(uint64_t);
 #if defined(__linux__)
-  if (bytes < kMadviseThresholdBytes) return;
-  // madvise needs page alignment; advise the aligned interior of the
-  // allocation (for tables this is almost all of it).
-  uintptr_t start = reinterpret_cast<uintptr_t>(data);
-  uintptr_t aligned = (start + kHugePageBytes - 1) & ~(kHugePageBytes - 1);
-  uintptr_t end = (start + bytes) & ~(kHugePageBytes - 1);
-  if (end > aligned) {
-    (void)madvise(reinterpret_cast<void*>(aligned), end - aligned,
-                  MADV_HUGEPAGE);
+  if (bytes >= kHugePageBytes) {
+    size_t rounded = (bytes + kHugePageBytes - 1) & ~(kHugePageBytes - 1);
+    size_t map_bytes = rounded + kHugePageBytes;
+    void* raw = mmap(nullptr, map_bytes, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (raw != MAP_FAILED) {
+      // Trim to a 2 MiB-aligned interior so every huge-page frame is usable.
+      uintptr_t base = reinterpret_cast<uintptr_t>(raw);
+      uintptr_t aligned = (base + kHugePageBytes - 1) & ~(kHugePageBytes - 1);
+      if (aligned > base) {
+        (void)munmap(raw, aligned - base);
+      }
+      uintptr_t tail = aligned + rounded;
+      uintptr_t map_end = base + map_bytes;
+      if (map_end > tail) {
+        (void)munmap(reinterpret_cast<void*>(tail), map_end - tail);
+      }
+      (void)madvise(reinterpret_cast<void*>(aligned), rounded, MADV_HUGEPAGE);
+      out.words = reinterpret_cast<uint64_t*>(aligned);
+      out.map_base = reinterpret_cast<void*>(aligned);
+      out.map_bytes = rounded;
+      return out;
+    }
+    // mmap failure falls through to the heap path.
   }
-#else
-  (void)data;
-  (void)bytes;
 #endif
+  out.words = new uint64_t[words + 1]();  // value-init: zeroed
+  return out;
 }
 
 }  // namespace
 
-void BitVector::Resize(size_t num_bits) {
-  num_bits_ = num_bits;
-  words_.resize((num_bits + 63) / 64, 0);
-  if (!words_.empty()) {
-    AdviseHugePages(words_.data(), words_.size() * sizeof(uint64_t));
+void BitVector::Deallocate() {
+#if defined(__linux__)
+  if (map_base_ != nullptr) {
+    (void)munmap(map_base_, map_bytes_);
+    map_base_ = nullptr;
+    map_bytes_ = 0;
+    words_ = nullptr;
+    return;
   }
+#endif
+  delete[] words_;
+  words_ = nullptr;
+}
+
+BitVector& BitVector::operator=(const BitVector& other) {
+  if (this == &other) return *this;
+  Deallocate();
+  num_bits_ = other.num_bits_;
+  num_words_ = other.num_words_;
+  Allocation alloc = AllocateWords(num_words_);
+  words_ = alloc.words;
+  map_base_ = alloc.map_base;
+  map_bytes_ = alloc.map_bytes;
+  if (num_words_ > 0) {
+    std::memcpy(words_, other.words_, num_words_ * sizeof(uint64_t));
+  }
+  return *this;
+}
+
+BitVector& BitVector::operator=(BitVector&& other) noexcept {
+  if (this == &other) return *this;
+  Deallocate();
+  num_bits_ = other.num_bits_;
+  num_words_ = other.num_words_;
+  words_ = other.words_;
+  map_base_ = other.map_base_;
+  map_bytes_ = other.map_bytes_;
+  other.num_bits_ = 0;
+  other.num_words_ = 0;
+  other.words_ = nullptr;
+  other.map_base_ = nullptr;
+  other.map_bytes_ = 0;
+  return *this;
+}
+
+void BitVector::Resize(size_t num_bits) {
+  size_t new_words = NumWordsFor(num_bits);
+  if (new_words != num_words_ || words_ == nullptr) {
+    Allocation alloc = AllocateWords(new_words);
+    size_t keep = new_words < num_words_ ? new_words : num_words_;
+    if (keep > 0) std::memcpy(alloc.words, words_, keep * sizeof(uint64_t));
+    Deallocate();
+    words_ = alloc.words;
+    map_base_ = alloc.map_base;
+    map_bytes_ = alloc.map_bytes;
+    num_words_ = new_words;
+  }
+  num_bits_ = num_bits;
   // Clear any stale bits beyond the new logical size in the last word so
   // PopCount and equality stay exact after shrinking.
-  if (num_bits_ % 64 != 0 && !words_.empty()) {
-    uint64_t keep = (uint64_t{1} << (num_bits_ % 64)) - 1;
-    words_.back() &= keep;
+  if (num_bits_ % 64 != 0 && num_words_ > 0) {
+    uint64_t keep_mask = (uint64_t{1} << (num_bits_ % 64)) - 1;
+    words_[num_words_ - 1] &= keep_mask;
   }
 }
 
 void BitVector::Clear() {
-  std::fill(words_.begin(), words_.end(), 0);
+  if (num_words_ > 0) std::memset(words_, 0, num_words_ * sizeof(uint64_t));
 }
 
 uint64_t BitVector::GetField(size_t pos, int width) const {
@@ -92,7 +170,7 @@ void BitVector::SetField(size_t pos, int width, uint64_t value) {
 
 void BitVector::Save(ByteWriter* writer) const {
   writer->WriteU64(num_bits_);
-  for (uint64_t w : words_) writer->WriteU64(w);
+  for (size_t i = 0; i < num_words_; ++i) writer->WriteU64(words_[i]);
 }
 
 Result<BitVector> BitVector::Load(ByteReader* reader) {
@@ -101,17 +179,22 @@ Result<BitVector> BitVector::Load(ByteReader* reader) {
     return Status::Invalid("implausible BitVector size");
   }
   BitVector out(num_bits);
-  for (uint64_t& w : out.words_) {
-    CCF_ASSIGN_OR_RETURN(w, reader->ReadU64());
+  for (size_t i = 0; i < out.num_words_; ++i) {
+    CCF_ASSIGN_OR_RETURN(out.words_[i], reader->ReadU64());
   }
   // Enforce the invariant that bits beyond num_bits are zero.
-  out.Resize(num_bits);
+  if (num_bits % 64 != 0 && out.num_words_ > 0) {
+    uint64_t keep_mask = (uint64_t{1} << (num_bits % 64)) - 1;
+    out.words_[out.num_words_ - 1] &= keep_mask;
+  }
   return out;
 }
 
 size_t BitVector::PopCount() const {
   size_t n = 0;
-  for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+  for (size_t i = 0; i < num_words_; ++i) {
+    n += static_cast<size_t>(std::popcount(words_[i]));
+  }
   return n;
 }
 

@@ -7,7 +7,7 @@
 
 #include <cstdint>
 #include <cstddef>
-#include <vector>
+#include <cstring>
 
 #include "util/prefetch.h"
 #include "util/serde.h"
@@ -20,19 +20,37 @@ namespace ccf {
 /// Fields of up to 64 bits may be read/written at arbitrary (unaligned) bit
 /// offsets. Storage is zero-initialized. Not thread-safe for concurrent
 /// writes.
+///
+/// Storage notes:
+///  * Multi-megabyte vectors are backed by a fresh anonymous mapping that is
+///    2 MiB-aligned and MADV_HUGEPAGE-advised BEFORE first touch, so the
+///    kernel faults in huge pages directly instead of waiting for khugepaged
+///    to collapse already-populated 4 KiB pages. Large tables probed at
+///    random offsets otherwise thrash the dTLB — and x86 silently drops
+///    prefetches whose page misses the TLB, disabling the batched hot path.
+///  * One extra zero guard word follows the logical words, so LoadBits64 may
+///    issue an unaligned 64-bit load at any byte holding a logical bit.
 class BitVector {
  public:
   BitVector() = default;
   /// Creates a vector of `num_bits` zero bits.
   explicit BitVector(size_t num_bits) { Resize(num_bits); }
 
+  BitVector(const BitVector& other) { *this = other; }
+  BitVector& operator=(const BitVector& other);
+  BitVector(BitVector&& other) noexcept { *this = static_cast<BitVector&&>(other); }
+  BitVector& operator=(BitVector&& other) noexcept;
+  ~BitVector() { Deallocate(); }
+
   /// Number of addressable bits.
   size_t size() const { return num_bits_; }
 
-  /// Physical storage in bytes (rounded up to whole words).
-  size_t SizeInBytes() const { return words_.size() * sizeof(uint64_t); }
+  /// Physical storage in bytes (rounded up to whole words; the guard word
+  /// is an implementation detail and not counted).
+  size_t SizeInBytes() const { return num_words_ * sizeof(uint64_t); }
 
-  /// Grows or shrinks to `num_bits`; new bits are zero.
+  /// Grows or shrinks to `num_bits`; retained bits keep their values, new
+  /// bits are zero.
   void Resize(size_t num_bits);
 
   /// Sets every bit to zero without changing size.
@@ -65,11 +83,27 @@ class BitVector {
   /// Writes the low `width` (1..64) bits of `value` at bit offset `pos`.
   void SetField(size_t pos, int width, uint64_t value);
 
+  /// Returns 64 bits loaded from the byte containing `pos`, shifted so bit
+  /// `pos` lands at bit 0. At least 57 bits starting at `pos` are valid
+  /// (bits past size() read as zero via the guard word). This is the
+  /// single-load fast path of the bucket fingerprint resolver: one unaligned
+  /// load + shift instead of GetField's two-word merge.
+  uint64_t LoadBits64(size_t pos) const {
+    CCF_DCHECK(pos < num_bits_);
+    uint64_t w;
+    std::memcpy(&w, reinterpret_cast<const char*>(words_) + (pos >> 3),
+                sizeof(w));
+    return w >> (pos & 7);
+  }
+
   /// Number of set bits in the whole vector.
   size_t PopCount() const;
 
   bool operator==(const BitVector& other) const {
-    return num_bits_ == other.num_bits_ && words_ == other.words_;
+    return num_bits_ == other.num_bits_ &&
+           (num_words_ == 0 ||
+            std::memcmp(words_, other.words_,
+                        num_words_ * sizeof(uint64_t)) == 0);
   }
 
   /// Serializes size + words.
@@ -78,8 +112,14 @@ class BitVector {
   static Result<BitVector> Load(ByteReader* reader);
 
  private:
+  void Deallocate();
+
   size_t num_bits_ = 0;
-  std::vector<uint64_t> words_;
+  size_t num_words_ = 0;   // ceil(num_bits_ / 64); excludes the guard word
+  uint64_t* words_ = nullptr;
+  // Raw mapping bookkeeping when mmap-backed (nullptr => heap-backed).
+  void* map_base_ = nullptr;
+  size_t map_bytes_ = 0;
 };
 
 }  // namespace ccf
