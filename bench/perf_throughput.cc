@@ -192,6 +192,13 @@ CcfConfig HotPathConfig() {
 // ~70% load.
 uint64_t HotRows() { return (uint64_t{1} << HotBucketsLog2()) * 6 * 7 / 10; }
 
+// ~50% load for the duplicate-heavy build benches: triple-rows concentrate
+// three entries per bucket pair, which lumps occupancy enough that higher
+// loads (the probe table runs 70% on distinct keys) exhaust kick budgets.
+uint64_t HotBuildRows() {
+  return (uint64_t{1} << HotBucketsLog2()) * 6 * 5 / 10;
+}
+
 struct HotPathFixture {
   std::unique_ptr<ConditionalCuckooFilter> ccf;
   std::unique_ptr<ShardedCcf> sharded;
@@ -378,6 +385,184 @@ void BM_ShardedParallelBuild(benchmark::State& state) {
 // Wall time, not main-thread CPU time: the build threads do the work.
 BENCHMARK(BM_ShardedParallelBuild)->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// --- Bulk-build hot path ------------------------------------------------------
+//
+// Build-rate rows (rows/s): scalar per-row Insert vs the two-wave batched
+// InsertBatch, per variant on a mid-size table; the large JOB-light-scale
+// chained table headline; and the §4.1 doubling-rebuild cost with and
+// without the hash memo.
+
+struct BuildRows {
+  std::vector<uint64_t> keys;
+  std::vector<uint64_t> flat_attrs;
+};
+
+// Distinct keys with small-domain attribute values (stored exactly under
+// §9's small-value optimization): the uniform shape every variant absorbs,
+// for like-for-like per-variant build rates.
+BuildRows MakeBuildRows(uint64_t n) {
+  BuildRows rows;
+  rows.keys.reserve(n);
+  rows.flat_attrs.reserve(2 * n);
+  for (uint64_t k = 0; k < n; ++k) {
+    rows.keys.push_back(k);
+    rows.flat_attrs.push_back(k * 7 % 251);
+    rows.flat_attrs.push_back(k % 31);
+  }
+  return rows;
+}
+
+// JOB-light-shaped rows for the chained headline: fact-table join keys
+// repeat (~3 rows per key, interleaved so a key's rows are far apart in
+// insertion order, like a table scan) with distinct attribute vectors per
+// row. The duplicate rows exercise the dedupe/chain machinery both build
+// paths must run — the workload CCFs exist for. (Plain would overflow a
+// bucket pair under this shape at this load; that failure mode is the
+// paper's point, so only the chained benches use it.)
+BuildRows MakeJoblightRows(uint64_t n) {
+  BuildRows rows;
+  rows.keys.reserve(n);
+  rows.flat_attrs.reserve(2 * n);
+  uint64_t num_keys = n / 3 + 1;
+  for (uint64_t k = 0; k < n; ++k) {
+    rows.keys.push_back(k % num_keys);
+    rows.flat_attrs.push_back(k * 7 % 251);
+    rows.flat_attrs.push_back(k % 31);
+  }
+  return rows;
+}
+
+// ~70% load on a 2^16-bucket table per variant (slots differ for Bloom).
+uint64_t MidBuildRows(const CcfConfig& c) {
+  return c.num_buckets * static_cast<uint64_t>(c.slots_per_bucket) * 7 / 10;
+}
+
+void BM_CcfBuildScalar(benchmark::State& state) {
+  CcfVariant variant = VariantOf(state.range(0));
+  CcfConfig config = BenchConfig(variant);
+  BuildRows rows = MakeBuildRows(MidBuildRows(config));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto ccf = ConditionalCuckooFilter::Make(variant, config).ValueOrDie();
+    state.ResumeTiming();
+    for (size_t i = 0; i < rows.keys.size(); ++i) {
+      ccf->Insert(rows.keys[i],
+                  std::span<const uint64_t>(&rows.flat_attrs[2 * i], 2))
+          .Abort();
+    }
+    benchmark::DoNotOptimize(ccf->num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(rows.keys.size()));
+  state.SetLabel("build-scalar " + std::string(CcfVariantName(variant)));
+}
+BENCHMARK(BM_CcfBuildScalar)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+void BM_CcfBuildBatch(benchmark::State& state) {
+  CcfVariant variant = VariantOf(state.range(0));
+  CcfConfig config = BenchConfig(variant);
+  BuildRows rows = MakeBuildRows(MidBuildRows(config));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto ccf = ConditionalCuckooFilter::Make(variant, config).ValueOrDie();
+    state.ResumeTiming();
+    ccf->InsertBatch(rows.keys, rows.flat_attrs).Abort();
+    benchmark::DoNotOptimize(ccf->num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(rows.keys.size()));
+  state.SetLabel("build-batched " + std::string(CcfVariantName(variant)));
+}
+BENCHMARK(BM_CcfBuildBatch)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+// The headline: building the large (out-of-cache) JOB-light-scale chained
+// table, scalar vs batched — the acceptance row for the bulk-build PR.
+void BM_HotBuildScalar(benchmark::State& state) {
+  CcfConfig config = HotPathConfig();
+  BuildRows rows = MakeJoblightRows(HotBuildRows());
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto ccf =
+        ConditionalCuckooFilter::Make(CcfVariant::kChained, config)
+            .ValueOrDie();
+    state.ResumeTiming();
+    for (size_t i = 0; i < rows.keys.size(); ++i) {
+      ccf->Insert(rows.keys[i],
+                  std::span<const uint64_t>(&rows.flat_attrs[2 * i], 2))
+          .Abort();
+    }
+    benchmark::DoNotOptimize(ccf->num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(rows.keys.size()));
+  state.SetLabel("hot-build-scalar");
+}
+BENCHMARK(BM_HotBuildScalar)->Unit(benchmark::kMillisecond);
+
+void BM_HotBuildBatch(benchmark::State& state) {
+  CcfConfig config = HotPathConfig();
+  BuildRows rows = MakeJoblightRows(HotBuildRows());
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto ccf =
+        ConditionalCuckooFilter::Make(CcfVariant::kChained, config)
+            .ValueOrDie();
+    state.ResumeTiming();
+    ccf->InsertBatch(rows.keys, rows.flat_attrs).Abort();
+    benchmark::DoNotOptimize(ccf->num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(rows.keys.size()));
+  state.SetLabel("hot-build-batched");
+}
+BENCHMARK(BM_HotBuildBatch)->Unit(benchmark::kMillisecond);
+
+// §4.1 doubling rebuild of the hot table: re-place every row into a table
+// with twice the buckets. Arg 0 = the pre-batching retry path (scalar
+// re-insert row by row — what BuildCcf did before the bulk-build fast
+// path), 1 = batched from scratch (re-hash everything), 2 = batched from
+// the hash memo the first build filled (re-mask cached key hashes, reuse
+// packed payload words — the BuildCcf retry loop today).
+void BM_HotRebuild(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  CcfConfig doubled = HotPathConfig();
+  doubled.num_buckets *= 2;
+  BuildRows rows = MakeJoblightRows(HotBuildRows());
+  std::vector<uint64_t> memo;
+  if (mode == 2) {
+    // Fill the memo exactly as the failed first attempt would have.
+    auto first =
+        ConditionalCuckooFilter::Make(CcfVariant::kChained, HotPathConfig())
+            .ValueOrDie();
+    first->InsertBatch(rows.keys, rows.flat_attrs, &memo).Abort();
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto ccf =
+        ConditionalCuckooFilter::Make(CcfVariant::kChained, doubled)
+            .ValueOrDie();
+    state.ResumeTiming();
+    if (mode == 0) {
+      for (size_t i = 0; i < rows.keys.size(); ++i) {
+        ccf->Insert(rows.keys[i],
+                    std::span<const uint64_t>(&rows.flat_attrs[2 * i], 2))
+            .Abort();
+      }
+    } else {
+      ccf->InsertBatch(rows.keys, rows.flat_attrs,
+                       mode == 2 ? &memo : nullptr)
+          .Abort();
+    }
+    benchmark::DoNotOptimize(ccf->num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(rows.keys.size()));
+  state.SetLabel(mode == 0   ? "rebuild-scalar"
+                 : mode == 1 ? "rebuild-scratch"
+                             : "rebuild-memo");
+}
+BENCHMARK(BM_HotRebuild)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
 
 void BM_PredicateOnlyDerivation(benchmark::State& state) {
   // Algorithm 2 cost: deriving a key filter from a built CCF (per call).

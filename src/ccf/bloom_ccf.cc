@@ -62,6 +62,15 @@ bool BloomCcf::EntryMatches(uint64_t bucket, int slot,
   return true;
 }
 
+void BloomCcf::FoldRow(uint64_t bucket, int slot,
+                       std::span<const uint64_t> attrs) {
+  BloomSketchView sketch = EntrySketch(bucket, slot);
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    sketch.Insert(BloomSketchView::EncodeAttr(static_cast<uint32_t>(i),
+                                              attrs[i]));
+  }
+}
+
 Status BloomCcf::Insert(uint64_t key, std::span<const uint64_t> attrs) {
   if (static_cast<int>(attrs.size()) != config_.num_attrs) {
     return Status::Invalid("attribute count does not match schema");
@@ -69,34 +78,107 @@ Status BloomCcf::Insert(uint64_t key, std::span<const uint64_t> attrs) {
   uint64_t bucket;
   uint32_t fp;
   KeyAddress(key, &bucket, &fp);
-  BucketPair pair = PairOf(bucket, fp);
+  return InsertAddressed(PairOf(bucket, fp), fp, attrs);
+}
 
-  auto fold_into = [&](uint64_t b, int s) {
-    BloomSketchView sketch = EntrySketch(b, s);
-    for (size_t i = 0; i < attrs.size(); ++i) {
-      sketch.Insert(BloomSketchView::EncodeAttr(static_cast<uint32_t>(i),
-                                                attrs[i]));
-    }
-  };
-
+Status BloomCcf::InsertAddressed(const BucketPair& pair, uint32_t fp,
+                                 std::span<const uint64_t> attrs) {
   // One entry per fingerprint per pair (same occupancy as a cuckoo filter):
   // further rows of the key fold into the existing entry's Bloom sketch.
   auto slots = SlotsWithFp(pair, fp);
   if (!slots.empty()) {
-    fold_into(slots.front().first, slots.front().second);
+    FoldRow(slots.front().first, slots.front().second, attrs);
     ++num_rows_;
     return Status::OK();
   }
 
   bool placed = PlaceWithKicks(pair, fp, [&](uint64_t b, int s) {
     table_.ClearPayload(b, s);
-    fold_into(b, s);
+    FoldRow(b, s, attrs);
   });
   if (!placed) {
     return Status::CapacityError("bloom CCF: cuckoo kick budget exhausted");
   }
   ++num_rows_;
   return Status::OK();
+}
+
+uint64_t BloomCcf::PackRowPayload(std::span<const uint64_t> attrs) const {
+  if (table_.slot_bits() > 64) return 0;
+  // The row's sketch word, composed from the same probe stream
+  // BloomSketchView::Insert walks — the k probe positions per attribute
+  // are salt-and-window-size functions only, so the word survives
+  // rebuilds at any bucket count.
+  const size_t window_bits = static_cast<size_t>(config_.bloom_bits);
+  uint64_t word = 0;
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    BloomSketchView::ProbeSeed seed = BloomSketchView::SeedFor(
+        hasher_,
+        BloomSketchView::EncodeAttr(static_cast<uint32_t>(i), attrs[i]));
+    for (int j = 0; j < sketch_hashes_; ++j) {
+      word |= uint64_t{1} << BloomSketchView::ProbeAt(seed, j, window_bits);
+    }
+  }
+  return word;
+}
+
+bool BloomCcf::TryInsertNoKick(const BucketPair& pair, uint32_t fp,
+                               std::span<const uint64_t> attrs,
+                               uint64_t payload) {
+  // First occupied copy of κ in the pair absorbs the row (matches
+  // SlotsWithFp's front(): primary bucket first, ascending slots).
+  if (table_.slot_bits() > 64) {
+    // Oversized sketch windows: fold through BloomSketchView (cold
+    // fallback).
+    uint64_t hit_b = 0;
+    int hit_s = -1;
+    ScanPairWithFp(pair, fp, [&](uint64_t b, int s) {
+      hit_b = b;
+      hit_s = s;
+      return true;
+    });
+    if (hit_s >= 0) {
+      FoldRow(hit_b, hit_s, attrs);
+      ++num_rows_;
+      return true;
+    }
+    auto [b, s] = FreeSlotInPair(pair);
+    if (s < 0) return false;  // displacement needed: wave 2
+    table_.Put(b, s, fp);
+    table_.ClearPayload(b, s);
+    FoldRow(b, s, attrs);
+    ++num_rows_;
+    return true;
+  }
+  // Packed fast path: the row's sketch word was composed once in the
+  // address pass (PackRowPayload, possibly straight from the rebuild
+  // memo); fold with one payload-word OR or place with one whole-slot
+  // store.
+  (void)attrs;
+  const uint64_t sketch_word = payload;
+  uint64_t hit_b = 0;
+  int hit_s = -1;
+  auto scan = [&](uint64_t b) {
+    uint64_t m = table_.MatchMask(b, fp) & table_.OccupiedMask(b);
+    if (m == 0) return false;
+    hit_b = b;
+    hit_s = std::countr_zero(m);
+    return true;
+  };
+  if (!scan(pair.primary) && !pair.degenerate()) scan(pair.alt);
+  if (hit_s >= 0) {
+    uint64_t stored =
+        table_.GetPayloadField(hit_b, hit_s, 0, config_.bloom_bits);
+    table_.SetPayloadField(hit_b, hit_s, 0, config_.bloom_bits,
+                           stored | sketch_word);
+    ++num_rows_;
+    return true;
+  }
+  auto [b, s] = FreeSlotInPair(pair);
+  if (s < 0) return false;  // displacement needed: wave 2
+  table_.PutSlot(b, s, fp, sketch_word);
+  ++num_rows_;
+  return true;
 }
 
 bool BloomCcf::ContainsKey(uint64_t key) const {

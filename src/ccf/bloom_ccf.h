@@ -38,12 +38,21 @@ class BloomCcf : public CcfBase {
   void LookupBatchBroadcast(std::span<const uint64_t> keys,
                             const Predicate& pred,
                             std::span<bool> out) const override;
+  uint64_t PackRowPayload(std::span<const uint64_t> attrs) const override;
+  bool TryInsertNoKick(const BucketPair& pair, uint32_t fp,
+                       std::span<const uint64_t> attrs,
+                       uint64_t payload) override;
+  Status InsertAddressed(const BucketPair& pair, uint32_t fp,
+                         std::span<const uint64_t> attrs) override;
 
  private:
   BloomCcf(CcfConfig config, BucketTable table);
 
   BloomSketchView EntrySketch(uint64_t bucket, int slot) const;
   bool EntryMatches(uint64_t bucket, int slot, const Predicate& pred) const;
+
+  /// ORs the row's (attribute, value) bits into the entry's Bloom sketch.
+  void FoldRow(uint64_t bucket, int slot, std::span<const uint64_t> attrs);
 
   int sketch_hashes_;
 };

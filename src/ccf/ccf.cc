@@ -63,6 +63,22 @@ void ConditionalCuckooFilter::ContainsKeyBatch(std::span<const uint64_t> keys,
   for (size_t i = 0; i < keys.size(); ++i) out[i] = ContainsKey(keys[i]);
 }
 
+Status ConditionalCuckooFilter::InsertBatch(std::span<const uint64_t> keys,
+                                            std::span<const uint64_t> attrs,
+                                            std::vector<uint64_t>* hash_memo) {
+  const size_t num_attrs = static_cast<size_t>(config().num_attrs);
+  if (attrs.size() != keys.size() * num_attrs) {
+    return Status::Invalid(
+        "InsertBatch: attrs must hold keys.size() * num_attrs values");
+  }
+  (void)hash_memo;  // the scalar fallback has no address pass to memoize
+  for (size_t i = 0; i < keys.size(); ++i) {
+    CCF_RETURN_NOT_OK(
+        Insert(keys[i], attrs.subspan(i * num_attrs, num_attrs)));
+  }
+  return Status::OK();
+}
+
 bool ConditionalCuckooFilter::ContainsRow(
     uint64_t key, std::span<const uint64_t> attrs) const {
   Predicate pred;
@@ -281,6 +297,91 @@ void CcfBase::ContainsKeyBatch(std::span<const uint64_t> keys,
       [](uint32_t, const BucketPair&, int) { return false; });
 }
 
+Status CcfBase::InsertBatch(std::span<const uint64_t> keys,
+                            std::span<const uint64_t> attrs,
+                            std::vector<uint64_t>* hash_memo) {
+  const size_t num_attrs = static_cast<size_t>(config_.num_attrs);
+  if (attrs.size() != keys.size() * num_attrs) {
+    return Status::Invalid(
+        "InsertBatch: attrs must hold keys.size() * num_attrs values");
+  }
+  if (hash_memo != nullptr && !hash_memo->empty() &&
+      hash_memo->size() != 2 * keys.size()) {
+    return Status::Invalid(
+        "InsertBatch: hash_memo must be empty or hold two words per key");
+  }
+  const bool reuse_memo = hash_memo != nullptr && !hash_memo->empty();
+  const bool fill_memo = hash_memo != nullptr && !reuse_memo;
+  if (fill_memo) hash_memo->resize(2 * keys.size());
+
+  struct Addr {
+    uint64_t cluster_key;
+    BucketPair pair;
+    uint64_t payload;
+    uint32_t fp;
+  };
+  BatchPipelineOptions options;
+  options.cluster_bits = std::bit_width(table_.bucket_mask());
+  options.block_size = kInsertBatchBlock;
+  Status first_error = Status::OK();
+  RunBatchPipelineTwoWave<Addr>(
+      keys.size(), options,
+      [&](size_t i) {
+        Addr a;
+        // The memo caches the geometry-independent half of the row's hash
+        // pipeline: the salt-keyed key hash (bucket = low bits & mask and
+        // fingerprint = high bits are pure re-maskings, so it survives any
+        // bucket doubling under the same salt) and the packed payload word
+        // (attribute fingerprints / sketch bits, which never depend on the
+        // bucket count at all).
+        uint64_t h, payload;
+        if (reuse_memo) {
+          h = (*hash_memo)[2 * i];
+          payload = (*hash_memo)[2 * i + 1];
+        } else {
+          h = hasher_.Hash(keys[i], 0);
+          payload = PackRowPayload(attrs.subspan(i * num_attrs, num_attrs));
+        }
+        if (fill_memo) {
+          (*hash_memo)[2 * i] = h;
+          (*hash_memo)[2 * i + 1] = payload;
+        }
+        uint64_t bucket;
+        cuckoo_addressing::IndexAndFingerprintFromHash(
+            h, table_.bucket_mask(), config_.key_fp_bits, &bucket, &a.fp);
+        a.pair = PairOf(bucket, a.fp);
+        a.payload = payload;
+        a.cluster_key = a.pair.primary;
+        return a;
+      },
+      [&](const Addr& a) {
+        // Write intent: nearly every row both scans and stores to its pair,
+        // so pull the lines exclusive and skip the RFO upgrade.
+        table_.PrefetchBucketForWrite(a.pair.primary);
+        if (!a.pair.degenerate()) table_.PrefetchBucketForWrite(a.pair.alt);
+      },
+      [&](size_t i, Addr& a) {
+        if (!first_error.ok()) return true;  // drain the batch cheaply
+        return TryInsertNoKick(a.pair, a.fp,
+                               attrs.subspan(i * num_attrs, num_attrs),
+                               a.payload);
+      },
+      [&](const Addr& a) {
+        // Deferred rows re-touch their pair after the rest of the block's
+        // wave 1 may have evicted it; re-issue the pair prefetch (kick
+        // chains then wander to buckets nobody can predict).
+        table_.PrefetchBucketForWrite(a.pair.primary);
+        if (!a.pair.degenerate()) table_.PrefetchBucketForWrite(a.pair.alt);
+      },
+      [&](size_t i, const Addr& a) {
+        if (!first_error.ok()) return;
+        Status st = InsertAddressed(a.pair, a.fp,
+                                    attrs.subspan(i * num_attrs, num_attrs));
+        if (!st.ok()) first_error = std::move(st);
+      });
+  return first_error;
+}
+
 void CcfBase::KeyAddress(uint64_t key, uint64_t* bucket, uint32_t* fp) const {
   cuckoo_addressing::IndexAndFingerprint(hasher_, key, table_.bucket_mask(),
                                          config_.key_fp_bits, bucket, fp);
@@ -295,12 +396,10 @@ std::vector<std::pair<uint64_t, int>> CcfBase::SlotsWithFp(
     const BucketPair& pair, uint32_t fp) const {
   std::vector<std::pair<uint64_t, int>> out;
   auto scan = [&](uint64_t b) {
-    uint64_t mask = table_.MatchMask(b, fp);
-    while (mask != 0) {
-      int s = std::countr_zero(mask);
-      mask &= mask - 1;
-      if (table_.occupied(b, s)) out.emplace_back(b, s);
-    }
+    table_.ForEachOccupiedMatch(b, fp, [&](int s) {
+      out.emplace_back(b, s);
+      return false;
+    });
   };
   scan(pair.primary);
   if (!pair.degenerate()) scan(pair.alt);
@@ -412,18 +511,13 @@ bool MarkedKeyFilter::ContainsAddressed(uint64_t bucket, uint32_t fp) const {
     int count = 0;
     bool unmarked = false;
     auto scan = [&](uint64_t b) {
-      uint64_t mask = table_.MatchMask(b, fp);
-      while (mask != 0) {
-        int s = std::countr_zero(mask);
-        mask &= mask - 1;
-        if (table_.occupied(b, s)) {
-          ++count;
-          uint64_t idx =
-              b * static_cast<uint64_t>(table_.slots_per_bucket()) +
-              static_cast<uint64_t>(s);
-          if (!marks_.GetBit(idx)) unmarked = true;
-        }
-      }
+      table_.ForEachOccupiedMatch(b, fp, [&](int s) {
+        ++count;
+        uint64_t idx = b * static_cast<uint64_t>(table_.slots_per_bucket()) +
+                       static_cast<uint64_t>(s);
+        if (!marks_.GetBit(idx)) unmarked = true;
+        return false;
+      });
     };
     scan(pair.primary);
     if (!pair.degenerate()) scan(pair.alt);

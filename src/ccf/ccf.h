@@ -17,6 +17,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "cuckoo/cuckoo_filter.h"
 #include "predicate/predicate.h"
@@ -104,6 +105,30 @@ class ConditionalCuckooFilter {
   /// collapsed. Returns CapacityError when the structure cannot absorb the
   /// row (the "failed insertion" event measured in Figure 4).
   virtual Status Insert(uint64_t key, std::span<const uint64_t> attrs) = 0;
+
+  /// Bulk row insertion: row i is (keys[i], attrs[i*num_attrs ..
+  /// (i+1)*num_attrs)) with attrs row-major holding keys.size() * num_attrs
+  /// values. Semantically a loop of Insert over the rows — duplicate
+  /// collapsing, no-false-negatives, and CapacityError (stop, resize,
+  /// rebuild) carry over — but implementations may hash blocks up front,
+  /// prefetch, and reorder row placement: entry/row counts and answers for
+  /// inserted rows are unaffected, while exact slot assignment (hence
+  /// absent-key false positives) may differ from the scalar loop. CcfBase
+  /// overrides this with the two-wave prefetched write pipeline; the base
+  /// implementation is the scalar loop.
+  ///
+  /// `hash_memo`, when non-null, caches the geometry-independent half of
+  /// each row's hash pipeline — two words per row: the salt-keyed key hash
+  /// and the packed payload word (attribute fingerprints / sketch bits).
+  /// Pass an empty vector on the first build (it is filled during the
+  /// address pass) and the SAME vector to a rebuild with any bucket count
+  /// under the same salt — re-addressing then re-masks the cached hashes
+  /// instead of re-hashing every key and attribute, which is what makes
+  /// §4.1's doubling rebuilds cheap. Must be empty or hold exactly
+  /// 2 * keys.size() entries.
+  virtual Status InsertBatch(std::span<const uint64_t> keys,
+                             std::span<const uint64_t> attrs,
+                             std::vector<uint64_t>* hash_memo = nullptr);
 
   /// Key-only membership (ordinary cuckoo-filter query, §7.1).
   virtual bool ContainsKey(uint64_t key) const = 0;

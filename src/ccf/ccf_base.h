@@ -113,6 +113,20 @@ class CcfBase : public ConditionalCuckooFilter {
   void ContainsKeyBatch(std::span<const uint64_t> keys,
                         std::span<bool> out) const override;
 
+  /// The write-side twin of the batched lookup hot path, shared by all four
+  /// variants: instantiates the library two-wave pipeline over the rows —
+  /// hash a block (or re-mask `hash_memo` on a rebuild), radix-cluster by
+  /// primary bucket, prefetch both buckets of each pair, then wave 1 runs
+  /// the variant's displacement-free placement (TryInsertNoKick: dedupe +
+  /// free-slot writes against cached lines) and wave 2 completes only the
+  /// leftovers with the full scalar logic (InsertAddressed: kicks, chain
+  /// walks, Bloom conversion). Deterministic: identical inputs (and memo
+  /// state) yield bit-identical tables, which is what makes memoized
+  /// doubling rebuilds reproducible against from-scratch ones.
+  Status InsertBatch(std::span<const uint64_t> keys,
+                     std::span<const uint64_t> attrs,
+                     std::vector<uint64_t>* hash_memo = nullptr) override;
+
   std::string Serialize() const override;
 
  protected:
@@ -215,6 +229,33 @@ class CcfBase : public ConditionalCuckooFilter {
         });
   }
 
+  /// The payload word wave 1 would store for this row — the packed
+  /// attribute-fingerprint vector (Plain/Chained), the vector shifted past
+  /// the mode/seq bits (Mixed), or the row's composed Bloom sketch word
+  /// (Bloom). Depends only on attrs and the salt, never on table geometry,
+  /// which is what lets doubling rebuilds reuse it from the hash memo.
+  /// Must return 0 when the variant's packed path is unavailable
+  /// (slot_bits() > 64); TryInsertNoKick then ignores it.
+  virtual uint64_t PackRowPayload(std::span<const uint64_t> attrs) const = 0;
+
+  /// Wave-1 hook of InsertBatch: attempt one row whose (pair, fp) address
+  /// is precomputed and whose buckets are (likely) cache-resident, using
+  /// only displacement-free operations — collapse a duplicate, fold into an
+  /// existing entry, or write a free slot of the pair. `payload` is
+  /// PackRowPayload(attrs), precomputed in the address pass (possibly from
+  /// the rebuild memo). Returns true when the row is fully handled; false
+  /// defers it to wave 2. Must not kick, walk chains, or convert (those
+  /// touch un-prefetched lines and consume displacement randomness).
+  virtual bool TryInsertNoKick(const BucketPair& pair, uint32_t fp,
+                               std::span<const uint64_t> attrs,
+                               uint64_t payload) = 0;
+
+  /// Wave-2 hook of InsertBatch and the body of the scalar Insert: the
+  /// variant's complete insertion logic from a precomputed address
+  /// (Algorithm 3/4 placement with kicks / chain walk / conversion).
+  virtual Status InsertAddressed(const BucketPair& pair, uint32_t fp,
+                                 std::span<const uint64_t> attrs) = 0;
+
   /// Broadcast-shape hook of LookupBatch: one predicate, every key. The
   /// default resolves through ContainsAddressed; fingerprint-vector
   /// variants override it to match against a once-compiled predicate.
@@ -275,26 +316,19 @@ class CcfBase : public ConditionalCuckooFilter {
   }
 
   /// One bucket of ScanPairWithFp: {copies counted, matched}, matched
-  /// short-circuiting the count as there. Fingerprint-first: the slots
-  /// line must be read anyway, and the bucket view resolves every slot's
-  /// fingerprint in one wide compare; the occupancy line is only consulted
-  /// on a fingerprint hit (erased slots read 0, so occupancy stays
-  /// authoritative). Mask bits are consumed in ascending slot order,
-  /// matching the scalar scan.
+  /// short-circuiting the count as there. The walk itself is
+  /// BucketTable::ForEachOccupiedMatch — fingerprint-first over one wide
+  /// MatchMask compare, ascending slot order, occupancy confirmed on hits
+  /// only — shared with every other fp scan in the library.
   template <typename EntryMatcher>
   std::pair<int, bool> ScanBucketWithFp(uint64_t b, uint32_t fp,
                                         EntryMatcher&& matches) const {
     int count = 0;
-    uint64_t mask = table_.MatchMask(b, fp);
-    while (mask != 0) {
-      int s = std::countr_zero(mask);
-      mask &= mask - 1;
-      if (table_.occupied(b, s)) {
-        ++count;
-        if (matches(b, s)) return {count, true};
-      }
-    }
-    return {count, false};
+    bool matched = table_.ForEachOccupiedMatch(b, fp, [&](int s) {
+      ++count;
+      return matches(b, s);
+    });
+    return {count, matched};
   }
 
   /// First free slot in the pair (primary preferred); slot == -1 if full.

@@ -29,8 +29,12 @@ Status ChainedCcf::Insert(uint64_t key, std::span<const uint64_t> attrs) {
   uint64_t bucket;
   uint32_t fp;
   KeyAddress(key, &bucket, &fp);
+  return InsertAddressed(PairOf(bucket, fp), fp, attrs);
+}
 
-  ChainWalk walk(&hasher_, table_.bucket_mask(), bucket, fp);
+Status ChainedCcf::InsertAddressed(const BucketPair& first_pair, uint32_t fp,
+                                   std::span<const uint64_t> attrs) {
+  ChainWalk walk(&hasher_, table_.bucket_mask(), first_pair.primary, fp);
   for (int hop = 0; hop < ChainCap(); ++hop) {
     const BucketPair& pair = walk.pair();
 
@@ -65,6 +69,66 @@ Status ChainedCcf::Insert(uint64_t key, std::span<const uint64_t> attrs) {
   // cannot cause a false negative.
   ++num_overflow_rows_;
   return Status::OK();
+}
+
+uint64_t ChainedCcf::PackRowPayload(std::span<const uint64_t> attrs) const {
+  return table_.slot_bits() <= 64 ? codec_.Pack(attrs) : 0;
+}
+
+bool ChainedCcf::TryInsertNoKick(const BucketPair& pair, uint32_t fp,
+                                 std::span<const uint64_t> attrs,
+                                 uint64_t payload) {
+  if (table_.slot_bits() > 64) {
+    // Oversized geometry: per-attribute scan and store (cold fallback).
+    auto [count, dup] = ScanPairWithFp(pair, fp, [&](uint64_t b, int s) {
+      return codec_.EqualsStored(table_, b, s, /*base=*/0, attrs);
+    });
+    if (dup) return true;
+    if (count >= config_.max_dupes) return false;
+    auto [b, s] = FreeSlotInPair(pair);
+    if (s < 0) return false;
+    table_.Put(b, s, fp);
+    codec_.Store(&table_, b, s, /*base=*/0, attrs);
+    ++num_rows_;
+    return true;
+  }
+  // Packed fast path: the row's vector was hashed once into `payload`
+  // (PackRowPayload, possibly straight from the rebuild memo); one fused
+  // pass per bucket serves the duplicate compare (single-field equality),
+  // the fp copy count, and the free-slot search (countr_one of the
+  // occupancy word) — and placement writes the whole slot in one field
+  // store. Decisions are identical to the generic path above.
+  (void)attrs;
+  const int vec_bits = codec_.vector_bits();
+  const uint64_t packed = payload;
+  int count = 0;
+  uint64_t free_bucket = 0;
+  int free_slot = -1;
+  auto scan = [&](uint64_t b) {  // returns true on a duplicate hit
+    uint64_t occ = table_.OccupiedMask(b);
+    uint64_t m = table_.MatchMask(b, fp) & occ;
+    while (m != 0) {
+      int s = std::countr_zero(m);
+      m &= m - 1;
+      ++count;
+      if (table_.GetPayloadField(b, s, 0, vec_bits) == packed) return true;
+    }
+    if (free_slot < 0) {
+      int fs = std::countr_one(occ);
+      if (fs < table_.slots_per_bucket()) {
+        free_bucket = b;
+        free_slot = fs;
+      }
+    }
+    return false;
+  };
+  if (scan(pair.primary)) return true;  // collapsed
+  if (!pair.degenerate() && scan(pair.alt)) return true;
+  if (count >= config_.max_dupes) return false;  // chain walk: wave 2
+  if (free_slot < 0) return false;  // displacement needed: wave 2
+  table_.PutSlot(free_bucket, free_slot, fp, packed);
+  ++num_rows_;
+  return true;
 }
 
 bool ChainedCcf::ContainsKey(uint64_t key) const {

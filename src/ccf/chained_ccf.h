@@ -46,6 +46,12 @@ class ChainedCcf : public CcfBase {
   void LookupBatchBroadcast(std::span<const uint64_t> keys,
                             const Predicate& pred,
                             std::span<bool> out) const override;
+  uint64_t PackRowPayload(std::span<const uint64_t> attrs) const override;
+  bool TryInsertNoKick(const BucketPair& pair, uint32_t fp,
+                       std::span<const uint64_t> attrs,
+                       uint64_t payload) override;
+  Status InsertAddressed(const BucketPair& pair, uint32_t fp,
+                         std::span<const uint64_t> attrs) override;
   void SaveExtras(ByteWriter* writer) const override;
   Status LoadExtras(ByteReader* reader) override;
 

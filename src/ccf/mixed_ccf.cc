@@ -143,8 +143,11 @@ Status MixedCcf::Insert(uint64_t key, std::span<const uint64_t> attrs) {
   uint64_t bucket;
   uint32_t fp;
   KeyAddress(key, &bucket, &fp);
-  BucketPair pair = PairOf(bucket, fp);
+  return InsertAddressed(PairOf(bucket, fp), fp, attrs);
+}
 
+Status MixedCcf::InsertAddressed(const BucketPair& pair, uint32_t fp,
+                                 std::span<const uint64_t> attrs) {
   // Already converted: fold into the packed Bloom filter (never fails).
   auto frags = CanonicalFragments(pair, fp);
   if (!frags.empty()) {
@@ -183,6 +186,89 @@ Status MixedCcf::Insert(uint64_t key, std::span<const uint64_t> attrs) {
   }
   ++num_rows_;
   return Status::OK();
+}
+
+uint64_t MixedCcf::PackRowPayload(std::span<const uint64_t> attrs) const {
+  return table_.slot_bits() <= 64
+             ? codec_.Pack(attrs) << static_cast<unsigned>(vec_base_)
+             : 0;
+}
+
+bool MixedCcf::TryInsertNoKick(const BucketPair& pair, uint32_t fp,
+                               std::span<const uint64_t> attrs,
+                               uint64_t payload) {
+  // One read-only pass over the pair decides the row: converted fragments
+  // present, exact duplicate, and the fp copy count all come from a single
+  // scan. An fp either has ALL its copies converted or none (ConvertToBloom
+  // converts the full set and folding never adds vector entries
+  // afterwards), so a duplicate match before a converted slot is seen
+  // cannot happen for the same fp.
+  if (table_.slot_bits() > 64) {
+    // Oversized geometry: per-attribute scan and store (cold fallback).
+    bool any_converted = false;
+    auto [count, dup] = ScanPairWithFp(pair, fp, [&](uint64_t b, int s) {
+      if (IsConverted(b, s)) {
+        any_converted = true;
+        return false;
+      }
+      return codec_.EqualsStored(table_, b, s, vec_base_, attrs);
+    });
+    if (any_converted) return false;  // fold into the packed sketch: wave 2
+    if (dup) return true;             // collapsed
+    if (count >= config_.max_dupes) return false;  // conversion: wave 2
+    auto [b, s] = FreeSlotInPair(pair);
+    if (s < 0) return false;  // displacement needed: wave 2
+    table_.Put(b, s, fp);
+    table_.ClearPayload(b, s);
+    codec_.Store(&table_, b, s, vec_base_, attrs);
+    ++num_rows_;
+    return true;
+  }
+  // Packed fast path (see ChainedCcf::TryInsertNoKick). A vector entry's
+  // whole payload is (vector << vec_base_), precomputed as `payload`: mode
+  // bit 0 and sequence bits 0. A converted fragment has mode bit 1, and
+  // vec_base_ >= 1 keeps the packed word's bit 0 clear, so one
+  // payload-word equality does the duplicate compare and cannot confuse
+  // the two entry kinds.
+  (void)attrs;
+  const int payload_bits = table_.payload_bits();
+  const uint64_t packed_payload = payload;
+  bool any_converted = false;
+  int count = 0;
+  uint64_t free_bucket = 0;
+  int free_slot = -1;
+  auto scan = [&](uint64_t b) {  // returns true on a duplicate hit
+    uint64_t occ = table_.OccupiedMask(b);
+    uint64_t m = table_.MatchMask(b, fp) & occ;
+    while (m != 0) {
+      int s = std::countr_zero(m);
+      m &= m - 1;
+      ++count;
+      uint64_t payload = table_.GetPayloadField(b, s, 0, payload_bits);
+      if ((payload & 1) != 0) {
+        any_converted = true;
+        continue;
+      }
+      if (payload == packed_payload) return true;
+    }
+    if (free_slot < 0) {
+      int fs = std::countr_one(occ);
+      if (fs < table_.slots_per_bucket()) {
+        free_bucket = b;
+        free_slot = fs;
+      }
+    }
+    return false;
+  };
+  bool dup = scan(pair.primary);
+  if (!dup && !pair.degenerate()) dup = scan(pair.alt);
+  if (any_converted) return false;  // fold into the packed sketch: wave 2
+  if (dup) return true;             // collapsed
+  if (count >= config_.max_dupes) return false;  // conversion: wave 2
+  if (free_slot < 0) return false;  // displacement needed: wave 2
+  table_.PutSlot(free_bucket, free_slot, fp, packed_payload);
+  ++num_rows_;
+  return true;
 }
 
 bool MixedCcf::ContainsKey(uint64_t key) const {

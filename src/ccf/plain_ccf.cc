@@ -27,8 +27,11 @@ Status PlainCcf::Insert(uint64_t key, std::span<const uint64_t> attrs) {
   uint64_t bucket;
   uint32_t fp;
   KeyAddress(key, &bucket, &fp);
-  BucketPair pair = PairOf(bucket, fp);
+  return InsertAddressed(PairOf(bucket, fp), fp, attrs);
+}
 
+Status PlainCcf::InsertAddressed(const BucketPair& pair, uint32_t fp,
+                                 std::span<const uint64_t> attrs) {
   // Collapse duplicate (κ, α) rows.
   for (const auto& [b, s] : SlotsWithFp(pair, fp)) {
     if (codec_.EqualsStored(table_, b, s, /*base=*/0, attrs)) {
@@ -45,6 +48,59 @@ Status PlainCcf::Insert(uint64_t key, std::span<const uint64_t> attrs) {
   }
   ++num_rows_;
   return Status::OK();
+}
+
+uint64_t PlainCcf::PackRowPayload(std::span<const uint64_t> attrs) const {
+  return table_.slot_bits() <= 64 ? codec_.Pack(attrs) : 0;
+}
+
+bool PlainCcf::TryInsertNoKick(const BucketPair& pair, uint32_t fp,
+                               std::span<const uint64_t> attrs,
+                               uint64_t payload) {
+  if (table_.slot_bits() > 64) {
+    // Oversized geometry: per-attribute scan and store (cold fallback).
+    auto [count, dup] = ScanPairWithFp(pair, fp, [&](uint64_t b, int s) {
+      return codec_.EqualsStored(table_, b, s, /*base=*/0, attrs);
+    });
+    (void)count;
+    if (dup) return true;
+    auto [b, s] = FreeSlotInPair(pair);
+    if (s < 0) return false;
+    table_.Put(b, s, fp);
+    codec_.Store(&table_, b, s, /*base=*/0, attrs);
+    ++num_rows_;
+    return true;
+  }
+  // Packed fast path (see ChainedCcf::TryInsertNoKick): one fused pass per
+  // bucket for dedupe + free slot, one field store for placement.
+  (void)attrs;
+  const int vec_bits = codec_.vector_bits();
+  const uint64_t packed = payload;
+  uint64_t free_bucket = 0;
+  int free_slot = -1;
+  auto scan = [&](uint64_t b) {  // returns true on a duplicate hit
+    uint64_t occ = table_.OccupiedMask(b);
+    uint64_t m = table_.MatchMask(b, fp) & occ;
+    while (m != 0) {
+      int s = std::countr_zero(m);
+      m &= m - 1;
+      if (table_.GetPayloadField(b, s, 0, vec_bits) == packed) return true;
+    }
+    if (free_slot < 0) {
+      int fs = std::countr_one(occ);
+      if (fs < table_.slots_per_bucket()) {
+        free_bucket = b;
+        free_slot = fs;
+      }
+    }
+    return false;
+  };
+  if (scan(pair.primary)) return true;  // collapsed
+  if (!pair.degenerate() && scan(pair.alt)) return true;
+  if (free_slot < 0) return false;  // displacement needed: wave 2
+  table_.PutSlot(free_bucket, free_slot, fp, packed);
+  ++num_rows_;
+  return true;
 }
 
 bool PlainCcf::ContainsKey(uint64_t key) const {

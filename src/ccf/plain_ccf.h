@@ -31,6 +31,12 @@ class PlainCcf : public CcfBase {
   void LookupBatchBroadcast(std::span<const uint64_t> keys,
                             const Predicate& pred,
                             std::span<bool> out) const override;
+  uint64_t PackRowPayload(std::span<const uint64_t> attrs) const override;
+  bool TryInsertNoKick(const BucketPair& pair, uint32_t fp,
+                       std::span<const uint64_t> attrs,
+                       uint64_t payload) override;
+  Status InsertAddressed(const BucketPair& pair, uint32_t fp,
+                         std::span<const uint64_t> attrs) override;
 
  private:
   PlainCcf(CcfConfig config, BucketTable table);

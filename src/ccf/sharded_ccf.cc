@@ -120,36 +120,63 @@ Status ShardedCcf::Insert(uint64_t key, std::span<const uint64_t> attrs) {
 
 Status ShardedCcf::InsertParallel(std::span<const uint64_t> keys,
                                   std::span<const uint64_t> attrs,
-                                  int num_threads) {
-  int num_attrs = config().num_attrs;
-  if (attrs.size() != keys.size() * static_cast<size_t>(num_attrs)) {
+                                  int num_threads,
+                                  std::vector<uint64_t>* hash_memo) {
+  const size_t num_attrs = static_cast<size_t>(config().num_attrs);
+  if (attrs.size() != keys.size() * num_attrs) {
     return Status::Invalid(
         "InsertParallel: attrs must hold keys.size() * num_attrs values");
   }
-  // Partition row indices by shard (insertion order preserved per shard).
-  std::vector<std::vector<size_t>> per_shard(shards_.size());
+  if (hash_memo != nullptr && !hash_memo->empty() &&
+      hash_memo->size() != 2 * keys.size()) {
+    return Status::Invalid(
+        "InsertParallel: hash_memo must be empty or hold two words per key");
+  }
+  const bool reuse_memo = hash_memo != nullptr && !hash_memo->empty();
+  const bool fill_memo = hash_memo != nullptr && !reuse_memo;
+
+  // Gather contiguous per-shard rows (insertion order preserved per shard)
+  // so each shard's whole build is one batched InsertBatch over its slice —
+  // the write-side analogue of the batched lookup's gather/delegate path.
+  const size_t num_shards = shards_.size();
+  std::vector<std::vector<uint64_t>> shard_keys(num_shards);
+  std::vector<std::vector<uint64_t>> shard_attrs(num_shards);
+  std::vector<std::vector<uint64_t>> shard_hashes(num_shards);
+  std::vector<std::vector<size_t>> shard_pos(fill_memo ? num_shards : 0);
+  size_t expect = keys.size() / num_shards + 16;
+  for (auto& v : shard_keys) v.reserve(expect);
+  for (auto& v : shard_attrs) v.reserve(expect * num_attrs);
   for (size_t i = 0; i < keys.size(); ++i) {
-    per_shard[ShardOf(keys[i])].push_back(i);
+    size_t s = ShardOf(keys[i]);
+    shard_keys[s].push_back(keys[i]);
+    shard_attrs[s].insert(shard_attrs[s].end(),
+                          attrs.begin() + static_cast<ptrdiff_t>(i * num_attrs),
+                          attrs.begin() +
+                              static_cast<ptrdiff_t>((i + 1) * num_attrs));
+    if (reuse_memo) {
+      shard_hashes[s].push_back((*hash_memo)[2 * i]);
+      shard_hashes[s].push_back((*hash_memo)[2 * i + 1]);
+    }
+    if (fill_memo) shard_pos[s].push_back(i);
   }
 
   int threads = num_threads > 0 ? num_threads : options_.build_threads;
-  if (threads <= 0) threads = static_cast<int>(shards_.size());
-  threads = std::min<int>(threads, static_cast<int>(shards_.size()));
+  if (threads <= 0) threads = static_cast<int>(num_shards);
+  threads = std::min<int>(threads, static_cast<int>(num_shards));
 
   Status first_error = Status::OK();
   std::mutex error_mu;
   auto build_stripe = [&](int t) {
-    for (size_t s = static_cast<size_t>(t); s < shards_.size();
+    for (size_t s = static_cast<size_t>(t); s < num_shards;
          s += static_cast<size_t>(threads)) {
-      for (size_t i : per_shard[s]) {
-        Status st = shards_[s]->Insert(
-            keys[i], attrs.subspan(i * static_cast<size_t>(num_attrs),
-                                   static_cast<size_t>(num_attrs)));
-        if (!st.ok()) {
-          std::lock_guard<std::mutex> lock(error_mu);
-          if (first_error.ok()) first_error = std::move(st);
-          break;  // this shard stops; the stripe's other shards still build
-        }
+      // Each thread owns its stripe's shards and hash vectors outright, so
+      // no locks are needed.
+      Status st = shards_[s]->InsertBatch(
+          shard_keys[s], shard_attrs[s],
+          hash_memo != nullptr ? &shard_hashes[s] : nullptr);
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error.ok()) first_error = std::move(st);
       }
     }
   };
@@ -162,7 +189,26 @@ Status ShardedCcf::InsertParallel(std::span<const uint64_t> keys,
     for (int t = 0; t < threads; ++t) workers.emplace_back(build_stripe, t);
     for (auto& w : workers) w.join();
   }
+
+  if (fill_memo) {
+    // Scatter the per-shard memo words back to input order so the caller's
+    // memo is shard-layout-agnostic (and reusable by an unsharded rebuild
+    // too).
+    hash_memo->resize(2 * keys.size());
+    for (size_t s = 0; s < num_shards; ++s) {
+      for (size_t j = 0; j < shard_pos[s].size(); ++j) {
+        (*hash_memo)[2 * shard_pos[s][j]] = shard_hashes[s][2 * j];
+        (*hash_memo)[2 * shard_pos[s][j] + 1] = shard_hashes[s][2 * j + 1];
+      }
+    }
+  }
   return first_error;
+}
+
+Status ShardedCcf::InsertBatch(std::span<const uint64_t> keys,
+                               std::span<const uint64_t> attrs,
+                               std::vector<uint64_t>* hash_memo) {
+  return InsertParallel(keys, attrs, /*num_threads=*/0, hash_memo);
 }
 
 bool ShardedCcf::ContainsKey(uint64_t key) const {

@@ -51,14 +51,28 @@ class ShardedCcf : public ConditionalCuckooFilter {
   Status Insert(uint64_t key, std::span<const uint64_t> attrs) override;
 
   /// Bulk parallel build. `attrs` is row-major: row i occupies
-  /// attrs[i*num_attrs, (i+1)*num_attrs). Rows are partitioned by shard and
-  /// inserted by `num_threads` threads (0 → options.build_threads);
-  /// insertion order within a shard follows the input order. Returns the
+  /// attrs[i*num_attrs, (i+1)*num_attrs). Rows are gathered per shard
+  /// (insertion order within a shard follows the input order) and each
+  /// shard runs its own batched two-wave InsertBatch, with `num_threads`
+  /// threads striping over shards (0 → options.build_threads). Returns the
   /// first per-shard error, if any (remaining shards still finish, so the
   /// structure stays consistent — CapacityError here means resize and
   /// rebuild, as for the unsharded filter).
+  ///
+  /// `hash_memo` follows ConditionalCuckooFilter::InsertBatch (two words
+  /// per row), aligned to the INPUT row order: the shard route, the
+  /// in-shard key hash, and the packed payload all depend only on the
+  /// salt, so a memo filled here stays valid across bucket-doubling
+  /// rebuilds of a fresh ShardedCcf with the same salt.
   Status InsertParallel(std::span<const uint64_t> keys,
-                        std::span<const uint64_t> attrs, int num_threads = 0);
+                        std::span<const uint64_t> attrs, int num_threads = 0,
+                        std::vector<uint64_t>* hash_memo = nullptr);
+
+  /// The ConditionalCuckooFilter bulk-build entry: InsertParallel with the
+  /// configured thread count.
+  Status InsertBatch(std::span<const uint64_t> keys,
+                     std::span<const uint64_t> attrs,
+                     std::vector<uint64_t>* hash_memo = nullptr) override;
 
   bool ContainsKey(uint64_t key) const override;
   bool Contains(uint64_t key, const Predicate& pred) const override;

@@ -56,22 +56,16 @@ void BucketTable::Erase(uint64_t bucket, int slot) {
 }
 
 int BucketTable::FirstFreeSlot(uint64_t bucket) const {
-  for (int s = 0; s < slots_per_bucket_; ++s) {
-    if (!occupied(bucket, s)) return s;
-  }
-  return -1;
+  int s = std::countr_one(OccupiedMask(bucket));
+  return s < slots_per_bucket_ ? s : -1;
 }
 
 int BucketTable::CountFingerprint(uint64_t bucket, uint32_t fp) const {
-  // Fingerprint-first (see fingerprint_any): one wide compare over the
-  // slots line; the occupancy line is only touched on hits.
-  uint64_t mask = MatchMask(bucket, fp);
   int n = 0;
-  while (mask != 0) {
-    int s = std::countr_zero(mask);
-    mask &= mask - 1;
-    if (occupied(bucket, s)) ++n;
-  }
+  ForEachOccupiedMatch(bucket, fp, [&](int) {
+    ++n;
+    return false;
+  });
   return n;
 }
 
@@ -84,11 +78,7 @@ uint64_t BucketTable::MatchMaskScalar(uint64_t bucket, uint32_t fp) const {
 }
 
 int BucketTable::CountOccupied(uint64_t bucket) const {
-  int n = 0;
-  for (int s = 0; s < slots_per_bucket_; ++s) {
-    if (occupied(bucket, s)) ++n;
-  }
-  return n;
+  return std::popcount(OccupiedMask(bucket));
 }
 
 void BucketTable::ClearPayload(uint64_t bucket, int slot) {

@@ -66,6 +66,20 @@ class BucketTable {
     occupied_.PrefetchBit(SlotIndex(bucket, 0));
   }
 
+  /// PrefetchBucket with WRITE intent: pulls the bucket's lines in
+  /// exclusive state so the insert that follows skips the read-for-
+  /// ownership upgrade. Batched insert paths use this — they read the pair
+  /// (dedupe scan) and then usually store to it.
+  void PrefetchBucketForWrite(uint64_t bucket) const {
+    size_t first = SlotBitOffset(bucket, 0);
+    slots_.PrefetchBitForWrite(first);
+    slots_.PrefetchBitForWrite(first + static_cast<size_t>(slot_bits_) *
+                                           static_cast<size_t>(
+                                               slots_per_bucket_) -
+                               1);
+    occupied_.PrefetchBitForWrite(SlotIndex(bucket, 0));
+  }
+
   uint32_t fingerprint(uint64_t bucket, int slot) const {
     CCF_DCHECK(occupied(bucket, slot));
     return static_cast<uint32_t>(
@@ -103,10 +117,55 @@ class BucketTable {
     return MatchMaskScalar(bucket, fp);
   }
 
+  /// All slots_per_bucket occupancy bits of `bucket` as one word (bit s =
+  /// slot s occupied). The bits are contiguous in the bitmap, so this is a
+  /// single field load — the word-parallel companion of MatchMask.
+  uint64_t OccupiedMask(uint64_t bucket) const {
+    return occupied_.GetField(SlotIndex(bucket, 0), slots_per_bucket_);
+  }
+
+  /// THE MatchMask bit-walk: calls `fn(slot)` on every OCCUPIED slot of
+  /// `bucket` whose fingerprint equals `fp`, in ascending slot order; `fn`
+  /// returns true to stop early. Returns whether a call stopped the walk.
+  /// Fingerprint-first like every scan built on MatchMask, with occupancy
+  /// folded in as one word-AND (erased slots read fingerprint 0, so the
+  /// occupancy word stays authoritative). All pair scans, copy counters,
+  /// and mark checks in the library go through this one helper instead of
+  /// hand-rolling countr_zero / mask &= mask - 1 loops.
+  template <typename SlotFn>
+  bool ForEachOccupiedMatch(uint64_t bucket, uint32_t fp, SlotFn&& fn) const {
+    uint64_t mask = MatchMask(bucket, fp) & OccupiedMask(bucket);
+    while (mask != 0) {
+      int s = std::countr_zero(mask);
+      mask &= mask - 1;
+      if (fn(s)) return true;
+    }
+    return false;
+  }
+
   /// Writes fingerprint + marks occupied. Payload bits are untouched (callers
   /// set them separately, possibly field by field).
   void Put(uint64_t bucket, int slot, uint32_t fp) {
     slots_.SetField(SlotBitOffset(bucket, slot), fingerprint_bits_, fp);
+    uint64_t idx = SlotIndex(bucket, slot);
+    if (!occupied_.GetBit(idx)) {
+      occupied_.SetBit(idx, true);
+      ++num_occupied_;
+    }
+  }
+
+  /// Total bits per slot (fingerprint + payload).
+  int slot_bits() const { return slot_bits_; }
+
+  /// Writes fingerprint AND the entire payload in one field write and
+  /// marks the slot occupied — bit-identical to Put() followed by storing
+  /// `payload` across all payload bits. Requires slot_bits() <= 64
+  /// (callers gate); the packed fast path of the bulk-insert waves.
+  void PutSlot(uint64_t bucket, int slot, uint32_t fp, uint64_t payload) {
+    CCF_DCHECK(slot_bits_ <= 64);
+    CCF_DCHECK(payload_bits_ >= 64 || payload < (uint64_t{1} << payload_bits_));
+    slots_.SetField(SlotBitOffset(bucket, slot), slot_bits_,
+                    static_cast<uint64_t>(fp) | (payload << fingerprint_bits_));
     uint64_t idx = SlotIndex(bucket, slot);
     if (!occupied_.GetBit(idx)) {
       occupied_.SetBit(idx, true);

@@ -49,8 +49,12 @@ Status CuckooFilter::Insert(uint64_t key) {
   uint32_t fp;
   IndexAndFingerprint(hasher_, key, table_.bucket_mask(),
                       config_.fingerprint_bits, &bucket, &fp);
-  uint64_t alt = AltBucket(hasher_, bucket, fp, table_.bucket_mask());
+  return InsertAddressed(
+      bucket, AltBucket(hasher_, bucket, fp, table_.bucket_mask()), fp);
+}
 
+Status CuckooFilter::InsertAddressed(uint64_t bucket, uint64_t alt,
+                                     uint32_t fp) {
   if (!config_.multiset) {
     // Set semantics: duplicate fingerprints in the pair are collapsed.
     if (table_.CountFingerprint(bucket, fp) > 0 ||
@@ -121,6 +125,73 @@ Status CuckooFilter::Insert(uint64_t key) {
   table_.Put(trail[0].first, trail[0].second, fp);
   ++num_items_;
   return Status::OK();
+}
+
+bool CuckooFilter::TryInsertNoKick(uint64_t bucket, uint64_t alt,
+                                   uint32_t fp) {
+  if (!config_.multiset) {
+    if (table_.CountFingerprint(bucket, fp) > 0 ||
+        (alt != bucket && table_.CountFingerprint(alt, fp) > 0)) {
+      return true;  // set semantics: collapsed
+    }
+  }
+  int slot = table_.FirstFreeSlot(bucket);
+  uint64_t dest = bucket;
+  if (slot < 0 && alt != bucket) {
+    slot = table_.FirstFreeSlot(alt);
+    dest = alt;
+  }
+  if (slot < 0) return false;  // displacement needed: wave 2
+  table_.Put(dest, slot, fp);
+  ++num_items_;
+  return true;
+}
+
+Status CuckooFilter::InsertBatch(std::span<const uint64_t> keys) {
+  // The write-side instantiation of the library pipeline: wave 1 places
+  // every key whose pair still has a free slot against prefetched lines;
+  // only the leftovers pay the displacement chain in wave 2.
+  struct Addr {
+    uint64_t cluster_key;
+    uint64_t bucket;
+    uint64_t alt;
+    uint32_t fp;
+  };
+  BatchPipelineOptions options;
+  options.cluster_bits = std::bit_width(table_.bucket_mask());
+  options.block_size = kInsertBatchBlock;
+  Status first_error = Status::OK();
+  RunBatchPipelineTwoWave<Addr>(
+      keys.size(), options,
+      [&](size_t i) {
+        Addr a;
+        IndexAndFingerprint(hasher_, keys[i], table_.bucket_mask(),
+                            config_.fingerprint_bits, &a.bucket, &a.fp);
+        a.alt = AltBucket(hasher_, a.bucket, a.fp, table_.bucket_mask());
+        a.cluster_key = a.bucket;
+        return a;
+      },
+      [&](const Addr& a) {
+        // Write intent: see CcfBase::InsertBatch.
+        table_.PrefetchBucketForWrite(a.bucket);
+        if (a.alt != a.bucket) table_.PrefetchBucketForWrite(a.alt);
+      },
+      [&](size_t i, Addr& a) {
+        (void)i;
+        if (!first_error.ok()) return true;  // drain the batch cheaply
+        return TryInsertNoKick(a.bucket, a.alt, a.fp);
+      },
+      [&](const Addr& a) {
+        table_.PrefetchBucketForWrite(a.bucket);
+        if (a.alt != a.bucket) table_.PrefetchBucketForWrite(a.alt);
+      },
+      [&](size_t i, const Addr& a) {
+        (void)i;
+        if (!first_error.ok()) return;
+        Status st = InsertAddressed(a.bucket, a.alt, a.fp);
+        if (!st.ok()) first_error = std::move(st);
+      });
+  return first_error;
 }
 
 bool CuckooFilter::Contains(uint64_t key) const {

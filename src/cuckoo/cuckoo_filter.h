@@ -23,14 +23,24 @@ namespace ccf {
 /// CCF variant so that all structures probe identical bucket pairs).
 namespace cuckoo_addressing {
 
-/// Primary bucket ℓ and fingerprint κ for a key: ℓ from the low hash bits,
-/// κ from the high bits (uncorrelated).
+/// (ℓ, κ) from a precomputed raw key hash (hasher.Hash(key, 0)): ℓ from
+/// the low bits, κ from the high bits (uncorrelated). THE one derivation —
+/// IndexAndFingerprint and the hash-memoized bulk-insert address pass both
+/// delegate here, so cached raw hashes can never re-address differently
+/// than fresh ones.
+inline void IndexAndFingerprintFromHash(uint64_t h, uint64_t bucket_mask,
+                                        int fp_bits, uint64_t* bucket,
+                                        uint32_t* fp) {
+  *bucket = h & bucket_mask;
+  *fp = FingerprintFromHash(h, fp_bits);
+}
+
+/// Primary bucket ℓ and fingerprint κ for a key.
 inline void IndexAndFingerprint(const Hasher& hasher, uint64_t key,
                                 uint64_t bucket_mask, int fp_bits,
                                 uint64_t* bucket, uint32_t* fp) {
-  uint64_t h = hasher.Hash(key, 0);
-  *bucket = h & bucket_mask;
-  *fp = FingerprintFromHash(h, fp_bits);
+  IndexAndFingerprintFromHash(hasher.Hash(key, 0), bucket_mask, fp_bits,
+                              bucket, fp);
 }
 
 /// Alternate bucket ℓ′ = ℓ ⊕ h(κ) (mod m). Involutive: Alt(Alt(ℓ)) == ℓ.
@@ -75,6 +85,14 @@ class CuckooFilter {
   /// exceeds max_kicks (callers may then resize and rebuild).
   Status Insert(uint64_t key);
 
+  /// Bulk insertion through the two-wave batch pipeline: hash a block,
+  /// radix-cluster by primary bucket, prefetch, place every key whose pair
+  /// has a free slot in wave 1 (dedupe + write against cached lines) and
+  /// run the displacement path only for wave-2 leftovers. Semantically a
+  /// loop of Insert (set/multiset semantics and CapacityError carry over);
+  /// placement order differs, so slot assignment may too.
+  Status InsertBatch(std::span<const uint64_t> keys);
+
   /// True if the key may be in the set (no false negatives).
   bool Contains(uint64_t key) const;
 
@@ -117,6 +135,12 @@ class CuckooFilter {
 
  private:
   CuckooFilter(const CuckooFilterConfig& config, BucketTable table);
+
+  /// Full insertion logic from a precomputed address (wave 2 / scalar).
+  Status InsertAddressed(uint64_t bucket, uint64_t alt, uint32_t fp);
+
+  /// Displacement-free attempt (wave 1): dedupe plus free-slot placement.
+  bool TryInsertNoKick(uint64_t bucket, uint64_t alt, uint32_t fp);
 
   CuckooFilterConfig config_;
   BucketTable table_;

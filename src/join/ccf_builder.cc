@@ -1,7 +1,7 @@
 #include "join/ccf_builder.h"
 
-#include <unordered_map>
-#include <unordered_set>
+#include <algorithm>
+#include <utility>
 
 #include "ccf/sharded_ccf.h"
 
@@ -61,10 +61,13 @@ Result<Predicate> BuiltCcf::CompilePredicates(
 namespace {
 
 // Rows presented to the CCF: key + predicate-column values, with
-// production_year replaced by its bin id.
+// production_year replaced by its bin id. Columnar: one flat row-major
+// attribute matrix instead of a heap vector per row, so extraction writes
+// three flat arrays with zero per-row allocation — and the flat matrix is
+// exactly the shape InsertBatch / InsertParallel consume.
 struct SketchRows {
   std::vector<uint64_t> keys;
-  std::vector<std::vector<uint64_t>> attrs;  // row-major
+  std::vector<uint64_t> flat_attrs;  // row-major, keys.size() * num_attrs
   std::vector<uint64_t> distinct_dupes_per_key;
 };
 
@@ -81,7 +84,7 @@ Result<SketchRows> ExtractRows(const TableData& table,
   }
   uint64_t n = key_col->size();
   rows.keys.reserve(n);
-  rows.attrs.reserve(n);
+  rows.flat_attrs.reserve(n * attr_cols.size());
   bool has_year = false;
   size_t year_idx = 0;
   for (size_t i = 0; i < table.spec.predicate_columns.size(); ++i) {
@@ -90,30 +93,34 @@ Result<SketchRows> ExtractRows(const TableData& table,
       year_idx = i;
     }
   }
-  // Per-key distinct attribute-vector counts for §8 sizing.
-  std::unordered_map<uint64_t, std::unordered_set<uint64_t>> distinct;
+  // Per-key distinct attribute-vector counts for §8 sizing: collect
+  // (key, row signature) pairs and sort/dedupe instead of a map of sets —
+  // two flat arrays and one sort versus n hash-map node allocations. The
+  // signature is the same FNV mix as before, so counts are identical
+  // (DuplicateProfile::FromCounts is order-independent).
+  std::vector<std::pair<uint64_t, uint64_t>> key_sigs;
+  key_sigs.reserve(n);
   for (uint64_t i = 0; i < n; ++i) {
-    std::vector<uint64_t> attrs(attr_cols.size());
+    uint64_t sig = 0xcbf29ce484222325ull;
     for (size_t a = 0; a < attr_cols.size(); ++a) {
       uint64_t v = (*attr_cols[a])[i];
       if (has_year && a == year_idx && binner.has_value()) {
         v = binner->BinOf(static_cast<int64_t>(v));
       }
-      attrs[a] = v;
-    }
-    uint64_t key = (*key_col)[i];
-    // Cheap distinct-vector hash: mixes all attribute values.
-    uint64_t sig = 0xcbf29ce484222325ull;
-    for (uint64_t v : attrs) {
+      rows.flat_attrs.push_back(v);
       sig = (sig ^ v) * 0x100000001b3ull;
     }
-    distinct[key].insert(sig);
-    rows.keys.push_back(key);
-    rows.attrs.push_back(std::move(attrs));
+    rows.keys.push_back((*key_col)[i]);
+    key_sigs.emplace_back(rows.keys.back(), sig);
   }
-  rows.distinct_dupes_per_key.reserve(distinct.size());
-  for (const auto& [k, sigs] : distinct) {
-    rows.distinct_dupes_per_key.push_back(sigs.size());
+  std::sort(key_sigs.begin(), key_sigs.end());
+  key_sigs.erase(std::unique(key_sigs.begin(), key_sigs.end()),
+                 key_sigs.end());
+  for (size_t i = 0; i < key_sigs.size();) {
+    size_t j = i;
+    while (j < key_sigs.size() && key_sigs[j].first == key_sigs[i].first) ++j;
+    rows.distinct_dupes_per_key.push_back(j - i);
+    i = j;
   }
   return rows;
 }
@@ -153,16 +160,12 @@ Result<BuiltCcf> BuildCcf(const TableData& table,
   CCF_ASSIGN_OR_RETURN(config,
                        ChooseGeometry(params.variant, config, profile));
 
-  // Sharded builds flatten rows once (row-major) for InsertParallel.
-  std::vector<uint64_t> flat_attrs;
-  if (params.num_shards > 1) {
-    flat_attrs.reserve(rows.keys.size() *
-                       static_cast<size_t>(config.num_attrs));
-    for (const auto& row : rows.attrs) {
-      flat_attrs.insert(flat_attrs.end(), row.begin(), row.end());
-    }
-  }
-
+  // The hash memo carries each row's salt-keyed key hash across doubling
+  // rebuilds: attempt 0 fills it during the batched address pass, and every
+  // retry re-masks the cached hashes instead of re-hashing the table (the
+  // shard route is salt-only too, so it serves sharded retries unchanged).
+  std::vector<uint64_t> hash_memo;
+  const size_t num_attrs = static_cast<size_t>(config.num_attrs);
   Status last_error = Status::OK();
   for (int attempt = 0; attempt <= params.max_rebuilds; ++attempt) {
     bool ok = true;
@@ -173,7 +176,8 @@ Result<BuiltCcf> BuildCcf(const TableData& table,
       CCF_ASSIGN_OR_RETURN(
           std::unique_ptr<ShardedCcf> sharded,
           ShardedCcf::Make(params.variant, config, opts));
-      Status st = sharded->InsertParallel(rows.keys, flat_attrs);
+      Status st = sharded->InsertParallel(rows.keys, rows.flat_attrs,
+                                          /*num_threads=*/0, &hash_memo);
       if (!st.ok()) {
         last_error = std::move(st);
         ok = false;
@@ -183,12 +187,27 @@ Result<BuiltCcf> BuildCcf(const TableData& table,
       CCF_ASSIGN_OR_RETURN(built.filter,
                            ConditionalCuckooFilter::Make(params.variant,
                                                          config));
-      for (size_t i = 0; i < rows.keys.size(); ++i) {
-        Status st = built.filter->Insert(rows.keys[i], rows.attrs[i]);
+      if (params.batch_build) {
+        Status st =
+            built.filter->InsertBatch(rows.keys, rows.flat_attrs, &hash_memo);
         if (!st.ok()) {
           last_error = std::move(st);
           ok = false;
-          break;
+        }
+      } else {
+        // Row-at-a-time reference path: placement order (hence slot
+        // assignment and FP-level outputs) reproduces pre-batch builds
+        // exactly; reproduction tooling pins this mode.
+        for (size_t i = 0; i < rows.keys.size(); ++i) {
+          Status st = built.filter->Insert(
+              rows.keys[i],
+              std::span<const uint64_t>(
+                  rows.flat_attrs.data() + i * num_attrs, num_attrs));
+          if (!st.ok()) {
+            last_error = std::move(st);
+            ok = false;
+            break;
+          }
         }
       }
     }

@@ -36,6 +36,14 @@ struct CcfBuildParams {
   uint64_t salt = 0;
   /// Rebuild attempts (each doubles the bucket count) before giving up.
   int max_rebuilds = 5;
+  /// Build through the batched two-wave InsertBatch pipeline, with each
+  /// doubling rebuild re-placing rows from the hash memo instead of
+  /// re-hashing the table. false pins the row-at-a-time scalar insertion
+  /// order: slot assignment (hence FP-level outputs) then reproduces
+  /// pre-batch builds bit-for-bit, which figure-reproduction tools rely on.
+  /// Sharded builds (num_shards > 1) always take the batched per-shard
+  /// path.
+  bool batch_build = true;
   /// Shards per filter (> 1 builds a ShardedCcf with parallel insert and
   /// the same query answers as a well-sized single filter of that shard's
   /// rows; 1 keeps the unsharded filter).

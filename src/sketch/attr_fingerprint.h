@@ -46,6 +46,23 @@ class AttrFingerprintCodec {
   /// Computes the full fingerprint vector for a row's attributes.
   std::vector<uint32_t> Encode(std::span<const uint64_t> attrs) const;
 
+  /// The row's whole fingerprint vector packed into one word: attribute i's
+  /// fingerprint occupies bits [i*|α|, (i+1)*|α|), exactly the stored
+  /// layout. Requires vector_bits() <= 64 (callers gate; every geometry the
+  /// paper evaluates fits). Bulk-insert paths hash the row ONCE into this
+  /// word, then duplicate-compare and store it with single field accesses
+  /// instead of per-attribute loops.
+  uint64_t Pack(std::span<const uint64_t> attrs) const {
+    CCF_DCHECK(vector_bits() <= 64);
+    CCF_DCHECK(static_cast<int>(attrs.size()) == num_attrs_);
+    uint64_t packed = 0;
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      packed |= static_cast<uint64_t>(ValueFingerprint(attrs[i]))
+                << (static_cast<int>(i) * bits_per_attr_);
+    }
+    return packed;
+  }
+
   /// Writes a row's fingerprint vector into a slot payload starting at
   /// payload-relative bit `base`.
   void Store(BucketTable* table, uint64_t bucket, int slot, int base,

@@ -77,6 +77,13 @@ class BitVector {
     PrefetchRead(&words_[i >> 6]);
   }
 
+  /// Prefetches the cache line holding bit `i` with write intent — the
+  /// batched insert paths' flavour for lines they are about to store to.
+  void PrefetchBitForWrite(size_t i) const {
+    CCF_DCHECK(i < num_bits_);
+    PrefetchWrite(&words_[i >> 6]);
+  }
+
   /// Reads `width` (1..64) bits starting at bit offset `pos`.
   uint64_t GetField(size_t pos, int width) const;
 

@@ -94,6 +94,68 @@ TEST(BatchPipelineTest, StableWithinBin) {
   for (size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
 }
 
+TEST(BatchPipelineTest, SmallBatchStackPathIsEquivalent) {
+  // Batches of n <= kBatchPipelineSmallBatch run on stack scratch; the
+  // boundary must be seamless in both directions.
+  Rng rng(23);
+  for (size_t n : {kBatchPipelineSmallBatch - 1, kBatchPipelineSmallBatch,
+                   kBatchPipelineSmallBatch + 1}) {
+    std::vector<uint64_t> items(n);
+    for (auto& v : items) v = rng.NextBelow(uint64_t{1} << 20);
+    std::vector<size_t> order;
+    std::vector<uint64_t> out =
+        RunEcho(items, /*cluster=*/true, /*cluster_bits=*/20, &order);
+    ASSERT_EQ(out.size(), n);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out[i], items[i] * 2 + 1) << "n=" << n << " i=" << i;
+    }
+    std::vector<size_t> sorted = order;
+    std::sort(sorted.begin(), sorted.end());
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(sorted[i], i);
+  }
+}
+
+TEST(BatchPipelineTest, TwoWaveResolvesEveryItemExactlyOnceAcrossSizes) {
+  // Two-wave flavour across the stack/heap boundary and block boundaries:
+  // odd items settle in wave 1, even items defer and must finish in wave 2.
+  Rng rng(29);
+  for (size_t n : {size_t{1}, kBatchPipelineSmallBatch - 1,
+                   kBatchPipelineSmallBatch, kBatchPipelineSmallBatch + 1,
+                   kBatchPipelineBlock, 2 * kBatchPipelineBlock + 13}) {
+    std::vector<uint64_t> items(n);
+    for (auto& v : items) v = rng.NextBelow(uint64_t{1} << 20);
+    std::vector<uint64_t> out(n, 0);
+    std::vector<int> resolved(n, 0);
+    size_t wave2_prefetches = 0;
+    BatchPipelineOptions options;
+    options.cluster_bits = 20;
+    RunBatchPipelineTwoWave<TestAddr>(
+        n, options,
+        [&](size_t i) { return TestAddr{items[i], items[i] * 2 + 1}; },
+        [](const TestAddr&) {},
+        [&](size_t i, TestAddr& a) {
+          if (a.value % 4 == 3) {  // item odd → value % 4 == 3
+            out[i] = a.value;
+            ++resolved[i];
+            return true;
+          }
+          return false;
+        },
+        [&](const TestAddr&) { ++wave2_prefetches; },
+        [&](size_t i, const TestAddr& a) {
+          out[i] = a.value;
+          ++resolved[i];
+        });
+    size_t expected_deferred = 0;
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out[i], items[i] * 2 + 1) << "n=" << n << " i=" << i;
+      EXPECT_EQ(resolved[i], 1) << "n=" << n << " i=" << i;
+      if (items[i] % 2 == 0) ++expected_deferred;
+    }
+    EXPECT_EQ(wave2_prefetches, expected_deferred) << "n=" << n;
+  }
+}
+
 TEST(BatchPipelineTest, DegenerateClusterDomainDisablesClustering) {
   std::vector<uint64_t> items = {5, 4, 3, 2, 1};
   std::vector<size_t> order;

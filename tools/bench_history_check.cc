@@ -1,0 +1,166 @@
+// bench_history_check: perf-trajectory guard over accumulated
+// `perf_throughput --json` row files (CI's bench_smoke.json artifacts).
+//
+// Usage:
+//   bench_history_check [--threshold PCT] [--min-history N]
+//                       history1.json [history2.json ...] current.json
+//
+// The LAST path is the run under test; every earlier path is history. For
+// each (name, label) row present in the current run, the baseline is the
+// MEDIAN keys_per_second over the history runs that contain that row
+// (medians shrug off one noisy CI neighbour). Rows whose current
+// keys_per_second falls more than PCT percent (default 15) below baseline
+// are flagged and the exit code is 1 — CI wires this as a non-blocking
+// step, so a flag is a review nudge, not a red build. With fewer than
+// --min-history (default 1) history files, or rows with zero throughput
+// (time-only benchmarks), the tool reports and exits 0.
+//
+// The parser handles exactly the flat one-object-per-line row format
+// JsonRowsReporter emits; it is not a general JSON reader.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct BenchRow {
+  std::string key;  // name + label + aggregate
+  double keys_per_second = 0.0;
+};
+
+// Extracts "field": <string or number> from one row object's text.
+bool ExtractString(const std::string& obj, const char* field,
+                   std::string* out) {
+  std::string needle = std::string("\"") + field + "\": \"";
+  size_t pos = obj.find(needle);
+  if (pos == std::string::npos) return false;
+  pos += needle.size();
+  size_t end = pos;
+  while (end < obj.size() && !(obj[end] == '"' && obj[end - 1] != '\\')) {
+    ++end;
+  }
+  if (end >= obj.size()) return false;
+  *out = obj.substr(pos, end - pos);
+  return true;
+}
+
+bool ExtractNumber(const std::string& obj, const char* field, double* out) {
+  std::string needle = std::string("\"") + field + "\": ";
+  size_t pos = obj.find(needle);
+  if (pos == std::string::npos) return false;
+  *out = std::atof(obj.c_str() + pos + needle.size());
+  return true;
+}
+
+// Reads every {...} object of a JsonRowsReporter file into rows.
+bool ReadRows(const std::string& path, std::vector<BenchRow>* rows) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_history_check: cannot open %s\n",
+                 path.c_str());
+    return false;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string text = buf.str();
+  size_t pos = 0;
+  while ((pos = text.find('{', pos)) != std::string::npos) {
+    size_t end = text.find('}', pos);
+    if (end == std::string::npos) break;
+    std::string obj = text.substr(pos, end - pos + 1);
+    pos = end + 1;
+    std::string name, label, aggregate;
+    double kps = 0.0;
+    if (!ExtractString(obj, "name", &name)) continue;
+    ExtractString(obj, "label", &label);
+    ExtractString(obj, "aggregate", &aggregate);
+    ExtractNumber(obj, "keys_per_second", &kps);
+    BenchRow row;
+    row.key = name + " [" + label + "]" +
+              (aggregate.empty() ? "" : " (" + aggregate + ")");
+    row.keys_per_second = kps;
+    rows->push_back(std::move(row));
+  }
+  return true;
+}
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold_pct = 15.0;
+  size_t min_history = 1;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+      threshold_pct = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--min-history") == 0 && i + 1 < argc) {
+      min_history = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr,
+                   "usage: %s [--threshold PCT] [--min-history N] "
+                   "history... current.json\n",
+                   argv[0]);
+      return 2;
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "bench_history_check: no row files given\n");
+    return 2;
+  }
+  if (paths.size() < min_history + 1) {
+    std::printf(
+        "bench_history_check: %zu history file(s), need %zu — nothing to "
+        "compare, OK\n",
+        paths.size() - 1, min_history);
+    return 0;
+  }
+
+  std::vector<BenchRow> current;
+  if (!ReadRows(paths.back(), &current)) return 2;
+  std::map<std::string, std::vector<double>> history;
+  for (size_t i = 0; i + 1 < paths.size(); ++i) {
+    std::vector<BenchRow> rows;
+    if (!ReadRows(paths[i], &rows)) return 2;
+    for (const BenchRow& r : rows) {
+      if (r.keys_per_second > 0.0) history[r.key].push_back(r.keys_per_second);
+    }
+  }
+
+  int regressions = 0, compared = 0;
+  for (const BenchRow& row : current) {
+    auto it = history.find(row.key);
+    if (it == history.end() || row.keys_per_second <= 0.0) continue;
+    ++compared;
+    double baseline = Median(it->second);
+    double delta_pct = (row.keys_per_second - baseline) / baseline * 100.0;
+    bool flag = delta_pct < -threshold_pct;
+    if (flag) {
+      ++regressions;
+      std::printf("REGRESSION %-60s %12.0f keys/s vs median %12.0f (%+.1f%%, "
+                  "threshold -%.0f%%)\n",
+                  row.key.c_str(), row.keys_per_second, baseline, delta_pct,
+                  threshold_pct);
+    } else {
+      std::printf("ok         %-60s %12.0f keys/s vs median %12.0f (%+.1f%%)\n",
+                  row.key.c_str(), row.keys_per_second, baseline, delta_pct);
+    }
+  }
+  std::printf("bench_history_check: %d row(s) compared against %zu history "
+              "run(s), %d regression(s)\n",
+              compared, paths.size() - 1, regressions);
+  return regressions > 0 ? 1 : 0;
+}

@@ -5,7 +5,13 @@
 // Usage:
 //   ccf_joblight [--scale N] [--variant bloom|mixed|chained]
 //                [--attr-bits B] [--key-bits B] [--bloom-bits B]
-//                [--seed S] [--per-instance]
+//                [--seed S] [--per-instance] [--build scalar|batch]
+//
+// --build defaults to scalar: the row-at-a-time insertion order makes slot
+// assignment — and therefore the FP-level RF/FPR numbers printed here —
+// reproducible run-over-run and commit-over-commit. --build batch uses the
+// production bulk-build pipeline (same guarantees and entry counts;
+// placement order differs, so FP noise may shift in the last decimals).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,13 +30,14 @@ struct Options {
   int bloom_bits = 16;
   uint64_t seed = 7;
   bool per_instance = false;
+  bool batch_build = false;
 };
 
 void PrintUsageAndExit(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--scale N] [--variant bloom|mixed|chained]\n"
                "          [--attr-bits B] [--key-bits B] [--bloom-bits B]\n"
-               "          [--seed S] [--per-instance]\n",
+               "          [--seed S] [--per-instance] [--build scalar|batch]\n",
                argv0);
   std::exit(2);
 }
@@ -75,6 +82,15 @@ ccf::Result<Options> Parse(int argc, char** argv) {
       opts.seed = static_cast<uint64_t>(std::atoll(v));
     } else if (arg == "--per-instance") {
       opts.per_instance = true;
+    } else if (arg == "--build") {
+      CCF_ASSIGN_OR_RETURN(const char* v, next());
+      if (std::strcmp(v, "batch") == 0) {
+        opts.batch_build = true;
+      } else if (std::strcmp(v, "scalar") == 0) {
+        opts.batch_build = false;
+      } else {
+        return ccf::Status::Invalid("unknown build mode: " + std::string(v));
+      }
     } else {
       return ccf::Status::Invalid("unknown flag: " + arg);
     }
@@ -109,6 +125,7 @@ int main(int argc, char** argv) {
   params.attr_fp_bits = opts.attr_bits;
   params.key_fp_bits = opts.key_bits;
   params.bloom_bits = opts.bloom_bits;
+  params.batch_build = opts.batch_build;
   std::printf("building %s CCFs (|α|=%d, |κ|=%d)...\n",
               std::string(CcfVariantName(opts.variant)).c_str(),
               opts.attr_bits, opts.key_bits);
