@@ -39,8 +39,8 @@ Result<std::unique_ptr<ConditionalCuckooFilter>> BloomCcf::Make(
 BloomSketchView BloomCcf::EntrySketch(uint64_t bucket, int slot) const {
   // The view mutates bits through a non-const BitVector pointer; Contains
   // paths only ever call Contains() on it.
-  auto* bits = const_cast<BitVector*>(table_.bits());
-  return BloomSketchView(bits, table_.PayloadBitOffset(bucket, slot),
+  auto* bits = const_cast<BitVector*>(table_->bits());
+  return BloomSketchView(bits, table_->PayloadBitOffset(bucket, slot),
                          static_cast<size_t>(config_.bloom_bits), &hasher_,
                          sketch_hashes_);
 }
@@ -75,10 +75,17 @@ Status BloomCcf::Insert(uint64_t key, std::span<const uint64_t> attrs) {
   if (static_cast<int>(attrs.size()) != config_.num_attrs) {
     return Status::Invalid("attribute count does not match schema");
   }
+  EnsureTableUnique();
   uint64_t bucket;
   uint32_t fp;
   KeyAddress(key, &bucket, &fp);
-  return InsertAddressed(PairOf(bucket, fp), fp, attrs);
+  BucketPair pair = PairOf(bucket, fp);
+  // Packed-compare scalar fast path (opt-in via
+  // CcfConfig::reproducible_scalar = false); falls through to the full
+  // addressed insertion when displacement or chain/conversion work is
+  // needed.
+  if (ScalarInsertFast(pair, fp, attrs)) return Status::OK();
+  return InsertAddressed(pair, fp, attrs);
 }
 
 Status BloomCcf::InsertAddressed(const BucketPair& pair, uint32_t fp,
@@ -93,7 +100,7 @@ Status BloomCcf::InsertAddressed(const BucketPair& pair, uint32_t fp,
   }
 
   bool placed = PlaceWithKicks(pair, fp, [&](uint64_t b, int s) {
-    table_.ClearPayload(b, s);
+    table_->ClearPayload(b, s);
     FoldRow(b, s, attrs);
   });
   if (!placed) {
@@ -104,7 +111,7 @@ Status BloomCcf::InsertAddressed(const BucketPair& pair, uint32_t fp,
 }
 
 uint64_t BloomCcf::PackRowPayload(std::span<const uint64_t> attrs) const {
-  if (table_.slot_bits() > 64) return 0;
+  if (table_->slot_bits() > 64) return 0;
   // The row's sketch word, composed from the same probe stream
   // BloomSketchView::Insert walks — the k probe positions per attribute
   // are salt-and-window-size functions only, so the word survives
@@ -127,7 +134,7 @@ bool BloomCcf::TryInsertNoKick(const BucketPair& pair, uint32_t fp,
                                uint64_t payload) {
   // First occupied copy of κ in the pair absorbs the row (matches
   // SlotsWithFp's front(): primary bucket first, ascending slots).
-  if (table_.slot_bits() > 64) {
+  if (table_->slot_bits() > 64) {
     // Oversized sketch windows: fold through BloomSketchView (cold
     // fallback).
     uint64_t hit_b = 0;
@@ -144,8 +151,8 @@ bool BloomCcf::TryInsertNoKick(const BucketPair& pair, uint32_t fp,
     }
     auto [b, s] = FreeSlotInPair(pair);
     if (s < 0) return false;  // displacement needed: wave 2
-    table_.Put(b, s, fp);
-    table_.ClearPayload(b, s);
+    table_->Put(b, s, fp);
+    table_->ClearPayload(b, s);
     FoldRow(b, s, attrs);
     ++num_rows_;
     return true;
@@ -159,7 +166,7 @@ bool BloomCcf::TryInsertNoKick(const BucketPair& pair, uint32_t fp,
   uint64_t hit_b = 0;
   int hit_s = -1;
   auto scan = [&](uint64_t b) {
-    uint64_t m = table_.MatchMask(b, fp) & table_.OccupiedMask(b);
+    uint64_t m = table_->MatchMask(b, fp) & table_->OccupiedMask(b);
     if (m == 0) return false;
     hit_b = b;
     hit_s = std::countr_zero(m);
@@ -168,15 +175,15 @@ bool BloomCcf::TryInsertNoKick(const BucketPair& pair, uint32_t fp,
   if (!scan(pair.primary) && !pair.degenerate()) scan(pair.alt);
   if (hit_s >= 0) {
     uint64_t stored =
-        table_.GetPayloadField(hit_b, hit_s, 0, config_.bloom_bits);
-    table_.SetPayloadField(hit_b, hit_s, 0, config_.bloom_bits,
+        table_->GetPayloadField(hit_b, hit_s, 0, config_.bloom_bits);
+    table_->SetPayloadField(hit_b, hit_s, 0, config_.bloom_bits,
                            stored | sketch_word);
     ++num_rows_;
     return true;
   }
   auto [b, s] = FreeSlotInPair(pair);
   if (s < 0) return false;  // displacement needed: wave 2
-  table_.PutSlot(b, s, fp, sketch_word);
+  table_->PutSlot(b, s, fp, sketch_word);
   ++num_rows_;
   return true;
 }
@@ -241,9 +248,9 @@ void BloomCcf::LookupBatchBroadcast(std::span<const uint64_t> keys,
     compiled.push_back(std::move(ct));
   }
 
-  const BitVector& bits = *table_.bits();
+  const BitVector& bits = *table_->bits();
   auto entry_matches = [&](uint64_t b, int s) {
-    size_t base = table_.PayloadBitOffset(b, s);
+    size_t base = table_->PayloadBitOffset(b, s);
     for (const CompiledTerm& term : compiled) {
       bool any = false;
       for (const CompiledValue& value : term.values) {
@@ -275,19 +282,19 @@ void BloomCcf::LookupBatchBroadcast(std::span<const uint64_t> keys,
 Result<std::unique_ptr<KeyFilter>> BloomCcf::PredicateQuery(
     const Predicate& pred) const {
   CuckooFilterConfig fc;
-  fc.num_buckets = table_.num_buckets();
-  fc.slots_per_bucket = table_.slots_per_bucket();
+  fc.num_buckets = table_->num_buckets();
+  fc.slots_per_bucket = table_->slots_per_bucket();
   fc.fingerprint_bits = config_.key_fp_bits;
   fc.salt = config_.salt;
   fc.max_kicks = config_.max_kicks;
   CCF_ASSIGN_OR_RETURN(CuckooFilter filter, CuckooFilter::Make(fc));
-  for (uint64_t b = 0; b < table_.num_buckets(); ++b) {
-    for (int s = 0; s < table_.slots_per_bucket(); ++s) {
-      if (!table_.occupied(b, s)) continue;
+  for (uint64_t b = 0; b < table_->num_buckets(); ++b) {
+    for (int s = 0; s < table_->slots_per_bucket(); ++s) {
+      if (!table_->occupied(b, s)) continue;
       if (EntryMatches(b, s, pred)) {
         // Positions are preserved, so partial-key addressing still finds
         // every retained fingerprint (Algorithm 2).
-        filter.RawPut(b, s, table_.fingerprint(b, s));
+        filter.RawPut(b, s, table_->fingerprint(b, s));
       }
     }
   }

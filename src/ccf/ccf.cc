@@ -168,7 +168,7 @@ std::string CcfBase::Serialize() const {
   writer.WriteU8(static_cast<uint8_t>(variant()));
   WriteConfig(&writer, config_);
   writer.WriteU64(num_rows_);
-  table_.Save(&writer);
+  table_->Save(&writer);
   SaveExtras(&writer);
   return out;
 }
@@ -176,13 +176,15 @@ std::string CcfBase::Serialize() const {
 Status CcfBase::LoadState(ByteReader* reader) {
   CCF_ASSIGN_OR_RETURN(num_rows_, reader->ReadU64());
   CCF_ASSIGN_OR_RETURN(BucketTable loaded, BucketTable::Load(reader));
-  if (loaded.num_buckets() != table_.num_buckets() ||
-      loaded.slots_per_bucket() != table_.slots_per_bucket() ||
-      loaded.fingerprint_bits() != table_.fingerprint_bits() ||
-      loaded.payload_bits() != table_.payload_bits()) {
+  if (loaded.num_buckets() != table_->num_buckets() ||
+      loaded.slots_per_bucket() != table_->slots_per_bucket() ||
+      loaded.fingerprint_bits() != table_->fingerprint_bits() ||
+      loaded.payload_bits() != table_->payload_bits()) {
     return Status::Invalid("serialized CCF table geometry mismatch");
   }
-  table_ = std::move(loaded);
+  // Fresh snapshot, not in-place assignment: outstanding snapshot holders
+  // keep the pre-load table.
+  table_ = std::make_shared<BucketTable>(std::move(loaded));
   return LoadExtras(reader);
 }
 
@@ -257,10 +259,10 @@ void ChainWalk::Advance() {
 
 CcfBase::CcfBase(CcfConfig config, BucketTable table)
     : config_(config),
-      table_(std::move(table)),
+      table_(std::make_shared<BucketTable>(std::move(table))),
       hasher_(config.salt),
       rng_(config.salt ^ 0xd1b54a32d192ed03ull) {
-  config_.num_buckets = table_.num_buckets();
+  config_.num_buckets = table_->num_buckets();
 }
 
 Status CcfBase::LookupBatch(std::span<const uint64_t> keys,
@@ -313,6 +315,8 @@ Status CcfBase::InsertBatch(std::span<const uint64_t> keys,
   const bool reuse_memo = hash_memo != nullptr && !hash_memo->empty();
   const bool fill_memo = hash_memo != nullptr && !reuse_memo;
   if (fill_memo) hash_memo->resize(2 * keys.size());
+  EnsureTableUnique();
+  BucketTable& table = *table_;
 
   struct Addr {
     uint64_t cluster_key;
@@ -321,7 +325,7 @@ Status CcfBase::InsertBatch(std::span<const uint64_t> keys,
     uint32_t fp;
   };
   BatchPipelineOptions options;
-  options.cluster_bits = std::bit_width(table_.bucket_mask());
+  options.cluster_bits = std::bit_width(table.bucket_mask());
   options.block_size = kInsertBatchBlock;
   Status first_error = Status::OK();
   RunBatchPipelineTwoWave<Addr>(
@@ -348,7 +352,7 @@ Status CcfBase::InsertBatch(std::span<const uint64_t> keys,
         }
         uint64_t bucket;
         cuckoo_addressing::IndexAndFingerprintFromHash(
-            h, table_.bucket_mask(), config_.key_fp_bits, &bucket, &a.fp);
+            h, table.bucket_mask(), config_.key_fp_bits, &bucket, &a.fp);
         a.pair = PairOf(bucket, a.fp);
         a.payload = payload;
         a.cluster_key = a.pair.primary;
@@ -357,8 +361,8 @@ Status CcfBase::InsertBatch(std::span<const uint64_t> keys,
       [&](const Addr& a) {
         // Write intent: nearly every row both scans and stores to its pair,
         // so pull the lines exclusive and skip the RFO upgrade.
-        table_.PrefetchBucketForWrite(a.pair.primary);
-        if (!a.pair.degenerate()) table_.PrefetchBucketForWrite(a.pair.alt);
+        table.PrefetchBucketForWrite(a.pair.primary);
+        if (!a.pair.degenerate()) table.PrefetchBucketForWrite(a.pair.alt);
       },
       [&](size_t i, Addr& a) {
         if (!first_error.ok()) return true;  // drain the batch cheaply
@@ -370,8 +374,8 @@ Status CcfBase::InsertBatch(std::span<const uint64_t> keys,
         // Deferred rows re-touch their pair after the rest of the block's
         // wave 1 may have evicted it; re-issue the pair prefetch (kick
         // chains then wander to buckets nobody can predict).
-        table_.PrefetchBucketForWrite(a.pair.primary);
-        if (!a.pair.degenerate()) table_.PrefetchBucketForWrite(a.pair.alt);
+        table.PrefetchBucketForWrite(a.pair.primary);
+        if (!a.pair.degenerate()) table.PrefetchBucketForWrite(a.pair.alt);
       },
       [&](size_t i, const Addr& a) {
         if (!first_error.ok()) return;
@@ -383,20 +387,20 @@ Status CcfBase::InsertBatch(std::span<const uint64_t> keys,
 }
 
 void CcfBase::KeyAddress(uint64_t key, uint64_t* bucket, uint32_t* fp) const {
-  cuckoo_addressing::IndexAndFingerprint(hasher_, key, table_.bucket_mask(),
+  cuckoo_addressing::IndexAndFingerprint(hasher_, key, table_->bucket_mask(),
                                          config_.key_fp_bits, bucket, fp);
 }
 
 BucketPair CcfBase::PairOf(uint64_t bucket, uint32_t fp) const {
   return BucketPair{bucket, cuckoo_addressing::AltBucket(
-                                hasher_, bucket, fp, table_.bucket_mask())};
+                                hasher_, bucket, fp, table_->bucket_mask())};
 }
 
 std::vector<std::pair<uint64_t, int>> CcfBase::SlotsWithFp(
     const BucketPair& pair, uint32_t fp) const {
   std::vector<std::pair<uint64_t, int>> out;
   auto scan = [&](uint64_t b) {
-    table_.ForEachOccupiedMatch(b, fp, [&](int s) {
+    table_->ForEachOccupiedMatch(b, fp, [&](int s) {
       out.emplace_back(b, s);
       return false;
     });
@@ -407,16 +411,16 @@ std::vector<std::pair<uint64_t, int>> CcfBase::SlotsWithFp(
 }
 
 int CcfBase::CountFpInPair(const BucketPair& pair, uint32_t fp) const {
-  int n = table_.CountFingerprint(pair.primary, fp);
-  if (!pair.degenerate()) n += table_.CountFingerprint(pair.alt, fp);
+  int n = table_->CountFingerprint(pair.primary, fp);
+  if (!pair.degenerate()) n += table_->CountFingerprint(pair.alt, fp);
   return n;
 }
 
 std::pair<uint64_t, int> CcfBase::FreeSlotInPair(const BucketPair& pair) const {
-  int s = table_.FirstFreeSlot(pair.primary);
+  int s = table_->FirstFreeSlot(pair.primary);
   if (s >= 0) return {pair.primary, s};
   if (!pair.degenerate()) {
-    s = table_.FirstFreeSlot(pair.alt);
+    s = table_->FirstFreeSlot(pair.alt);
     if (s >= 0) return {pair.alt, s};
   }
   return {0, -1};
@@ -424,13 +428,13 @@ std::pair<uint64_t, int> CcfBase::FreeSlotInPair(const BucketPair& pair) const {
 
 CcfBase::RawEntry CcfBase::ReadRaw(uint64_t bucket, int slot) const {
   RawEntry entry;
-  entry.fp = table_.fingerprint(bucket, slot);
-  int remaining = table_.payload_bits();
+  entry.fp = table_->fingerprint(bucket, slot);
+  int remaining = table_->payload_bits();
   int pos = 0;
   while (remaining > 0) {
     int chunk = remaining > 64 ? 64 : remaining;
     entry.payload_words.push_back(
-        table_.GetPayloadField(bucket, slot, pos, chunk));
+        table_->GetPayloadField(bucket, slot, pos, chunk));
     pos += chunk;
     remaining -= chunk;
   }
@@ -438,13 +442,13 @@ CcfBase::RawEntry CcfBase::ReadRaw(uint64_t bucket, int slot) const {
 }
 
 void CcfBase::WriteRaw(uint64_t bucket, int slot, const RawEntry& entry) {
-  table_.Put(bucket, slot, entry.fp);
-  int remaining = table_.payload_bits();
+  table_->Put(bucket, slot, entry.fp);
+  int remaining = table_->payload_bits();
   int pos = 0;
   size_t w = 0;
   while (remaining > 0) {
     int chunk = remaining > 64 ? 64 : remaining;
-    table_.SetPayloadField(bucket, slot, pos, chunk, entry.payload_words[w++]);
+    table_->SetPayloadField(bucket, slot, pos, chunk, entry.payload_words[w++]);
     pos += chunk;
     remaining -= chunk;
   }
@@ -452,9 +456,9 @@ void CcfBase::WriteRaw(uint64_t bucket, int slot, const RawEntry& entry) {
 
 // --- MarkedKeyFilter ----------------------------------------------------------
 
-MarkedKeyFilter::MarkedKeyFilter(BucketTable table, BitVector marks,
-                                 Hasher hasher, int max_dupes, int chain_cap,
-                                 bool chain_on_full_pair)
+MarkedKeyFilter::MarkedKeyFilter(std::shared_ptr<const BucketTable> table,
+                                 BitVector marks, Hasher hasher, int max_dupes,
+                                 int chain_cap, bool chain_on_full_pair)
     : table_(std::move(table)),
       marks_(std::move(marks)),
       hasher_(hasher),
@@ -465,8 +469,8 @@ MarkedKeyFilter::MarkedKeyFilter(BucketTable table, BitVector marks,
 bool MarkedKeyFilter::Contains(uint64_t key) const {
   uint64_t bucket;
   uint32_t fp;
-  cuckoo_addressing::IndexAndFingerprint(hasher_, key, table_.bucket_mask(),
-                                         table_.fingerprint_bits(), &bucket,
+  cuckoo_addressing::IndexAndFingerprint(hasher_, key, table_->bucket_mask(),
+                                         table_->fingerprint_bits(), &bucket,
                                          &fp);
   return ContainsAddressed(bucket, fp);
 }
@@ -481,23 +485,23 @@ void MarkedKeyFilter::ContainsBatch(std::span<const uint64_t> keys,
     uint32_t fp;
   };
   BatchPipelineOptions options;
-  options.cluster_bits = std::bit_width(table_.bucket_mask());
+  options.cluster_bits = std::bit_width(table_->bucket_mask());
   RunBatchPipeline<Addr>(
       keys.size(), options,
       [&](size_t i) {
         Addr a;
         cuckoo_addressing::IndexAndFingerprint(hasher_, keys[i],
-                                               table_.bucket_mask(),
-                                               table_.fingerprint_bits(),
+                                               table_->bucket_mask(),
+                                               table_->fingerprint_bits(),
                                                &a.bucket, &a.fp);
         a.alt = cuckoo_addressing::AltBucket(hasher_, a.bucket, a.fp,
-                                             table_.bucket_mask());
+                                             table_->bucket_mask());
         a.cluster_key = a.bucket;
         return a;
       },
       [&](const Addr& a) {
-        table_.PrefetchBucket(a.bucket);
-        if (a.alt != a.bucket) table_.PrefetchBucket(a.alt);
+        table_->PrefetchBucket(a.bucket);
+        if (a.alt != a.bucket) table_->PrefetchBucket(a.alt);
       },
       [&](size_t i, const Addr& a) {
         out[i] = ContainsAddressed(a.bucket, a.fp);
@@ -505,15 +509,15 @@ void MarkedKeyFilter::ContainsBatch(std::span<const uint64_t> keys,
 }
 
 bool MarkedKeyFilter::ContainsAddressed(uint64_t bucket, uint32_t fp) const {
-  ChainWalk walk(&hasher_, table_.bucket_mask(), bucket, fp);
+  ChainWalk walk(&hasher_, table_->bucket_mask(), bucket, fp);
   for (int hop = 0; hop < chain_cap_; ++hop) {
     const BucketPair& pair = walk.pair();
     int count = 0;
     bool unmarked = false;
     auto scan = [&](uint64_t b) {
-      table_.ForEachOccupiedMatch(b, fp, [&](int s) {
+      table_->ForEachOccupiedMatch(b, fp, [&](int s) {
         ++count;
-        uint64_t idx = b * static_cast<uint64_t>(table_.slots_per_bucket()) +
+        uint64_t idx = b * static_cast<uint64_t>(table_->slots_per_bucket()) +
                        static_cast<uint64_t>(s);
         if (!marks_.GetBit(idx)) unmarked = true;
         return false;

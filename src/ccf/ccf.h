@@ -62,6 +62,13 @@ struct CcfConfig {
   uint64_t salt = 0;
   /// MaxKicks for cuckoo displacement.
   int max_kicks = 500;
+  /// Scalar Insert takes the historical per-attribute SlotsWithFp path when
+  /// true (the default), pinning pre-existing builds bit-for-bit
+  /// (`ccf_joblight --build scalar` relies on it). false enables the
+  /// packed-compare scalar fast path: displacement-free rows dedupe via one
+  /// word compare and land via one PutSlot field store (the batched wave-1
+  /// placement, applied row-at-a-time). Build-time knob; not serialized.
+  bool reproducible_scalar = true;
 };
 
 /// Hard cap on chain walks when max_chain is 0 ("unbounded").

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -69,11 +70,20 @@ class ChainWalk {
 };
 
 /// \brief Common state + helpers for CCF implementations.
+///
+/// Table ownership: the BucketTable lives behind a shared immutable
+/// snapshot (`std::shared_ptr<BucketTable>`). Read paths bind the snapshot
+/// once per query/batch; PredicateQuery-derived filters alias it instead of
+/// copying multi-megabyte tables; and mutating entry points copy-on-write
+/// when a snapshot is shared out (EnsureTableUnique), so outstanding
+/// snapshots stay frozen. The filter OBJECT itself still follows the
+/// single-writer/multi-reader contract; whole-object replacement under
+/// live readers is ShardedCcf's epoch-swap layer.
 class CcfBase : public ConditionalCuckooFilter {
  public:
-  uint64_t SizeInBits() const override { return table_.SizeInBits(); }
-  double LoadFactor() const override { return table_.LoadFactor(); }
-  uint64_t num_entries() const override { return table_.num_occupied(); }
+  uint64_t SizeInBits() const override { return table_->SizeInBits(); }
+  double LoadFactor() const override { return table_->LoadFactor(); }
+  uint64_t num_entries() const override { return table_->num_occupied(); }
   uint64_t num_rows() const override { return num_rows_; }
   const CcfConfig& config() const override { return config_; }
 
@@ -82,8 +92,24 @@ class CcfBase : public ConditionalCuckooFilter {
     return config_.max_chain > 0 ? config_.max_chain : kHardChainCap;
   }
 
-  const BucketTable& table() const { return table_; }
+  const BucketTable& table() const { return *table_; }
   const Hasher& hasher() const { return hasher_; }
+
+  /// The current immutable table snapshot. Sharing is cheap (refcount);
+  /// writers transparently unshare before mutating, so the returned
+  /// snapshot never changes underneath the caller.
+  std::shared_ptr<const BucketTable> table_snapshot() const { return table_; }
+
+  /// The geometry-independent memo words of one row (the two words per row
+  /// of the InsertBatch hash memo): the salt-keyed key hash and the packed
+  /// payload word. Lets containers (ShardedCcf's retained row log) memoize
+  /// rows arriving through scalar Insert so later online resizes re-place
+  /// them without re-hashing.
+  void MemoizeRow(uint64_t key, std::span<const uint64_t> attrs,
+                  uint64_t* key_hash, uint64_t* payload) const {
+    *key_hash = hasher_.Hash(key, 0);
+    *payload = PackRowPayload(attrs);
+  }
 
   /// Resolves Contains for a pre-hashed key: `bucket` and `fp` must come
   /// from KeyAddress (equivalently cuckoo_addressing::IndexAndFingerprint
@@ -148,8 +174,11 @@ class CcfBase : public ConditionalCuckooFilter {
       BucketPair pair;
       uint32_t fp;
     };
+    // One snapshot bind for the whole batch: every prefetch and resolve of
+    // this pipeline runs against the same immutable table.
+    const BucketTable& table = *table_;
     BatchPipelineOptions options;
-    options.cluster_bits = std::bit_width(table_.bucket_mask());
+    options.cluster_bits = std::bit_width(table.bucket_mask());
     RunBatchPipeline<Addr>(
         keys.size(), options,
         [&](size_t i) {
@@ -161,8 +190,8 @@ class CcfBase : public ConditionalCuckooFilter {
           return a;
         },
         [&](const Addr& a) {
-          table_.PrefetchBucket(a.pair.primary);
-          if (!a.pair.degenerate()) table_.PrefetchBucket(a.pair.alt);
+          table.PrefetchBucket(a.pair.primary);
+          if (!a.pair.degenerate()) table.PrefetchBucket(a.pair.alt);
         },
         [&](size_t i, const Addr& a) { out[i] = resolve(i, a.pair, a.fp); });
   }
@@ -191,8 +220,9 @@ class CcfBase : public ConditionalCuckooFilter {
       uint32_t fp;
       int primary_count;
     };
+    const BucketTable& table = *table_;
     BatchPipelineOptions options;
-    options.cluster_bits = std::bit_width(table_.bucket_mask());
+    options.cluster_bits = std::bit_width(table.bucket_mask());
     RunBatchPipelineTwoWave<Addr>(
         keys.size(), options,
         [&](size_t i) {
@@ -204,7 +234,7 @@ class CcfBase : public ConditionalCuckooFilter {
           a.primary_count = 0;
           return a;
         },
-        [&](const Addr& a) { table_.PrefetchBucket(a.pair.primary); },
+        [&](const Addr& a) { table.PrefetchBucket(a.pair.primary); },
         [&](size_t i, Addr& a) {
           auto [count, matched] =
               ScanBucketWithFp(a.pair.primary, a.fp, matches);
@@ -219,7 +249,7 @@ class CcfBase : public ConditionalCuckooFilter {
           a.primary_count = count;
           return false;
         },
-        [&](const Addr& a) { table_.PrefetchBucket(a.pair.alt); },
+        [&](const Addr& a) { table.PrefetchBucket(a.pair.alt); },
         [&](size_t i, const Addr& a) {
           auto [alt_count, matched] =
               ScanBucketWithFp(a.pair.alt, a.fp, matches);
@@ -324,7 +354,7 @@ class CcfBase : public ConditionalCuckooFilter {
   std::pair<int, bool> ScanBucketWithFp(uint64_t b, uint32_t fp,
                                         EntryMatcher&& matches) const {
     int count = 0;
-    bool matched = table_.ForEachOccupiedMatch(b, fp, [&](int s) {
+    bool matched = table_->ForEachOccupiedMatch(b, fp, [&](int s) {
       ++count;
       return matches(b, s);
     });
@@ -358,8 +388,34 @@ class CcfBase : public ConditionalCuckooFilter {
                           [](uint64_t, int) { return true; });
   }
 
+  /// Copy-on-write gate of every mutating entry point: if the current table
+  /// snapshot is shared out (a derived MarkedKeyFilter or an external
+  /// table_snapshot() holder aliases it), clone it first so the outstanding
+  /// snapshot stays immutable. One refcount load when unshared.
+  void EnsureTableUnique() {
+    if (table_.use_count() > 1) {
+      table_ = std::make_shared<BucketTable>(*table_);
+    }
+  }
+
+  /// Packed-compare scalar Insert fast path (ROADMAP item): reuses the
+  /// variant's displacement-free wave-1 placement (single-word dupe compare
+  /// + PutSlot free-slot store) for row-at-a-time writers. Gated off by
+  /// config.reproducible_scalar (the default) because per-row placement can
+  /// in principle differ from the historical SlotsWithFp path on exotic
+  /// geometries — `ccf_joblight --build scalar` outputs stay bit-identical
+  /// unless a caller opts in. Returns true when the row was fully handled.
+  bool ScalarInsertFast(const BucketPair& pair, uint32_t fp,
+                        std::span<const uint64_t> attrs) {
+    if (config_.reproducible_scalar) return false;
+    return TryInsertNoKick(pair, fp, attrs, PackRowPayload(attrs));
+  }
+
   CcfConfig config_;
-  BucketTable table_;
+  /// The shared immutable table snapshot (never null). Mutating paths go
+  /// through EnsureTableUnique() first; read paths may bind `*table_` once
+  /// per query/batch.
+  std::shared_ptr<BucketTable> table_;
   Hasher hasher_;
   Rng rng_;
   uint64_t num_rows_ = 0;
@@ -371,7 +427,7 @@ bool CcfBase::PlaceWithKicks(const BucketPair& pair, uint32_t fp,
                              CanEvict&& can_evict) {
   auto [free_bucket, free_slot] = FreeSlotInPair(pair);
   if (free_slot >= 0) {
-    table_.Put(free_bucket, free_slot, fp);
+    table_->Put(free_bucket, free_slot, fp);
     payload_writer(free_bucket, free_slot);
     return true;
   }
@@ -387,7 +443,7 @@ bool CcfBase::PlaceWithKicks(const BucketPair& pair, uint32_t fp,
   bool success = false;
   for (int kick = 0; kick < config_.max_kicks; ++kick) {
     // Choose an evictable victim in `cur`, starting at a random slot.
-    int b = table_.slots_per_bucket();
+    int b = table_->slots_per_bucket();
     int start = static_cast<int>(rng_.NextBelow(static_cast<uint64_t>(b)));
     int victim = -1;
     for (int i = 0; i < b; ++i) {
@@ -399,7 +455,7 @@ bool CcfBase::PlaceWithKicks(const BucketPair& pair, uint32_t fp,
           break;
         }
       }
-      if (!on_trail && table_.occupied(cur, s) && can_evict(cur, s)) {
+      if (!on_trail && table_->occupied(cur, s) && can_evict(cur, s)) {
         victim = s;
         break;
       }
@@ -412,10 +468,10 @@ bool CcfBase::PlaceWithKicks(const BucketPair& pair, uint32_t fp,
 
     // The displaced resident relocates to the other bucket of its own pair.
     uint64_t mate = cuckoo_addressing::AltBucket(hasher_, cur, homeless.fp,
-                                                 table_.bucket_mask());
-    int dest = table_.FirstFreeSlot(mate);
+                                                 table_->bucket_mask());
+    int dest = table_->FirstFreeSlot(mate);
     if (dest >= 0) {
-      table_.Erase(cur, victim);
+      table_->Erase(cur, victim);
       WriteRaw(mate, dest, homeless);
       success = true;
       break;
@@ -435,12 +491,12 @@ bool CcfBase::PlaceWithKicks(const BucketPair& pair, uint32_t fp,
   // trail[0] for the new entry.
   for (size_t i = trail.size(); i-- > 1;) {
     const auto& [tb, ts] = trail[i];
-    table_.Erase(tb, ts);
+    table_->Erase(tb, ts);
     WriteRaw(tb, ts, displaced[i - 1]);
   }
   const auto& [nb, ns] = trail[0];
-  table_.Erase(nb, ns);
-  table_.Put(nb, ns, fp);
+  table_->Erase(nb, ns);
+  table_->Put(nb, ns, fp);
   payload_writer(nb, ns);
   return true;
 }
@@ -448,28 +504,35 @@ bool CcfBase::PlaceWithKicks(const BucketPair& pair, uint32_t fp,
 /// \brief Derived key filter produced by predicate-only queries on
 /// fingerprint-vector variants (Plain/Chained/Mixed).
 ///
-/// Holds a snapshot of the CCF's table plus one mark bit per slot; marked
-/// entries did not match the predicate but must remain so chains stay
-/// walkable (§6.2's "additional bit to mark the entry as non-matching").
+/// Holds a SHARED immutable snapshot of the CCF's table (no copy — the
+/// source filter copy-on-writes if it is later mutated, and the snapshot
+/// outlives the source even if an epoch swap retires the filter object)
+/// plus one mark bit per slot; marked entries did not match the predicate
+/// but must remain so chains stay walkable (§6.2's "additional bit to mark
+/// the entry as non-matching").
 class MarkedKeyFilter : public KeyFilter {
  public:
   /// \param chain_on_full_pair  true for the chained variant (a pair holding
   ///        max_dupes copies may continue elsewhere); false for pair-local
   ///        variants (Plain/Mixed).
-  MarkedKeyFilter(BucketTable table, BitVector marks, Hasher hasher,
-                  int max_dupes, int chain_cap, bool chain_on_full_pair);
+  MarkedKeyFilter(std::shared_ptr<const BucketTable> table, BitVector marks,
+                  Hasher hasher, int max_dupes, int chain_cap,
+                  bool chain_on_full_pair);
 
   bool Contains(uint64_t key) const override;
   void ContainsBatch(std::span<const uint64_t> keys,
                      std::span<bool> out) const override;
+  /// Reported as a standalone sketch (table + marks), matching the paper's
+  /// space accounting, even though the table bits are physically shared
+  /// with the source filter.
   uint64_t SizeInBits() const override {
-    return table_.SizeInBits() + marks_.size();
+    return table_->SizeInBits() + marks_.size();
   }
 
  private:
   bool ContainsAddressed(uint64_t bucket, uint32_t fp) const;
 
-  BucketTable table_;
+  std::shared_ptr<const BucketTable> table_;
   BitVector marks_;
   Hasher hasher_;
   int max_dupes_;

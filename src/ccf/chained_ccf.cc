@@ -26,22 +26,29 @@ Status ChainedCcf::Insert(uint64_t key, std::span<const uint64_t> attrs) {
   if (static_cast<int>(attrs.size()) != config_.num_attrs) {
     return Status::Invalid("attribute count does not match schema");
   }
+  EnsureTableUnique();
   uint64_t bucket;
   uint32_t fp;
   KeyAddress(key, &bucket, &fp);
-  return InsertAddressed(PairOf(bucket, fp), fp, attrs);
+  BucketPair pair = PairOf(bucket, fp);
+  // Packed-compare scalar fast path (opt-in via
+  // CcfConfig::reproducible_scalar = false); falls through to the full
+  // addressed insertion when displacement or chain/conversion work is
+  // needed.
+  if (ScalarInsertFast(pair, fp, attrs)) return Status::OK();
+  return InsertAddressed(pair, fp, attrs);
 }
 
 Status ChainedCcf::InsertAddressed(const BucketPair& first_pair, uint32_t fp,
                                    std::span<const uint64_t> attrs) {
-  ChainWalk walk(&hasher_, table_.bucket_mask(), first_pair.primary, fp);
+  ChainWalk walk(&hasher_, table_->bucket_mask(), first_pair.primary, fp);
   for (int hop = 0; hop < ChainCap(); ++hop) {
     const BucketPair& pair = walk.pair();
 
     // Algorithm 4: success if the identical (κ, α) entry already exists.
     auto slots = SlotsWithFp(pair, fp);
     for (const auto& [b, s] : slots) {
-      if (codec_.EqualsStored(table_, b, s, /*base=*/0, attrs)) {
+      if (codec_.EqualsStored(*table_, b, s, /*base=*/0, attrs)) {
         if (hop > max_chain_seen_) max_chain_seen_ = hop;
         return Status::OK();
       }
@@ -53,7 +60,7 @@ Status ChainedCcf::InsertAddressed(const BucketPair& first_pair, uint32_t fp,
     }
 
     bool placed = PlaceWithKicks(pair, fp, [&](uint64_t b, int s) {
-      codec_.Store(&table_, b, s, /*base=*/0, attrs);
+      codec_.Store(table_.get(), b, s, /*base=*/0, attrs);
     });
     if (!placed) {
       return Status::CapacityError(
@@ -72,23 +79,23 @@ Status ChainedCcf::InsertAddressed(const BucketPair& first_pair, uint32_t fp,
 }
 
 uint64_t ChainedCcf::PackRowPayload(std::span<const uint64_t> attrs) const {
-  return table_.slot_bits() <= 64 ? codec_.Pack(attrs) : 0;
+  return table_->slot_bits() <= 64 ? codec_.Pack(attrs) : 0;
 }
 
 bool ChainedCcf::TryInsertNoKick(const BucketPair& pair, uint32_t fp,
                                  std::span<const uint64_t> attrs,
                                  uint64_t payload) {
-  if (table_.slot_bits() > 64) {
+  if (table_->slot_bits() > 64) {
     // Oversized geometry: per-attribute scan and store (cold fallback).
     auto [count, dup] = ScanPairWithFp(pair, fp, [&](uint64_t b, int s) {
-      return codec_.EqualsStored(table_, b, s, /*base=*/0, attrs);
+      return codec_.EqualsStored(*table_, b, s, /*base=*/0, attrs);
     });
     if (dup) return true;
     if (count >= config_.max_dupes) return false;
     auto [b, s] = FreeSlotInPair(pair);
     if (s < 0) return false;
-    table_.Put(b, s, fp);
-    codec_.Store(&table_, b, s, /*base=*/0, attrs);
+    table_->Put(b, s, fp);
+    codec_.Store(table_.get(), b, s, /*base=*/0, attrs);
     ++num_rows_;
     return true;
   }
@@ -105,17 +112,17 @@ bool ChainedCcf::TryInsertNoKick(const BucketPair& pair, uint32_t fp,
   uint64_t free_bucket = 0;
   int free_slot = -1;
   auto scan = [&](uint64_t b) {  // returns true on a duplicate hit
-    uint64_t occ = table_.OccupiedMask(b);
-    uint64_t m = table_.MatchMask(b, fp) & occ;
+    uint64_t occ = table_->OccupiedMask(b);
+    uint64_t m = table_->MatchMask(b, fp) & occ;
     while (m != 0) {
       int s = std::countr_zero(m);
       m &= m - 1;
       ++count;
-      if (table_.GetPayloadField(b, s, 0, vec_bits) == packed) return true;
+      if (table_->GetPayloadField(b, s, 0, vec_bits) == packed) return true;
     }
     if (free_slot < 0) {
       int fs = std::countr_one(occ);
-      if (fs < table_.slots_per_bucket()) {
+      if (fs < table_->slots_per_bucket()) {
         free_bucket = b;
         free_slot = fs;
       }
@@ -126,7 +133,7 @@ bool ChainedCcf::TryInsertNoKick(const BucketPair& pair, uint32_t fp,
   if (!pair.degenerate() && scan(pair.alt)) return true;
   if (count >= config_.max_dupes) return false;  // chain walk: wave 2
   if (free_slot < 0) return false;  // displacement needed: wave 2
-  table_.PutSlot(free_bucket, free_slot, fp, packed);
+  table_->PutSlot(free_bucket, free_slot, fp, packed);
   ++num_rows_;
   return true;
 }
@@ -150,7 +157,7 @@ bool ChainedCcf::Contains(uint64_t key, const Predicate& pred) const {
 bool ChainedCcf::ContainsAddressed(uint64_t bucket, uint32_t fp,
                                    const Predicate& pred) const {
   return WalkContains(PairOf(bucket, fp), fp, [&](uint64_t b, int s) {
-    return VectorEntryMatches(table_, b, s, /*base=*/0, codec_, pred);
+    return VectorEntryMatches(*table_, b, s, /*base=*/0, codec_, pred);
   });
 }
 
@@ -165,7 +172,7 @@ void ChainedCcf::LookupBatchBroadcast(std::span<const uint64_t> keys,
       CompiledVectorPredicate::Compile(codec_, pred);
   BatchResolve(keys, out, [&](size_t, const BucketPair& pair, uint32_t fp) {
     return WalkContains(pair, fp, [&](uint64_t b, int s) {
-      return VectorEntryMatchesCompiled(table_, b, s, /*base=*/0, codec_,
+      return VectorEntryMatchesCompiled(*table_, b, s, /*base=*/0, codec_,
                                         compiled);
     });
   });
@@ -175,12 +182,12 @@ Result<std::unique_ptr<KeyFilter>> ChainedCcf::PredicateQuery(
     const Predicate& pred) const {
   // §6.2: entries cannot be erased (gaps would break chains); instead each
   // non-matching entry is marked with an extra bit.
-  BitVector marks(table_.num_slots());
-  for (uint64_t b = 0; b < table_.num_buckets(); ++b) {
-    for (int s = 0; s < table_.slots_per_bucket(); ++s) {
-      if (!table_.occupied(b, s)) continue;
-      if (!VectorEntryMatches(table_, b, s, /*base=*/0, codec_, pred)) {
-        marks.SetBit(b * static_cast<uint64_t>(table_.slots_per_bucket()) +
+  BitVector marks(table_->num_slots());
+  for (uint64_t b = 0; b < table_->num_buckets(); ++b) {
+    for (int s = 0; s < table_->slots_per_bucket(); ++s) {
+      if (!table_->occupied(b, s)) continue;
+      if (!VectorEntryMatches(*table_, b, s, /*base=*/0, codec_, pred)) {
+        marks.SetBit(b * static_cast<uint64_t>(table_->slots_per_bucket()) +
                          static_cast<uint64_t>(s),
                      true);
       }

@@ -75,7 +75,7 @@ class ChainedCcf : public CcfBase {
       if (hop + 1 < ChainCap()) {
         // Exactly d copies: the chain may continue at the next pair.
         if (!walk) {
-          walk.emplace(&hasher_, table_.bucket_mask(), first_pair.primary,
+          walk.emplace(&hasher_, table_->bucket_mask(), first_pair.primary,
                        fp);
         }
         walk->Advance();

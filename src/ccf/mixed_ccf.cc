@@ -66,10 +66,10 @@ BloomSketchView MixedCcf::FragmentSketch(
   segments.reserve(frags.size());
   for (const auto& [b, s] : frags) {
     segments.emplace_back(
-        table_.PayloadBitOffset(b, s) + static_cast<size_t>(vec_base_),
+        table_->PayloadBitOffset(b, s) + static_cast<size_t>(vec_base_),
         static_cast<size_t>(vec_bits_));
   }
-  auto* bits = const_cast<BitVector*>(table_.bits());
+  auto* bits = const_cast<BitVector*>(table_->bits());
   return BloomSketchView(bits, std::move(segments), &hasher_,
                          conversion_hashes_);
 }
@@ -113,14 +113,14 @@ void MixedCcf::ConvertToBloom(const BucketPair& pair, uint32_t fp,
   for (const auto& [b, s] : slots) {
     std::vector<uint32_t> vec(static_cast<size_t>(config_.num_attrs));
     for (int i = 0; i < config_.num_attrs; ++i) {
-      vec[static_cast<size_t>(i)] = codec_.Load(table_, b, s, vec_base_, i);
+      vec[static_cast<size_t>(i)] = codec_.Load(*table_, b, s, vec_base_, i);
     }
     old_vectors.push_back(std::move(vec));
   }
 
   uint64_t seq = 0;
   for (const auto& [b, s] : slots) {
-    table_.ClearPayload(b, s);
+    table_->ClearPayload(b, s);
     SetConverted(b, s, true);
     SetSeq(b, s, seq++);
   }
@@ -140,10 +140,17 @@ Status MixedCcf::Insert(uint64_t key, std::span<const uint64_t> attrs) {
   if (static_cast<int>(attrs.size()) != config_.num_attrs) {
     return Status::Invalid("attribute count does not match schema");
   }
+  EnsureTableUnique();
   uint64_t bucket;
   uint32_t fp;
   KeyAddress(key, &bucket, &fp);
-  return InsertAddressed(PairOf(bucket, fp), fp, attrs);
+  BucketPair pair = PairOf(bucket, fp);
+  // Packed-compare scalar fast path (opt-in via
+  // CcfConfig::reproducible_scalar = false); falls through to the full
+  // addressed insertion when displacement or chain/conversion work is
+  // needed.
+  if (ScalarInsertFast(pair, fp, attrs)) return Status::OK();
+  return InsertAddressed(pair, fp, attrs);
 }
 
 Status MixedCcf::InsertAddressed(const BucketPair& pair, uint32_t fp,
@@ -160,7 +167,7 @@ Status MixedCcf::InsertAddressed(const BucketPair& pair, uint32_t fp,
   // Collapse duplicate (κ, α) rows among vector entries.
   auto slots = SlotsWithFp(pair, fp);
   for (const auto& [b, s] : slots) {
-    if (codec_.EqualsStored(table_, b, s, vec_base_, attrs)) {
+    if (codec_.EqualsStored(*table_, b, s, vec_base_, attrs)) {
       return Status::OK();
     }
   }
@@ -178,8 +185,8 @@ Status MixedCcf::InsertAddressed(const BucketPair& pair, uint32_t fp,
   // keeps them inside their pair, so the packed Bloom stays reconstructible
   // via sequence numbers.
   bool placed = PlaceWithKicks(pair, fp, [&](uint64_t b, int s) {
-    table_.ClearPayload(b, s);
-    codec_.Store(&table_, b, s, vec_base_, attrs);
+    table_->ClearPayload(b, s);
+    codec_.Store(table_.get(), b, s, vec_base_, attrs);
   });
   if (!placed) {
     return Status::CapacityError("mixed CCF: cuckoo kick budget exhausted");
@@ -189,7 +196,7 @@ Status MixedCcf::InsertAddressed(const BucketPair& pair, uint32_t fp,
 }
 
 uint64_t MixedCcf::PackRowPayload(std::span<const uint64_t> attrs) const {
-  return table_.slot_bits() <= 64
+  return table_->slot_bits() <= 64
              ? codec_.Pack(attrs) << static_cast<unsigned>(vec_base_)
              : 0;
 }
@@ -203,7 +210,7 @@ bool MixedCcf::TryInsertNoKick(const BucketPair& pair, uint32_t fp,
   // converts the full set and folding never adds vector entries
   // afterwards), so a duplicate match before a converted slot is seen
   // cannot happen for the same fp.
-  if (table_.slot_bits() > 64) {
+  if (table_->slot_bits() > 64) {
     // Oversized geometry: per-attribute scan and store (cold fallback).
     bool any_converted = false;
     auto [count, dup] = ScanPairWithFp(pair, fp, [&](uint64_t b, int s) {
@@ -211,16 +218,16 @@ bool MixedCcf::TryInsertNoKick(const BucketPair& pair, uint32_t fp,
         any_converted = true;
         return false;
       }
-      return codec_.EqualsStored(table_, b, s, vec_base_, attrs);
+      return codec_.EqualsStored(*table_, b, s, vec_base_, attrs);
     });
     if (any_converted) return false;  // fold into the packed sketch: wave 2
     if (dup) return true;             // collapsed
     if (count >= config_.max_dupes) return false;  // conversion: wave 2
     auto [b, s] = FreeSlotInPair(pair);
     if (s < 0) return false;  // displacement needed: wave 2
-    table_.Put(b, s, fp);
-    table_.ClearPayload(b, s);
-    codec_.Store(&table_, b, s, vec_base_, attrs);
+    table_->Put(b, s, fp);
+    table_->ClearPayload(b, s);
+    codec_.Store(table_.get(), b, s, vec_base_, attrs);
     ++num_rows_;
     return true;
   }
@@ -231,20 +238,20 @@ bool MixedCcf::TryInsertNoKick(const BucketPair& pair, uint32_t fp,
   // payload-word equality does the duplicate compare and cannot confuse
   // the two entry kinds.
   (void)attrs;
-  const int payload_bits = table_.payload_bits();
+  const int payload_bits = table_->payload_bits();
   const uint64_t packed_payload = payload;
   bool any_converted = false;
   int count = 0;
   uint64_t free_bucket = 0;
   int free_slot = -1;
   auto scan = [&](uint64_t b) {  // returns true on a duplicate hit
-    uint64_t occ = table_.OccupiedMask(b);
-    uint64_t m = table_.MatchMask(b, fp) & occ;
+    uint64_t occ = table_->OccupiedMask(b);
+    uint64_t m = table_->MatchMask(b, fp) & occ;
     while (m != 0) {
       int s = std::countr_zero(m);
       m &= m - 1;
       ++count;
-      uint64_t payload = table_.GetPayloadField(b, s, 0, payload_bits);
+      uint64_t payload = table_->GetPayloadField(b, s, 0, payload_bits);
       if ((payload & 1) != 0) {
         any_converted = true;
         continue;
@@ -253,7 +260,7 @@ bool MixedCcf::TryInsertNoKick(const BucketPair& pair, uint32_t fp,
     }
     if (free_slot < 0) {
       int fs = std::countr_one(occ);
-      if (fs < table_.slots_per_bucket()) {
+      if (fs < table_->slots_per_bucket()) {
         free_bucket = b;
         free_slot = fs;
       }
@@ -266,7 +273,7 @@ bool MixedCcf::TryInsertNoKick(const BucketPair& pair, uint32_t fp,
   if (dup) return true;             // collapsed
   if (count >= config_.max_dupes) return false;  // conversion: wave 2
   if (free_slot < 0) return false;  // displacement needed: wave 2
-  table_.PutSlot(free_bucket, free_slot, fp, packed_payload);
+  table_->PutSlot(free_bucket, free_slot, fp, packed_payload);
   ++num_rows_;
   return true;
 }
@@ -289,7 +296,7 @@ bool MixedCcf::ContainsAddressed(uint64_t bucket, uint32_t fp,
                                  const Predicate& pred) const {
   return ResolveAddressed(PairOf(bucket, fp), fp, pred,
                           [&](uint64_t b, int s) {
-                            return VectorEntryMatches(table_, b, s, vec_base_,
+                            return VectorEntryMatches(*table_, b, s, vec_base_,
                                                       codec_, pred);
                           });
 }
@@ -303,7 +310,7 @@ void MixedCcf::LookupBatchBroadcast(std::span<const uint64_t> keys,
       CompiledVectorPredicate::Compile(codec_, pred);
   BatchResolve(keys, out, [&](size_t, const BucketPair& pair, uint32_t fp) {
     return ResolveAddressed(pair, fp, pred, [&](uint64_t b, int s) {
-      return VectorEntryMatchesCompiled(table_, b, s, vec_base_, codec_,
+      return VectorEntryMatchesCompiled(*table_, b, s, vec_base_, codec_,
                                         compiled);
     });
   });
@@ -311,31 +318,31 @@ void MixedCcf::LookupBatchBroadcast(std::span<const uint64_t> keys,
 
 Result<std::unique_ptr<KeyFilter>> MixedCcf::PredicateQuery(
     const Predicate& pred) const {
-  BitVector marks(table_.num_slots());
+  BitVector marks(table_->num_slots());
   // Converted groups match or fail as a unit; evaluate each group once.
   std::unordered_set<uint64_t> evaluated_groups;
-  for (uint64_t b = 0; b < table_.num_buckets(); ++b) {
-    for (int s = 0; s < table_.slots_per_bucket(); ++s) {
-      if (!table_.occupied(b, s)) continue;
-      uint64_t idx = b * static_cast<uint64_t>(table_.slots_per_bucket()) +
+  for (uint64_t b = 0; b < table_->num_buckets(); ++b) {
+    for (int s = 0; s < table_->slots_per_bucket(); ++s) {
+      if (!table_->occupied(b, s)) continue;
+      uint64_t idx = b * static_cast<uint64_t>(table_->slots_per_bucket()) +
                      static_cast<uint64_t>(s);
       if (!IsConverted(b, s)) {
-        if (!VectorEntryMatches(table_, b, s, vec_base_, codec_, pred)) {
+        if (!VectorEntryMatches(*table_, b, s, vec_base_, codec_, pred)) {
           marks.SetBit(idx, true);
         }
         continue;
       }
-      uint32_t fp = table_.fingerprint(b, s);
+      uint32_t fp = table_->fingerprint(b, s);
       BucketPair pair = PairOf(b, fp);
-      uint64_t group = pair.Canonical(table_.num_buckets()) *
-                           (uint64_t{1} << table_.fingerprint_bits()) +
+      uint64_t group = pair.Canonical(table_->num_buckets()) *
+                           (uint64_t{1} << table_->fingerprint_bits()) +
                        fp;
       if (!evaluated_groups.insert(group).second) continue;
       auto frags = CanonicalFragments(pair, fp);
       bool match = SketchMatches(FragmentSketch(frags), pred);
       if (!match) {
         for (const auto& [fb, fs] : frags) {
-          marks.SetBit(fb * static_cast<uint64_t>(table_.slots_per_bucket()) +
+          marks.SetBit(fb * static_cast<uint64_t>(table_->slots_per_bucket()) +
                            static_cast<uint64_t>(fs),
                        true);
         }

@@ -65,17 +65,17 @@ class MixedCcf : public CcfBase {
   MixedCcf(CcfConfig config, BucketTable table);
 
   bool IsConverted(uint64_t bucket, int slot) const {
-    return table_.GetPayloadField(bucket, slot, 0, 1) != 0;
+    return table_->GetPayloadField(bucket, slot, 0, 1) != 0;
   }
   void SetConverted(uint64_t bucket, int slot, bool converted) {
-    table_.SetPayloadField(bucket, slot, 0, 1, converted ? 1 : 0);
+    table_->SetPayloadField(bucket, slot, 0, 1, converted ? 1 : 0);
   }
   uint64_t SeqOf(uint64_t bucket, int slot) const {
     return seq_bits_ == 0 ? 0
-                          : table_.GetPayloadField(bucket, slot, 1, seq_bits_);
+                          : table_->GetPayloadField(bucket, slot, 1, seq_bits_);
   }
   void SetSeq(uint64_t bucket, int slot, uint64_t seq) {
-    if (seq_bits_ > 0) table_.SetPayloadField(bucket, slot, 1, seq_bits_, seq);
+    if (seq_bits_ > 0) table_->SetPayloadField(bucket, slot, 1, seq_bits_, seq);
   }
 
   /// Converted fragments of κ in the pair, ordered by sequence number (the

@@ -24,23 +24,30 @@ Status PlainCcf::Insert(uint64_t key, std::span<const uint64_t> attrs) {
   if (static_cast<int>(attrs.size()) != config_.num_attrs) {
     return Status::Invalid("attribute count does not match schema");
   }
+  EnsureTableUnique();
   uint64_t bucket;
   uint32_t fp;
   KeyAddress(key, &bucket, &fp);
-  return InsertAddressed(PairOf(bucket, fp), fp, attrs);
+  BucketPair pair = PairOf(bucket, fp);
+  // Packed-compare scalar fast path (opt-in via
+  // CcfConfig::reproducible_scalar = false); falls through to the full
+  // addressed insertion when displacement or chain/conversion work is
+  // needed.
+  if (ScalarInsertFast(pair, fp, attrs)) return Status::OK();
+  return InsertAddressed(pair, fp, attrs);
 }
 
 Status PlainCcf::InsertAddressed(const BucketPair& pair, uint32_t fp,
                                  std::span<const uint64_t> attrs) {
   // Collapse duplicate (κ, α) rows.
   for (const auto& [b, s] : SlotsWithFp(pair, fp)) {
-    if (codec_.EqualsStored(table_, b, s, /*base=*/0, attrs)) {
+    if (codec_.EqualsStored(*table_, b, s, /*base=*/0, attrs)) {
       return Status::OK();
     }
   }
 
   bool placed = PlaceWithKicks(pair, fp, [&](uint64_t b, int s) {
-    codec_.Store(&table_, b, s, /*base=*/0, attrs);
+    codec_.Store(table_.get(), b, s, /*base=*/0, attrs);
   });
   if (!placed) {
     return Status::CapacityError(
@@ -51,23 +58,23 @@ Status PlainCcf::InsertAddressed(const BucketPair& pair, uint32_t fp,
 }
 
 uint64_t PlainCcf::PackRowPayload(std::span<const uint64_t> attrs) const {
-  return table_.slot_bits() <= 64 ? codec_.Pack(attrs) : 0;
+  return table_->slot_bits() <= 64 ? codec_.Pack(attrs) : 0;
 }
 
 bool PlainCcf::TryInsertNoKick(const BucketPair& pair, uint32_t fp,
                                std::span<const uint64_t> attrs,
                                uint64_t payload) {
-  if (table_.slot_bits() > 64) {
+  if (table_->slot_bits() > 64) {
     // Oversized geometry: per-attribute scan and store (cold fallback).
     auto [count, dup] = ScanPairWithFp(pair, fp, [&](uint64_t b, int s) {
-      return codec_.EqualsStored(table_, b, s, /*base=*/0, attrs);
+      return codec_.EqualsStored(*table_, b, s, /*base=*/0, attrs);
     });
     (void)count;
     if (dup) return true;
     auto [b, s] = FreeSlotInPair(pair);
     if (s < 0) return false;
-    table_.Put(b, s, fp);
-    codec_.Store(&table_, b, s, /*base=*/0, attrs);
+    table_->Put(b, s, fp);
+    codec_.Store(table_.get(), b, s, /*base=*/0, attrs);
     ++num_rows_;
     return true;
   }
@@ -79,16 +86,16 @@ bool PlainCcf::TryInsertNoKick(const BucketPair& pair, uint32_t fp,
   uint64_t free_bucket = 0;
   int free_slot = -1;
   auto scan = [&](uint64_t b) {  // returns true on a duplicate hit
-    uint64_t occ = table_.OccupiedMask(b);
-    uint64_t m = table_.MatchMask(b, fp) & occ;
+    uint64_t occ = table_->OccupiedMask(b);
+    uint64_t m = table_->MatchMask(b, fp) & occ;
     while (m != 0) {
       int s = std::countr_zero(m);
       m &= m - 1;
-      if (table_.GetPayloadField(b, s, 0, vec_bits) == packed) return true;
+      if (table_->GetPayloadField(b, s, 0, vec_bits) == packed) return true;
     }
     if (free_slot < 0) {
       int fs = std::countr_one(occ);
-      if (fs < table_.slots_per_bucket()) {
+      if (fs < table_->slots_per_bucket()) {
         free_bucket = b;
         free_slot = fs;
       }
@@ -98,7 +105,7 @@ bool PlainCcf::TryInsertNoKick(const BucketPair& pair, uint32_t fp,
   if (scan(pair.primary)) return true;  // collapsed
   if (!pair.degenerate() && scan(pair.alt)) return true;
   if (free_slot < 0) return false;  // displacement needed: wave 2
-  table_.PutSlot(free_bucket, free_slot, fp, packed);
+  table_->PutSlot(free_bucket, free_slot, fp, packed);
   ++num_rows_;
   return true;
 }
@@ -121,7 +128,7 @@ bool PlainCcf::ContainsAddressed(uint64_t bucket, uint32_t fp,
                                  const Predicate& pred) const {
   return ScanPairWithFp(PairOf(bucket, fp), fp,
                         [&](uint64_t b, int s) {
-                          return VectorEntryMatches(table_, b, s, /*base=*/0,
+                          return VectorEntryMatches(*table_, b, s, /*base=*/0,
                                                     codec_, pred);
                         })
       .second;
@@ -142,7 +149,7 @@ void PlainCcf::LookupBatchBroadcast(std::span<const uint64_t> keys,
     return ScanPairWithFp(pair, fp,
                           [&](uint64_t b, int s) {
                             return VectorEntryMatchesCompiled(
-                                table_, b, s, /*base=*/0, codec_, compiled);
+                                *table_, b, s, /*base=*/0, codec_, compiled);
                           })
         .second;
   });
@@ -150,12 +157,12 @@ void PlainCcf::LookupBatchBroadcast(std::span<const uint64_t> keys,
 
 Result<std::unique_ptr<KeyFilter>> PlainCcf::PredicateQuery(
     const Predicate& pred) const {
-  BitVector marks(table_.num_slots());
-  for (uint64_t b = 0; b < table_.num_buckets(); ++b) {
-    for (int s = 0; s < table_.slots_per_bucket(); ++s) {
-      if (!table_.occupied(b, s)) continue;
-      if (!VectorEntryMatches(table_, b, s, /*base=*/0, codec_, pred)) {
-        marks.SetBit(b * static_cast<uint64_t>(table_.slots_per_bucket()) +
+  BitVector marks(table_->num_slots());
+  for (uint64_t b = 0; b < table_->num_buckets(); ++b) {
+    for (int s = 0; s < table_->slots_per_bucket(); ++s) {
+      if (!table_->occupied(b, s)) continue;
+      if (!VectorEntryMatches(*table_, b, s, /*base=*/0, codec_, pred)) {
+        marks.SetBit(b * static_cast<uint64_t>(table_->slots_per_bucket()) +
                          static_cast<uint64_t>(s),
                      true);
       }

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cstring>
-#include <mutex>
+#include <string>
 #include <thread>
 #include <utility>
 
@@ -74,18 +74,73 @@ class ShardedKeyFilter : public KeyFilter {
   uint64_t shard_mask_;
 };
 
+// Shared two-pass skeleton over a pinned snapshot of the shard set,
+// instantiating the library-wide batch pipeline: pass 1 computes each key's
+// shard and (bucket, fp). All shards share one salt, so the raw key hash is
+// computed once and re-masked with the TARGET shard's bucket mask (shards
+// may have different bucket counts after per-shard resizes); the block is
+// then radix-clustered by (shard, bucket) so same-shard probes of nearby
+// buckets resolve back-to-back, both buckets of each pair are prefetched in
+// the target shard, and resolve(index, shard, bucket, fp) runs with the
+// lines (likely) cached.
+template <typename Resolver>
+void ShardedTwoPass(const ShardedCcf& self,
+                    std::span<const CcfBase* const> bases,
+                    std::span<const uint64_t> keys, Resolver&& resolve) {
+  const Hasher& hasher = bases[0]->hasher();
+  const int fp_bits = bases[0]->config().key_fp_bits;
+  int max_bucket_bits = 0;
+  for (const CcfBase* base : bases) {
+    max_bucket_bits = std::max(
+        max_bucket_bits,
+        static_cast<int>(std::bit_width(base->table().bucket_mask())));
+  }
+  struct Addr {
+    uint64_t cluster_key;
+    uint64_t bucket;
+    uint64_t alt;
+    uint32_t shard;
+    uint32_t fp;
+  };
+  BatchPipelineOptions options;
+  options.cluster_bits =
+      max_bucket_bits +
+      std::bit_width(static_cast<uint64_t>(self.num_shards() - 1));
+  RunBatchPipeline<Addr>(
+      keys.size(), options,
+      [&](size_t i) {
+        Addr a;
+        uint64_t key = keys[i];
+        a.shard = static_cast<uint32_t>(self.ShardOf(key));
+        uint64_t mask = bases[a.shard]->table().bucket_mask();
+        cuckoo_addressing::IndexAndFingerprintFromHash(
+            hasher.Hash(key, 0), mask, fp_bits, &a.bucket, &a.fp);
+        a.alt = cuckoo_addressing::AltBucket(hasher, a.bucket, a.fp, mask);
+        a.cluster_key =
+            (static_cast<uint64_t>(a.shard) << max_bucket_bits) | a.bucket;
+        return a;
+      },
+      [&](const Addr& a) {
+        const BucketTable& table = bases[a.shard]->table();
+        table.PrefetchBucket(a.bucket);
+        if (a.alt != a.bucket) table.PrefetchBucket(a.alt);
+      },
+      [&](size_t i, const Addr& a) { resolve(i, a.shard, a.bucket, a.fp); });
+}
+
 }  // namespace
 
 ShardedCcf::ShardedCcf(
     std::vector<std::unique_ptr<ConditionalCuckooFilter>> shards,
     ShardedCcfOptions options)
-    : shards_(std::move(shards)),
-      options_(options),
-      shard_mask_(shards_.size() - 1),
-      shard_hasher_(shards_[0]->config().salt ^ kShardSaltMix) {
-  bases_.reserve(shards_.size());
-  for (const auto& s : shards_) {
-    bases_.push_back(static_cast<const CcfBase*>(s.get()));
+    : options_(options),
+      shard_config_(shards[0]->config()),
+      variant_(shards[0]->variant()),
+      shard_mask_(shards.size() - 1),
+      shard_hasher_(shards[0]->config().salt ^ kShardSaltMix) {
+  shards_.reserve(shards.size());
+  for (auto& s : shards) {
+    shards_.push_back(std::make_unique<Shard>(&epoch_, std::move(s)));
   }
 }
 
@@ -94,6 +149,9 @@ Result<std::unique_ptr<ShardedCcf>> ShardedCcf::Make(
     const ShardedCcfOptions& options) {
   if (options.num_shards < 1 || options.num_shards > 4096) {
     return Status::Invalid("num_shards must be in [1, 4096]");
+  }
+  if (options.max_auto_resizes < 0) {
+    return Status::Invalid("max_auto_resizes must be >= 0");
   }
   ShardedCcfOptions opts = options;
   opts.num_shards = static_cast<int>(
@@ -115,7 +173,38 @@ Result<std::unique_ptr<ShardedCcf>> ShardedCcf::Make(
 }
 
 Status ShardedCcf::Insert(uint64_t key, std::span<const uint64_t> attrs) {
-  return shards_[ShardOf(key)]->Insert(key, attrs);
+  Shard& shard = *shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.writer_mu);
+  ConditionalCuckooFilter* filter = shard.handle.writable();
+  if (resizable_) {
+    // Mirror the row into the shard's log BEFORE attempting placement, so a
+    // capacity-triggered rebuild re-places it too. The memo words are
+    // geometry-independent (salt-keyed hash + packed payload) and stay
+    // valid across any number of doublings.
+    if (static_cast<int>(attrs.size()) != config().num_attrs) {
+      return Status::Invalid("attribute count does not match schema");
+    }
+    uint64_t key_hash, payload;
+    static_cast<CcfBase*>(filter)->MemoizeRow(key, attrs, &key_hash,
+                                              &payload);
+    shard.keys.push_back(key);
+    shard.attrs.insert(shard.attrs.end(), attrs.begin(), attrs.end());
+    shard.memo.push_back(key_hash);
+    shard.memo.push_back(payload);
+  }
+  Status st = filter->Insert(key, attrs);
+  if (st.code() == StatusCode::kCapacityError) {
+    st = GrowShardLocked(shard, std::move(st));
+  }
+  if (!st.ok() && resizable_) {
+    // The row was ultimately rejected and (scalar Insert rolls back on
+    // failure) is not in the table: drop it from the log too, or a later
+    // resize would silently resurrect a row the caller was told failed.
+    shard.keys.pop_back();
+    shard.attrs.resize(shard.attrs.size() - attrs.size());
+    shard.memo.resize(shard.memo.size() - 2);
+  }
+  return st;
 }
 
 Status ShardedCcf::InsertParallel(std::span<const uint64_t> keys,
@@ -141,7 +230,7 @@ Status ShardedCcf::InsertParallel(std::span<const uint64_t> keys,
   const size_t num_shards = shards_.size();
   std::vector<std::vector<uint64_t>> shard_keys(num_shards);
   std::vector<std::vector<uint64_t>> shard_attrs(num_shards);
-  std::vector<std::vector<uint64_t>> shard_hashes(num_shards);
+  std::vector<std::vector<uint64_t>> shard_memo(num_shards);
   std::vector<std::vector<size_t>> shard_pos(fill_memo ? num_shards : 0);
   size_t expect = keys.size() / num_shards + 16;
   for (auto& v : shard_keys) v.reserve(expect);
@@ -154,8 +243,8 @@ Status ShardedCcf::InsertParallel(std::span<const uint64_t> keys,
                           attrs.begin() +
                               static_cast<ptrdiff_t>((i + 1) * num_attrs));
     if (reuse_memo) {
-      shard_hashes[s].push_back((*hash_memo)[2 * i]);
-      shard_hashes[s].push_back((*hash_memo)[2 * i + 1]);
+      shard_memo[s].push_back((*hash_memo)[2 * i]);
+      shard_memo[s].push_back((*hash_memo)[2 * i + 1]);
     }
     if (fill_memo) shard_pos[s].push_back(i);
   }
@@ -164,20 +253,40 @@ Status ShardedCcf::InsertParallel(std::span<const uint64_t> keys,
   if (threads <= 0) threads = static_cast<int>(num_shards);
   threads = std::min<int>(threads, static_cast<int>(num_shards));
 
-  Status first_error = Status::OK();
-  std::mutex error_mu;
+  std::vector<Status> shard_status(num_shards);
   auto build_stripe = [&](int t) {
     for (size_t s = static_cast<size_t>(t); s < num_shards;
          s += static_cast<size_t>(threads)) {
-      // Each thread owns its stripe's shards and hash vectors outright, so
-      // no locks are needed.
-      Status st = shards_[s]->InsertBatch(
-          shard_keys[s], shard_attrs[s],
-          hash_memo != nullptr ? &shard_hashes[s] : nullptr);
-      if (!st.ok()) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (first_error.ok()) first_error = std::move(st);
+      Shard& shard = *shards_[s];
+      std::lock_guard<std::mutex> lock(shard.writer_mu);
+      // shard_memo[s] is empty on un-memoized builds; InsertBatch fills it
+      // during its address pass (which runs for every row even when
+      // placement later fails), so the row log below always carries
+      // complete memo words.
+      Status st = shard.handle.writable()->InsertBatch(
+          shard_keys[s], shard_attrs[s], &shard_memo[s]);
+      if (resizable_) {
+        // The WHOLE batch joins the log even if placement fails below: a
+        // failed InsertBatch leaves an unspecified subset of the batch in
+        // the table, so a later rebuild must re-place all of it — dropping
+        // the batch could lose rows that DID land (false negatives),
+        // whereas keeping it only errs toward extra rows, the filter's
+        // one-sided error direction. (Scalar Insert, whose failure rolls
+        // the table back, does unlog its row — see Insert.)
+        shard.keys.insert(shard.keys.end(), shard_keys[s].begin(),
+                          shard_keys[s].end());
+        shard.attrs.insert(shard.attrs.end(), shard_attrs[s].begin(),
+                           shard_attrs[s].end());
+        shard.memo.insert(shard.memo.end(), shard_memo[s].begin(),
+                          shard_memo[s].end());
       }
+      if (st.code() == StatusCode::kCapacityError) {
+        // Online resize instead of failing the build: rebuild this shard
+        // (doubling) from its retained log while other shards proceed —
+        // readers of the shard keep probing the published snapshot.
+        st = GrowShardLocked(shard, std::move(st));
+      }
+      shard_status[s] = std::move(st);
     }
   };
 
@@ -197,12 +306,22 @@ Status ShardedCcf::InsertParallel(std::span<const uint64_t> keys,
     hash_memo->resize(2 * keys.size());
     for (size_t s = 0; s < num_shards; ++s) {
       for (size_t j = 0; j < shard_pos[s].size(); ++j) {
-        (*hash_memo)[2 * shard_pos[s][j]] = shard_hashes[s][2 * j];
-        (*hash_memo)[2 * shard_pos[s][j] + 1] = shard_hashes[s][2 * j + 1];
+        (*hash_memo)[2 * shard_pos[s][j]] = shard_memo[s][2 * j];
+        (*hash_memo)[2 * shard_pos[s][j] + 1] = shard_memo[s][2 * j + 1];
       }
     }
   }
-  return first_error;
+
+  // Deterministic aggregation: the LOWEST failing shard's error is
+  // reported, independent of which worker thread observed an error first.
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (!shard_status[s].ok()) {
+      return Status(shard_status[s].code(),
+                    "shard " + std::to_string(s) + ": " +
+                        shard_status[s].message());
+    }
+  }
+  return Status::OK();
 }
 
 Status ShardedCcf::InsertBatch(std::span<const uint64_t> keys,
@@ -211,72 +330,89 @@ Status ShardedCcf::InsertBatch(std::span<const uint64_t> keys,
   return InsertParallel(keys, attrs, /*num_threads=*/0, hash_memo);
 }
 
+Status ShardedCcf::ResizeShardLocked(Shard& shard, uint64_t new_num_buckets) {
+  if (!resizable_) {
+    return Status::Invalid(
+        "ShardedCcf: deserialized filters retain no row log; online resize "
+        "is unavailable");
+  }
+  ConditionalCuckooFilter* cur = shard.handle.writable();
+  CcfConfig cfg = cur->config();
+  cfg.num_buckets =
+      new_num_buckets != 0 ? new_num_buckets : cfg.num_buckets * 2;
+  CCF_ASSIGN_OR_RETURN(std::unique_ptr<ConditionalCuckooFilter> fresh,
+                       ConditionalCuckooFilter::Make(cur->variant(), cfg));
+  // Re-place every logged row from the memo (cached hashes are re-masked at
+  // the new geometry, not re-hashed — PR 3's memoized-rebuild machinery).
+  // InsertBatch is deterministic, so the rebuilt shard is bit-identical to
+  // a from-scratch batched build of these rows at the new geometry.
+  CCF_RETURN_NOT_OK(fresh->InsertBatch(shard.keys, shard.attrs, &shard.memo));
+  // Swap the snapshot in one atomic publish; concurrent readers finish
+  // their probes against the old table, which the epoch domain frees once
+  // the last of them unpins.
+  shard.handle.Publish(std::move(fresh));
+  num_resizes_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status ShardedCcf::GrowShardLocked(Shard& shard, Status capacity_error) {
+  if (!resizable_ || options_.max_auto_resizes <= 0) return capacity_error;
+  uint64_t buckets = shard.handle.writable()->config().num_buckets;
+  Status st = std::move(capacity_error);
+  for (int attempt = 0; attempt < options_.max_auto_resizes; ++attempt) {
+    buckets *= 2;  // §4.1's resize rule, applied to one shard
+    st = ResizeShardLocked(shard, buckets);
+    if (st.code() != StatusCode::kCapacityError) return st;
+  }
+  return st;
+}
+
+Status ShardedCcf::ResizeShard(int shard, uint64_t new_num_buckets) {
+  if (shard < 0 || shard >= num_shards()) {
+    return Status::OutOfRange("ResizeShard: shard index out of range");
+  }
+  Shard& sh = *shards_[static_cast<size_t>(shard)];
+  std::lock_guard<std::mutex> lock(sh.writer_mu);
+  return ResizeShardLocked(sh, new_num_buckets);
+}
+
+std::future<Status> ShardedCcf::ResizeShardAsync(int shard,
+                                                 uint64_t new_num_buckets) {
+  return std::async(std::launch::async, [this, shard, new_num_buckets] {
+    return ResizeShard(shard, new_num_buckets);
+  });
+}
+
+std::vector<const CcfBase*> ShardedCcf::LoadBases(
+    const EpochDomain::Guard& guard) const {
+  std::vector<const CcfBase*> bases(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    bases[s] = static_cast<const CcfBase*>(shards_[s]->handle.Load(guard));
+  }
+  return bases;
+}
+
 bool ShardedCcf::ContainsKey(uint64_t key) const {
-  return shards_[ShardOf(key)]->ContainsKey(key);
+  EpochDomain::Guard guard = epoch_.Pin();
+  return shards_[ShardOf(key)]->handle.Load(guard)->ContainsKey(key);
 }
 
 bool ShardedCcf::Contains(uint64_t key, const Predicate& pred) const {
-  return shards_[ShardOf(key)]->Contains(key, pred);
+  EpochDomain::Guard guard = epoch_.Pin();
+  return shards_[ShardOf(key)]->handle.Load(guard)->Contains(key, pred);
 }
-
-namespace {
-
-// Shared two-pass skeleton over the shard set, instantiating the
-// library-wide batch pipeline: pass 1 computes each key's shard and
-// (bucket, fp) with shard 0's hasher (all shards share salt and geometry,
-// so one address computation serves whichever shard the key routes to);
-// the block is radix-clustered by (shard, bucket) so same-shard probes of
-// nearby buckets resolve back-to-back, then both buckets of each pair are
-// prefetched in the target shard and resolve(index, shard, bucket, fp)
-// runs with the lines (likely) cached.
-template <typename Resolver>
-void ShardedTwoPass(const ShardedCcf& self,
-                    const std::vector<const CcfBase*>& bases,
-                    std::span<const uint64_t> keys, Resolver&& resolve) {
-  const CcfBase& rep = *bases[0];
-  const uint64_t bucket_mask = rep.table().bucket_mask();
-  const int bucket_bits = std::bit_width(bucket_mask);
-  const int fp_bits = rep.config().key_fp_bits;
-  struct Addr {
-    uint64_t cluster_key;
-    uint64_t bucket;
-    uint64_t alt;
-    uint32_t shard;
-    uint32_t fp;
-  };
-  BatchPipelineOptions options;
-  options.cluster_bits =
-      bucket_bits +
-      std::bit_width(static_cast<uint64_t>(self.num_shards() - 1));
-  RunBatchPipeline<Addr>(
-      keys.size(), options,
-      [&](size_t i) {
-        Addr a;
-        uint64_t key = keys[i];
-        a.shard = static_cast<uint32_t>(self.ShardOf(key));
-        cuckoo_addressing::IndexAndFingerprint(rep.hasher(), key, bucket_mask,
-                                               fp_bits, &a.bucket, &a.fp);
-        a.alt = cuckoo_addressing::AltBucket(rep.hasher(), a.bucket, a.fp,
-                                             bucket_mask);
-        a.cluster_key =
-            (static_cast<uint64_t>(a.shard) << bucket_bits) | a.bucket;
-        return a;
-      },
-      [&](const Addr& a) {
-        const BucketTable& table = bases[a.shard]->table();
-        table.PrefetchBucket(a.bucket);
-        if (a.alt != a.bucket) table.PrefetchBucket(a.alt);
-      },
-      [&](size_t i, const Addr& a) { resolve(i, a.shard, a.bucket, a.fp); });
-}
-
-}  // namespace
 
 Status ShardedCcf::LookupBatch(std::span<const uint64_t> keys,
                                std::span<const Predicate> preds,
                                std::span<bool> out) const {
   CCF_RETURN_NOT_OK(
       ValidateLookupBatchShape(keys.size(), preds.size(), out.size()));
+
+  // One pin + one snapshot load per shard for the WHOLE batch: the loaded
+  // pointers stay valid until the guard dies, however many resizes publish
+  // in the meantime.
+  EpochDomain::Guard guard = epoch_.Pin();
+  std::vector<const CcfBase*> bases = LoadBases(guard);
 
   if (preds.size() == 1) {
     // Broadcast: gather keys per shard and delegate to each shard's own
@@ -303,7 +439,7 @@ Status ShardedCcf::LookupBatch(std::span<const uint64_t> keys,
         shard_out.reset(new bool[n]);
         cap = n;
       }
-      CCF_RETURN_NOT_OK(shards_[s]->LookupBatch(
+      CCF_RETURN_NOT_OK(bases[s]->LookupBatch(
           shard_keys[s], preds, std::span<bool>(shard_out.get(), n)));
       for (size_t j = 0; j < n; ++j) out[shard_pos[s][j]] = shard_out[j];
     }
@@ -311,10 +447,10 @@ Status ShardedCcf::LookupBatch(std::span<const uint64_t> keys,
   }
 
   // Per-key predicates: resolve in place through the shared skeleton.
-  ShardedTwoPass(*this, bases_, keys,
+  ShardedTwoPass(*this, bases, keys,
                  [&](size_t i, size_t s, uint64_t bucket, uint32_t fp) {
-                   out[i] = bases_[s]->ContainsAddressed(bucket, fp,
-                                                         preds[i]);
+                   out[i] = bases[s]->ContainsAddressed(bucket, fp,
+                                                        preds[i]);
                  });
   return Status::OK();
 }
@@ -322,19 +458,22 @@ Status ShardedCcf::LookupBatch(std::span<const uint64_t> keys,
 void ShardedCcf::ContainsKeyBatch(std::span<const uint64_t> keys,
                                   std::span<bool> out) const {
   CCF_DCHECK(out.size() == keys.size());
-  ShardedTwoPass(*this, bases_, keys,
+  EpochDomain::Guard guard = epoch_.Pin();
+  std::vector<const CcfBase*> bases = LoadBases(guard);
+  ShardedTwoPass(*this, bases, keys,
                  [&](size_t i, size_t s, uint64_t bucket, uint32_t fp) {
-                   out[i] = bases_[s]->ContainsKeyAddressed(bucket, fp);
+                   out[i] = bases[s]->ContainsKeyAddressed(bucket, fp);
                  });
 }
 
 Result<std::unique_ptr<KeyFilter>> ShardedCcf::PredicateQuery(
     const Predicate& pred) const {
+  EpochDomain::Guard guard = epoch_.Pin();
   std::vector<std::unique_ptr<KeyFilter>> derived;
   derived.reserve(shards_.size());
   for (const auto& shard : shards_) {
     CCF_ASSIGN_OR_RETURN(std::unique_ptr<KeyFilter> kf,
-                         shard->PredicateQuery(pred));
+                         shard->handle.Load(guard)->PredicateQuery(pred));
     derived.push_back(std::move(kf));
   }
   return std::unique_ptr<KeyFilter>(new ShardedKeyFilter(
@@ -342,41 +481,51 @@ Result<std::unique_ptr<KeyFilter>> ShardedCcf::PredicateQuery(
 }
 
 uint64_t ShardedCcf::SizeInBits() const {
+  EpochDomain::Guard guard = epoch_.Pin();
   uint64_t bits = 0;
-  for (const auto& s : shards_) bits += s->SizeInBits();
+  for (const auto& s : shards_) bits += s->handle.Load(guard)->SizeInBits();
   return bits;
 }
 
 double ShardedCcf::LoadFactor() const {
-  // Shards share geometry, so the global load factor is the shard mean.
-  double sum = 0;
-  for (const auto& s : shards_) sum += s->LoadFactor();
-  return sum / static_cast<double>(shards_.size());
+  // Shards may diverge in geometry after per-shard resizes, so weight by
+  // slot count (identical to the shard mean while geometry is uniform).
+  EpochDomain::Guard guard = epoch_.Pin();
+  uint64_t occupied = 0, slots = 0;
+  for (const auto& s : shards_) {
+    const auto* base = static_cast<const CcfBase*>(s->handle.Load(guard));
+    occupied += base->num_entries();
+    slots += base->table().num_slots();
+  }
+  return slots == 0 ? 0.0
+                    : static_cast<double>(occupied) /
+                          static_cast<double>(slots);
 }
 
 uint64_t ShardedCcf::num_entries() const {
+  EpochDomain::Guard guard = epoch_.Pin();
   uint64_t n = 0;
-  for (const auto& s : shards_) n += s->num_entries();
+  for (const auto& s : shards_) n += s->handle.Load(guard)->num_entries();
   return n;
 }
 
 uint64_t ShardedCcf::num_rows() const {
+  EpochDomain::Guard guard = epoch_.Pin();
   uint64_t n = 0;
-  for (const auto& s : shards_) n += s->num_rows();
+  for (const auto& s : shards_) n += s->handle.Load(guard)->num_rows();
   return n;
 }
 
-const CcfConfig& ShardedCcf::config() const { return shards_[0]->config(); }
-
-CcfVariant ShardedCcf::variant() const { return shards_[0]->variant(); }
-
 std::string ShardedCcf::Serialize() const {
+  EpochDomain::Guard guard = epoch_.Pin();
   std::string out;
   ByteWriter writer(&out);
   writer.WriteU32(kShardedMagic);
   writer.WriteU32(static_cast<uint32_t>(shards_.size()));
   writer.WriteU32(static_cast<uint32_t>(options_.build_threads));
-  for (const auto& s : shards_) writer.WriteBytes(s->Serialize());
+  for (const auto& s : shards_) {
+    writer.WriteBytes(s->handle.Load(guard)->Serialize());
+  }
   return out;
 }
 
@@ -409,14 +558,15 @@ Result<std::unique_ptr<ConditionalCuckooFilter>> ShardedCcf::Deserialize(
     }
     CCF_ASSIGN_OR_RETURN(std::unique_ptr<ConditionalCuckooFilter> shard,
                          ConditionalCuckooFilter::Deserialize(blob));
-    // The batched hot path computes one address per key with shard 0's
-    // hasher and geometry; every shard must agree or lookups would index
-    // out of range / mis-route.
+    // The batched hot path computes one raw key hash with shard 0's hasher
+    // and re-masks it per shard, so salts and slot/fingerprint shapes must
+    // agree; bucket COUNTS may differ (per-shard resizes grow shards
+    // independently).
     if (!shards.empty()) {
       const CcfConfig& a = shards.front()->config();
       const CcfConfig& b = shard->config();
       if (shard->variant() != shards.front()->variant() ||
-          b.num_buckets != a.num_buckets || b.salt != a.salt ||
+          b.salt != a.salt ||
           b.slots_per_bucket != a.slots_per_bucket ||
           b.key_fp_bits != a.key_fp_bits) {
         return Status::Invalid(
@@ -428,8 +578,12 @@ Result<std::unique_ptr<ConditionalCuckooFilter>> ShardedCcf::Deserialize(
   ShardedCcfOptions opts;
   opts.num_shards = static_cast<int>(num_shards);
   opts.build_threads = static_cast<int>(build_threads);
-  return std::unique_ptr<ConditionalCuckooFilter>(
+  auto sharded = std::unique_ptr<ShardedCcf>(
       new ShardedCcf(std::move(shards), opts));
+  // Serialized blobs carry tables, not rows: the restored filter serves and
+  // accepts writes but cannot rebuild a shard from a log it never had.
+  sharded->resizable_ = false;
+  return std::unique_ptr<ConditionalCuckooFilter>(std::move(sharded));
 }
 
 }  // namespace ccf

@@ -3,26 +3,42 @@
 // by a hash that is uncorrelated with the in-shard addressing hash, so shard
 // answers are bit-identical to a single filter holding that shard's rows.
 //
-// Concurrency model:
-//   * Build: InsertParallel partitions rows by shard and inserts with one
-//     std::thread per stripe of shards — shards never share mutable state,
-//     so no locks are needed.
-//   * Serve: all query methods are const and lock-free; any number of
-//     concurrent readers may probe while no writer is active (the same
-//     single-writer/multi-reader contract as the unsharded filter, now with
-//     N-way write parallelism at build time).
+// Concurrency model (the online serving core):
+//   * Reads are lock-free and always safe: every query method pins the
+//     filter's epoch domain, loads each shard's current table snapshot
+//     pointer once for the whole call, and resolves against those immutable
+//     snapshots. Readers never block on writers or resizes.
+//   * Writes are serialized per shard by a writer mutex; writers to
+//     DIFFERENT shards run fully in parallel (InsertParallel's N-way build).
+//     In-place writes to a shard mutate its current snapshot, so readers of
+//     that specific shard must be quiesced during in-place writes — the same
+//     single-writer/multi-reader contract as the unsharded filter.
+//   * Resizes never block readers: ResizeShard rebuilds ONE shard at the new
+//     geometry from the shard's retained row log (re-placing rows from the
+//     hash memo, not re-hashing) and publishes the replacement via an atomic
+//     epoch swap. Concurrent readers see either the complete old shard or
+//     the complete new shard — never a partial table, never a false
+//     negative — and the old table is freed only after every reader that
+//     could hold it has unpinned. Insert/InsertParallel trigger these
+//     per-shard resizes transparently on CapacityError instead of failing
+//     the build.
 //
 // The batched lookup path prefetches the target shard's bucket pair per key
-// (all shards share one salt, hence one address computation) and resolves
-// through CcfBase::ContainsAddressed.
+// and resolves through CcfBase::ContainsAddressed; shards share one salt but
+// may have DIFFERENT bucket counts after per-shard resizes, so addressing is
+// re-masked per target shard.
 #ifndef CCF_CCF_SHARDED_CCF_H_
 #define CCF_CCF_SHARDED_CCF_H_
 
+#include <atomic>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "ccf/ccf.h"
 #include "ccf/ccf_base.h"
+#include "util/epoch.h"
 
 namespace ccf {
 
@@ -32,32 +48,48 @@ struct ShardedCcfOptions {
   int num_shards = 4;
   /// Threads used by InsertParallel; 0 means one per shard.
   int build_threads = 0;
+  /// Doubling resizes a single Insert/InsertParallel call may trigger
+  /// transparently per shard on CapacityError before surfacing the error.
+  /// 0 disables online resize (failures surface exactly as before).
+  int max_auto_resizes = 8;
 };
 
 /// \brief N independent CCF shards behind the ConditionalCuckooFilter
-/// interface.
+/// interface, with epoch-protected snapshots and shard-by-shard background
+/// resize (see the concurrency model above).
 class ShardedCcf : public ConditionalCuckooFilter {
  public:
   /// Creates `options.num_shards` shards of `variant`. `config.num_buckets`
   /// is the TOTAL bucket budget; each shard gets num_buckets / num_shards
   /// (at least 1, rounded up to a power of two). All shards share
-  /// config.salt so a key's (bucket, fingerprint) address is shard-
-  /// independent.
+  /// config.salt so a key's fingerprint is shard-independent (bucket
+  /// indices are per-shard re-maskings of the same hash).
   static Result<std::unique_ptr<ShardedCcf>> Make(
       CcfVariant variant, const CcfConfig& config,
       const ShardedCcfOptions& options);
 
-  /// Routes the row to its shard (single-writer).
+  /// Routes the row to its shard (one writer per shard; takes that shard's
+  /// writer mutex). On CapacityError the shard transparently resizes
+  /// (doubling, up to options.max_auto_resizes) and the row lands in the
+  /// rebuilt shard. The in-place write itself follows the single-writer
+  /// contract — readers of THIS shard must be quiesced while it runs (the
+  /// header's writer rules); only the capacity-triggered rebuild+swap part
+  /// is safe under concurrent readers.
   Status Insert(uint64_t key, std::span<const uint64_t> attrs) override;
 
   /// Bulk parallel build. `attrs` is row-major: row i occupies
   /// attrs[i*num_attrs, (i+1)*num_attrs). Rows are gathered per shard
   /// (insertion order within a shard follows the input order) and each
-  /// shard runs its own batched two-wave InsertBatch, with `num_threads`
-  /// threads striping over shards (0 → options.build_threads). Returns the
-  /// first per-shard error, if any (remaining shards still finish, so the
-  /// structure stays consistent — CapacityError here means resize and
-  /// rebuild, as for the unsharded filter).
+  /// shard runs its own batched two-wave InsertBatch under its writer
+  /// mutex, with `num_threads` threads striping over shards (0 →
+  /// options.build_threads). A shard that fails with CapacityError resizes
+  /// itself (doubling, up to options.max_auto_resizes) and rebuilds from
+  /// its retained row log, so well-provisioned auto-resize budgets make
+  /// whole-build doubling retries unnecessary. Per-shard errors are
+  /// aggregated deterministically: the error of the LOWEST failing shard
+  /// index is returned (prefixed "shard N: "), independent of thread
+  /// scheduling; remaining shards still finish, so the structure stays
+  /// consistent.
   ///
   /// `hash_memo` follows ConditionalCuckooFilter::InsertBatch (two words
   /// per row), aligned to the INPUT row order: the shard route, the
@@ -74,6 +106,20 @@ class ShardedCcf : public ConditionalCuckooFilter {
                      std::span<const uint64_t> attrs,
                      std::vector<uint64_t>* hash_memo = nullptr) override;
 
+  /// Rebuilds shard `shard` at `new_num_buckets` buckets (0 → double the
+  /// shard's current count) from its retained row log, publishing the
+  /// replacement via epoch swap. Readers keep probing the old snapshot
+  /// until the swap and are never blocked; the old table is reclaimed once
+  /// the last reader unpins. Serializes with other writers of the shard.
+  /// The rebuilt shard is bit-identical to a from-scratch batched build of
+  /// the shard's rows at the new geometry. Fails on deserialized filters
+  /// (the row log is not serialized) and on out-of-range shard indices.
+  Status ResizeShard(int shard, uint64_t new_num_buckets = 0);
+
+  /// ResizeShard on a background thread; the future carries its Status.
+  std::future<Status> ResizeShardAsync(int shard,
+                                       uint64_t new_num_buckets = 0);
+
   bool ContainsKey(uint64_t key) const override;
   bool Contains(uint64_t key, const Predicate& pred) const override;
   Status LookupBatch(std::span<const uint64_t> keys,
@@ -82,7 +128,9 @@ class ShardedCcf : public ConditionalCuckooFilter {
   void ContainsKeyBatch(std::span<const uint64_t> keys,
                         std::span<bool> out) const override;
 
-  /// Derives one key filter per shard, routed like the source filter.
+  /// Derives one key filter per shard, routed like the source filter. The
+  /// per-shard derived filters alias the shard snapshots (no table copy)
+  /// and stay valid even if a later resize retires the shard object.
   Result<std::unique_ptr<KeyFilter>> PredicateQuery(
       const Predicate& pred) const override;
 
@@ -91,9 +139,24 @@ class ShardedCcf : public ConditionalCuckooFilter {
   uint64_t num_entries() const override;
   uint64_t num_rows() const override;
 
-  /// Per-shard configuration (num_buckets is the per-shard value).
-  const CcfConfig& config() const override;
-  CcfVariant variant() const override;
+  /// The per-shard configuration AT CONSTRUCTION (num_buckets is the
+  /// initial per-shard value; shards may have grown since — see
+  /// shard(i).config() for a shard's current geometry). Returned from an
+  /// immutable member, so the reference stays valid across resizes and is
+  /// safe to read concurrently with them.
+  const CcfConfig& config() const override { return shard_config_; }
+  CcfVariant variant() const override { return variant_; }
+
+  /// Completed per-shard resizes over the filter's lifetime (auto-triggered
+  /// and explicit).
+  uint64_t num_resizes() const {
+    return num_resizes_.load(std::memory_order_relaxed);
+  }
+
+  /// Whether online resize is available: true for filters built in-process
+  /// (which retain their row log), false after Deserialize (serialized
+  /// blobs carry tables, not rows).
+  bool resizable() const { return resizable_; }
 
   /// Serialized-blob magic ("SCF1"); ConditionalCuckooFilter::Deserialize
   /// dispatches here when it leads a blob.
@@ -104,8 +167,10 @@ class ShardedCcf : public ConditionalCuckooFilter {
       std::string_view data);
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
+  /// The shard's CURRENT filter. Quiescent-use accessor (tests, stats): the
+  /// reference is valid until the shard is next resized.
   const ConditionalCuckooFilter& shard(int i) const {
-    return *shards_[static_cast<size_t>(i)];
+    return *shards_[static_cast<size_t>(i)]->handle.Current();
   }
 
   /// Shard index of a key (uncorrelated with in-shard addressing).
@@ -114,16 +179,48 @@ class ShardedCcf : public ConditionalCuckooFilter {
   }
 
  private:
+  /// Per-shard serving state: the epoch-swappable filter, the writer lock,
+  /// and the retained row log that resizes rebuild from. The log mirrors
+  /// every accepted row in arrival order together with its two
+  /// geometry-independent memo words (salt-keyed key hash + packed
+  /// payload), so a rebuild re-masks instead of re-hashing.
+  struct Shard {
+    Shard(EpochDomain* domain, std::unique_ptr<ConditionalCuckooFilter> f)
+        : handle(domain, std::move(f)) {}
+    TableHandle<ConditionalCuckooFilter> handle;
+    std::mutex writer_mu;
+    std::vector<uint64_t> keys;   // guarded by writer_mu
+    std::vector<uint64_t> attrs;  // row-major, guarded by writer_mu
+    std::vector<uint64_t> memo;   // 2 words per row, guarded by writer_mu
+  };
+
   ShardedCcf(std::vector<std::unique_ptr<ConditionalCuckooFilter>> shards,
              ShardedCcfOptions options);
 
-  std::vector<std::unique_ptr<ConditionalCuckooFilter>> shards_;
-  /// Cached downcasts for the addressed hot path (every variant derives
-  /// from CcfBase).
-  std::vector<const CcfBase*> bases_;
+  /// One resize attempt at the given geometry; caller holds writer_mu.
+  Status ResizeShardLocked(Shard& shard, uint64_t new_num_buckets);
+  /// Doubling-retry loop around ResizeShardLocked (auto-resize path);
+  /// caller holds writer_mu and has just seen CapacityError.
+  Status GrowShardLocked(Shard& shard, Status capacity_error);
+
+  /// Every shard's current snapshot, loaded once under the caller's pin —
+  /// THE way batch read paths bind the shard set.
+  std::vector<const CcfBase*> LoadBases(const EpochDomain::Guard& guard) const;
+
+  /// Declared first so it is destroyed LAST: retired shard filters are
+  /// freed by the domain's destructor after the handles are gone.
+  mutable EpochDomain epoch_;
+  std::vector<std::unique_ptr<Shard>> shards_;
   ShardedCcfOptions options_;
+  /// Immutable copies taken at construction so config()/variant() never
+  /// dereference a swappable shard object (a concurrent resize of shard 0
+  /// could retire it mid-read).
+  CcfConfig shard_config_;
+  CcfVariant variant_;
   uint64_t shard_mask_ = 0;
   Hasher shard_hasher_;
+  std::atomic<uint64_t> num_resizes_{0};
+  bool resizable_ = true;
 };
 
 }  // namespace ccf

@@ -154,60 +154,71 @@ Result<BuiltCcf> BuildCcf(const TableData& table,
   config.optimize_bloom_hashes = params.optimize_bloom_hashes;
   config.salt = params.salt;
   config.slots_per_bucket = params.slots_per_bucket;
+  config.reproducible_scalar = params.reproducible_scalar;
 
   DuplicateProfile profile = DuplicateProfile::FromCounts(
       rows.distinct_dupes_per_key, config.max_dupes, config.max_chain);
   CCF_ASSIGN_OR_RETURN(config,
                        ChooseGeometry(params.variant, config, profile));
 
+  // Sharded builds: no whole-filter doubling-retry loop anymore. The shards
+  // resize THEMSELVES online — a shard whose InsertParallel slice hits
+  // CapacityError rebuilds at doubled geometry from its retained row log
+  // (re-placing rows from the per-shard hash memo) and publishes the
+  // replacement via epoch swap, while the other shards' builds proceed.
+  // This is the same machinery that lets a serving filter absorb
+  // capacity-crossing inserts without a stop-the-world rebuild.
+  if (params.num_shards > 1) {
+    ShardedCcfOptions opts;
+    opts.num_shards = params.num_shards;
+    opts.build_threads = params.build_threads;
+    opts.max_auto_resizes = params.max_rebuilds;
+    CCF_ASSIGN_OR_RETURN(std::unique_ptr<ShardedCcf> sharded,
+                         ShardedCcf::Make(params.variant, config, opts));
+    std::vector<uint64_t> hash_memo;
+    Status st = sharded->InsertParallel(rows.keys, rows.flat_attrs,
+                                        /*num_threads=*/0, &hash_memo);
+    if (!st.ok()) {
+      return Status::CapacityError(
+          "CCF for table '" + table.spec.name + "' failed after per-shard "
+          "online resizes: " + st.message());
+    }
+    built.rebuilds = static_cast<int>(sharded->num_resizes());
+    built.filter = std::move(sharded);
+    return built;
+  }
+
   // The hash memo carries each row's salt-keyed key hash across doubling
   // rebuilds: attempt 0 fills it during the batched address pass, and every
-  // retry re-masks the cached hashes instead of re-hashing the table (the
-  // shard route is salt-only too, so it serves sharded retries unchanged).
+  // retry re-masks the cached hashes instead of re-hashing the table.
   std::vector<uint64_t> hash_memo;
   const size_t num_attrs = static_cast<size_t>(config.num_attrs);
   Status last_error = Status::OK();
   for (int attempt = 0; attempt <= params.max_rebuilds; ++attempt) {
     bool ok = true;
-    if (params.num_shards > 1) {
-      ShardedCcfOptions opts;
-      opts.num_shards = params.num_shards;
-      opts.build_threads = params.build_threads;
-      CCF_ASSIGN_OR_RETURN(
-          std::unique_ptr<ShardedCcf> sharded,
-          ShardedCcf::Make(params.variant, config, opts));
-      Status st = sharded->InsertParallel(rows.keys, rows.flat_attrs,
-                                          /*num_threads=*/0, &hash_memo);
+    CCF_ASSIGN_OR_RETURN(built.filter,
+                         ConditionalCuckooFilter::Make(params.variant,
+                                                       config));
+    if (params.batch_build) {
+      Status st =
+          built.filter->InsertBatch(rows.keys, rows.flat_attrs, &hash_memo);
       if (!st.ok()) {
         last_error = std::move(st);
         ok = false;
       }
-      built.filter = std::move(sharded);
     } else {
-      CCF_ASSIGN_OR_RETURN(built.filter,
-                           ConditionalCuckooFilter::Make(params.variant,
-                                                         config));
-      if (params.batch_build) {
-        Status st =
-            built.filter->InsertBatch(rows.keys, rows.flat_attrs, &hash_memo);
+      // Row-at-a-time reference path: placement order (hence slot
+      // assignment and FP-level outputs) reproduces pre-batch builds
+      // exactly; reproduction tooling pins this mode.
+      for (size_t i = 0; i < rows.keys.size(); ++i) {
+        Status st = built.filter->Insert(
+            rows.keys[i],
+            std::span<const uint64_t>(
+                rows.flat_attrs.data() + i * num_attrs, num_attrs));
         if (!st.ok()) {
           last_error = std::move(st);
           ok = false;
-        }
-      } else {
-        // Row-at-a-time reference path: placement order (hence slot
-        // assignment and FP-level outputs) reproduces pre-batch builds
-        // exactly; reproduction tooling pins this mode.
-        for (size_t i = 0; i < rows.keys.size(); ++i) {
-          Status st = built.filter->Insert(
-              rows.keys[i],
-              std::span<const uint64_t>(
-                  rows.flat_attrs.data() + i * num_attrs, num_attrs));
-          if (!st.ok()) {
-            last_error = std::move(st);
-            ok = false;
-            break;
-          }
+          break;
         }
       }
     }

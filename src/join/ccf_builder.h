@@ -34,8 +34,18 @@ struct CcfBuildParams {
   int slots_per_bucket = 0;
   int max_chain = 0;  // unbounded
   uint64_t salt = 0;
-  /// Rebuild attempts (each doubles the bucket count) before giving up.
+  /// Doubling attempts before giving up. Unsharded builds retry the whole
+  /// filter (each attempt doubles the bucket count and re-places rows from
+  /// the hash memo); sharded builds instead grant each SHARD this many
+  /// transparent online resizes (ShardedCcfOptions::max_auto_resizes), so a
+  /// single overloaded shard doubles alone while the rest keep serving.
   int max_rebuilds = 5;
+  /// Scalar (batch_build = false) insertion keeps the historical
+  /// per-attribute path when true, pinning pre-batch builds bit-for-bit
+  /// (`ccf_joblight --build scalar` relies on it). false opts into the
+  /// packed-compare scalar fast path (single-word dupe compare + one-store
+  /// slot writes); see CcfConfig::reproducible_scalar.
+  bool reproducible_scalar = true;
   /// Build through the batched two-wave InsertBatch pipeline, with each
   /// doubling rebuild re-placing rows from the hash memo instead of
   /// re-hashing the table. false pins the row-at-a-time scalar insertion

@@ -18,6 +18,12 @@
 namespace ccf {
 
 /// \brief A set of per-table filters probeable as (key, query-predicates).
+///
+/// Probes are read-only and safe for concurrent callers. When a table's
+/// filter is a ShardedCcf, probes are additionally safe DURING a background
+/// shard resize: each ProbeBatch pins the filter's epoch domain and
+/// resolves against immutable table snapshots, so evaluation can overlap a
+/// rebuild with no false negatives and no torn reads.
 class FilterSet {
  public:
   virtual ~FilterSet() = default;

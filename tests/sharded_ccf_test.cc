@@ -227,6 +227,41 @@ TEST(ShardedCcfValidationTest, RejectsBadShapes) {
           .ok());
 }
 
+TEST(ShardedCcfValidationTest, InsertParallelReportsLowestFailingShard) {
+  // Overload several shards at once (Plain variant, keys duplicated far
+  // beyond one pair's capacity, auto-resize disabled): whichever thread
+  // observes an error first, the reported Status must be the LOWEST failing
+  // shard's, so the result is invariant to thread count and scheduling.
+  CcfConfig config = TestConfig(101);
+  config.num_buckets = 64;
+  ShardedCcfOptions opts;
+  opts.num_shards = 4;
+  opts.max_auto_resizes = 0;  // surface CapacityError instead of resizing
+  std::vector<uint64_t> keys;
+  std::vector<uint64_t> attrs;
+  Rng rng(5);
+  for (int i = 0; i < 4000; ++i) {
+    keys.push_back(static_cast<uint64_t>(i % 40));  // 100 dupes per key
+    attrs.push_back(rng.NextBelow(1000));
+    attrs.push_back(rng.NextBelow(1000));
+  }
+
+  auto run = [&](int threads) {
+    auto sharded =
+        ShardedCcf::Make(CcfVariant::kPlain, config, opts).ValueOrDie();
+    return sharded->InsertParallel(keys, attrs, threads);
+  };
+  Status st1 = run(1);
+  Status st4 = run(4);
+  ASSERT_FALSE(st1.ok());
+  ASSERT_FALSE(st4.ok());
+  EXPECT_EQ(st1.code(), StatusCode::kCapacityError);
+  EXPECT_EQ(st1.message(), st4.message())
+      << "error aggregation must be deterministic across thread counts";
+  EXPECT_EQ(st1.message().rfind("shard ", 0), 0u)
+      << "error should name the failing shard: " << st1.message();
+}
+
 TEST(ShardedCcfValidationTest, ShardCountRoundsUpToPowerOfTwo) {
   ShardedCcfOptions opts;
   opts.num_shards = 3;

@@ -15,6 +15,11 @@
 // --min-history (default 1) history files, or rows with zero throughput
 // (time-only benchmarks), the tool reports and exits 0.
 //
+// History sources, as CI wires them: the COMMITTED rolling baseline
+// (bench/baselines/*.json, refreshed by hand from a representative recent
+// run — it survives GitHub's artifact retention expiry and works on forks)
+// plus the bench-smoke-json artifacts of recent successful runs on main.
+//
 // The parser handles exactly the flat one-object-per-line row format
 // JsonRowsReporter emits; it is not a general JSON reader.
 #include <algorithm>

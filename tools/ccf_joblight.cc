@@ -5,13 +5,18 @@
 // Usage:
 //   ccf_joblight [--scale N] [--variant bloom|mixed|chained]
 //                [--attr-bits B] [--key-bits B] [--bloom-bits B]
-//                [--seed S] [--per-instance] [--build scalar|batch]
+//                [--seed S] [--per-instance]
+//                [--build scalar|scalar-packed|batch]
 //
 // --build defaults to scalar: the row-at-a-time insertion order makes slot
 // assignment — and therefore the FP-level RF/FPR numbers printed here —
 // reproducible run-over-run and commit-over-commit. --build batch uses the
 // production bulk-build pipeline (same guarantees and entry counts;
 // placement order differs, so FP noise may shift in the last decimals).
+// --build scalar-packed keeps row-at-a-time insertion but opts into the
+// packed-compare fast path (CcfBuildParams::reproducible_scalar = false):
+// displacement-free rows dedupe via one word compare and land via one
+// field store.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,13 +36,15 @@ struct Options {
   uint64_t seed = 7;
   bool per_instance = false;
   bool batch_build = false;
+  bool reproducible_scalar = true;
 };
 
 void PrintUsageAndExit(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--scale N] [--variant bloom|mixed|chained]\n"
                "          [--attr-bits B] [--key-bits B] [--bloom-bits B]\n"
-               "          [--seed S] [--per-instance] [--build scalar|batch]\n",
+               "          [--seed S] [--per-instance]\n"
+               "          [--build scalar|scalar-packed|batch]\n",
                argv0);
   std::exit(2);
 }
@@ -88,6 +95,9 @@ ccf::Result<Options> Parse(int argc, char** argv) {
         opts.batch_build = true;
       } else if (std::strcmp(v, "scalar") == 0) {
         opts.batch_build = false;
+      } else if (std::strcmp(v, "scalar-packed") == 0) {
+        opts.batch_build = false;
+        opts.reproducible_scalar = false;
       } else {
         return ccf::Status::Invalid("unknown build mode: " + std::string(v));
       }
@@ -126,6 +136,7 @@ int main(int argc, char** argv) {
   params.key_fp_bits = opts.key_bits;
   params.bloom_bits = opts.bloom_bits;
   params.batch_build = opts.batch_build;
+  params.reproducible_scalar = opts.reproducible_scalar;
   std::printf("building %s CCFs (|α|=%d, |κ|=%d)...\n",
               std::string(CcfVariantName(opts.variant)).c_str(),
               opts.attr_bits, opts.key_bits);
