@@ -12,6 +12,7 @@
 // file as an artifact).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -354,6 +355,99 @@ void BM_HotLookupShardedBatch(benchmark::State& state) {
   state.SetLabel("sharded-batched");
 }
 BENCHMARK(BM_HotLookupShardedBatch)->Unit(benchmark::kMillisecond);
+
+// Mixed read/write serving: batched lookups interleaved with staged
+// write-batch commits on one sharded filter — the live-traffic shape the
+// wait-free write path exists for. Arg = write percentage of the op mix
+// (5 → the 95/5 read-mostly row, 50 → the 50/50 churn row). Reads run
+// through LookupBatch (overlay-visible staged rows included); writes are
+// BufferWriteBatch + CommitWrites per block, with the 0.85 load-factor
+// watermark keeping growth off the commit path. ops/s counts reads AND
+// writes.
+void BM_HotMixedReadWrite(benchmark::State& state) {
+  const int write_pct = static_cast<int>(state.range(0));
+  CcfConfig config = HotPathConfig();
+  // Mid-size sharded table (capped at 2^16 buckets): the bench mutates, so
+  // each iteration rebuilds its filter — keep that affordable while still
+  // exceeding L2.
+  config.num_buckets = uint64_t{1} << std::min(HotBucketsLog2(), 16);
+  ShardedCcfOptions opts;
+  opts.num_shards = 8;
+  opts.resize_watermark = 0.85;
+
+  const uint64_t base_rows = config.num_buckets * 6 / 2;  // ~50% load
+  std::vector<uint64_t> keys;
+  std::vector<uint64_t> flat_attrs;
+  keys.reserve(base_rows);
+  flat_attrs.reserve(2 * base_rows);
+  for (uint64_t k = 0; k < base_rows; ++k) {
+    keys.push_back(k);
+    flat_attrs.push_back(k % 997);
+    flat_attrs.push_back(k % 31);
+  }
+  constexpr size_t kOps = 1 << 18;
+  constexpr size_t kBlock = 8192;
+  Rng rng(29);
+  std::vector<uint64_t> probe_keys;
+  probe_keys.reserve(kOps);
+  for (size_t i = 0; i < kOps; ++i) {
+    probe_keys.push_back(rng.NextBelow(2 * base_rows));
+  }
+  Predicate pred = Predicate::Equals(0, 123).AndEquals(1, 7);
+  std::unique_ptr<bool[]> out(new bool[kBlock]);
+  std::vector<uint64_t> write_keys;
+  std::vector<uint64_t> write_attrs;
+  uint64_t size_bits = 0;
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto sharded =
+        ShardedCcf::Make(CcfVariant::kChained, config, opts).ValueOrDie();
+    sharded->InsertParallel(keys, flat_attrs).Abort();
+    uint64_t next_key = base_rows;
+    state.ResumeTiming();
+
+    for (size_t begin = 0; begin < kOps; begin += kBlock) {
+      size_t block = std::min(kBlock, kOps - begin);
+      size_t writes = block * static_cast<size_t>(write_pct) / 100;
+      size_t reads = block - writes;
+      sharded
+          ->LookupBatch(
+              std::span<const uint64_t>(probe_keys.data() + begin, reads),
+              std::span<const Predicate>(&pred, 1),
+              std::span<bool>(out.get(), reads))
+          .Abort();
+      if (writes > 0) {
+        write_keys.clear();
+        write_attrs.clear();
+        for (size_t w = 0; w < writes; ++w, ++next_key) {
+          write_keys.push_back(next_key);
+          write_attrs.push_back(next_key % 997);
+          write_attrs.push_back(next_key % 31);
+        }
+        sharded->BufferWriteBatch(write_keys, write_attrs).Abort();
+        sharded->CommitWrites().Abort();
+      }
+      benchmark::DoNotOptimize(out.get());
+    }
+    state.PauseTiming();
+    // Background watermark resizes run off the serving path by design;
+    // join them outside the timed region so the row measures foreground
+    // serving cost.
+    sharded->DrainMaintenance();
+    size_bits = sharded->SizeInBits();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(kOps));
+  SetTableMb(state, size_bits);
+  state.SetLabel("mix-" + std::to_string(100 - write_pct) + "/" +
+                 std::to_string(write_pct));
+}
+BENCHMARK(BM_HotMixedReadWrite)
+    ->Arg(5)
+    ->Arg(50)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 // Sharded parallel build: rows/sec by build thread count.
 void BM_ShardedParallelBuild(benchmark::State& state) {

@@ -29,6 +29,9 @@ class BloomCcf : public CcfBase {
   /// key fingerprints as a plain cuckoo filter.
   Result<std::unique_ptr<KeyFilter>> PredicateQuery(
       const Predicate& pred) const override;
+  Result<std::unique_ptr<ConditionalCuckooFilter>> Clone() const override {
+    return std::unique_ptr<ConditionalCuckooFilter>(new BloomCcf(*this));
+  }
   CcfVariant variant() const override { return CcfVariant::kBloom; }
 
   /// Number of Bloom probes per item in the per-entry sketches.

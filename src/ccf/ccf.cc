@@ -79,6 +79,11 @@ Status ConditionalCuckooFilter::InsertBatch(std::span<const uint64_t> keys,
   return Status::OK();
 }
 
+Result<std::unique_ptr<ConditionalCuckooFilter>>
+ConditionalCuckooFilter::Clone() const {
+  return Status::Invalid("Clone is not supported by this filter type");
+}
+
 bool ConditionalCuckooFilter::ContainsRow(
     uint64_t key, std::span<const uint64_t> attrs) const {
   Predicate pred;

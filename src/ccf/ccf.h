@@ -137,6 +137,17 @@ class ConditionalCuckooFilter {
                              std::span<const uint64_t> attrs,
                              std::vector<uint64_t>* hash_memo = nullptr);
 
+  /// Copies the filter OBJECT while sharing its current immutable table
+  /// snapshot, so cloning a multi-megabyte filter costs O(object), not
+  /// O(table): the clone copy-on-writes (unshares) the table before its
+  /// first mutation, leaving the source — and every reader bound to its
+  /// snapshot — untouched. This is the building block of the wait-free
+  /// write-batch commit path (ShardedCcf::CommitWrites inserts pending
+  /// rows into a clone off the serving path and epoch-publishes the
+  /// result). Supported by the four CcfBase variants; containers
+  /// (ShardedCcf) return InvalidArgument.
+  virtual Result<std::unique_ptr<ConditionalCuckooFilter>> Clone() const;
+
   /// Key-only membership (ordinary cuckoo-filter query, §7.1).
   virtual bool ContainsKey(uint64_t key) const = 0;
 

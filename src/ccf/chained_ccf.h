@@ -34,6 +34,9 @@ class ChainedCcf : public CcfBase {
                          const Predicate& pred) const override;
   Result<std::unique_ptr<KeyFilter>> PredicateQuery(
       const Predicate& pred) const override;
+  Result<std::unique_ptr<ConditionalCuckooFilter>> Clone() const override {
+    return std::unique_ptr<ConditionalCuckooFilter>(new ChainedCcf(*this));
+  }
   CcfVariant variant() const override { return CcfVariant::kChained; }
 
   /// Rows absorbed by the chain-cap terminal case (always answered true).

@@ -40,6 +40,9 @@ class MixedCcf : public CcfBase {
                          const Predicate& pred) const override;
   Result<std::unique_ptr<KeyFilter>> PredicateQuery(
       const Predicate& pred) const override;
+  Result<std::unique_ptr<ConditionalCuckooFilter>> Clone() const override {
+    return std::unique_ptr<ConditionalCuckooFilter>(new MixedCcf(*this));
+  }
   CcfVariant variant() const override { return CcfVariant::kMixed; }
 
   /// Number of vector→Bloom conversions performed (diagnostics).

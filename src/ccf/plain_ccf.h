@@ -25,6 +25,9 @@ class PlainCcf : public CcfBase {
                          const Predicate& pred) const override;
   Result<std::unique_ptr<KeyFilter>> PredicateQuery(
       const Predicate& pred) const override;
+  Result<std::unique_ptr<ConditionalCuckooFilter>> Clone() const override {
+    return std::unique_ptr<ConditionalCuckooFilter>(new PlainCcf(*this));
+  }
   CcfVariant variant() const override { return CcfVariant::kPlain; }
 
  protected:

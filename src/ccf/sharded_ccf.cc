@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -128,6 +129,20 @@ void ShardedTwoPass(const ShardedCcf& self,
       [&](size_t i, const Addr& a) { resolve(i, a.shard, a.bucket, a.fp); });
 }
 
+// Deterministic per-shard error aggregation shared by InsertParallel and
+// CommitWrites: the LOWEST failing shard's status wins, independent of
+// thread scheduling.
+Status AggregateShardStatus(std::span<const Status> shard_status) {
+  for (size_t s = 0; s < shard_status.size(); ++s) {
+    if (!shard_status[s].ok()) {
+      return Status(shard_status[s].code(),
+                    "shard " + std::to_string(s) + ": " +
+                        shard_status[s].message());
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 ShardedCcf::ShardedCcf(
@@ -144,6 +159,15 @@ ShardedCcf::ShardedCcf(
   }
 }
 
+ShardedCcf::~ShardedCcf() {
+  // Watermark resizes capture `this`; join them before members die. Then
+  // run every deferred reclamation hook while the shards (whose spare
+  // slots the write-buffer recycle hooks touch) are still alive — epoch_
+  // itself is declared first, so destroyed last.
+  DrainMaintenance();
+  epoch_.Synchronize();
+}
+
 Result<std::unique_ptr<ShardedCcf>> ShardedCcf::Make(
     CcfVariant variant, const CcfConfig& config,
     const ShardedCcfOptions& options) {
@@ -152,6 +176,9 @@ Result<std::unique_ptr<ShardedCcf>> ShardedCcf::Make(
   }
   if (options.max_auto_resizes < 0) {
     return Status::Invalid("max_auto_resizes must be >= 0");
+  }
+  if (options.resize_watermark < 0.0 || options.resize_watermark >= 1.0) {
+    return Status::Invalid("resize_watermark must be in [0, 1)");
   }
   ShardedCcfOptions opts = options;
   opts.num_shards = static_cast<int>(
@@ -204,7 +231,251 @@ Status ShardedCcf::Insert(uint64_t key, std::span<const uint64_t> attrs) {
     shard.attrs.resize(shard.attrs.size() - attrs.size());
     shard.memo.resize(shard.memo.size() - 2);
   }
+  if (st.ok()) MaybeScheduleWatermarkResize(ShardOf(key), shard);
   return st;
+}
+
+// --- Write batching (the wait-free live-write path) --------------------------
+
+ShardedCcf::WriteBuffer* ShardedCcf::PendingWithRoom(Shard& shard,
+                                                     size_t rows_needed) {
+  WriteBuffer* cur = shard.pending.load(std::memory_order_relaxed);
+  size_t n = cur ? cur->size_unsync() : 0;
+  if (cur != nullptr && n + rows_needed <= cur->capacity()) return cur;
+
+  // Grow (or bootstrap) by replacement: build the bigger block privately,
+  // then swap it in with one seq_cst exchange. A reader pinned on the old
+  // block keeps scanning it safely until reclamation; a reader that loads
+  // the new pointer sees every copied row (the exchange release-publishes
+  // them).
+  size_t want = NextPowerOfTwo(std::max<uint64_t>(
+      64, std::max<uint64_t>(n + rows_needed,
+                             cur ? 2 * cur->capacity() : 0)));
+  const size_t num_attrs = static_cast<size_t>(config().num_attrs);
+  WriteBuffer* fresh = shard.spare.exchange(nullptr, std::memory_order_acq_rel);
+  if (fresh != nullptr && fresh->capacity() >= want) {
+    fresh->Reset();
+  } else {
+    delete fresh;
+    fresh = new WriteBuffer(want, num_attrs);
+  }
+  if (cur != nullptr) fresh->Adopt(*cur, n);
+  shard.pending.store(fresh, std::memory_order_seq_cst);
+  RetireBuffer(shard, cur);
+  return fresh;
+}
+
+void ShardedCcf::RetireBuffer(Shard& shard, WriteBuffer* old) {
+  if (old == nullptr) return;
+  // Not a plain delete: once no reader can hold the block, stash it in the
+  // shard's single recycle slot so steady-state staging reuses the
+  // allocation (util/epoch.h's generalized retire hook).
+  epoch_.RetireHook([&shard, old] {
+    WriteBuffer* prev = shard.spare.exchange(old, std::memory_order_acq_rel);
+    delete prev;
+  });
+}
+
+Status ShardedCcf::BufferWrite(uint64_t key, std::span<const uint64_t> attrs) {
+  if (static_cast<int>(attrs.size()) != config().num_attrs) {
+    return Status::Invalid("attribute count does not match schema");
+  }
+  Shard& shard = *shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.writer_mu);
+  WriteBuffer* buffer = PendingWithRoom(shard, 1);
+  uint64_t key_hash, payload;
+  static_cast<CcfBase*>(shard.handle.writable())
+      ->MemoizeRow(key, attrs, &key_hash, &payload);
+  buffer->Append(key, attrs, key_hash, payload);
+  return Status::OK();
+}
+
+Status ShardedCcf::BufferWriteBatch(std::span<const uint64_t> keys,
+                                    std::span<const uint64_t> attrs) {
+  const size_t num_attrs = static_cast<size_t>(config().num_attrs);
+  if (attrs.size() != keys.size() * num_attrs) {
+    return Status::Invalid(
+        "BufferWriteBatch: attrs must hold keys.size() * num_attrs values");
+  }
+  // Gather per shard first so each shard's writer mutex is taken once and
+  // its buffer grown at most once.
+  std::vector<std::vector<size_t>> shard_rows(shards_.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    shard_rows[ShardOf(keys[i])].push_back(i);
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (shard_rows[s].empty()) continue;
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.writer_mu);
+    WriteBuffer* buffer = PendingWithRoom(shard, shard_rows[s].size());
+    auto* base = static_cast<CcfBase*>(shard.handle.writable());
+    for (size_t i : shard_rows[s]) {
+      std::span<const uint64_t> row_attrs =
+          attrs.subspan(i * num_attrs, num_attrs);
+      uint64_t key_hash, payload;
+      base->MemoizeRow(keys[i], row_attrs, &key_hash, &payload);
+      buffer->Append(keys[i], row_attrs, key_hash, payload);
+    }
+  }
+  return Status::OK();
+}
+
+Status ShardedCcf::CommitShardLocked(size_t s, Shard& shard) {
+  WriteBuffer* pending = shard.pending.load(std::memory_order_relaxed);
+  size_t n = pending ? pending->size_unsync() : 0;
+  if (n == 0) return Status::OK();
+
+  std::span<const uint64_t> keys = pending->keys(n);
+  std::span<const uint64_t> attrs = pending->attrs(n);
+  std::span<const uint64_t> memo = pending->memo(n);
+
+  // Build the staged rows into a copy-on-write clone OFF the serving path:
+  // Clone shares the published table, and the clone's InsertBatch unshares
+  // it before the first write, so readers of the published snapshot never
+  // observe intermediate placement. The staged memo words feed InsertBatch's
+  // reuse path — commit re-masks, it never re-hashes.
+  CCF_ASSIGN_OR_RETURN(std::unique_ptr<ConditionalCuckooFilter> clone,
+                       shard.handle.writable()->Clone());
+  std::vector<uint64_t> memo_words(memo.begin(), memo.end());
+  Status st = clone->InsertBatch(keys, attrs, &memo_words);
+
+  bool committed = false;
+  if (st.ok()) {
+    shard.handle.Publish(std::move(clone));
+    committed = true;
+  } else if (st.code() == StatusCode::kCapacityError && resizable_ &&
+             options_.max_auto_resizes > 0) {
+    // The clone could not absorb the batch: fall back to the auto-resize
+    // doubling rebuild from the retained log WITH the pending rows appended
+    // (a successful rebuild publishes a table containing them).
+    size_t logged_keys = shard.keys.size();
+    size_t logged_attrs = shard.attrs.size();
+    size_t logged_memo = shard.memo.size();
+    shard.keys.insert(shard.keys.end(), keys.begin(), keys.end());
+    shard.attrs.insert(shard.attrs.end(), attrs.begin(), attrs.end());
+    shard.memo.insert(shard.memo.end(), memo.begin(), memo.end());
+    Status grown = GrowShardLocked(shard, std::move(st));
+    if (!grown.ok()) {
+      // No attempt published: un-append so the log mirrors exactly the
+      // committed row set, and keep the rows staged for a retry.
+      shard.keys.resize(logged_keys);
+      shard.attrs.resize(logged_attrs);
+      shard.memo.resize(logged_memo);
+      return grown;
+    }
+    // The rebuild placed the batch (the log already carries it): drop the
+    // overlay (ordering note below) and check the watermark.
+    RetireBuffer(shard,
+                 shard.pending.exchange(nullptr, std::memory_order_seq_cst));
+    MaybeScheduleWatermarkResize(s, shard);
+    return Status::OK();
+  }
+
+  if (!committed) {
+    // Commit failed (capacity with auto-resize unavailable, or a non-
+    // capacity error): the rows stay staged and overlay-visible so the
+    // caller can ResizeShard and retry without losing writes.
+    return st;
+  }
+
+  if (resizable_) {
+    // Mirror the batch into the retained row log in staging order — the
+    // same arrival-order contract the in-place paths keep, which is what
+    // makes a later log rebuild bit-identical to a from-scratch batched
+    // build of the full row set.
+    shard.keys.insert(shard.keys.end(), keys.begin(), keys.end());
+    shard.attrs.insert(shard.attrs.end(), attrs.begin(), attrs.end());
+    shard.memo.insert(shard.memo.end(), memo.begin(), memo.end());
+  }
+
+  // Drop the overlay only AFTER the new table is published: between the two
+  // swaps a reader may see the rows in both places (harmless — answers are
+  // a union); the reverse order would open a false-negative window.
+  RetireBuffer(shard,
+               shard.pending.exchange(nullptr, std::memory_order_seq_cst));
+  MaybeScheduleWatermarkResize(s, shard);
+  return Status::OK();
+}
+
+Status ShardedCcf::CommitWrites() {
+  std::vector<Status> shard_status(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.writer_mu);
+    shard_status[s] = CommitShardLocked(s, shard);
+  }
+  return AggregateShardStatus(shard_status);
+}
+
+std::future<Status> ShardedCcf::CommitWritesAsync() {
+  return std::async(std::launch::async, [this] { return CommitWrites(); });
+}
+
+uint64_t ShardedCcf::pending_writes() const {
+  EpochDomain::Guard guard = epoch_.Pin();
+  uint64_t n = 0;
+  for (const auto& s : shards_) {
+    const WriteBuffer* p = s->pending.load(std::memory_order_seq_cst);
+    if (p != nullptr) n += p->size();
+  }
+  return n;
+}
+
+void ShardedCcf::MaybeScheduleWatermarkResize(size_t s, Shard& shard) {
+  if (!resizable_ || options_.resize_watermark <= 0.0) return;
+  const auto* base = static_cast<const CcfBase*>(shard.handle.writable());
+  uint64_t slots = base->table().num_slots();
+  if (slots == 0 ||
+      static_cast<double>(base->num_entries()) <
+          options_.resize_watermark * static_cast<double>(slots)) {
+    return;
+  }
+  bool expected = false;
+  if (!shard.resize_scheduled.compare_exchange_strong(
+          expected, true, std::memory_order_acq_rel)) {
+    return;  // a resize for this shard is already in flight
+  }
+  std::lock_guard<std::mutex> lock(maintenance_mu_);
+  // Opportunistically reap finished futures so the list stays small.
+  maintenance_.erase(
+      std::remove_if(maintenance_.begin(), maintenance_.end(),
+                     [](std::future<Status>& f) {
+                       if (f.wait_for(std::chrono::seconds(0)) ==
+                           std::future_status::ready) {
+                         f.get();
+                         return true;
+                       }
+                       return false;
+                     }),
+      maintenance_.end());
+  maintenance_.push_back(std::async(std::launch::async, [this, s] {
+    // The doubling rebuild itself: runs on this background thread, takes
+    // the shard's writer mutex (so it serializes AFTER the commit that
+    // scheduled it releases the lock), publishes via epoch swap.
+    Status st = ResizeShard(static_cast<int>(s));
+    if (st.ok()) {
+      num_watermark_resizes_.fetch_add(1, std::memory_order_relaxed);
+    }
+    shards_[s]->resize_scheduled.store(false, std::memory_order_release);
+    return st;
+  }));
+}
+
+void ShardedCcf::DrainMaintenance() {
+  std::vector<std::future<Status>> pending;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(maintenance_mu_);
+      pending.swap(maintenance_);
+    }
+    if (pending.empty()) return;
+    // Background statuses are advisory (the policy re-fires at the next
+    // commit); joining is what matters here.
+    for (auto& f : pending) f.get();
+    pending.clear();
+    // A drained resize may have scheduled nothing more, but a commit racing
+    // with the drain could have; loop until the list stays empty.
+  }
 }
 
 Status ShardedCcf::InsertParallel(std::span<const uint64_t> keys,
@@ -286,6 +557,7 @@ Status ShardedCcf::InsertParallel(std::span<const uint64_t> keys,
         // readers of the shard keep probing the published snapshot.
         st = GrowShardLocked(shard, std::move(st));
       }
+      if (st.ok()) MaybeScheduleWatermarkResize(s, shard);
       shard_status[s] = std::move(st);
     }
   };
@@ -312,16 +584,7 @@ Status ShardedCcf::InsertParallel(std::span<const uint64_t> keys,
     }
   }
 
-  // Deterministic aggregation: the LOWEST failing shard's error is
-  // reported, independent of which worker thread observed an error first.
-  for (size_t s = 0; s < num_shards; ++s) {
-    if (!shard_status[s].ok()) {
-      return Status(shard_status[s].code(),
-                    "shard " + std::to_string(s) + ": " +
-                        shard_status[s].message());
-    }
-  }
-  return Status::OK();
+  return AggregateShardStatus(shard_status);
 }
 
 Status ShardedCcf::InsertBatch(std::span<const uint64_t> keys,
@@ -392,14 +655,44 @@ std::vector<const CcfBase*> ShardedCcf::LoadBases(
   return bases;
 }
 
+std::vector<const ShardedCcf::WriteBuffer*> ShardedCcf::LoadOverlays() const {
+  // Caller holds an epoch pin (same contract as LoadBases): a loaded block
+  // cannot be reclaimed until the pin dies, and rows published before the
+  // load are visible via the block's release/acquire size protocol.
+  std::vector<const WriteBuffer*> overlays(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const WriteBuffer* p =
+        shards_[s]->pending.load(std::memory_order_seq_cst);
+    overlays[s] = (p != nullptr && p->size() > 0) ? p : nullptr;
+  }
+  return overlays;
+}
+
 bool ShardedCcf::ContainsKey(uint64_t key) const {
   EpochDomain::Guard guard = epoch_.Pin();
-  return shards_[ShardOf(key)]->handle.Load(guard)->ContainsKey(key);
+  const Shard& shard = *shards_[ShardOf(key)];
+  // Staged-but-uncommitted rows answer through the exact overlay, so a
+  // BufferWrite is visible the moment it returns (Insert→Contains holds
+  // across the whole write cycle). Load order is the REVERSE of the
+  // writer's commit order (publish table, THEN drop overlay; both
+  // seq_cst): grab the overlay pointer BEFORE the table pointer, so an
+  // overlay observed already-dropped implies the table load sees the
+  // committed rows — a reader straddling a commit finds the row in one
+  // place or the other, never neither. (Probe order is free; only the
+  // pointer LOAD order matters, and a pinned overlay block keeps its rows
+  // even after being swapped out.)
+  const WriteBuffer* p = shard.pending.load(std::memory_order_seq_cst);
+  if (shard.handle.Load(guard)->ContainsKey(key)) return true;
+  return p != nullptr && p->ContainsKey(key);
 }
 
 bool ShardedCcf::Contains(uint64_t key, const Predicate& pred) const {
   EpochDomain::Guard guard = epoch_.Pin();
-  return shards_[ShardOf(key)]->handle.Load(guard)->Contains(key, pred);
+  const Shard& shard = *shards_[ShardOf(key)];
+  // Overlay pointer loaded before the table pointer — see ContainsKey.
+  const WriteBuffer* p = shard.pending.load(std::memory_order_seq_cst);
+  if (shard.handle.Load(guard)->Contains(key, pred)) return true;
+  return p != nullptr && p->Contains(key, pred);
 }
 
 Status ShardedCcf::LookupBatch(std::span<const uint64_t> keys,
@@ -410,8 +703,14 @@ Status ShardedCcf::LookupBatch(std::span<const uint64_t> keys,
 
   // One pin + one snapshot load per shard for the WHOLE batch: the loaded
   // pointers stay valid until the guard dies, however many resizes publish
-  // in the meantime.
+  // in the meantime. The pending overlays are bound the same way (one load
+  // per shard; rows staged after the load surface in the next batch) and
+  // MUST be loaded before the table snapshots — the reverse of the
+  // writer's publish-table-then-drop-overlay commit order — so a batch
+  // straddling a commit finds each row in the overlay or the table, never
+  // neither (see ContainsKey).
   EpochDomain::Guard guard = epoch_.Pin();
+  std::vector<const WriteBuffer*> overlays = LoadOverlays();
   std::vector<const CcfBase*> bases = LoadBases(guard);
 
   if (preds.size() == 1) {
@@ -441,7 +740,14 @@ Status ShardedCcf::LookupBatch(std::span<const uint64_t> keys,
       }
       CCF_RETURN_NOT_OK(bases[s]->LookupBatch(
           shard_keys[s], preds, std::span<bool>(shard_out.get(), n)));
-      for (size_t j = 0; j < n; ++j) out[shard_pos[s][j]] = shard_out[j];
+      const WriteBuffer* overlay = overlays[s];
+      for (size_t j = 0; j < n; ++j) {
+        bool hit = shard_out[j];
+        if (!hit && overlay != nullptr) {
+          hit = overlay->Contains(shard_keys[s][j], preds[0]);
+        }
+        out[shard_pos[s][j]] = hit;
+      }
     }
     return Status::OK();
   }
@@ -450,7 +756,9 @@ Status ShardedCcf::LookupBatch(std::span<const uint64_t> keys,
   ShardedTwoPass(*this, bases, keys,
                  [&](size_t i, size_t s, uint64_t bucket, uint32_t fp) {
                    out[i] = bases[s]->ContainsAddressed(bucket, fp,
-                                                        preds[i]);
+                                                        preds[i]) ||
+                            (overlays[s] != nullptr &&
+                             overlays[s]->Contains(keys[i], preds[i]));
                  });
   return Status::OK();
 }
@@ -459,10 +767,14 @@ void ShardedCcf::ContainsKeyBatch(std::span<const uint64_t> keys,
                                   std::span<bool> out) const {
   CCF_DCHECK(out.size() == keys.size());
   EpochDomain::Guard guard = epoch_.Pin();
+  // Overlays before tables — the commit-straddling order (see ContainsKey).
+  std::vector<const WriteBuffer*> overlays = LoadOverlays();
   std::vector<const CcfBase*> bases = LoadBases(guard);
   ShardedTwoPass(*this, bases, keys,
                  [&](size_t i, size_t s, uint64_t bucket, uint32_t fp) {
-                   out[i] = bases[s]->ContainsKeyAddressed(bucket, fp);
+                   out[i] = bases[s]->ContainsKeyAddressed(bucket, fp) ||
+                            (overlays[s] != nullptr &&
+                             overlays[s]->ContainsKey(keys[i]));
                  });
 }
 

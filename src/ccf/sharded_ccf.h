@@ -13,6 +13,19 @@
 //     In-place writes to a shard mutate its current snapshot, so readers of
 //     that specific shard must be quiesced during in-place writes — the same
 //     single-writer/multi-reader contract as the unsharded filter.
+//   * Batched writes never block readers: BufferWrite stages rows into a
+//     per-shard write buffer (readers see them immediately through an exact
+//     overlay probe, so Insert→Contains semantics hold before the commit),
+//     and CommitWrites builds the staged rows into a copy-on-write clone of
+//     the shard's filter OFF the serving path, publishing the result with
+//     the same epoch swap a resize uses. Readers stay pinned-lock-free
+//     through the whole write cycle; only stagers/committers of the SAME
+//     shard serialize with each other.
+//   * Proactive resize: with ShardedCcfOptions::resize_watermark set, a
+//     commit (or in-place insert) that leaves a shard's occupancy at or
+//     above the watermark schedules a background doubling resize BEFORE any
+//     insert fails, keeping CapacityError-triggered rebuilds off the tail
+//     latency path.
 //   * Resizes never block readers: ResizeShard rebuilds ONE shard at the new
 //     geometry from the shard's retained row log (re-placing rows from the
 //     hash memo, not re-hashing) and publishes the replacement via an atomic
@@ -30,6 +43,7 @@
 #ifndef CCF_CCF_SHARDED_CCF_H_
 #define CCF_CCF_SHARDED_CCF_H_
 
+#include <algorithm>
 #include <atomic>
 #include <future>
 #include <memory>
@@ -48,10 +62,20 @@ struct ShardedCcfOptions {
   int num_shards = 4;
   /// Threads used by InsertParallel; 0 means one per shard.
   int build_threads = 0;
-  /// Doubling resizes a single Insert/InsertParallel call may trigger
-  /// transparently per shard on CapacityError before surfacing the error.
-  /// 0 disables online resize (failures surface exactly as before).
+  /// Doubling resizes a single Insert/InsertParallel/CommitWrites call may
+  /// trigger transparently per shard on CapacityError before surfacing the
+  /// error. 0 disables online resize (failures surface exactly as before).
   int max_auto_resizes = 8;
+  /// Load-factor watermark for PROACTIVE background resize: when a commit
+  /// or in-place insert leaves a shard's occupancy / slots at or above this
+  /// fraction, a doubling ResizeShardAsync is scheduled for that shard so
+  /// the rebuild happens off the serving path before any insert fails
+  /// (CapacityError doubling then stays a fallback, not the steady-state
+  /// growth mechanism). 0 (the default) disables the policy — builds that
+  /// assert bit-identical geometry trajectories rely on that. 0.85 is a
+  /// good serving-side setting. Ignored on deserialized (log-less)
+  /// filters, which cannot resize.
+  double resize_watermark = 0.0;
 };
 
 /// \brief N independent CCF shards behind the ConditionalCuckooFilter
@@ -67,6 +91,11 @@ class ShardedCcf : public ConditionalCuckooFilter {
   static Result<std::unique_ptr<ShardedCcf>> Make(
       CcfVariant variant, const CcfConfig& config,
       const ShardedCcfOptions& options);
+
+  /// Joins in-flight watermark resizes and drains the epoch domain's
+  /// deferred reclamation (write-buffer recycle hooks reference the shards,
+  /// which must still be alive when the hooks run).
+  ~ShardedCcf() override;
 
   /// Routes the row to its shard (one writer per shard; takes that shard's
   /// writer mutex). On CapacityError the shard transparently resizes
@@ -106,6 +135,60 @@ class ShardedCcf : public ConditionalCuckooFilter {
                      std::span<const uint64_t> attrs,
                      std::vector<uint64_t>* hash_memo = nullptr) override;
 
+  /// Stages one row into its shard's write buffer WITHOUT touching the
+  /// published table snapshot: readers are never blocked and never see a
+  /// partial write, yet the row is immediately visible to every query
+  /// method through the pending-row overlay (exact key + attribute
+  /// matching, so no false negatives and no new false positives while
+  /// staged). O(1) amortized; serializes with other writers of the same
+  /// shard on its writer mutex. The row joins the table — and the retained
+  /// row log — at the next CommitWrites.
+  Status BufferWrite(uint64_t key, std::span<const uint64_t> attrs);
+
+  /// Bulk BufferWrite: row i is (keys[i], attrs[i*num_attrs ..)), row-major
+  /// like InsertParallel. Rows are gathered per shard and appended under
+  /// each shard's writer mutex once (per-shard staging order follows the
+  /// input order).
+  Status BufferWriteBatch(std::span<const uint64_t> keys,
+                          std::span<const uint64_t> attrs);
+
+  /// Publishes every shard's staged rows: per shard, clones the current
+  /// filter (Clone shares the table snapshot), batch-inserts the pending
+  /// rows into the clone — the clone copy-on-writes the table off the
+  /// serving path — and installs the result via the same epoch swap a
+  /// resize uses, then appends the rows to the retained row log and retires
+  /// the drained buffer once no reader can hold it. Readers stay
+  /// pinned-lock-free throughout and observe either (old table + overlay)
+  /// or the new table, never a gap. A shard whose commit hits CapacityError
+  /// transparently rebuilds at doubled geometry from its log (pending rows
+  /// included) like Insert does; if the watermark policy is enabled, a
+  /// post-commit occupancy at or above the watermark schedules a background
+  /// doubling resize. Per-shard errors aggregate deterministically (lowest
+  /// failing shard, "shard N: " prefix); a failed shard KEEPS its rows
+  /// staged — still overlay-visible — so the caller can resize and retry.
+  /// Works on deserialized filters too (no log to append to; the rows
+  /// simply become part of the published tables).
+  Status CommitWrites();
+
+  /// CommitWrites on a background thread; the future carries its Status.
+  std::future<Status> CommitWritesAsync();
+
+  /// Staged-but-uncommitted rows across all shards (not yet counted by
+  /// num_rows()).
+  uint64_t pending_writes() const;
+
+  /// Completed watermark-triggered background resizes (a subset of
+  /// num_resizes()).
+  uint64_t num_watermark_resizes() const {
+    return num_watermark_resizes_.load(std::memory_order_relaxed);
+  }
+
+  /// Blocks until every scheduled watermark resize has finished (their
+  /// Statuses are advisory and dropped — the policy retries at the next
+  /// commit if a background attempt failed). Deterministic tests and
+  /// drain-before-measure tooling use this; serving callers never need it.
+  void DrainMaintenance();
+
   /// Rebuilds shard `shard` at `new_num_buckets` buckets (0 → double the
   /// shard's current count) from its retained row log, publishing the
   /// replacement via epoch swap. Readers keep probing the old snapshot
@@ -131,6 +214,9 @@ class ShardedCcf : public ConditionalCuckooFilter {
   /// Derives one key filter per shard, routed like the source filter. The
   /// per-shard derived filters alias the shard snapshots (no table copy)
   /// and stay valid even if a later resize retires the shard object.
+  /// Snapshot semantics: the derivation covers COMMITTED rows only —
+  /// staged-but-uncommitted rows join derived filters after the next
+  /// CommitWrites (the direct query methods see them immediately).
   Result<std::unique_ptr<KeyFilter>> PredicateQuery(
       const Predicate& pred) const override;
 
@@ -162,6 +248,9 @@ class ShardedCcf : public ConditionalCuckooFilter {
   /// dispatches here when it leads a blob.
   static constexpr uint32_t kMagic = 0x53434631;
 
+  /// Serializes the COMMITTED state (the published shard tables). Staged
+  /// rows are not part of any table yet and are not serialized — call
+  /// CommitWrites first if they must be captured.
   std::string Serialize() const override;
   static Result<std::unique_ptr<ConditionalCuckooFilter>> Deserialize(
       std::string_view data);
@@ -179,19 +268,130 @@ class ShardedCcf : public ConditionalCuckooFilter {
   }
 
  private:
+  /// \brief One shard's staged-but-uncommitted rows: the epoch-protected
+  /// pending-row overlay.
+  ///
+  /// Publication protocol (the reason readers are wait-free): storage is
+  /// sized at construction and never reallocated; the writer (holding the
+  /// shard's writer mutex) writes a row's words and THEN publishes it with
+  /// a release store of the new size, so a reader that acquires `size()`
+  /// sees every word of rows [0, size). A full buffer is replaced wholesale
+  /// — copy rows into a bigger block, swap the shard's pending pointer, and
+  /// retire the old block into the epoch domain (recycled through the
+  /// shard's spare slot once no reader can hold it). Rows use the retained
+  /// row log's layout: keys + row-major attrs + two geometry-independent
+  /// memo words per row, so a commit feeds them straight into InsertBatch's
+  /// memo path and appends them to the log verbatim.
+  class WriteBuffer {
+   public:
+    WriteBuffer(size_t capacity, size_t num_attrs)
+        : capacity_(capacity),
+          num_attrs_(num_attrs),
+          keys_(capacity),
+          attrs_(capacity * num_attrs),
+          memo_(2 * capacity) {}
+
+    size_t capacity() const { return capacity_; }
+    /// Reader-side row count; rows [0, size) are fully published.
+    size_t size() const { return size_.load(std::memory_order_acquire); }
+    /// Writer-side count (callers hold the shard's writer mutex).
+    size_t size_unsync() const {
+      return size_.load(std::memory_order_relaxed);
+    }
+
+    /// Appends one row (writer-side; requires size_unsync() < capacity).
+    void Append(uint64_t key, std::span<const uint64_t> attrs,
+                uint64_t key_hash, uint64_t payload) {
+      size_t n = size_.load(std::memory_order_relaxed);
+      keys_[n] = key;
+      std::copy(attrs.begin(), attrs.end(),
+                attrs_.begin() + static_cast<ptrdiff_t>(n * num_attrs_));
+      memo_[2 * n] = key_hash;
+      memo_[2 * n + 1] = payload;
+      size_.store(n + 1, std::memory_order_release);
+    }
+
+    /// Copies the first `n` rows of `from` (builds the replacement block
+    /// before it is published; writer-side).
+    void Adopt(const WriteBuffer& from, size_t n) {
+      std::copy_n(from.keys_.begin(), n, keys_.begin());
+      std::copy_n(from.attrs_.begin(), n * num_attrs_, attrs_.begin());
+      std::copy_n(from.memo_.begin(), 2 * n, memo_.begin());
+      size_.store(n, std::memory_order_relaxed);
+    }
+
+    /// Reuse a recycled block (writer-side; no reader can hold it anymore).
+    void Reset() { size_.store(0, std::memory_order_relaxed); }
+
+    /// Overlay probes (reader-side, any thread, no locks): exact matching
+    /// over published rows — a staged row (k, a) answers true for (k, P)
+    /// iff P(a), which is precisely the no-false-negative contract and
+    /// introduces no approximation of its own.
+    bool ContainsKey(uint64_t key) const {
+      size_t n = size();
+      for (size_t i = 0; i < n; ++i) {
+        if (keys_[i] == key) return true;
+      }
+      return false;
+    }
+    bool Contains(uint64_t key, const Predicate& pred) const {
+      size_t n = size();
+      for (size_t i = 0; i < n; ++i) {
+        if (keys_[i] == key &&
+            pred.Matches(std::span<const uint64_t>(
+                attrs_.data() + i * num_attrs_, num_attrs_))) {
+          return true;
+        }
+      }
+      return false;
+    }
+
+    /// Row views over the first `n` rows (writer-side, for commit).
+    std::span<const uint64_t> keys(size_t n) const {
+      return {keys_.data(), n};
+    }
+    std::span<const uint64_t> attrs(size_t n) const {
+      return {attrs_.data(), n * num_attrs_};
+    }
+    std::span<const uint64_t> memo(size_t n) const {
+      return {memo_.data(), 2 * n};
+    }
+
+   private:
+    const size_t capacity_;
+    const size_t num_attrs_;
+    std::atomic<size_t> size_{0};
+    std::vector<uint64_t> keys_;
+    std::vector<uint64_t> attrs_;  // row-major
+    std::vector<uint64_t> memo_;   // 2 words per row
+  };
+
   /// Per-shard serving state: the epoch-swappable filter, the writer lock,
-  /// and the retained row log that resizes rebuild from. The log mirrors
-  /// every accepted row in arrival order together with its two
-  /// geometry-independent memo words (salt-keyed key hash + packed
-  /// payload), so a rebuild re-masks instead of re-hashing.
+  /// the retained row log that resizes rebuild from, and the pending
+  /// write-buffer overlay. The log mirrors every accepted row in arrival
+  /// order together with its two geometry-independent memo words
+  /// (salt-keyed key hash + packed payload), so a rebuild re-masks instead
+  /// of re-hashing.
   struct Shard {
     Shard(EpochDomain* domain, std::unique_ptr<ConditionalCuckooFilter> f)
         : handle(domain, std::move(f)) {}
+    ~Shard() {
+      delete pending.load(std::memory_order_relaxed);
+      delete spare.load(std::memory_order_relaxed);
+    }
     TableHandle<ConditionalCuckooFilter> handle;
     std::mutex writer_mu;
     std::vector<uint64_t> keys;   // guarded by writer_mu
     std::vector<uint64_t> attrs;  // row-major, guarded by writer_mu
     std::vector<uint64_t> memo;   // 2 words per row, guarded by writer_mu
+    /// Staged rows (null when none): readers load under an epoch pin;
+    /// writers mutate/swap under writer_mu. Swapped-out blocks are retired
+    /// into the epoch domain and recycled through `spare`.
+    std::atomic<WriteBuffer*> pending{nullptr};
+    /// Single-slot recycle stash fed by the epoch retire hook.
+    std::atomic<WriteBuffer*> spare{nullptr};
+    /// Guards against stacking duplicate watermark resizes for this shard.
+    std::atomic<bool> resize_scheduled{false};
   };
 
   ShardedCcf(std::vector<std::unique_ptr<ConditionalCuckooFilter>> shards,
@@ -203,9 +403,26 @@ class ShardedCcf : public ConditionalCuckooFilter {
   /// caller holds writer_mu and has just seen CapacityError.
   Status GrowShardLocked(Shard& shard, Status capacity_error);
 
+  /// A pending buffer with room for `rows_needed` more rows, swapping in a
+  /// grown (or recycled) block if necessary; caller holds writer_mu.
+  WriteBuffer* PendingWithRoom(Shard& shard, size_t rows_needed);
+  /// Retires a swapped-out buffer into the epoch domain; reclamation
+  /// recycles it through the shard's spare slot.
+  void RetireBuffer(Shard& shard, WriteBuffer* old);
+  /// Commits shard `s`'s staged rows (see CommitWrites); caller holds
+  /// writer_mu.
+  Status CommitShardLocked(size_t s, Shard& shard);
+  /// Schedules a background doubling resize if the shard's occupancy is at
+  /// or above the watermark; caller holds writer_mu.
+  void MaybeScheduleWatermarkResize(size_t s, Shard& shard);
+
   /// Every shard's current snapshot, loaded once under the caller's pin —
   /// THE way batch read paths bind the shard set.
   std::vector<const CcfBase*> LoadBases(const EpochDomain::Guard& guard) const;
+  /// Every shard's pending overlay, loaded once under the same pin; shards
+  /// with no staged rows are null so the (common) no-pending batch pays one
+  /// pointer load per shard and nothing else.
+  std::vector<const WriteBuffer*> LoadOverlays() const;
 
   /// Declared first so it is destroyed LAST: retired shard filters are
   /// freed by the domain's destructor after the handles are gone.
@@ -220,6 +437,11 @@ class ShardedCcf : public ConditionalCuckooFilter {
   uint64_t shard_mask_ = 0;
   Hasher shard_hasher_;
   std::atomic<uint64_t> num_resizes_{0};
+  std::atomic<uint64_t> num_watermark_resizes_{0};
+  /// In-flight watermark resizes (futures must be joined before the shards
+  /// they reference die); reaped opportunistically, drained on destruction.
+  mutable std::mutex maintenance_mu_;
+  std::vector<std::future<Status>> maintenance_;  // guarded by maintenance_mu_
   bool resizable_ = true;
 };
 

@@ -173,11 +173,36 @@ Result<BuiltCcf> BuildCcf(const TableData& table,
     opts.num_shards = params.num_shards;
     opts.build_threads = params.build_threads;
     opts.max_auto_resizes = params.max_rebuilds;
+    opts.resize_watermark = params.resize_watermark;
     CCF_ASSIGN_OR_RETURN(std::unique_ptr<ShardedCcf> sharded,
                          ShardedCcf::Make(params.variant, config, opts));
-    std::vector<uint64_t> hash_memo;
-    Status st = sharded->InsertParallel(rows.keys, rows.flat_attrs,
-                                        /*num_threads=*/0, &hash_memo);
+    Status st;
+    if (params.live_write_batch > 0) {
+      // Incremental-build entry point: grow the filter exactly the way a
+      // serving instance absorbs live traffic — stage a chunk into the
+      // per-shard write buffers, publish it with an epoch-swapped commit,
+      // repeat. The filter answers queries (wait-free, overlay-visible)
+      // after every chunk; watermark-triggered background resizes keep
+      // CapacityError off the commit path when params.resize_watermark is
+      // set.
+      const size_t num_attrs = static_cast<size_t>(config.num_attrs);
+      const size_t chunk = static_cast<size_t>(params.live_write_batch);
+      for (size_t begin = 0; begin < rows.keys.size() && st.ok();
+           begin += chunk) {
+        size_t n = std::min(chunk, rows.keys.size() - begin);
+        st = sharded->BufferWriteBatch(
+            std::span<const uint64_t>(rows.keys.data() + begin, n),
+            std::span<const uint64_t>(rows.flat_attrs.data() +
+                                          begin * num_attrs,
+                                      n * num_attrs));
+        if (st.ok()) st = sharded->CommitWrites();
+      }
+      sharded->DrainMaintenance();
+    } else {
+      std::vector<uint64_t> hash_memo;
+      st = sharded->InsertParallel(rows.keys, rows.flat_attrs,
+                                   /*num_threads=*/0, &hash_memo);
+    }
     if (!st.ok()) {
       return Status::CapacityError(
           "CCF for table '" + table.spec.name + "' failed after per-shard "

@@ -60,6 +60,17 @@ struct CcfBuildParams {
   int num_shards = 1;
   /// Threads for the sharded parallel build; 0 means one per shard.
   int build_threads = 0;
+  /// > 0 switches SHARDED builds to the live-write serving path: rows are
+  /// staged into per-shard write buffers in chunks of this many rows and
+  /// published with CommitWrites — the filter is continuously queryable
+  /// (wait-free reads) while it grows, exactly as a serving instance
+  /// absorbing traffic would be. 0 (default) keeps the offline
+  /// InsertParallel bulk build. Ignored when num_shards <= 1.
+  uint64_t live_write_batch = 0;
+  /// ShardedCcfOptions::resize_watermark for sharded builds: shards whose
+  /// occupancy crosses this load factor after a commit resize proactively
+  /// in the background instead of waiting for CapacityError. 0 disables.
+  double resize_watermark = 0.0;
 };
 
 /// The paper's evaluated settings (§10.5): large = 8-bit attributes, 12-bit

@@ -21,9 +21,11 @@ namespace ccf {
 ///
 /// Probes are read-only and safe for concurrent callers. When a table's
 /// filter is a ShardedCcf, probes are additionally safe DURING a background
-/// shard resize: each ProbeBatch pins the filter's epoch domain and
-/// resolves against immutable table snapshots, so evaluation can overlap a
-/// rebuild with no false negatives and no torn reads.
+/// shard resize AND during batched live writes: each ProbeBatch pins the
+/// filter's epoch domain and resolves against immutable table snapshots
+/// plus the exact pending-row overlay, so evaluation can overlap a rebuild
+/// or a BufferWrite/CommitWrites cycle with no false negatives and no torn
+/// reads — rows are probe-visible from the moment BufferWrite returns.
 class FilterSet {
  public:
   virtual ~FilterSet() = default;

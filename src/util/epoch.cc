@@ -57,6 +57,15 @@ uint64_t EpochDomain::MinActiveEpoch() const {
   return min;
 }
 
+void EpochDomain::RetireHook(std::function<void()> hook) {
+  auto* boxed = new std::function<void()>(std::move(hook));
+  RetireRaw(boxed, [](void* p) {
+    auto* fn = static_cast<std::function<void()>*>(p);
+    (*fn)();
+    delete fn;
+  });
+}
+
 void EpochDomain::RetireRaw(void* obj, void (*deleter)(void*)) {
   uint64_t epoch = global_epoch_.fetch_add(1, std::memory_order_seq_cst);
   {

@@ -27,6 +27,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -101,6 +102,16 @@ class EpochDomain {
     RetireRaw(obj.release(),
               [](void* p) { delete static_cast<T*>(p); });
   }
+
+  /// Defers an arbitrary cleanup action until every reader pinned before
+  /// the call has unpinned — the generalized retire hook for state that is
+  /// not a single deletable object. ShardedCcf uses it to RECYCLE retired
+  /// write-buffer blocks into a per-shard spare slot instead of freeing
+  /// them (steady-state staging then allocates nothing). The hook runs at
+  /// most once, on whichever thread reclaims (a later Retire/TryReclaim/
+  /// Synchronize or the domain destructor), so it must not assume a thread
+  /// and must not pin this domain.
+  void RetireHook(std::function<void()> hook);
 
   /// Frees every retired object whose retirement epoch every pinned reader
   /// has passed. Returns the number freed. Called opportunistically by

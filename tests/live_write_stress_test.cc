@@ -1,0 +1,364 @@
+// Wait-free live writes: continuous batched readers against concurrent
+// write-batch staging and commits (sync and async), across all 4 variants.
+// Committed rows must NEVER probe false — and staged rows must be visible
+// from the moment BufferWrite returns (the pending-row overlay). The suite
+// also covers commit-triggered capacity growth, the watermark resize policy
+// racing live readers, and the deserialized (log-less) write paths. Runs
+// under the CI ThreadSanitizer leg (with resize_stress_test, concurrency_
+// test, and epoch_test).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ccf/sharded_ccf.h"
+#include "util/random.h"
+
+namespace ccf {
+namespace {
+
+CcfConfig LiveConfig(uint64_t salt) {
+  CcfConfig config;
+  config.num_buckets = 512;  // small total budget: commits cross capacity
+  config.slots_per_bucket = 6;
+  config.key_fp_bits = 12;
+  config.attr_fp_bits = 8;
+  config.num_attrs = 2;
+  config.max_dupes = 3;
+  config.salt = salt;
+  return config;
+}
+
+struct Rows {
+  std::vector<uint64_t> keys;
+  std::vector<uint64_t> flat_attrs;  // row-major, 2 per key
+};
+
+Rows MakeRows(uint64_t first_key, int n, uint64_t seed) {
+  Rows rows;
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    rows.keys.push_back(first_key + static_cast<uint64_t>(i));
+    rows.flat_attrs.push_back(rng.NextBelow(200));
+    rows.flat_attrs.push_back(rng.NextBelow(50));
+  }
+  return rows;
+}
+
+class LiveWriteStressTest : public ::testing::TestWithParam<CcfVariant> {};
+
+TEST_P(LiveWriteStressTest, ReadersSeeEveryCommittedRowAcrossLiveCommits) {
+  ShardedCcfOptions opts;
+  opts.num_shards = 4;
+  opts.resize_watermark = 0.8;  // exercised concurrently with the readers
+  auto sharded =
+      ShardedCcf::Make(GetParam(), LiveConfig(21), opts).ValueOrDie();
+
+  // The writer publishes batches; readers probe every row of every batch
+  // the writer has marked committed. The filter starts small enough that
+  // several commits cross capacity (auto-resize) and the watermark fires —
+  // all while the readers hammer the batched paths.
+  constexpr int kBatches = 16;
+  constexpr int kRowsPerBatch = 400;
+  std::vector<Rows> batches;
+  for (int b = 0; b < kBatches; ++b) {
+    batches.push_back(MakeRows(static_cast<uint64_t>(b * kRowsPerBatch),
+                               kRowsPerBatch, 100 + static_cast<uint64_t>(b)));
+  }
+
+  // Readers probe every batch the writer has finished STAGING — the commit
+  // of the newest batch may be in flight, which is precisely the window
+  // where a row must be found in the overlay or the freshly published
+  // table, never neither (the reader-side overlay-before-table load order).
+  std::atomic<int> staged_batches{0};
+  std::atomic<bool> stop{false};
+  std::atomic<int> false_negatives{0};
+  std::atomic<int> failed_batches{0};
+  std::atomic<long> read_batches_done{0};
+
+  constexpr int kReaders = 3;
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      std::vector<uint64_t> keys;
+      std::vector<Predicate> preds;
+      std::vector<bool> expected;
+      std::unique_ptr<bool[]> out;
+      size_t out_cap = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        // Bind the staged prefix BEFORE probing: rows of batches [0, done)
+        // were visible (staged or committed) when this read batch began,
+        // so any false answer for them — mid-commit, mid-resize,
+        // whenever — is a false negative.
+        int done = staged_batches.load(std::memory_order_acquire);
+        if (done == 0) {
+          std::this_thread::yield();
+          continue;
+        }
+        keys.clear();
+        preds.clear();
+        for (int b = 0; b < done; ++b) {
+          const Rows& rows = batches[static_cast<size_t>(b)];
+          for (size_t i = 0; i < rows.keys.size(); ++i) {
+            keys.push_back(rows.keys[i]);
+            preds.push_back(
+                Predicate::Equals(0, rows.flat_attrs[2 * i])
+                    .AndEquals(1, rows.flat_attrs[2 * i + 1]));
+          }
+        }
+        if (keys.size() > out_cap) {
+          out.reset(new bool[keys.size()]);
+          out_cap = keys.size();
+        }
+        std::span<bool> out_span(out.get(), keys.size());
+        if (!sharded->LookupBatch(keys, preds, out_span).ok()) {
+          failed_batches.fetch_add(1);
+          continue;
+        }
+        for (size_t i = 0; i < keys.size(); ++i) {
+          if (!out[i]) false_negatives.fetch_add(1);
+        }
+        sharded->ContainsKeyBatch(keys, out_span);
+        for (size_t i = 0; i < keys.size(); ++i) {
+          if (!out[i]) false_negatives.fetch_add(1);
+        }
+        read_batches_done.fetch_add(1);
+      }
+    });
+  }
+
+  // Writer: stage + commit each batch, alternating the sync and async
+  // commit entry points. Staged rows are asserted visible BEFORE the
+  // commit (overlay), then the batch is marked committed for the readers.
+  for (int b = 0; b < kBatches; ++b) {
+    const Rows& rows = batches[static_cast<size_t>(b)];
+    ASSERT_TRUE(sharded->BufferWriteBatch(rows.keys, rows.flat_attrs).ok());
+    staged_batches.store(b + 1, std::memory_order_release);
+    // Insert→Contains before any commit: the overlay answers exactly.
+    for (size_t i = 0; i < rows.keys.size(); i += 37) {
+      ASSERT_TRUE(sharded->Contains(
+          rows.keys[i], Predicate::Equals(0, rows.flat_attrs[2 * i])
+                            .AndEquals(1, rows.flat_attrs[2 * i + 1])))
+          << "staged row " << i << " of batch " << b << " not visible";
+      ASSERT_TRUE(sharded->ContainsKey(rows.keys[i]));
+    }
+    EXPECT_EQ(sharded->pending_writes(), rows.keys.size());
+    if (b % 2 == 0) {
+      ASSERT_TRUE(sharded->CommitWrites().ok()) << "batch " << b;
+    } else {
+      std::future<Status> fut = sharded->CommitWritesAsync();
+      ASSERT_TRUE(fut.get().ok()) << "batch " << b;
+    }
+    EXPECT_EQ(sharded->pending_writes(), 0u);
+  }
+
+  // Let the readers overlap the final state, then stop.
+  long target = read_batches_done.load() + 2 * kReaders;
+  while (read_batches_done.load() < target) std::this_thread::yield();
+  stop.store(true, std::memory_order_release);
+  for (auto& r : readers) r.join();
+  sharded->DrainMaintenance();
+
+  EXPECT_EQ(false_negatives.load(), 0);
+  EXPECT_EQ(failed_batches.load(), 0);
+  EXPECT_GT(read_batches_done.load(), 0);
+  EXPECT_EQ(sharded->num_rows(),
+            static_cast<uint64_t>(kBatches) * kRowsPerBatch);
+  // The tiny initial geometry cannot hold 6400 rows: growth must have
+  // happened (watermark-scheduled, capacity-triggered, or both).
+  EXPECT_GT(sharded->num_resizes(), 0u);
+
+  // And every committed row still answers true after the dust settles.
+  for (const Rows& rows : batches) {
+    for (size_t i = 0; i < rows.keys.size(); ++i) {
+      ASSERT_TRUE(sharded->Contains(
+          rows.keys[i], Predicate::Equals(0, rows.flat_attrs[2 * i])
+                            .AndEquals(1, rows.flat_attrs[2 * i + 1])));
+    }
+  }
+}
+
+TEST_P(LiveWriteStressTest, StagedRowsVisibleOnEveryReadPath) {
+  ShardedCcfOptions opts;
+  opts.num_shards = 4;
+  CcfConfig config = LiveConfig(7);
+  config.num_buckets = 4096;  // ample: no growth noise in this test
+  auto sharded = ShardedCcf::Make(GetParam(), config, opts).ValueOrDie();
+
+  Rows committed = MakeRows(0, 600, 3);
+  ASSERT_TRUE(sharded->InsertParallel(committed.keys,
+                                      committed.flat_attrs).ok());
+  Rows staged = MakeRows(10000, 300, 5);
+  ASSERT_TRUE(sharded->BufferWriteBatch(staged.keys, staged.flat_attrs).ok());
+  EXPECT_EQ(sharded->pending_writes(), staged.keys.size());
+  // num_rows counts committed rows only; pending_writes complements it.
+  EXPECT_EQ(sharded->num_rows(), committed.keys.size());
+
+  auto expect_all_true = [&](const char* what) {
+    const size_t n = staged.keys.size();
+    std::vector<Predicate> preds;
+    preds.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      preds.push_back(Predicate::Equals(0, staged.flat_attrs[2 * i])
+                          .AndEquals(1, staged.flat_attrs[2 * i + 1]));
+    }
+    // Scalar paths.
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_TRUE(sharded->ContainsKey(staged.keys[i])) << what << " " << i;
+      EXPECT_TRUE(sharded->Contains(staged.keys[i], preds[i]))
+          << what << " " << i;
+    }
+    // Batched per-key-predicate, broadcast, and key-only paths.
+    std::unique_ptr<bool[]> out(new bool[n]);
+    std::span<bool> out_span(out.get(), n);
+    ASSERT_TRUE(sharded->LookupBatch(staged.keys, preds, out_span).ok());
+    for (size_t i = 0; i < n; ++i) EXPECT_TRUE(out[i]) << what << " " << i;
+    sharded->ContainsKeyBatch(staged.keys, out_span);
+    for (size_t i = 0; i < n; ++i) EXPECT_TRUE(out[i]) << what << " " << i;
+    Predicate broadcast = Predicate::Equals(0, staged.flat_attrs[0])
+                              .AndEquals(1, staged.flat_attrs[1]);
+    ASSERT_TRUE(sharded
+                    ->LookupBatch(std::span<const uint64_t>(&staged.keys[0], 1),
+                                  std::span<const Predicate>(&broadcast, 1),
+                                  std::span<bool>(out.get(), 1))
+                    .ok());
+    EXPECT_TRUE(out[0]) << what << " broadcast";
+  };
+  expect_all_true("staged");
+
+  // The satellite claim: overlay answers agree with post-commit answers for
+  // every pending row — commit and re-run the exact same probes.
+  ASSERT_TRUE(sharded->CommitWrites().ok());
+  EXPECT_EQ(sharded->pending_writes(), 0u);
+  EXPECT_EQ(sharded->num_rows(),
+            committed.keys.size() + staged.keys.size());
+  expect_all_true("committed");
+}
+
+TEST_P(LiveWriteStressTest, CommitGrowsShardOnCapacity) {
+  // Tiny shards, no watermark: commits must cross CapacityError and grow
+  // transparently through the log rebuild, never losing a row.
+  CcfConfig config = LiveConfig(13);
+  config.num_buckets = 64;
+  ShardedCcfOptions opts;
+  opts.num_shards = 2;
+  auto sharded = ShardedCcf::Make(GetParam(), config, opts).ValueOrDie();
+
+  constexpr int kBatches = 8;
+  constexpr int kRowsPerBatch = 300;
+  for (int b = 0; b < kBatches; ++b) {
+    Rows rows = MakeRows(static_cast<uint64_t>(b * kRowsPerBatch),
+                         kRowsPerBatch, 40 + static_cast<uint64_t>(b));
+    ASSERT_TRUE(sharded->BufferWriteBatch(rows.keys, rows.flat_attrs).ok());
+    ASSERT_TRUE(sharded->CommitWrites().ok()) << "batch " << b;
+  }
+  EXPECT_GT(sharded->num_resizes(), 0u);
+  EXPECT_EQ(sharded->num_rows(),
+            static_cast<uint64_t>(kBatches) * kRowsPerBatch);
+  for (uint64_t k = 0; k < kBatches * kRowsPerBatch; ++k) {
+    ASSERT_TRUE(sharded->ContainsKey(k)) << "key " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, LiveWriteStressTest,
+    ::testing::Values(CcfVariant::kPlain, CcfVariant::kChained,
+                      CcfVariant::kBloom, CcfVariant::kMixed),
+    [](const ::testing::TestParamInfo<CcfVariant>& pinfo) {
+      return std::string(CcfVariantName(pinfo.param));
+    });
+
+TEST(LiveWriteDeserializedTest, LogLessFiltersTakeWritesCleanly) {
+  // Deserialized filters carry tables but no row log: in-place Insert,
+  // BufferWrite, and CommitWrites must all keep working (clean OK
+  // statuses, rows visible) — only resize, which NEEDS the log, stays
+  // guarded, and the watermark policy must therefore never fire.
+  ShardedCcfOptions opts;
+  opts.num_shards = 2;
+  opts.resize_watermark = 0.05;  // would fire constantly on a live filter
+  CcfConfig config = LiveConfig(3);
+  config.num_buckets = 2048;
+  auto sharded =
+      ShardedCcf::Make(CcfVariant::kChained, config, opts).ValueOrDie();
+  Rows rows = MakeRows(0, 500, 11);
+  ASSERT_TRUE(sharded->InsertParallel(rows.keys, rows.flat_attrs).ok());
+
+  std::string blob = sharded->Serialize();
+  auto restored_base =
+      ConditionalCuckooFilter::Deserialize(blob).ValueOrDie();
+  auto* restored = static_cast<ShardedCcf*>(restored_base.get());
+  ASSERT_FALSE(restored->resizable());
+
+  // In-place Insert: clean OK, immediately visible.
+  std::vector<uint64_t> attrs = {42, 7};
+  ASSERT_TRUE(restored->Insert(90001, attrs).ok());
+  EXPECT_TRUE(restored->ContainsRow(90001, attrs));
+
+  // Staged write: clean OK, overlay-visible, then commit publishes it.
+  ASSERT_TRUE(restored->BufferWrite(90002, attrs).ok());
+  EXPECT_TRUE(restored->ContainsRow(90002, attrs));
+  EXPECT_EQ(restored->pending_writes(), 1u);
+  ASSERT_TRUE(restored->CommitWrites().ok());
+  EXPECT_EQ(restored->pending_writes(), 0u);
+  EXPECT_TRUE(restored->ContainsRow(90002, attrs));
+
+  // An empty commit is a clean no-op too.
+  ASSERT_TRUE(restored->CommitWrites().ok());
+
+  // The watermark paths ran above (Insert and CommitWrites both check it)
+  // with a watermark low enough to trigger on any live filter — on the
+  // log-less filter it must have been skipped entirely.
+  restored->DrainMaintenance();
+  EXPECT_EQ(restored->num_resizes(), 0u);
+  EXPECT_EQ(restored->num_watermark_resizes(), 0u);
+
+  // Explicit resize stays guarded with the row-log message.
+  Status st = restored->ResizeShard(0);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("row log"), std::string::npos);
+}
+
+TEST(LiveWriteDeserializedTest, CommitCapacityErrorIsCleanWithoutLog) {
+  // Saturate a deserialized Plain filter through the commit path: with no
+  // log there is no rebuild fallback, so the commit must surface a clean
+  // CapacityError, keep the rows staged (overlay-visible), and leave the
+  // committed state intact.
+  CcfConfig config = LiveConfig(17);
+  config.num_buckets = 4;
+  ShardedCcfOptions opts;
+  opts.num_shards = 2;
+  opts.max_auto_resizes = 0;
+  auto sharded =
+      ShardedCcf::Make(CcfVariant::kPlain, config, opts).ValueOrDie();
+  std::string blob = sharded->Serialize();
+  auto restored_base =
+      ConditionalCuckooFilter::Deserialize(blob).ValueOrDie();
+  auto* restored = static_cast<ShardedCcf*>(restored_base.get());
+
+  // One key, many distinct attribute vectors: Plain keeps duplicates in a
+  // single bucket pair, which must overflow.
+  std::vector<uint64_t> keys;
+  std::vector<uint64_t> flat_attrs;
+  for (uint64_t i = 0; i < 64; ++i) {
+    keys.push_back(7);
+    flat_attrs.push_back(i);
+    flat_attrs.push_back(i + 1);
+  }
+  ASSERT_TRUE(restored->BufferWriteBatch(keys, flat_attrs).ok());
+  Status st = restored->CommitWrites();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCapacityError);
+  EXPECT_NE(st.message().find("shard"), std::string::npos);
+  // Failed commits keep the batch staged — still answering probes.
+  EXPECT_EQ(restored->pending_writes(), keys.size());
+  EXPECT_TRUE(restored->ContainsRow(
+      7, std::vector<uint64_t>{63, 64}));
+}
+
+}  // namespace
+}  // namespace ccf

@@ -3,6 +3,7 @@
 //
 // Usage:
 //   bench_history_check [--threshold PCT] [--min-history N]
+//                       [--exclude SUBSTR ...]
 //                       history1.json [history2.json ...] current.json
 //
 // The LAST path is the run under test; every earlier path is history. For
@@ -14,6 +15,11 @@
 // step, so a flag is a review nudge, not a red build. With fewer than
 // --min-history (default 1) history files, or rows with zero throughput
 // (time-only benchmarks), the tool reports and exits 0.
+//
+// --exclude SUBSTR (repeatable) skips current-run rows whose key contains
+// SUBSTR: CI's BLOCKING invocation excludes rows too new to have committed
+// baseline history (e.g. the write-mix rows) while its advisory invocation
+// still covers everything.
 //
 // History sources, as CI wires them: the COMMITTED rolling baseline
 // (bench/baselines/*.json, refreshed by hand from a representative recent
@@ -107,15 +113,18 @@ int main(int argc, char** argv) {
   double threshold_pct = 15.0;
   size_t min_history = 1;
   std::vector<std::string> paths;
+  std::vector<std::string> excludes;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
       threshold_pct = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--min-history") == 0 && i + 1 < argc) {
       min_history = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--exclude") == 0 && i + 1 < argc) {
+      excludes.emplace_back(argv[++i]);
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr,
                    "usage: %s [--threshold PCT] [--min-history N] "
-                   "history... current.json\n",
+                   "[--exclude SUBSTR ...] history... current.json\n",
                    argv[0]);
       return 2;
     } else {
@@ -145,8 +154,19 @@ int main(int argc, char** argv) {
     }
   }
 
-  int regressions = 0, compared = 0;
+  int regressions = 0, compared = 0, excluded = 0;
   for (const BenchRow& row : current) {
+    bool skip = false;
+    for (const std::string& sub : excludes) {
+      if (row.key.find(sub) != std::string::npos) {
+        skip = true;
+        break;
+      }
+    }
+    if (skip) {
+      ++excluded;
+      continue;
+    }
     auto it = history.find(row.key);
     if (it == history.end() || row.keys_per_second <= 0.0) continue;
     ++compared;
@@ -165,7 +185,7 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("bench_history_check: %d row(s) compared against %zu history "
-              "run(s), %d regression(s)\n",
-              compared, paths.size() - 1, regressions);
+              "run(s), %d excluded, %d regression(s)\n",
+              compared, paths.size() - 1, excluded, regressions);
   return regressions > 0 ? 1 : 0;
 }

@@ -7,6 +7,7 @@
 //                [--attr-bits B] [--key-bits B] [--bloom-bits B]
 //                [--seed S] [--per-instance]
 //                [--build scalar|scalar-packed|batch]
+//                [--live-writes] [--shards N] [--write-batch N]
 //
 // --build defaults to scalar: the row-at-a-time insertion order makes slot
 // assignment — and therefore the FP-level RF/FPR numbers printed here —
@@ -17,6 +18,15 @@
 // packed-compare fast path (CcfBuildParams::reproducible_scalar = false):
 // displacement-free rows dedupe via one word compare and land via one
 // field store.
+//
+// --live-writes builds each table's filter through the SERVING write path
+// instead of the offline bulk build: a sharded filter (default 8 shards,
+// override with --shards) absorbs the rows as epoch-published write-batch
+// commits of --write-batch rows (default 8192) with the load-factor
+// watermark resize policy active (0.85) — the filter stays wait-free
+// queryable the whole time. Query answers keep the usual guarantees; slot
+// placement (hence FP noise) reflects the commit schedule rather than the
+// one-shot build.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,6 +47,9 @@ struct Options {
   bool per_instance = false;
   bool batch_build = false;
   bool reproducible_scalar = true;
+  bool live_writes = false;
+  int shards = 8;
+  uint64_t write_batch = 8192;
 };
 
 void PrintUsageAndExit(const char* argv0) {
@@ -44,7 +57,8 @@ void PrintUsageAndExit(const char* argv0) {
                "usage: %s [--scale N] [--variant bloom|mixed|chained]\n"
                "          [--attr-bits B] [--key-bits B] [--bloom-bits B]\n"
                "          [--seed S] [--per-instance]\n"
-               "          [--build scalar|scalar-packed|batch]\n",
+               "          [--build scalar|scalar-packed|batch]\n"
+               "          [--live-writes] [--shards N] [--write-batch N]\n",
                argv0);
   std::exit(2);
 }
@@ -89,6 +103,19 @@ ccf::Result<Options> Parse(int argc, char** argv) {
       opts.seed = static_cast<uint64_t>(std::atoll(v));
     } else if (arg == "--per-instance") {
       opts.per_instance = true;
+    } else if (arg == "--live-writes") {
+      opts.live_writes = true;
+    } else if (arg == "--shards") {
+      CCF_ASSIGN_OR_RETURN(const char* v, next());
+      opts.shards = std::atoi(v);
+      if (opts.shards < 2) {
+        return ccf::Status::Invalid("--shards must be >= 2");
+      }
+    } else if (arg == "--write-batch") {
+      CCF_ASSIGN_OR_RETURN(const char* v, next());
+      long long n = std::atoll(v);
+      if (n < 1) return ccf::Status::Invalid("--write-batch must be >= 1");
+      opts.write_batch = static_cast<uint64_t>(n);
     } else if (arg == "--build") {
       CCF_ASSIGN_OR_RETURN(const char* v, next());
       if (std::strcmp(v, "batch") == 0) {
@@ -137,6 +164,14 @@ int main(int argc, char** argv) {
   params.bloom_bits = opts.bloom_bits;
   params.batch_build = opts.batch_build;
   params.reproducible_scalar = opts.reproducible_scalar;
+  if (opts.live_writes) {
+    params.num_shards = opts.shards;
+    params.live_write_batch = opts.write_batch;
+    params.resize_watermark = 0.85;
+    std::printf(
+        "live-write build: %d shards, %llu-row commits, watermark 0.85\n",
+        opts.shards, static_cast<unsigned long long>(opts.write_batch));
+  }
   std::printf("building %s CCFs (|α|=%d, |κ|=%d)...\n",
               std::string(CcfVariantName(opts.variant)).c_str(),
               opts.attr_bits, opts.key_bits);
