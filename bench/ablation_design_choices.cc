@@ -18,7 +18,8 @@ namespace {
 // (a) Small-value optimization: with a low-cardinality attribute domain
 // (< 2^|α|), exact storage eliminates attribute false positives entirely.
 void AblateSmallValueOpt() {
-  std::printf("--- (a) §9 small-value optimization (attr domain {0..15}, |α|=4)\n");
+  std::printf(
+      "--- (a) §9 small-value optimization (attr domain {0..15}, |α|=4)\n");
   std::printf("%-22s %18s\n", "setting", "attr_fpr (measured)");
   for (bool opt : {true, false}) {
     CcfConfig config;
@@ -56,7 +57,9 @@ void AblateSmallValueOpt() {
 // key; with more duplicates the sketch saturates and FPR degrades versus a
 // small fixed count.
 void AblateBloomHashes() {
-  std::printf("--- (b) §10.4 Bloom sketch hash count (16-bit sketches, 6 dupes/key)\n");
+  std::printf(
+      "--- (b) §10.4 Bloom sketch hash count (16-bit sketches, 6 "
+      "dupes/key)\n");
   std::printf("%-22s %8s %18s\n", "setting", "hashes", "attr_fpr (measured)");
   for (bool optimize : {false, true}) {
     CcfConfig config;
@@ -90,8 +93,9 @@ void AblateBloomHashes() {
                 optimize ? 5 : probe_config.bloom_hashes,
                 static_cast<double>(fp) / static_cast<double>(probes));
   }
-  std::printf("Expected: the \"optimized\" count overfills the small sketch\n"
-              "once keys hold >2 duplicate vectors — uniformly worse (§10.4).\n\n");
+  std::printf(
+      "Expected: the \"optimized\" count overfills the small sketch\n"
+      "once keys hold >2 duplicate vectors — uniformly worse (§10.4).\n\n");
 }
 
 // (c) Bucket-size rule b ≈ 2d: smaller buckets fail early under duplicates;

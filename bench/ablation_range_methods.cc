@@ -13,7 +13,8 @@
 
 int main() {
   using namespace ccf;
-  bench::Banner("Ablation", "range predicates: binning (§9.1) vs dyadic (§9.1 alt)");
+  bench::Banner("Ablation",
+                "range predicates: binning (§9.1) vs dyadic (§9.1 alt)");
 
   constexpr uint64_t kKeys = 4000;
   constexpr int64_t kDomainHi = 1023;

@@ -32,9 +32,9 @@ inline int RunsFromEnv(int default_runs) {
 
 /// Prints the experiment banner.
 inline void Banner(const std::string& id, const std::string& what) {
-  std::printf("==================================================================\n");
+  std::printf("============================================================\n");
   std::printf("%s — %s\n", id.c_str(), what.c_str());
-  std::printf("==================================================================\n");
+  std::printf("============================================================\n");
 }
 
 inline double Mb(uint64_t bits) {

@@ -125,10 +125,12 @@ int main() {
              (static_cast<double>(n) * std::log2(1.0 / rho));
     };
     std::printf("\nset-case reference (no duplicates, ≈95%% load, |κ|=12):\n");
-    std::printf("  plain cuckoo filter      bit efficiency %.2f (paper ≈1.53)\n",
-                measure(plain, n_plain));
-    std::printf("  semi-sorted (§4.2)       bit efficiency %.2f (paper ≈1.37)\n",
-                measure(sorted, n_sorted));
+    std::printf(
+        "  plain cuckoo filter      bit efficiency %.2f (paper ≈1.53)\n",
+        measure(plain, n_plain));
+    std::printf(
+        "  semi-sorted (§4.2)       bit efficiency %.2f (paper ≈1.37)\n",
+        measure(sorted, n_sorted));
   }
   std::printf(
       "\nReference points: Bloom filter ≈ 1.44; optimized chained filter in\n"

@@ -59,13 +59,17 @@ void RunSize(const JobLightEnv& env, bool large) {
   PrintSeries(large ? "Fig 6b" : "Fig 6d", "cuckoo_filter", cuckoo_rf, bloom,
               mixed, chained);
 
-  std::printf("\nAggregates (%s): sizes MB — bloom %.2f mixed %.2f chained %.2f cuckoo %.2f\n",
-              size_name, Mb(bloom.size_bits), Mb(mixed.size_bits),
-              Mb(chained.size_bits), Mb(cuckoo.size_bits));
-  std::printf("  overall RF: exact=%.3f binned=%.3f bloom=%.3f mixed=%.3f chained=%.3f cuckoo=%.3f\n",
-              bloom.agg.rf_semijoin, bloom.agg.rf_semijoin_binned,
-              bloom.agg.rf_filtered, mixed.agg.rf_filtered,
-              chained.agg.rf_filtered, cuckoo.agg.rf_filtered);
+  std::printf(
+      "\nAggregates (%s): sizes MB — bloom %.2f mixed %.2f chained %.2f "
+      "cuckoo %.2f\n",
+      size_name, Mb(bloom.size_bits), Mb(mixed.size_bits),
+      Mb(chained.size_bits), Mb(cuckoo.size_bits));
+  std::printf(
+      "  overall RF: exact=%.3f binned=%.3f bloom=%.3f mixed=%.3f "
+      "chained=%.3f cuckoo=%.3f\n",
+      bloom.agg.rf_semijoin, bloom.agg.rf_semijoin_binned,
+      bloom.agg.rf_filtered, mixed.agg.rf_filtered,
+      chained.agg.rf_filtered, cuckoo.agg.rf_filtered);
   std::printf("  FPR vs binned semijoin: bloom=%.4f mixed=%.4f chained=%.4f\n",
               bloom.agg.fpr_vs_binned, mixed.agg.fpr_vs_binned,
               chained.agg.fpr_vs_binned);
@@ -77,7 +81,8 @@ void RunSize(const JobLightEnv& env, bool large) {
 int main() {
   using namespace ccf::bench;
   double scale = ScaleFromEnv(128);
-  Banner("Figure 6", "JOB-light reduction factors per instance + §10.6 aggregates");
+  Banner("Figure 6",
+         "JOB-light reduction factors per instance + §10.6 aggregates");
   std::printf("scale = 1/%.0f of full IMDB\n", 1.0 / scale);
   JobLightEnv env = JobLightEnv::Make(scale, 7);
   std::printf("instances: %zu (paper: 237)\n", env.evaluator->exact().size());

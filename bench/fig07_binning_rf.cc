@@ -42,7 +42,9 @@ int main() {
                   mixed.results[idx].RfFiltered(),
                   chained.results[idx].RfFiltered());
     }
-    std::printf("aggregate: exact=%.3f binned=%.3f bloom=%.3f mixed=%.3f chained=%.3f\n",
+    std::printf(
+        "aggregate: exact=%.3f binned=%.3f bloom=%.3f mixed=%.3f "
+        "chained=%.3f\n",
                 bloom.agg.rf_semijoin, bloom.agg.rf_semijoin_binned,
                 bloom.agg.rf_filtered, mixed.agg.rf_filtered,
                 chained.agg.rf_filtered);

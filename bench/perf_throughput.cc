@@ -449,6 +449,125 @@ BENCHMARK(BM_HotMixedReadWrite)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// Full-CRUD serving mix on one sharded filter: 80% batched lookups, 20%
+// writes split across BufferWriteBatch inserts, BufferUpdate attribute
+// swaps, and BufferErase tombstones, committed per block — the serving
+// shape the tombstone/compaction machinery exists for. Updates and erases
+// target previously committed rows with their exact current attribute
+// vectors, so every tombstone does real reclamation work, and the 0.3
+// compact watermark makes log compactions part of the measured steady
+// state (their count is reported as a counter).
+void BM_HotCrudMix(benchmark::State& state) {
+  CcfConfig config = HotPathConfig();
+  config.num_buckets = uint64_t{1} << std::min(HotBucketsLog2(), 16);
+  ShardedCcfOptions opts;
+  opts.num_shards = 8;
+  opts.resize_watermark = 0.85;
+  opts.compact_watermark = 0.3;
+
+  const uint64_t base_rows = config.num_buckets * 6 / 2;  // ~50% load
+  std::vector<uint64_t> keys;
+  std::vector<uint64_t> flat_attrs;
+  keys.reserve(base_rows);
+  flat_attrs.reserve(2 * base_rows);
+  for (uint64_t k = 0; k < base_rows; ++k) {
+    keys.push_back(k);
+    flat_attrs.push_back(k % 997);
+    flat_attrs.push_back(k % 31);
+  }
+  constexpr size_t kOps = 1 << 18;
+  constexpr size_t kBlock = 8192;
+  Rng rng(43);
+  std::vector<uint64_t> probe_keys;
+  probe_keys.reserve(kOps);
+  for (size_t i = 0; i < kOps; ++i) {
+    probe_keys.push_back(rng.NextBelow(2 * base_rows));
+  }
+  Predicate pred = Predicate::Equals(0, 123).AndEquals(1, 7);
+  std::unique_ptr<bool[]> out(new bool[kBlock]);
+  // Churn rows live above the base key range; attrs are a deterministic
+  // function of (row, version) so updates/erases always present the exact
+  // current vector.
+  auto churn_attr = [](uint64_t i, uint64_t version, uint64_t* a0,
+                       uint64_t* a1) {
+    uint64_t v = i * 131 + version * 17;
+    *a0 = v % 997;
+    *a1 = v % 31;
+  };
+  std::vector<uint64_t> write_keys;
+  std::vector<uint64_t> write_attrs;
+  uint64_t size_bits = 0;
+  uint64_t compactions = 0;
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto sharded =
+        ShardedCcf::Make(CcfVariant::kChained, config, opts).ValueOrDie();
+    sharded->InsertParallel(keys, flat_attrs).Abort();
+    std::vector<uint32_t> version;  // per churn row; grows with inserts
+    size_t erase_cursor = 0;        // churn rows [0, erase_cursor) are gone
+    state.ResumeTiming();
+
+    for (size_t begin = 0; begin < kOps; begin += kBlock) {
+      size_t block = std::min(kBlock, kOps - begin);
+      size_t writes = block * 20 / 100;
+      size_t reads = block - writes;
+      sharded
+          ->LookupBatch(
+              std::span<const uint64_t>(probe_keys.data() + begin, reads),
+              std::span<const Predicate>(&pred, 1),
+              std::span<bool>(out.get(), reads))
+          .Abort();
+      size_t live = version.size() - erase_cursor;
+      size_t erases = std::min(writes / 3, live);
+      size_t updates = std::min(writes / 3, live - erases);
+      size_t inserts = writes - erases - updates;
+      uint64_t a0, a1;
+      for (size_t e = 0; e < erases; ++e, ++erase_cursor) {
+        uint64_t i = erase_cursor;
+        churn_attr(i, version[i], &a0, &a1);
+        uint64_t attrs[2] = {a0, a1};
+        sharded->BufferErase(base_rows + i, attrs).Abort();
+      }
+      for (size_t u = 0; u < updates; ++u) {
+        uint64_t i = erase_cursor + u;
+        churn_attr(i, version[i], &a0, &a1);
+        uint64_t old_attrs[2] = {a0, a1};
+        churn_attr(i, version[i] + 1, &a0, &a1);
+        uint64_t new_attrs[2] = {a0, a1};
+        sharded->BufferUpdate(base_rows + i, old_attrs, new_attrs).Abort();
+        ++version[i];
+      }
+      if (inserts > 0) {
+        write_keys.clear();
+        write_attrs.clear();
+        for (size_t w = 0; w < inserts; ++w) {
+          uint64_t i = version.size();
+          churn_attr(i, 0, &a0, &a1);
+          write_keys.push_back(base_rows + i);
+          write_attrs.push_back(a0);
+          write_attrs.push_back(a1);
+          version.push_back(0);
+        }
+        sharded->BufferWriteBatch(write_keys, write_attrs).Abort();
+      }
+      sharded->CommitWrites().Abort();
+      benchmark::DoNotOptimize(out.get());
+    }
+    state.PauseTiming();
+    sharded->DrainMaintenance();
+    size_bits = sharded->SizeInBits();
+    compactions += sharded->num_compactions();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(kOps));
+  SetTableMb(state, size_bits);
+  state.counters["compactions"] =
+      benchmark::Counter(static_cast<double>(compactions));
+  state.SetLabel("crud-80/20");
+}
+BENCHMARK(BM_HotCrudMix)->Unit(benchmark::kMillisecond)->UseRealTime();
+
 // Sharded parallel build: rows/sec by build thread count.
 void BM_ShardedParallelBuild(benchmark::State& state) {
   int threads = static_cast<int>(state.range(0));
@@ -480,7 +599,7 @@ void BM_ShardedParallelBuild(benchmark::State& state) {
 BENCHMARK(BM_ShardedParallelBuild)->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
-// --- Bulk-build hot path ------------------------------------------------------
+// --- Bulk-build hot path -----------------------------------------------------
 //
 // Build-rate rows (rows/s): scalar per-row Insert vs the two-wave batched
 // InsertBatch, per variant on a mid-size table; the large JOB-light-scale
@@ -679,7 +798,7 @@ void BM_PredicateOnlyDerivation(benchmark::State& state) {
 }
 BENCHMARK(BM_PredicateOnlyDerivation);
 
-// --- JSON row output ----------------------------------------------------------
+// --- JSON row output ---------------------------------------------------------
 
 // Console display plus one machine-readable row per (non-aggregate) run:
 //   {"name", "label" (variant/mode), "iterations", "real_time_ms",

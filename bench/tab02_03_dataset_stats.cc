@@ -50,7 +50,9 @@ int main() {
         paper_avg = 1.0;
         paper_max = 1;
       }
-      std::printf("%-16s %-17s %10llu %14.0f %12zu %12llu %9.2f %9.2f %9llu %9llu\n",
+      std::printf(
+          "%-16s %-17s %10llu %14.0f %12zu %12llu %9.2f %9.2f %9llu "
+          "%9llu\n",
                   td.spec.name.c_str(), col.c_str(),
                   static_cast<unsigned long long>(td.table.num_rows()),
                   static_cast<double>(td.spec.full_rows) * scale,

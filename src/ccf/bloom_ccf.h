@@ -24,6 +24,9 @@ class BloomCcf : public CcfBase {
   bool Contains(uint64_t key, const Predicate& pred) const override;
   bool ContainsAddressed(uint64_t bucket, uint32_t fp,
                          const Predicate& pred) const override;
+  bool ContainsAddressedExcluding(
+      uint64_t bucket, uint32_t fp, const Predicate& pred,
+      std::span<const uint64_t> excluded) const override;
 
   /// Algorithm 2 verbatim: erase non-matching entries, return the remaining
   /// key fingerprints as a plain cuckoo filter.
@@ -47,6 +50,8 @@ class BloomCcf : public CcfBase {
                        uint64_t payload) override;
   Status InsertAddressed(const BucketPair& pair, uint32_t fp,
                          std::span<const uint64_t> attrs) override;
+  bool EraseRowAddressed(const BucketPair& pair, uint32_t fp,
+                         uint64_t payload) override;
 
  private:
   BloomCcf(CcfConfig config, BucketTable table);

@@ -120,7 +120,7 @@ Result<std::unique_ptr<ConditionalCuckooFilter>> ConditionalCuckooFilter::Make(
   return Status::Invalid("unknown CCF variant");
 }
 
-// --- Serialization -------------------------------------------------------------
+// --- Serialization -----------------------------------------------------------
 
 namespace {
 
@@ -304,6 +304,31 @@ void CcfBase::ContainsKeyBatch(std::span<const uint64_t> keys,
       [](uint32_t, const BucketPair&, int) { return false; });
 }
 
+bool CcfBase::ContainsKeyAddressedExcluding(
+    uint64_t bucket, uint32_t fp, std::span<const uint64_t> excluded) const {
+  if (excluded.empty()) return ContainsKeyAddressed(bucket, fp);
+  CCF_DCHECK(table_->slot_bits() <= 64);
+  // Pair-local variants: any surviving (non-excluded) fp copy proves the
+  // key. Excluded entries still count physically but carry no evidence —
+  // they are staged-erased rows of THIS key.
+  return ScanPairWithFp(PairOf(bucket, fp), fp,
+                        [&](uint64_t b, int s) {
+                          return !PayloadExcluded(EntryPayloadWord(b, s),
+                                                  excluded);
+                        })
+      .second;
+}
+
+bool CcfBase::EraseRowMemoized(uint64_t key_hash, uint64_t payload) {
+  if (table_->slot_bits() > 64) return false;  // no packed payload word
+  EnsureTableUnique();
+  uint64_t bucket;
+  uint32_t fp;
+  cuckoo_addressing::IndexAndFingerprintFromHash(
+      key_hash, table_->bucket_mask(), config_.key_fp_bits, &bucket, &fp);
+  return EraseRowAddressed(PairOf(bucket, fp), fp, payload);
+}
+
 Status CcfBase::InsertBatch(std::span<const uint64_t> keys,
                             std::span<const uint64_t> attrs,
                             std::vector<uint64_t>* hash_memo) {
@@ -459,7 +484,7 @@ void CcfBase::WriteRaw(uint64_t bucket, int slot, const RawEntry& entry) {
   }
 }
 
-// --- MarkedKeyFilter ----------------------------------------------------------
+// --- MarkedKeyFilter ---------------------------------------------------------
 
 MarkedKeyFilter::MarkedKeyFilter(std::shared_ptr<const BucketTable> table,
                                  BitVector marks, Hasher hasher, int max_dupes,

@@ -125,6 +125,47 @@ class CcfBase : public ConditionalCuckooFilter {
     return CountFpInPair(PairOf(bucket, fp), fp) > 0;
   }
 
+  /// ContainsAddressed with staged-erase exclusions (ShardedCcf's tombstone
+  /// overlay): entries whose FULL payload word equals one of `excluded` are
+  /// treated as non-matching, but still count toward chain saturation —
+  /// they are physically present until commit reclaims them, so the walk
+  /// topology is unchanged and unrelated keys keep their no-false-negative
+  /// guarantee. `excluded` holds packed payload memo words of erased row
+  /// classes of THE QUERIED KEY only (the caller matched them by exact key),
+  /// so hiding an equal-word entry can only suppress rows the erase
+  /// legitimately targets. Callers must pass an empty span when
+  /// table().slot_bits() > 64 (no packed payload word exists there).
+  virtual bool ContainsAddressedExcluding(
+      uint64_t bucket, uint32_t fp, const Predicate& pred,
+      std::span<const uint64_t> excluded) const = 0;
+
+  /// Key-only twin of ContainsAddressedExcluding: at least one fp copy whose
+  /// payload word is not excluded. Base = pair-local scan; the chained
+  /// variant overrides with the full walk (a key whose surviving copies sit
+  /// further down the chain must not vanish because its first-pair copies
+  /// are all staged-erased).
+  virtual bool ContainsKeyAddressedExcluding(
+      uint64_t bucket, uint32_t fp, std::span<const uint64_t> excluded) const;
+
+  /// Best-effort physical deletion of ONE entry of the row class identified
+  /// by its geometry-independent memo words (MemoizeRow output: salt-keyed
+  /// key hash + packed payload). Duplicate-count aware per variant: the
+  /// chained variant only deletes from an unsaturated (terminal) pair so
+  /// walk reachability and the §7.1 first-pair invariant survive; the Bloom
+  /// variant only deletes an entry whose sketch word equals the row's
+  /// (unfolded) word; Mixed skips converted fragments. Returns true when an
+  /// entry was deleted; false leaves residue for compaction to reclaim
+  /// (one-sided: residue can only cause false positives, never false
+  /// negatives). No-op (false) when slot_bits() > 64.
+  bool EraseRowMemoized(uint64_t key_hash, uint64_t payload);
+
+  /// Overrides the logical row count. Class erases kill rows no variant
+  /// hook can count — one entry may stand for several collapsed
+  /// duplicates, and unreclaimable residue skips the hook entirely — so
+  /// the sharded CRUD commit sets the count from its retained-log plan,
+  /// which is exact.
+  void SetNumRows(uint64_t n) { num_rows_ = n; }
+
   /// Prefetched two-pass batch lookup (see ConditionalCuckooFilter): pass 1
   /// hashes a block of keys and prefetches both buckets of each pair; pass
   /// 2 resolves via ContainsAddressed. Bit-identical to the scalar loop.
@@ -286,6 +327,27 @@ class CcfBase : public ConditionalCuckooFilter {
   virtual Status InsertAddressed(const BucketPair& pair, uint32_t fp,
                                  std::span<const uint64_t> attrs) = 0;
 
+  /// Variant hook of EraseRowMemoized: delete one entry of the addressed
+  /// row class if a duplicate-safe deletion exists (see EraseRowMemoized).
+  /// The table is already unshared; callers guarantee slot_bits() <= 64.
+  virtual bool EraseRowAddressed(const BucketPair& pair, uint32_t fp,
+                                 uint64_t payload) = 0;
+
+  /// An entry's full payload word — what the packed wave-1 paths store and
+  /// what the memo's payload word equals for every variant (vector packs,
+  /// Mixed's mode/seq-zero unconverted word, Bloom's sketch word). Only
+  /// meaningful when slot_bits() <= 64.
+  uint64_t EntryPayloadWord(uint64_t b, int s) const {
+    return table_->GetPayloadField(b, s, 0, table_->payload_bits());
+  }
+
+  /// True when `word` is one of the staged-erased payload words.
+  static bool PayloadExcluded(uint64_t word,
+                              std::span<const uint64_t> excluded) {
+    return std::find(excluded.begin(), excluded.end(), word) !=
+           excluded.end();
+  }
+
   /// Broadcast-shape hook of LookupBatch: one predicate, every key. The
   /// default resolves through ContainsAddressed; fingerprint-vector
   /// variants override it to match against a once-compiled predicate.
@@ -437,7 +499,7 @@ bool CcfBase::PlaceWithKicks(const BucketPair& pair, uint32_t fp,
   // entry. On failure the chain is unwound in reverse, restoring the
   // original state bit-for-bit.
   std::vector<std::pair<uint64_t, int>> trail;
-  std::vector<RawEntry> displaced;  // displaced[i] = original resident of trail[i]
+  std::vector<RawEntry> displaced;  // [i] = original resident of trail[i]
   uint64_t cur = pair.degenerate() || rng_.NextBool(0.5) ? pair.primary
                                                          : pair.alt;
   bool success = false;

@@ -278,6 +278,30 @@ bool MixedCcf::TryInsertNoKick(const BucketPair& pair, uint32_t fp,
   return true;
 }
 
+bool MixedCcf::EraseRowAddressed(const BucketPair& pair, uint32_t fp,
+                                 uint64_t payload) {
+  // Deletion only reclaims UNCONVERTED vector entries: `payload` is the
+  // packed vector shifted to vec_base_ with mode bit 0, while converted
+  // fragments carry mode bit 1, so the full payload-word equality can never
+  // hit a fragment. Rows folded into a packed Bloom sketch are
+  // irrecoverable in place (OR-folded bits are shared) and stay as residue
+  // until compaction rebuilds the pair from surviving rows.
+  const int payload_bits = table_->payload_bits();
+  uint64_t hit_b = 0;
+  int hit_s = -1;
+  ScanPairWithFp(pair, fp, [&](uint64_t b, int s) {
+    if (table_->GetPayloadField(b, s, 0, payload_bits) == payload) {
+      hit_b = b;
+      hit_s = s;
+      return true;
+    }
+    return false;
+  });
+  if (hit_s < 0) return false;
+  table_->Erase(hit_b, hit_s);
+  return true;
+}
+
 bool MixedCcf::ContainsKey(uint64_t key) const {
   uint64_t bucket;
   uint32_t fp;
@@ -297,6 +321,26 @@ bool MixedCcf::ContainsAddressed(uint64_t bucket, uint32_t fp,
   return ResolveAddressed(PairOf(bucket, fp), fp, pred,
                           [&](uint64_t b, int s) {
                             return VectorEntryMatches(*table_, b, s, vec_base_,
+                                                      codec_, pred);
+                          });
+}
+
+bool MixedCcf::ContainsAddressedExcluding(
+    uint64_t bucket, uint32_t fp, const Predicate& pred,
+    std::span<const uint64_t> excluded) const {
+  if (excluded.empty()) return ContainsAddressed(bucket, fp, pred);
+  CCF_DCHECK(table_->slot_bits() <= 64);
+  // Vector entries honour exclusions via the payload-word compare (staged
+  // erases always target vector entries — their excluded words have mode
+  // bit 0, so converted fragments are never suppressed). The converted
+  // sketch fallback ignores exclusions: rows folded into the packed Bloom
+  // cannot be unfolded, a one-sided (false-positive direction) residue that
+  // compaction clears.
+  return ResolveAddressed(PairOf(bucket, fp), fp, pred,
+                          [&](uint64_t b, int s) {
+                            return !PayloadExcluded(EntryPayloadWord(b, s),
+                                                    excluded) &&
+                                   VectorEntryMatches(*table_, b, s, vec_base_,
                                                       codec_, pred);
                           });
 }

@@ -110,6 +110,27 @@ bool PlainCcf::TryInsertNoKick(const BucketPair& pair, uint32_t fp,
   return true;
 }
 
+bool PlainCcf::EraseRowAddressed(const BucketPair& pair, uint32_t fp,
+                                 uint64_t payload) {
+  // Pair-local: the row class (fp, packed vector) is at most one entry
+  // (inserts collapse duplicates), so deleting the exact-word match
+  // reclaims the class without disturbing other rows of the key.
+  const int vec_bits = codec_.vector_bits();
+  uint64_t hit_b = 0;
+  int hit_s = -1;
+  ScanPairWithFp(pair, fp, [&](uint64_t b, int s) {
+    if (table_->GetPayloadField(b, s, 0, vec_bits) == payload) {
+      hit_b = b;
+      hit_s = s;
+      return true;
+    }
+    return false;
+  });
+  if (hit_s < 0) return false;
+  table_->Erase(hit_b, hit_s);
+  return true;
+}
+
 bool PlainCcf::ContainsKey(uint64_t key) const {
   uint64_t bucket;
   uint32_t fp;
@@ -129,6 +150,21 @@ bool PlainCcf::ContainsAddressed(uint64_t bucket, uint32_t fp,
   return ScanPairWithFp(PairOf(bucket, fp), fp,
                         [&](uint64_t b, int s) {
                           return VectorEntryMatches(*table_, b, s, /*base=*/0,
+                                                    codec_, pred);
+                        })
+      .second;
+}
+
+bool PlainCcf::ContainsAddressedExcluding(
+    uint64_t bucket, uint32_t fp, const Predicate& pred,
+    std::span<const uint64_t> excluded) const {
+  if (excluded.empty()) return ContainsAddressed(bucket, fp, pred);
+  CCF_DCHECK(table_->slot_bits() <= 64);
+  return ScanPairWithFp(PairOf(bucket, fp), fp,
+                        [&](uint64_t b, int s) {
+                          return !PayloadExcluded(EntryPayloadWord(b, s),
+                                                  excluded) &&
+                                 VectorEntryMatches(*table_, b, s, /*base=*/0,
                                                     codec_, pred);
                         })
       .second;

@@ -23,10 +23,17 @@ class PlainCcf : public CcfBase {
   bool Contains(uint64_t key, const Predicate& pred) const override;
   bool ContainsAddressed(uint64_t bucket, uint32_t fp,
                          const Predicate& pred) const override;
+  bool ContainsAddressedExcluding(
+      uint64_t bucket, uint32_t fp, const Predicate& pred,
+      std::span<const uint64_t> excluded) const override;
   Result<std::unique_ptr<KeyFilter>> PredicateQuery(
       const Predicate& pred) const override;
   Result<std::unique_ptr<ConditionalCuckooFilter>> Clone() const override {
-    return std::unique_ptr<ConditionalCuckooFilter>(new PlainCcf(*this));
+    auto copy = std::unique_ptr<PlainCcf>(new PlainCcf(*this));
+    // The implicit copy leaves codec_ pointing at the SOURCE's hasher;
+    // rebind so the clone stays valid after the source is epoch-freed.
+    copy->codec_.RebindHasher(&copy->hasher_);
+    return std::unique_ptr<ConditionalCuckooFilter>(std::move(copy));
   }
   CcfVariant variant() const override { return CcfVariant::kPlain; }
 
@@ -40,6 +47,8 @@ class PlainCcf : public CcfBase {
                        uint64_t payload) override;
   Status InsertAddressed(const BucketPair& pair, uint32_t fp,
                          std::span<const uint64_t> attrs) override;
+  bool EraseRowAddressed(const BucketPair& pair, uint32_t fp,
+                         uint64_t payload) override;
 
  private:
   PlainCcf(CcfConfig config, BucketTable table);

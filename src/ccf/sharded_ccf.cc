@@ -6,6 +6,7 @@
 #include <cstring>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <utility>
 
 #include "cuckoo/cuckoo_filter.h"
@@ -180,6 +181,9 @@ Result<std::unique_ptr<ShardedCcf>> ShardedCcf::Make(
   if (options.resize_watermark < 0.0 || options.resize_watermark >= 1.0) {
     return Status::Invalid("resize_watermark must be in [0, 1)");
   }
+  if (options.compact_watermark >= 1.0) {
+    return Status::Invalid("compact_watermark must be < 1 (<= 0 disables)");
+  }
   ShardedCcfOptions opts = options;
   opts.num_shards = static_cast<int>(
       NextPowerOfTwo(static_cast<uint64_t>(options.num_shards)));
@@ -203,6 +207,7 @@ Status ShardedCcf::Insert(uint64_t key, std::span<const uint64_t> attrs) {
   Shard& shard = *shards_[ShardOf(key)];
   std::lock_guard<std::mutex> lock(shard.writer_mu);
   ConditionalCuckooFilter* filter = shard.handle.writable();
+  size_t old_rows = shard.keys.size();
   if (resizable_) {
     // Mirror the row into the shard's log BEFORE attempting placement, so a
     // capacity-triggered rebuild re-places it too. The memo words are
@@ -211,13 +216,11 @@ Status ShardedCcf::Insert(uint64_t key, std::span<const uint64_t> attrs) {
     if (static_cast<int>(attrs.size()) != config().num_attrs) {
       return Status::Invalid("attribute count does not match schema");
     }
-    uint64_t key_hash, payload;
-    static_cast<CcfBase*>(filter)->MemoizeRow(key, attrs, &key_hash,
-                                              &payload);
-    shard.keys.push_back(key);
-    shard.attrs.insert(shard.attrs.end(), attrs.begin(), attrs.end());
-    shard.memo.push_back(key_hash);
-    shard.memo.push_back(payload);
+    uint64_t row_memo[2];
+    static_cast<CcfBase*>(filter)->MemoizeRow(key, attrs, &row_memo[0],
+                                              &row_memo[1]);
+    LogAppendRows(shard, std::span<const uint64_t>(&key, 1), attrs,
+                  std::span<const uint64_t>(row_memo, 2));
   }
   Status st = filter->Insert(key, attrs);
   if (st.code() == StatusCode::kCapacityError) {
@@ -227,9 +230,7 @@ Status ShardedCcf::Insert(uint64_t key, std::span<const uint64_t> attrs) {
     // The row was ultimately rejected and (scalar Insert rolls back on
     // failure) is not in the table: drop it from the log too, or a later
     // resize would silently resurrect a row the caller was told failed.
-    shard.keys.pop_back();
-    shard.attrs.resize(shard.attrs.size() - attrs.size());
-    shard.memo.resize(shard.memo.size() - 2);
+    LogTruncate(shard, old_rows);
   }
   if (st.ok()) MaybeScheduleWatermarkResize(ShardOf(key), shard);
   return st;
@@ -276,6 +277,50 @@ void ShardedCcf::RetireBuffer(Shard& shard, WriteBuffer* old) {
   });
 }
 
+// --- Retained-log maintenance (all callers hold the shard's writer_mu) ------
+
+void ShardedCcf::LogAppendRows(Shard& shard, std::span<const uint64_t> keys,
+                               std::span<const uint64_t> attrs,
+                               std::span<const uint64_t> memo) {
+  size_t first = shard.keys.size();
+  shard.keys.insert(shard.keys.end(), keys.begin(), keys.end());
+  shard.attrs.insert(shard.attrs.end(), attrs.begin(), attrs.end());
+  shard.memo.insert(shard.memo.end(), memo.begin(), memo.end());
+  shard.dead.resize(shard.keys.size(), 0);
+  if (shard.index_built) {
+    for (size_t r = 0; r < keys.size(); ++r) {
+      shard.row_index[keys[r]].push_back(static_cast<uint32_t>(first + r));
+    }
+  }
+}
+
+void ShardedCcf::LogTruncate(Shard& shard, size_t old_rows) {
+  const size_t num_attrs = static_cast<size_t>(config().num_attrs);
+  for (size_t r = shard.keys.size(); r-- > old_rows;) {
+    if (shard.dead[r]) --shard.dead_count;
+    if (shard.index_built) {
+      // Truncated rows are the newest entries of their key's list.
+      auto it = shard.row_index.find(shard.keys[r]);
+      it->second.pop_back();
+      if (it->second.empty()) shard.row_index.erase(it);
+    }
+  }
+  shard.keys.resize(old_rows);
+  shard.attrs.resize(old_rows * num_attrs);
+  shard.memo.resize(old_rows * 2);
+  shard.dead.resize(old_rows);
+}
+
+void ShardedCcf::EnsureLogIndex(Shard& shard) {
+  if (shard.index_built) return;
+  shard.dead.resize(shard.keys.size(), 0);
+  shard.row_index.clear();
+  for (size_t r = 0; r < shard.keys.size(); ++r) {
+    shard.row_index[shard.keys[r]].push_back(static_cast<uint32_t>(r));
+  }
+  shard.index_built = true;
+}
+
 Status ShardedCcf::BufferWrite(uint64_t key, std::span<const uint64_t> attrs) {
   if (static_cast<int>(attrs.size()) != config().num_attrs) {
     return Status::Invalid("attribute count does not match schema");
@@ -320,10 +365,67 @@ Status ShardedCcf::BufferWriteBatch(std::span<const uint64_t> keys,
   return Status::OK();
 }
 
+namespace {
+
+// Shared precondition of the tombstone stagers: the log must exist (erases
+// are marked dead there exactly) and the geometry must pack payloads into
+// one word (the erase class is (key, packed payload word)).
+Status ValidateCrudShard(bool resizable, const CcfBase& base) {
+  if (!resizable) {
+    return Status::Invalid(
+        "ShardedCcf: deserialized filters retain no row log; erase/update "
+        "is unavailable");
+  }
+  if (base.table().slot_bits() > 64) {
+    return Status::Invalid(
+        "ShardedCcf: erase/update requires packed payload words "
+        "(slot_bits <= 64)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ShardedCcf::BufferErase(uint64_t key, std::span<const uint64_t> attrs) {
+  if (static_cast<int>(attrs.size()) != config().num_attrs) {
+    return Status::Invalid("attribute count does not match schema");
+  }
+  Shard& shard = *shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.writer_mu);
+  auto* base = static_cast<CcfBase*>(shard.handle.writable());
+  CCF_RETURN_NOT_OK(ValidateCrudShard(resizable_, *base));
+  WriteBuffer* buffer = PendingWithRoom(shard, 1);
+  uint64_t key_hash, payload;
+  base->MemoizeRow(key, attrs, &key_hash, &payload);
+  buffer->Append(key, attrs, key_hash, payload, WriteBuffer::kOpErase);
+  return Status::OK();
+}
+
+Status ShardedCcf::BufferUpdate(uint64_t key,
+                                std::span<const uint64_t> old_attrs,
+                                std::span<const uint64_t> new_attrs) {
+  if (static_cast<int>(old_attrs.size()) != config().num_attrs ||
+      static_cast<int>(new_attrs.size()) != config().num_attrs) {
+    return Status::Invalid("attribute count does not match schema");
+  }
+  Shard& shard = *shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.writer_mu);
+  auto* base = static_cast<CcfBase*>(shard.handle.writable());
+  CCF_RETURN_NOT_OK(ValidateCrudShard(resizable_, *base));
+  WriteBuffer* buffer = PendingWithRoom(shard, 2);
+  uint64_t old_hash, old_payload, new_hash, new_payload;
+  base->MemoizeRow(key, old_attrs, &old_hash, &old_payload);
+  base->MemoizeRow(key, new_attrs, &new_hash, &new_payload);
+  buffer->AppendUpdate(key, old_attrs, old_hash, old_payload, new_attrs,
+                       new_hash, new_payload);
+  return Status::OK();
+}
+
 Status ShardedCcf::CommitShardLocked(size_t s, Shard& shard) {
   WriteBuffer* pending = shard.pending.load(std::memory_order_relaxed);
   size_t n = pending ? pending->size_unsync() : 0;
   if (n == 0) return Status::OK();
+  if (pending->num_erases_unsync() > 0) return CommitShardCrudLocked(s, shard);
 
   std::span<const uint64_t> keys = pending->keys(n);
   std::span<const uint64_t> attrs = pending->attrs(n);
@@ -348,19 +450,13 @@ Status ShardedCcf::CommitShardLocked(size_t s, Shard& shard) {
     // The clone could not absorb the batch: fall back to the auto-resize
     // doubling rebuild from the retained log WITH the pending rows appended
     // (a successful rebuild publishes a table containing them).
-    size_t logged_keys = shard.keys.size();
-    size_t logged_attrs = shard.attrs.size();
-    size_t logged_memo = shard.memo.size();
-    shard.keys.insert(shard.keys.end(), keys.begin(), keys.end());
-    shard.attrs.insert(shard.attrs.end(), attrs.begin(), attrs.end());
-    shard.memo.insert(shard.memo.end(), memo.begin(), memo.end());
+    size_t logged_rows = shard.keys.size();
+    LogAppendRows(shard, keys, attrs, memo);
     Status grown = GrowShardLocked(shard, std::move(st));
     if (!grown.ok()) {
       // No attempt published: un-append so the log mirrors exactly the
       // committed row set, and keep the rows staged for a retry.
-      shard.keys.resize(logged_keys);
-      shard.attrs.resize(logged_attrs);
-      shard.memo.resize(logged_memo);
+      LogTruncate(shard, logged_rows);
       return grown;
     }
     // The rebuild placed the batch (the log already carries it): drop the
@@ -383,9 +479,7 @@ Status ShardedCcf::CommitShardLocked(size_t s, Shard& shard) {
     // same arrival-order contract the in-place paths keep, which is what
     // makes a later log rebuild bit-identical to a from-scratch batched
     // build of the full row set.
-    shard.keys.insert(shard.keys.end(), keys.begin(), keys.end());
-    shard.attrs.insert(shard.attrs.end(), attrs.begin(), attrs.end());
-    shard.memo.insert(shard.memo.end(), memo.begin(), memo.end());
+    LogAppendRows(shard, keys, attrs, memo);
   }
 
   // Drop the overlay only AFTER the new table is published: between the two
@@ -393,6 +487,188 @@ Status ShardedCcf::CommitShardLocked(size_t s, Shard& shard) {
   // a union); the reverse order would open a false-negative window.
   RetireBuffer(shard,
                shard.pending.exchange(nullptr, std::memory_order_seq_cst));
+  MaybeScheduleWatermarkResize(s, shard);
+  return Status::OK();
+}
+
+Status ShardedCcf::CommitShardCrudLocked(size_t s, Shard& shard) {
+  WriteBuffer* pending = shard.pending.load(std::memory_order_relaxed);
+  const size_t n = pending->size_unsync();
+  const size_t num_attrs = static_cast<size_t>(config().num_attrs);
+  EnsureLogIndex(shard);
+
+  std::span<const uint64_t> keys = pending->keys(n);
+  std::span<const uint64_t> attrs = pending->attrs(n);
+  std::span<const uint64_t> memo = pending->memo(n);
+
+  // Apply the staged records IN ORDER against a copy-on-write clone: runs
+  // of consecutive inserts go through the batched memo path exactly like
+  // the erase-free commit, and each tombstone (a) plans its log dead-marks
+  // from the key index — the EXACT bookkeeping — and (b) best-effort
+  // reclaims the clone's table entry. In-order application keeps
+  // erase-then-reinsert sequences correct.
+  CCF_ASSIGN_OR_RETURN(std::unique_ptr<ConditionalCuckooFilter> clone,
+                       shard.handle.writable()->Clone());
+  auto* base = static_cast<CcfBase*>(clone.get());
+
+  // Insert records by key, for in-batch kills (an erase record also kills
+  // matching inserts staged BEFORE it in this very batch) and for the Bloom
+  // key-liveness gate.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> batch_inserts;
+  size_t staged_inserts = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (pending->op(i) == WriteBuffer::kOpInsert) {
+      batch_inserts[pending->key(i)].push_back(static_cast<uint32_t>(i));
+      ++staged_inserts;
+    }
+  }
+
+  std::vector<uint32_t> plan_dead;        // log rows to mark dead on success
+  std::unordered_set<uint32_t> planned;   // dedupe across erase records
+  std::vector<uint8_t> record_dead(n, 0); // staged inserts killed in-batch
+  Status capacity_error = Status::OK();
+  bool capacity_failed = false;
+
+  size_t i = 0;
+  while (i < n) {
+    if (pending->op(i) == WriteBuffer::kOpInsert) {
+      size_t j = i + 1;
+      while (j < n && pending->op(j) == WriteBuffer::kOpInsert) ++j;
+      if (!capacity_failed) {
+        std::vector<uint64_t> memo_words(memo.begin() + 2 * i,
+                                         memo.begin() + 2 * j);
+        Status st = base->InsertBatch(
+            keys.subspan(i, j - i),
+            attrs.subspan(i * num_attrs, (j - i) * num_attrs), &memo_words);
+        if (st.code() == StatusCode::kCapacityError) {
+          // Keep PLANNING the remaining records (the doubled rebuild below
+          // needs the batch's full net effect on the log); stop touching
+          // the doomed clone.
+          capacity_failed = true;
+          capacity_error = std::move(st);
+        } else if (!st.ok()) {
+          // Non-capacity failure: nothing published, nothing logged, rows
+          // stay staged and overlay-visible.
+          return st;
+        }
+      }
+      i = j;
+      continue;
+    }
+    // Erase record: kill the (key, payload) class.
+    const uint64_t key = pending->key(i);
+    const uint64_t payload = pending->payload(i);
+    bool any_dead = false;
+    auto bit = batch_inserts.find(key);
+    if (bit != batch_inserts.end()) {
+      for (uint32_t r : bit->second) {
+        if (r >= i) break;  // records staged after this erase are unaffected
+        if (!record_dead[r] && pending->payload(r) == payload) {
+          record_dead[r] = 1;
+          any_dead = true;
+        }
+      }
+    }
+    auto lit = shard.row_index.find(key);
+    if (lit != shard.row_index.end()) {
+      for (uint32_t row : lit->second) {
+        if (!shard.dead[row] && shard.memo[2 * row + 1] == payload &&
+            planned.insert(row).second) {
+          plan_dead.push_back(row);
+          any_dead = true;
+        }
+      }
+    }
+    if (any_dead && !capacity_failed) {
+      // Physical reclamation is gated on the tombstone actually killing a
+      // row we know about — an erase of a never-inserted row must not
+      // delete a fingerprint-colliding entry. For the Bloom variant the
+      // entry is the OR-fold of EVERY row of the key, so it may only be
+      // deleted once no live row of the key remains (subset folds make
+      // word-equality alone unsound there).
+      bool reclaim = true;
+      if (variant_ == CcfVariant::kBloom) {
+        if (lit != shard.row_index.end()) {
+          for (uint32_t row : lit->second) {
+            if (!shard.dead[row] && planned.count(row) == 0) {
+              reclaim = false;
+              break;
+            }
+          }
+        }
+        if (reclaim && bit != batch_inserts.end()) {
+          for (uint32_t r : bit->second) {
+            if (r >= i) break;
+            if (!record_dead[r]) {
+              reclaim = false;
+              break;
+            }
+          }
+        }
+      }
+      if (reclaim) base->EraseRowMemoized(pending->key_hash(i), payload);
+    }
+    ++i;
+  }
+
+  // The batch's net effect on the log: mark the planned tombstones dead and
+  // append the surviving staged inserts.
+  auto apply_log = [&]() -> size_t {
+    size_t old_rows = shard.keys.size();
+    for (uint32_t row : plan_dead) {
+      shard.dead[row] = 1;
+      ++shard.dead_count;
+    }
+    for (size_t r = 0; r < n; ++r) {
+      if (pending->op(r) != WriteBuffer::kOpInsert || record_dead[r]) continue;
+      uint64_t row_key = pending->key(r);
+      uint64_t row_memo[2] = {pending->key_hash(r), pending->payload(r)};
+      LogAppendRows(shard, std::span<const uint64_t>(&row_key, 1),
+                    pending->attrs_row(r),
+                    std::span<const uint64_t>(row_memo, 2));
+    }
+    return old_rows;
+  };
+
+  if (capacity_failed) {
+    // The clone could not absorb the batch: discard it and fall back to the
+    // doubled rebuild from the log carrying the batch's net effect — the
+    // rebuilt table contains the survivors only, no residue.
+    clone.reset();
+    size_t old_rows = apply_log();
+    Status grown = GrowShardLocked(shard, std::move(capacity_error));
+    if (!grown.ok()) {
+      // No attempt published: roll the log back exactly (un-append, un-mark)
+      // and keep the records staged for a retry.
+      LogTruncate(shard, old_rows);
+      for (uint32_t row : plan_dead) {
+        shard.dead[row] = 0;
+        --shard.dead_count;
+      }
+      return grown;
+    }
+  } else {
+    // Class erases kill rows the variant's erase hook cannot count (one
+    // entry may stand for several collapsed duplicates, and unreclaimable
+    // residue never reaches the hook): set the logical row count from the
+    // log plan, which is exact — live log rows before the batch, minus the
+    // planned tombstones, plus the staged inserts that survived in-batch
+    // kills. Rebuild paths (resize, compaction) recount the same way.
+    size_t killed_in_batch = 0;
+    for (uint8_t d : record_dead) killed_in_batch += d;
+    base->SetNumRows(shard.keys.size() - shard.dead_count -
+                     plan_dead.size() + staged_inserts - killed_in_batch);
+    shard.handle.Publish(std::move(clone));
+    apply_log();
+  }
+
+  // Drop the overlay only AFTER the new table is published — same
+  // straddling-reader argument as the erase-free commit (a reader holding
+  // both sees the union, and exclusions re-applied against the new table
+  // are no-ops on already-reclaimed entries).
+  RetireBuffer(shard,
+               shard.pending.exchange(nullptr, std::memory_order_seq_cst));
+  MaybeCompactShard(shard);
   MaybeScheduleWatermarkResize(s, shard);
   return Status::OK();
 }
@@ -544,12 +820,7 @@ Status ShardedCcf::InsertParallel(std::span<const uint64_t> keys,
         // whereas keeping it only errs toward extra rows, the filter's
         // one-sided error direction. (Scalar Insert, whose failure rolls
         // the table back, does unlog its row — see Insert.)
-        shard.keys.insert(shard.keys.end(), shard_keys[s].begin(),
-                          shard_keys[s].end());
-        shard.attrs.insert(shard.attrs.end(), shard_attrs[s].begin(),
-                           shard_attrs[s].end());
-        shard.memo.insert(shard.memo.end(), shard_memo[s].begin(),
-                          shard_memo[s].end());
+        LogAppendRows(shard, shard_keys[s], shard_attrs[s], shard_memo[s]);
       }
       if (st.code() == StatusCode::kCapacityError) {
         // Online resize instead of failing the build: rebuild this shard
@@ -605,11 +876,35 @@ Status ShardedCcf::ResizeShardLocked(Shard& shard, uint64_t new_num_buckets) {
       new_num_buckets != 0 ? new_num_buckets : cfg.num_buckets * 2;
   CCF_ASSIGN_OR_RETURN(std::unique_ptr<ConditionalCuckooFilter> fresh,
                        ConditionalCuckooFilter::Make(cur->variant(), cfg));
-  // Re-place every logged row from the memo (cached hashes are re-masked at
-  // the new geometry, not re-hashed — PR 3's memoized-rebuild machinery).
-  // InsertBatch is deterministic, so the rebuilt shard is bit-identical to
-  // a from-scratch batched build of these rows at the new geometry.
-  CCF_RETURN_NOT_OK(fresh->InsertBatch(shard.keys, shard.attrs, &shard.memo));
+  // Re-place every LIVE logged row from the memo (cached hashes are
+  // re-masked at the new geometry, not re-hashed — PR 3's memoized-rebuild
+  // machinery). InsertBatch is deterministic, so the rebuilt shard is
+  // bit-identical to a from-scratch batched build of the surviving rows at
+  // the new geometry — erase residue does not survive a resize. The log
+  // itself is NOT rewritten here (row indices stay stable for the commit
+  // rollback paths); compaction owns log rewriting.
+  if (shard.dead_count == 0) {
+    CCF_RETURN_NOT_OK(
+        fresh->InsertBatch(shard.keys, shard.attrs, &shard.memo));
+  } else {
+    const size_t num_attrs = static_cast<size_t>(config().num_attrs);
+    std::vector<uint64_t> live_keys, live_attrs, live_memo;
+    size_t live = shard.keys.size() - shard.dead_count;
+    live_keys.reserve(live);
+    live_attrs.reserve(live * num_attrs);
+    live_memo.reserve(live * 2);
+    for (size_t r = 0; r < shard.keys.size(); ++r) {
+      if (shard.dead[r]) continue;
+      live_keys.push_back(shard.keys[r]);
+      live_attrs.insert(
+          live_attrs.end(),
+          shard.attrs.begin() + static_cast<ptrdiff_t>(r * num_attrs),
+          shard.attrs.begin() + static_cast<ptrdiff_t>((r + 1) * num_attrs));
+      live_memo.push_back(shard.memo[2 * r]);
+      live_memo.push_back(shard.memo[2 * r + 1]);
+    }
+    CCF_RETURN_NOT_OK(fresh->InsertBatch(live_keys, live_attrs, &live_memo));
+  }
   // Swap the snapshot in one atomic publish; concurrent readers finish
   // their probes against the old table, which the epoch domain frees once
   // the last of them unpins.
@@ -628,6 +923,101 @@ Status ShardedCcf::GrowShardLocked(Shard& shard, Status capacity_error) {
     if (st.code() != StatusCode::kCapacityError) return st;
   }
   return st;
+}
+
+Status ShardedCcf::CompactShardLocked(Shard& shard) {
+  if (!resizable_) {
+    return Status::Invalid(
+        "ShardedCcf: deserialized filters retain no row log; compaction is "
+        "unavailable");
+  }
+  ConditionalCuckooFilter* cur = shard.handle.writable();
+  const size_t num_attrs = static_cast<size_t>(config().num_attrs);
+  std::vector<uint64_t> live_keys, live_attrs, live_memo;
+  size_t live = shard.keys.size() - shard.dead_count;
+  live_keys.reserve(live);
+  live_attrs.reserve(live * num_attrs);
+  live_memo.reserve(live * 2);
+  for (size_t r = 0; r < shard.keys.size(); ++r) {
+    if (r < shard.dead.size() && shard.dead[r]) continue;
+    live_keys.push_back(shard.keys[r]);
+    live_attrs.insert(
+        live_attrs.end(),
+        shard.attrs.begin() + static_cast<ptrdiff_t>(r * num_attrs),
+        shard.attrs.begin() + static_cast<ptrdiff_t>((r + 1) * num_attrs));
+    live_memo.push_back(shard.memo[2 * r]);
+    live_memo.push_back(shard.memo[2 * r + 1]);
+  }
+  // A fresh build at the CURRENT geometry from the survivors, in log order:
+  // deterministic InsertBatch makes the result byte-identical to a
+  // from-scratch batched build of the surviving row set, so compaction
+  // clears every flavour of erase residue (saturated chain copies, shared
+  // Bloom folds, converted fragments of dead rows).
+  CcfConfig cfg = cur->config();
+  CCF_ASSIGN_OR_RETURN(std::unique_ptr<ConditionalCuckooFilter> fresh,
+                       ConditionalCuckooFilter::Make(cur->variant(), cfg));
+  Status st = fresh->InsertBatch(live_keys, live_attrs, &live_memo);
+  if (!st.ok()) return st;  // table and log untouched; next trigger retries
+  shard.handle.Publish(std::move(fresh));
+  // The table now reflects exactly the survivors: rewrite the log to match.
+  shard.keys.swap(live_keys);
+  shard.attrs.swap(live_attrs);
+  shard.memo.swap(live_memo);
+  shard.dead.assign(shard.keys.size(), 0);
+  shard.dead_count = 0;
+  if (shard.index_built) {
+    shard.row_index.clear();
+    for (size_t r = 0; r < shard.keys.size(); ++r) {
+      shard.row_index[shard.keys[r]].push_back(static_cast<uint32_t>(r));
+    }
+  }
+  num_compactions_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void ShardedCcf::MaybeCompactShard(Shard& shard) {
+  const double wm = options_.compact_watermark;
+  if (!resizable_ || wm <= 0.0 || shard.dead_count == 0) return;
+  if (static_cast<double>(shard.dead_count) <
+      wm * static_cast<double>(shard.keys.size())) {
+    return;
+  }
+  // Advisory, like the watermark resize statuses: a failed attempt leaves
+  // the shard fully consistent and the next commit re-fires the trigger.
+  CompactShardLocked(shard).ok();
+}
+
+Status ShardedCcf::Compact() {
+  if (!resizable_) {
+    return Status::Invalid(
+        "ShardedCcf: deserialized filters retain no row log; compaction is "
+        "unavailable");
+  }
+  std::vector<Status> shard_status(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.writer_mu);
+    shard_status[s] = CompactShardLocked(shard);
+  }
+  return AggregateShardStatus(shard_status);
+}
+
+uint64_t ShardedCcf::retained_log_rows() const {
+  uint64_t n = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->writer_mu);
+    n += s->keys.size();
+  }
+  return n;
+}
+
+uint64_t ShardedCcf::dead_log_rows() const {
+  uint64_t n = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->writer_mu);
+    n += s->dead_count;
+  }
+  return n;
 }
 
 Status ShardedCcf::ResizeShard(int shard, uint64_t new_num_buckets) {
@@ -668,6 +1058,38 @@ std::vector<const ShardedCcf::WriteBuffer*> ShardedCcf::LoadOverlays() const {
   return overlays;
 }
 
+bool ShardedCcf::ResolveKeyWithOps(const CcfBase* base,
+                                   const WriteBuffer* overlay, uint64_t key,
+                                   const Predicate* pred) const {
+  // Staged records first: the op-aware overlay probe answers true iff a
+  // staged insert of the key survives every later-staged erase (and, with a
+  // predicate, matches it).
+  if (pred ? overlay->Contains(key, *pred) : overlay->ContainsKey(key)) {
+    return true;
+  }
+  // Committed rows, with staged tombstones applied as exclusions. The
+  // excluded set is computed from EXACT key matches over the published
+  // records, so only classes the caller's key legitimately erased can be
+  // hidden — a fingerprint-colliding key never inherits an exclusion.
+  size_t n = overlay->size();
+  std::vector<uint64_t> excluded;
+  for (size_t i = 0; i < n; ++i) {
+    if (overlay->op(i) == WriteBuffer::kOpErase && overlay->key(i) == key) {
+      excluded.push_back(overlay->payload(i));
+    }
+  }
+  if (excluded.empty()) {
+    return pred ? base->Contains(key, *pred) : base->ContainsKey(key);
+  }
+  uint64_t bucket;
+  uint32_t fp;
+  cuckoo_addressing::IndexAndFingerprintFromHash(
+      base->hasher().Hash(key, 0), base->table().bucket_mask(),
+      base->config().key_fp_bits, &bucket, &fp);
+  return pred ? base->ContainsAddressedExcluding(bucket, fp, *pred, excluded)
+              : base->ContainsKeyAddressedExcluding(bucket, fp, excluded);
+}
+
 bool ShardedCcf::ContainsKey(uint64_t key) const {
   EpochDomain::Guard guard = epoch_.Pin();
   const Shard& shard = *shards_[ShardOf(key)];
@@ -682,8 +1104,14 @@ bool ShardedCcf::ContainsKey(uint64_t key) const {
   // pointer LOAD order matters, and a pinned overlay block keeps its rows
   // even after being swapped out.)
   const WriteBuffer* p = shard.pending.load(std::memory_order_seq_cst);
-  if (shard.handle.Load(guard)->ContainsKey(key)) return true;
-  return p != nullptr && p->ContainsKey(key);
+  const auto* base =
+      static_cast<const CcfBase*>(shard.handle.Load(guard));
+  if (p == nullptr) return base->ContainsKey(key);
+  if (p->size() > 0 && p->num_erases() > 0) {
+    // Staged tombstones may hide committed rows: take the exact slow path.
+    return ResolveKeyWithOps(base, p, key, nullptr);
+  }
+  return base->ContainsKey(key) || p->ContainsKey(key);
 }
 
 bool ShardedCcf::Contains(uint64_t key, const Predicate& pred) const {
@@ -691,8 +1119,13 @@ bool ShardedCcf::Contains(uint64_t key, const Predicate& pred) const {
   const Shard& shard = *shards_[ShardOf(key)];
   // Overlay pointer loaded before the table pointer — see ContainsKey.
   const WriteBuffer* p = shard.pending.load(std::memory_order_seq_cst);
-  if (shard.handle.Load(guard)->Contains(key, pred)) return true;
-  return p != nullptr && p->Contains(key, pred);
+  const auto* base =
+      static_cast<const CcfBase*>(shard.handle.Load(guard));
+  if (p == nullptr) return base->Contains(key, pred);
+  if (p->size() > 0 && p->num_erases() > 0) {
+    return ResolveKeyWithOps(base, p, key, &pred);
+  }
+  return base->Contains(key, pred) || p->Contains(key, pred);
 }
 
 Status ShardedCcf::LookupBatch(std::span<const uint64_t> keys,
@@ -738,9 +1171,19 @@ Status ShardedCcf::LookupBatch(std::span<const uint64_t> keys,
         shard_out.reset(new bool[n]);
         cap = n;
       }
+      const WriteBuffer* overlay = overlays[s];
+      if (overlay != nullptr && overlay->num_erases() > 0) {
+        // Staged tombstones may hide this shard's committed rows: resolve
+        // each key exactly (the batch fast path cannot apply exclusions).
+        for (size_t j = 0; j < n; ++j) {
+          out[shard_pos[s][j]] =
+              ResolveKeyWithOps(bases[s], overlay, shard_keys[s][j],
+                                &preds[0]);
+        }
+        continue;
+      }
       CCF_RETURN_NOT_OK(bases[s]->LookupBatch(
           shard_keys[s], preds, std::span<bool>(shard_out.get(), n)));
-      const WriteBuffer* overlay = overlays[s];
       for (size_t j = 0; j < n; ++j) {
         bool hit = shard_out[j];
         if (!hit && overlay != nullptr) {
@@ -755,10 +1198,16 @@ Status ShardedCcf::LookupBatch(std::span<const uint64_t> keys,
   // Per-key predicates: resolve in place through the shared skeleton.
   ShardedTwoPass(*this, bases, keys,
                  [&](size_t i, size_t s, uint64_t bucket, uint32_t fp) {
+                   const WriteBuffer* overlay = overlays[s];
+                   if (overlay != nullptr && overlay->num_erases() > 0) {
+                     out[i] = ResolveKeyWithOps(bases[s], overlay, keys[i],
+                                                &preds[i]);
+                     return;
+                   }
                    out[i] = bases[s]->ContainsAddressed(bucket, fp,
                                                         preds[i]) ||
-                            (overlays[s] != nullptr &&
-                             overlays[s]->Contains(keys[i], preds[i]));
+                            (overlay != nullptr &&
+                             overlay->Contains(keys[i], preds[i]));
                  });
   return Status::OK();
 }
@@ -772,9 +1221,15 @@ void ShardedCcf::ContainsKeyBatch(std::span<const uint64_t> keys,
   std::vector<const CcfBase*> bases = LoadBases(guard);
   ShardedTwoPass(*this, bases, keys,
                  [&](size_t i, size_t s, uint64_t bucket, uint32_t fp) {
+                   const WriteBuffer* overlay = overlays[s];
+                   if (overlay != nullptr && overlay->num_erases() > 0) {
+                     out[i] = ResolveKeyWithOps(bases[s], overlay, keys[i],
+                                                nullptr);
+                     return;
+                   }
                    out[i] = bases[s]->ContainsKeyAddressed(bucket, fp) ||
-                            (overlays[s] != nullptr &&
-                             overlays[s]->ContainsKey(keys[i]));
+                            (overlay != nullptr &&
+                             overlay->ContainsKey(keys[i]));
                  });
 }
 

@@ -45,9 +45,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "ccf/ccf.h"
@@ -76,6 +78,15 @@ struct ShardedCcfOptions {
   /// good serving-side setting. Ignored on deserialized (log-less)
   /// filters, which cannot resize.
   double resize_watermark = 0.0;
+  /// Dead-row fraction of a shard's retained row log at which a commit
+  /// triggers an in-place compaction of that shard: the log is rewritten
+  /// without erased rows and the shard's table is rebuilt (at its current
+  /// geometry) from the survivors, clearing any erase residue the
+  /// best-effort slot reclamation left behind. Bounds the log under churn
+  /// so resizes rebuild from live rows only. <= 0 disables the policy
+  /// (explicit Compact() still works). Ignored on deserialized (log-less)
+  /// filters.
+  double compact_watermark = 0.5;
 };
 
 /// \brief N independent CCF shards behind the ConditionalCuckooFilter
@@ -152,6 +163,30 @@ class ShardedCcf : public ConditionalCuckooFilter {
   Status BufferWriteBatch(std::span<const uint64_t> keys,
                           std::span<const uint64_t> attrs);
 
+  /// Stages a tombstone for every row with this key AND this exact
+  /// attribute vector (class delete) into the shard's write buffer, with
+  /// the same release-publish visibility contract as BufferWrite: the
+  /// matching committed and staged rows are hidden from every query method
+  /// the moment this returns, other rows of the key are untouched, and no
+  /// unrelated row can turn false-negative (erase records match on the
+  /// exact key, so fingerprint aliases never inherit the exclusion). The
+  /// next CommitWrites marks the row dead in the retained log (exact) and
+  /// best-effort reclaims the table entry; entries that cannot be reclaimed
+  /// in place (chained copies in saturated pairs, Bloom folds shared with
+  /// other rows) remain as one-sided residue — extra false positives, never
+  /// false negatives — until a compaction or resize rebuilds from live rows.
+  /// Rejected on deserialized filters (no log to mark) and on oversized
+  /// geometries (slot_bits > 64, no packed payload word to match).
+  Status BufferErase(uint64_t key, std::span<const uint64_t> attrs);
+
+  /// Atomically (from any reader's perspective) replaces rows (key,
+  /// old_attrs) with (key, new_attrs): stages an erase record and an insert
+  /// record published together with ONE release store, so no reader can
+  /// observe the gap between them — the key never transiently disappears.
+  /// Same restrictions as BufferErase.
+  Status BufferUpdate(uint64_t key, std::span<const uint64_t> old_attrs,
+                      std::span<const uint64_t> new_attrs);
+
   /// Publishes every shard's staged rows: per shard, clones the current
   /// filter (Clone shares the table snapshot), batch-inserts the pending
   /// rows into the clone — the clone copy-on-writes the table off the
@@ -173,9 +208,31 @@ class ShardedCcf : public ConditionalCuckooFilter {
   /// CommitWrites on a background thread; the future carries its Status.
   std::future<Status> CommitWritesAsync();
 
-  /// Staged-but-uncommitted rows across all shards (not yet counted by
-  /// num_rows()).
+  /// Staged-but-uncommitted records across all shards (inserts AND erase
+  /// tombstones; not yet counted by num_rows()).
   uint64_t pending_writes() const;
+
+  /// Compacts EVERY shard unconditionally: rebuilds each shard's table at
+  /// its current geometry from the live rows of its retained log (erased
+  /// rows dropped) and rewrites the log to the survivors. The result is
+  /// bit-identical to a from-scratch batched build of the surviving row
+  /// set, so it clears all erase residue. Serializes with writers per
+  /// shard; readers stay pinned-lock-free and see the swap atomically.
+  /// Fails on deserialized (log-less) filters.
+  Status Compact();
+
+  /// Completed shard compactions (watermark-triggered and explicit).
+  uint64_t num_compactions() const {
+    return num_compactions_.load(std::memory_order_relaxed);
+  }
+
+  /// Total retained-log rows across shards, dead rows included
+  /// (diagnostics; takes each shard's writer mutex briefly).
+  uint64_t retained_log_rows() const;
+
+  /// Retained-log rows marked dead by committed erases and not yet
+  /// compacted away (diagnostics; takes each shard's writer mutex briefly).
+  uint64_t dead_log_rows() const;
 
   /// Completed watermark-triggered background resizes (a subset of
   /// num_resizes()).
@@ -281,15 +338,24 @@ class ShardedCcf : public ConditionalCuckooFilter {
   /// shard's spare slot once no reader can hold it). Rows use the retained
   /// row log's layout: keys + row-major attrs + two geometry-independent
   /// memo words per row, so a commit feeds them straight into InsertBatch's
-  /// memo path and appends them to the log verbatim.
+  /// memo path and appends them to the log verbatim. Each record also
+  /// carries an op tag: kOpInsert stages a row, kOpErase stages a tombstone
+  /// for the (key, packed payload) class. num_erases_ is stored (relaxed)
+  /// BEFORE the release size store, so a reader that acquires size() n and
+  /// then reads num_erases() can never UNDERcount the erase records in
+  /// [0, n) — overcounting (a concurrent appender mid-publish) only sends
+  /// the reader down the exact slow path unnecessarily.
   class WriteBuffer {
    public:
+    enum : uint8_t { kOpInsert = 0, kOpErase = 1 };
+
     WriteBuffer(size_t capacity, size_t num_attrs)
         : capacity_(capacity),
           num_attrs_(num_attrs),
           keys_(capacity),
           attrs_(capacity * num_attrs),
-          memo_(2 * capacity) {}
+          memo_(2 * capacity),
+          ops_(capacity) {}
 
     size_t capacity() const { return capacity_; }
     /// Reader-side row count; rows [0, size) are fully published.
@@ -299,45 +365,123 @@ class ShardedCcf : public ConditionalCuckooFilter {
       return size_.load(std::memory_order_relaxed);
     }
 
-    /// Appends one row (writer-side; requires size_unsync() < capacity).
+    /// Appends one record (writer-side; requires size_unsync() < capacity).
     void Append(uint64_t key, std::span<const uint64_t> attrs,
-                uint64_t key_hash, uint64_t payload) {
+                uint64_t key_hash, uint64_t payload,
+                uint8_t op = kOpInsert) {
       size_t n = size_.load(std::memory_order_relaxed);
-      keys_[n] = key;
-      std::copy(attrs.begin(), attrs.end(),
-                attrs_.begin() + static_cast<ptrdiff_t>(n * num_attrs_));
-      memo_[2 * n] = key_hash;
-      memo_[2 * n + 1] = payload;
+      WriteRecord(n, key, attrs, key_hash, payload, op);
+      if (op == kOpErase) {
+        num_erases_.store(num_erases_.load(std::memory_order_relaxed) + 1,
+                          std::memory_order_relaxed);
+      }
       size_.store(n + 1, std::memory_order_release);
     }
 
-    /// Copies the first `n` rows of `from` (builds the replacement block
+    /// Appends erase(old) + insert(new) published by ONE release store, so
+    /// readers observe the update as an atomic swap — never the erased-only
+    /// gap (writer-side; requires size_unsync() + 2 <= capacity).
+    void AppendUpdate(uint64_t key, std::span<const uint64_t> old_attrs,
+                      uint64_t old_hash, uint64_t old_payload,
+                      std::span<const uint64_t> new_attrs, uint64_t new_hash,
+                      uint64_t new_payload) {
+      size_t n = size_.load(std::memory_order_relaxed);
+      WriteRecord(n, key, old_attrs, old_hash, old_payload, kOpErase);
+      WriteRecord(n + 1, key, new_attrs, new_hash, new_payload, kOpInsert);
+      num_erases_.store(num_erases_.load(std::memory_order_relaxed) + 1,
+                        std::memory_order_relaxed);
+      size_.store(n + 2, std::memory_order_release);
+    }
+
+    /// Copies the first `n` records of `from` (builds the replacement block
     /// before it is published; writer-side).
     void Adopt(const WriteBuffer& from, size_t n) {
       std::copy_n(from.keys_.begin(), n, keys_.begin());
       std::copy_n(from.attrs_.begin(), n * num_attrs_, attrs_.begin());
       std::copy_n(from.memo_.begin(), 2 * n, memo_.begin());
+      std::copy_n(from.ops_.begin(), n, ops_.begin());
+      size_t erases = 0;
+      for (size_t i = 0; i < n; ++i) erases += from.ops_[i] == kOpErase;
+      num_erases_.store(erases, std::memory_order_relaxed);
       size_.store(n, std::memory_order_relaxed);
     }
 
     /// Reuse a recycled block (writer-side; no reader can hold it anymore).
-    void Reset() { size_.store(0, std::memory_order_relaxed); }
+    void Reset() {
+      num_erases_.store(0, std::memory_order_relaxed);
+      size_.store(0, std::memory_order_relaxed);
+    }
+
+    /// Erase records among the published rows; read AFTER an acquire of
+    /// size() — never undercounts [0, size), may transiently overcount.
+    size_t num_erases() const {
+      return num_erases_.load(std::memory_order_relaxed);
+    }
+    size_t num_erases_unsync() const {
+      return num_erases_.load(std::memory_order_relaxed);
+    }
+
+    /// Per-record reads (valid for published records, or writer-side).
+    uint8_t op(size_t i) const { return ops_[i]; }
+    uint64_t key(size_t i) const { return keys_[i]; }
+    uint64_t key_hash(size_t i) const { return memo_[2 * i]; }
+    uint64_t payload(size_t i) const { return memo_[2 * i + 1]; }
+    std::span<const uint64_t> attrs_row(size_t i) const {
+      return {attrs_.data() + i * num_attrs_, num_attrs_};
+    }
 
     /// Overlay probes (reader-side, any thread, no locks): exact matching
-    /// over published rows — a staged row (k, a) answers true for (k, P)
-    /// iff P(a), which is precisely the no-false-negative contract and
-    /// introduces no approximation of its own.
+    /// over published records — a staged row (k, a) answers true for (k, P)
+    /// iff P(a) AND no later-staged erase record killed its (k, payload)
+    /// class, which is precisely the no-false-negative contract and
+    /// introduces no approximation of its own. With no erases in the block
+    /// the scan degenerates to the original forward pass. (Whether staged
+    /// erases hide COMMITTED rows is the owning filter's job — see
+    /// ShardedCcf::ResolveKeyWithOps.)
     bool ContainsKey(uint64_t key) const {
       size_t n = size();
-      for (size_t i = 0; i < n; ++i) {
-        if (keys_[i] == key) return true;
+      if (num_erases() == 0) {
+        for (size_t i = 0; i < n; ++i) {
+          if (keys_[i] == key) return true;
+        }
+        return false;
+      }
+      // Backward: an erase record is seen before every insert it kills, so
+      // a dead-payload set collected on the way down decides liveness; a
+      // re-insert staged AFTER an erase is visited first and stays live.
+      std::vector<uint64_t> dead;
+      for (size_t i = n; i-- > 0;) {
+        if (keys_[i] != key) continue;
+        uint64_t p = memo_[2 * i + 1];
+        if (ops_[i] == kOpErase) {
+          dead.push_back(p);
+          continue;
+        }
+        if (std::find(dead.begin(), dead.end(), p) == dead.end()) return true;
       }
       return false;
     }
     bool Contains(uint64_t key, const Predicate& pred) const {
       size_t n = size();
-      for (size_t i = 0; i < n; ++i) {
-        if (keys_[i] == key &&
+      if (num_erases() == 0) {
+        for (size_t i = 0; i < n; ++i) {
+          if (keys_[i] == key &&
+              pred.Matches(std::span<const uint64_t>(
+                  attrs_.data() + i * num_attrs_, num_attrs_))) {
+            return true;
+          }
+        }
+        return false;
+      }
+      std::vector<uint64_t> dead;
+      for (size_t i = n; i-- > 0;) {
+        if (keys_[i] != key) continue;
+        uint64_t p = memo_[2 * i + 1];
+        if (ops_[i] == kOpErase) {
+          dead.push_back(p);
+          continue;
+        }
+        if (std::find(dead.begin(), dead.end(), p) == dead.end() &&
             pred.Matches(std::span<const uint64_t>(
                 attrs_.data() + i * num_attrs_, num_attrs_))) {
           return true;
@@ -346,7 +490,7 @@ class ShardedCcf : public ConditionalCuckooFilter {
       return false;
     }
 
-    /// Row views over the first `n` rows (writer-side, for commit).
+    /// Record views over the first `n` records (writer-side, for commit).
     std::span<const uint64_t> keys(size_t n) const {
       return {keys_.data(), n};
     }
@@ -358,12 +502,26 @@ class ShardedCcf : public ConditionalCuckooFilter {
     }
 
    private:
+    void WriteRecord(size_t n, uint64_t key, std::span<const uint64_t> attrs,
+                     uint64_t key_hash, uint64_t payload, uint8_t op) {
+      keys_[n] = key;
+      std::copy(attrs.begin(), attrs.end(),
+                attrs_.begin() + static_cast<ptrdiff_t>(n * num_attrs_));
+      memo_[2 * n] = key_hash;
+      memo_[2 * n + 1] = payload;
+      ops_[n] = op;
+    }
+
     const size_t capacity_;
     const size_t num_attrs_;
     std::atomic<size_t> size_{0};
+    /// Erase records among records [0, size_); see the class comment for
+    /// the store-before-publish ordering contract.
+    std::atomic<size_t> num_erases_{0};
     std::vector<uint64_t> keys_;
     std::vector<uint64_t> attrs_;  // row-major
-    std::vector<uint64_t> memo_;   // 2 words per row
+    std::vector<uint64_t> memo_;   // 2 words per record
+    std::vector<uint8_t> ops_;     // kOpInsert / kOpErase per record
   };
 
   /// Per-shard serving state: the epoch-swappable filter, the writer lock,
@@ -384,6 +542,16 @@ class ShardedCcf : public ConditionalCuckooFilter {
     std::vector<uint64_t> keys;   // guarded by writer_mu
     std::vector<uint64_t> attrs;  // row-major, guarded by writer_mu
     std::vector<uint64_t> memo;   // 2 words per row, guarded by writer_mu
+    /// Tombstone bookkeeping over the log (all guarded by writer_mu): a
+    /// committed erase marks its rows dead here EXACTLY — the log always
+    /// knows the true live set, whatever the best-effort table reclamation
+    /// managed — and compaction rewrites the log from the survivors.
+    std::vector<uint8_t> dead;  // parallel to keys; 1 = erased row
+    size_t dead_count = 0;
+    /// key → log row indices, built lazily by the first CRUD commit and
+    /// maintained by LogAppendRows/LogTruncate afterwards.
+    std::unordered_map<uint64_t, std::vector<uint32_t>> row_index;
+    bool index_built = false;
     /// Staged rows (null when none): readers load under an epoch pin;
     /// writers mutate/swap under writer_mu. Swapped-out blocks are retired
     /// into the epoch domain and recycled through `spare`.
@@ -409,12 +577,44 @@ class ShardedCcf : public ConditionalCuckooFilter {
   /// Retires a swapped-out buffer into the epoch domain; reclamation
   /// recycles it through the shard's spare slot.
   void RetireBuffer(Shard& shard, WriteBuffer* old);
-  /// Commits shard `s`'s staged rows (see CommitWrites); caller holds
-  /// writer_mu.
+  /// Commits shard `s`'s staged records (see CommitWrites); caller holds
+  /// writer_mu. Dispatches to CommitShardCrudLocked when the pending block
+  /// carries erase records.
   Status CommitShardLocked(size_t s, Shard& shard);
+  /// The erase-aware commit: applies the staged records IN ORDER against a
+  /// copy-on-write clone (insert runs via InsertBatch, tombstones via
+  /// best-effort native slot deletion), then — only after the clone
+  /// publishes — marks dead log rows and appends surviving inserts; caller
+  /// holds writer_mu.
+  Status CommitShardCrudLocked(size_t s, Shard& shard);
+  /// Appends rows to the shard's retained log, keeping the dead vector and
+  /// (if built) the row index in sync; caller holds writer_mu.
+  void LogAppendRows(Shard& shard, std::span<const uint64_t> keys,
+                     std::span<const uint64_t> attrs,
+                     std::span<const uint64_t> memo);
+  /// Drops log rows [old_rows, end) (rollback of a failed append); caller
+  /// holds writer_mu.
+  void LogTruncate(Shard& shard, size_t old_rows);
+  /// Builds the key → log rows index on first CRUD use; caller holds
+  /// writer_mu.
+  void EnsureLogIndex(Shard& shard);
+  /// Rebuilds the shard at its CURRENT geometry from live log rows and
+  /// rewrites the log to the survivors; caller holds writer_mu.
+  Status CompactShardLocked(Shard& shard);
+  /// Runs CompactShardLocked when the dead fraction of the log crosses
+  /// options_.compact_watermark; caller holds writer_mu.
+  void MaybeCompactShard(Shard& shard);
   /// Schedules a background doubling resize if the shard's occupancy is at
   /// or above the watermark; caller holds writer_mu.
   void MaybeScheduleWatermarkResize(size_t s, Shard& shard);
+
+  /// Exact reader slow path for a shard whose overlay stages erase records:
+  /// staged liveness via the op-aware overlay probe, committed rows via the
+  /// exclusion-filtered addressed probes (tombstoned classes hidden).
+  /// `pred` null means key-only. Caller holds an epoch pin covering both
+  /// loaded pointers.
+  bool ResolveKeyWithOps(const CcfBase* base, const WriteBuffer* overlay,
+                         uint64_t key, const Predicate* pred) const;
 
   /// Every shard's current snapshot, loaded once under the caller's pin —
   /// THE way batch read paths bind the shard set.
@@ -438,6 +638,7 @@ class ShardedCcf : public ConditionalCuckooFilter {
   Hasher shard_hasher_;
   std::atomic<uint64_t> num_resizes_{0};
   std::atomic<uint64_t> num_watermark_resizes_{0};
+  std::atomic<uint64_t> num_compactions_{0};
   /// In-flight watermark resizes (futures must be joined before the shards
   /// they reference die); reaped opportunistically, drained on destruction.
   mutable std::mutex maintenance_mu_;

@@ -98,7 +98,7 @@ inline uint32_t MatchDirectSwar(uint64_t word, uint32_t fp, int width,
   return DenseMaskFromMsbs(ZeroLaneMsbs(x, g), width);
 }
 
-// --- 16-bit-lane kernels ------------------------------------------------------
+// --- 16-bit-lane kernels -----------------------------------------------------
 //
 // All take a lane array padded with zeros to kMaxViewSlots entries and
 // return a mask limited to the low `n` lanes (padding lanes cannot leak:

@@ -73,7 +73,8 @@ Result<Table> GenerateTitle(const TableSpec& spec, uint64_t num_titles,
                            static_cast<uint64_t>(kYearHi - kYearLo + 1)));
   for (uint64_t id = 1; id <= num_titles; ++id) {
     uint64_t kind = kind_dist.Sample(rng);
-    uint64_t year = static_cast<uint64_t>(kYearHi) - (year_offset.Sample(rng) - 1);
+    uint64_t year =
+        static_cast<uint64_t>(kYearHi) - (year_offset.Sample(rng) - 1);
     uint64_t row[3] = {id, kind, year};
     table.AppendRow(row);
   }

@@ -174,6 +174,9 @@ Result<BuiltCcf> BuildCcf(const TableData& table,
     opts.build_threads = params.build_threads;
     opts.max_auto_resizes = params.max_rebuilds;
     opts.resize_watermark = params.resize_watermark;
+    if (params.compact_watermark >= 0.0) {
+      opts.compact_watermark = params.compact_watermark;
+    }
     CCF_ASSIGN_OR_RETURN(std::unique_ptr<ShardedCcf> sharded,
                          ShardedCcf::Make(params.variant, config, opts));
     Status st;
@@ -187,6 +190,41 @@ Result<BuiltCcf> BuildCcf(const TableData& table,
       // set.
       const size_t num_attrs = static_cast<size_t>(config.num_attrs);
       const size_t chunk = static_cast<size_t>(params.live_write_batch);
+      // CRUD churn state: transient rows march through a three-chunk
+      // lifecycle (inserted → updated → erased) with keys from a reserved
+      // range no synthetic-IMDB table touches, so after the final flush the
+      // surviving rows are exactly the dataset rows.
+      uint64_t churn_counter = 0;
+      std::vector<uint64_t> churn_fresh;    // inserted last chunk (attrs v0)
+      std::vector<uint64_t> churn_updated;  // updated last chunk (attrs v1)
+      auto churn_key = [](uint64_t c) { return 0x7fffffff00000000ull | c; };
+      auto churn_attrs = [&](uint64_t c, uint64_t version) {
+        std::vector<uint64_t> a(num_attrs);
+        for (size_t j = 0; j < num_attrs; ++j) {
+          a[j] = c * 131 + version * 17 + j;
+        }
+        return a;
+      };
+      auto stage_churn = [&]() -> Status {
+        for (uint64_t c : churn_updated) {
+          CCF_RETURN_NOT_OK(
+              sharded->BufferErase(churn_key(c), churn_attrs(c, 1)));
+        }
+        churn_updated.clear();
+        for (uint64_t c : churn_fresh) {
+          CCF_RETURN_NOT_OK(sharded->BufferUpdate(
+              churn_key(c), churn_attrs(c, 0), churn_attrs(c, 1)));
+          churn_updated.push_back(c);
+        }
+        churn_fresh.clear();
+        for (uint64_t i = 0; i < params.live_churn_rows; ++i) {
+          uint64_t c = churn_counter++;
+          CCF_RETURN_NOT_OK(
+              sharded->BufferWrite(churn_key(c), churn_attrs(c, 0)));
+          churn_fresh.push_back(c);
+        }
+        return Status::OK();
+      };
       for (size_t begin = 0; begin < rows.keys.size() && st.ok();
            begin += chunk) {
         size_t n = std::min(chunk, rows.keys.size() - begin);
@@ -195,6 +233,20 @@ Result<BuiltCcf> BuildCcf(const TableData& table,
             std::span<const uint64_t>(rows.flat_attrs.data() +
                                           begin * num_attrs,
                                       n * num_attrs));
+        if (st.ok() && params.live_churn_rows > 0) st = stage_churn();
+        if (st.ok()) st = sharded->CommitWrites();
+      }
+      // Flush the churn rows still mid-lifecycle so only dataset rows
+      // survive (updated rows carry attrs v1, fresh ones still v0).
+      if (st.ok() && params.live_churn_rows > 0) {
+        for (uint64_t c : churn_updated) {
+          if (!st.ok()) break;
+          st = sharded->BufferErase(churn_key(c), churn_attrs(c, 1));
+        }
+        for (uint64_t c : churn_fresh) {
+          if (!st.ok()) break;
+          st = sharded->BufferErase(churn_key(c), churn_attrs(c, 0));
+        }
         if (st.ok()) st = sharded->CommitWrites();
       }
       sharded->DrainMaintenance();
@@ -208,7 +260,46 @@ Result<BuiltCcf> BuildCcf(const TableData& table,
           "CCF for table '" + table.spec.name + "' failed after per-shard "
           "online resizes: " + st.message());
     }
+    if (params.live_write_batch > 0 && params.live_differential_check) {
+      // The CRUD acceptance gate: compact every shard, then prove each
+      // shard's table serializes bit-identical to a from-scratch batched
+      // build of its surviving rows at the same geometry. The build
+      // history — incremental commits, churn, reclamation residue,
+      // mid-build resizes — must be unobservable.
+      CCF_RETURN_NOT_OK(sharded->Compact());
+      const size_t num_attrs = static_cast<size_t>(config.num_attrs);
+      const int num_shards = sharded->num_shards();
+      std::vector<std::vector<uint64_t>> shard_keys(
+          static_cast<size_t>(num_shards));
+      std::vector<std::vector<uint64_t>> shard_attrs(
+          static_cast<size_t>(num_shards));
+      for (size_t i = 0; i < rows.keys.size(); ++i) {
+        size_t s = sharded->ShardOf(rows.keys[i]);
+        shard_keys[s].push_back(rows.keys[i]);
+        shard_attrs[s].insert(
+            shard_attrs[s].end(),
+            rows.flat_attrs.begin() + static_cast<ptrdiff_t>(i * num_attrs),
+            rows.flat_attrs.begin() +
+                static_cast<ptrdiff_t>((i + 1) * num_attrs));
+      }
+      for (int s = 0; s < num_shards; ++s) {
+        const ConditionalCuckooFilter& live = sharded->shard(s);
+        CCF_ASSIGN_OR_RETURN(
+            std::unique_ptr<ConditionalCuckooFilter> scratch,
+            ConditionalCuckooFilter::Make(params.variant, live.config()));
+        CCF_RETURN_NOT_OK(scratch->InsertBatch(
+            shard_keys[static_cast<size_t>(s)],
+            shard_attrs[static_cast<size_t>(s)]));
+        if (scratch->Serialize() != live.Serialize()) {
+          return Status::Internal(
+              "live CRUD differential for table '" + table.spec.name +
+              "': shard " + std::to_string(s) +
+              " diverges from a from-scratch build of its surviving rows");
+        }
+      }
+    }
     built.rebuilds = static_cast<int>(sharded->num_resizes());
+    built.compactions = static_cast<int>(sharded->num_compactions());
     built.filter = std::move(sharded);
     return built;
   }

@@ -71,6 +71,27 @@ struct CcfBuildParams {
   /// occupancy crosses this load factor after a commit resize proactively
   /// in the background instead of waiting for CapacityError. 0 disables.
   double resize_watermark = 0.0;
+  /// > 0 interleaves a CRUD churn workload with the live-write build: each
+  /// commit chunk also stages this many TRANSIENT rows (keys from a
+  /// reserved range disjoint from any dataset key) that live the full
+  /// lifecycle across subsequent chunks — BufferWrite, then BufferUpdate to
+  /// a second attribute vector, then BufferErase — with leftovers
+  /// flush-erased after the last chunk, so the surviving row set is exactly
+  /// the dataset rows. Exercises tombstone commits, slot reclamation, and
+  /// watermark compaction on the serving path. Requires live_write_batch >
+  /// 0; ignored otherwise.
+  uint64_t live_churn_rows = 0;
+  /// ShardedCcfOptions::compact_watermark for sharded builds: dead-row
+  /// fraction of a shard's retained log at which a commit compacts the
+  /// shard (negative keeps the ShardedCcfOptions default; 0 disables).
+  double compact_watermark = -1.0;
+  /// After a live-write build, Compact() the filter and verify per shard
+  /// that the table serializes bit-identical to a from-scratch batched
+  /// build of the shard's surviving rows at its current geometry —
+  /// Status::Internal on any divergence. The acceptance gate for the CRUD
+  /// path: whatever erase residue the best-effort reclamation left behind,
+  /// compaction must erase the build history completely.
+  bool live_differential_check = false;
 };
 
 /// The paper's evaluated settings (§10.5): large = 8-bit attributes, 12-bit
@@ -87,6 +108,7 @@ struct BuiltCcf {
   AttributeSchema schema;          // predicate columns in attribute order
   std::optional<RangeBinner> year_binner;  // set if a year column exists
   int rebuilds = 0;                // resize-and-rebuild count
+  int compactions = 0;             // shard compactions (CRUD builds)
 
   /// Compiles query predicates on this table into a CCF predicate
   /// (equality → singleton; year range → binned in-list).

@@ -6,7 +6,7 @@
 
 namespace ccf {
 
-// --- FilterSet ----------------------------------------------------------------
+// --- FilterSet ---------------------------------------------------------------
 
 Status FilterSet::ProbeBatch(const std::string& table,
                              std::span<const uint64_t> keys,
@@ -22,7 +22,7 @@ Status FilterSet::ProbeBatch(const std::string& table,
   return Status::OK();
 }
 
-// --- CcfFilterSet -------------------------------------------------------------
+// --- CcfFilterSet ------------------------------------------------------------
 
 Result<const BuiltCcf*> CcfFilterSet::Find(const std::string& table) const {
   for (const BuiltCcf& f : *filters_) {
@@ -54,7 +54,7 @@ uint64_t CcfFilterSet::TotalSizeInBits() const {
   return bits;
 }
 
-// --- CuckooFilterSet ----------------------------------------------------------
+// --- CuckooFilterSet ---------------------------------------------------------
 
 Result<CuckooFilterSet> CuckooFilterSet::Build(const ImdbDataset& dataset,
                                                int fingerprint_bits,
@@ -127,7 +127,7 @@ uint64_t CuckooFilterSet::TotalSizeInBits() const {
   return bits;
 }
 
-// --- WorkloadEvaluator --------------------------------------------------------
+// --- WorkloadEvaluator -------------------------------------------------------
 
 WorkloadEvaluator::WorkloadEvaluator(const ImdbDataset* dataset,
                                      const std::vector<JoinQuery>* queries,

@@ -44,8 +44,10 @@ struct HashJoinStats {
 /// appear in the result (no false negatives), so results are identical with
 /// or without it — only the stats differ.
 Result<HashJoinStats> ExecuteHashJoin(
-    const TableData& build, const std::vector<const QueryPredicate*>& build_preds,
-    const TableData& probe, const std::vector<const QueryPredicate*>& probe_preds,
+    const TableData& build,
+    const std::vector<const QueryPredicate*>& build_preds,
+    const TableData& probe,
+    const std::vector<const QueryPredicate*>& probe_preds,
     const RangeBinner& year_binner,
     const std::function<bool(uint64_t)>& build_prefilter);
 

@@ -37,6 +37,12 @@ class AttrFingerprintCodec {
   int vector_bits() const { return num_attrs_ * bits_per_attr_; }
   bool small_value_opt() const { return small_value_opt_; }
 
+  /// Re-targets the hasher pointer. A copied filter's codec still points at
+  /// the SOURCE object's hasher member; Clone() must rebind it to the
+  /// copy's own (equal-valued) hasher so the clone survives its source —
+  /// epoch-retired snapshots are freed while their clones keep serving.
+  void RebindHasher(const Hasher* hasher) { hasher_ = hasher; }
+
   /// Fingerprint of one attribute value.
   uint32_t ValueFingerprint(uint64_t value) const {
     return AttributeFingerprint(*hasher_, value, bits_per_attr_,

@@ -38,7 +38,9 @@ class BitVector {
 
   BitVector(const BitVector& other) { *this = other; }
   BitVector& operator=(const BitVector& other);
-  BitVector(BitVector&& other) noexcept { *this = static_cast<BitVector&&>(other); }
+  BitVector(BitVector&& other) noexcept {
+    *this = static_cast<BitVector&&>(other);
+  }
   BitVector& operator=(BitVector&& other) noexcept;
   ~BitVector() { Deallocate(); }
 

@@ -17,7 +17,8 @@ template <typename T>
 class Result {
  public:
   /// Constructs from a value (implicit, enables `return T{...};`).
-  Result(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(T value) : rep_(std::move(value)) {}
 
   /// Constructs from a non-OK status (implicit, enables
   /// `return Status::Invalid(...);`).
@@ -57,7 +58,8 @@ class Result {
 
 }  // namespace ccf
 
-/// Unwraps a Result into `lhs`, propagating errors (Arrow's ARROW_ASSIGN_OR_RAISE).
+/// Unwraps a Result into `lhs`, propagating errors (Arrow's
+/// ARROW_ASSIGN_OR_RAISE).
 #define CCF_RESULT_CONCAT_IMPL(a, b) a##b
 #define CCF_RESULT_CONCAT(a, b) CCF_RESULT_CONCAT_IMPL(a, b)
 #define CCF_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \

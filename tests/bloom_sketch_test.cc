@@ -85,8 +85,10 @@ TEST_F(BloomSketchTest, ClearZeroesOnlyTheWindow) {
 
 TEST_F(BloomSketchTest, EncodeAttrSeparatesColumns) {
   // The same value in different columns must encode differently.
-  EXPECT_NE(BloomSketchView::EncodeAttr(0, 5), BloomSketchView::EncodeAttr(1, 5));
-  EXPECT_NE(BloomSketchView::EncodeAttr(0, 5), BloomSketchView::EncodeAttr(0, 6));
+  EXPECT_NE(BloomSketchView::EncodeAttr(0, 5),
+            BloomSketchView::EncodeAttr(1, 5));
+  EXPECT_NE(BloomSketchView::EncodeAttr(0, 5),
+            BloomSketchView::EncodeAttr(0, 6));
 }
 
 TEST_F(BloomSketchTest, ZeroWidthWindowCannotRefute) {

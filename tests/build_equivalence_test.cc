@@ -252,7 +252,9 @@ TEST(CuckooFilterInsertBatchTest, MultisetMode) {
   config.multiset = true;
   config.salt = 9;
   std::vector<uint64_t> keys;
-  for (int i = 0; i < 6000; ++i) keys.push_back(static_cast<uint64_t>(i % 2000));
+  for (int i = 0; i < 6000; ++i) {
+    keys.push_back(static_cast<uint64_t>(i % 2000));
+  }
 
   auto scalar = CuckooFilter::Make(config).ValueOrDie();
   for (uint64_t k : keys) ASSERT_TRUE(scalar.Insert(k).ok());

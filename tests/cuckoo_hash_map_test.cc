@@ -94,7 +94,9 @@ TEST(ChainedCuckooMultiMapTest, StoresManyDuplicatesOfOneKey) {
   std::vector<int> values = map.GetAll(7);
   ASSERT_EQ(values.size(), static_cast<size_t>(kCopies));
   std::sort(values.begin(), values.end());
-  for (int i = 0; i < kCopies; ++i) EXPECT_EQ(values[static_cast<size_t>(i)], i);
+  for (int i = 0; i < kCopies; ++i) {
+    EXPECT_EQ(values[static_cast<size_t>(i)], i);
+  }
 }
 
 TEST(ChainedCuckooMultiMapTest, MixedKeysWithSkewedDuplicates) {

@@ -186,8 +186,9 @@ TEST(CompressedCcfTest, FrequencyGreedyBeatsDirectHashOnSkewedColumns) {
   std::vector<std::vector<uint64_t>> attrs;
   for (int i = 0; i < 3000; ++i) {
     keys.push_back(static_cast<uint64_t>(i));
-    uint64_t v = i % 2 == 0 ? 111111 : (i % 4 == 1 ? 222222
-                                                   : 300000 + rng.NextBelow(64));
+    uint64_t v = i % 2 == 0
+                     ? 111111
+                     : (i % 4 == 1 ? 222222 : 300000 + rng.NextBelow(64));
     attrs.push_back({v});
   }
   auto compressed =
@@ -206,7 +207,7 @@ TEST(CompressedCcfTest, FrequencyGreedyBeatsDirectHashOnSkewedColumns) {
   EXPECT_LT(compressed.added_collisions(0), 0.2);
 }
 
-// --- PerValueFilterBank -------------------------------------------------------
+// --- PerValueFilterBank ------------------------------------------------------
 
 TEST(PerValueFilterBankTest, AnswersMatchGroundTruth) {
   Rng rng(3);

@@ -109,10 +109,12 @@ TEST_F(HashJoinTest, KeyOnlyPrefilterWeakerThanCcf) {
       BuildCcf(*ci, LargeParams(CcfVariant::kChained)).ValueOrDie();
   Predicate compiled = ci_ccf.CompilePredicates({&ci_pred}).ValueOrDie();
 
-  auto key_only = ExecuteHashJoin(
-                      *t, {}, *ci, {&ci_pred}, *binner_,
-                      [&](uint64_t key) { return ci_ccf.filter->ContainsKey(key); })
-                      .ValueOrDie();
+  auto key_only =
+      ExecuteHashJoin(*t, {}, *ci, {&ci_pred}, *binner_,
+                      [&](uint64_t key) {
+                        return ci_ccf.filter->ContainsKey(key);
+                      })
+          .ValueOrDie();
   auto with_pred = ExecuteHashJoin(
                        *t, {}, *ci, {&ci_pred}, *binner_,
                        [&](uint64_t key) {

@@ -161,10 +161,14 @@ TEST_F(JoinIntegrationTest, FilterSizesAreReportedAndOrdered) {
   // movie_keyword (9.48 avg dupes): Bloom must be much smaller.
   uint64_t bloom_mk = 0, chained_mk = 0;
   for (const auto& f : bloom) {
-    if (f.source->spec.name == "movie_keyword") bloom_mk = f.filter->SizeInBits();
+    if (f.source->spec.name == "movie_keyword") {
+      bloom_mk = f.filter->SizeInBits();
+    }
   }
   for (const auto& f : chained) {
-    if (f.source->spec.name == "movie_keyword") chained_mk = f.filter->SizeInBits();
+    if (f.source->spec.name == "movie_keyword") {
+      chained_mk = f.filter->SizeInBits();
+    }
   }
   EXPECT_LT(bloom_mk, chained_mk);
 }

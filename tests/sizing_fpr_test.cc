@@ -28,7 +28,8 @@ TEST(DuplicateProfileTest, ComputesCappedMeans) {
 }
 
 TEST(DuplicateProfileTest, EmptyCountsAreSafe) {
-  DuplicateProfile p = DuplicateProfile::FromCounts(std::vector<uint64_t>{}, 3, 0);
+  DuplicateProfile p =
+      DuplicateProfile::FromCounts(std::vector<uint64_t>{}, 3, 0);
   EXPECT_EQ(p.num_keys, 0u);
   EXPECT_EQ(p.num_rows, 0u);
 }
@@ -97,7 +98,8 @@ TEST(ChooseGeometryTest, AppliesRuleOfThumbAndLoadTargets) {
 }
 
 TEST(ChooseGeometryTest, RejectsContradictoryBuckets) {
-  DuplicateProfile p = DuplicateProfile::FromCounts(std::vector<uint64_t>{1}, 3, 0);
+  DuplicateProfile p =
+      DuplicateProfile::FromCounts(std::vector<uint64_t>{1}, 3, 0);
   CcfConfig base;
   base.max_dupes = 5;
   base.slots_per_bucket = 4;  // d > b

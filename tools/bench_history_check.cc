@@ -5,6 +5,15 @@
 //   bench_history_check [--threshold PCT] [--min-history N]
 //                       [--exclude SUBSTR ...]
 //                       history1.json [history2.json ...] current.json
+//   bench_history_check --emit-baseline OUT.json run1.json [run2.json ...]
+//
+// --emit-baseline flips the tool from checker to baseline writer: every
+// positional path is an input run, and OUT.json receives one row per
+// (name, label, aggregate) key — the per-field MEDIAN over the runs that
+// contain it, in first-seen order — in the same JsonRowsReporter array
+// format the checker reads. The baseline-refresh workflow feeds it the
+// bench-smoke-json artifacts of recent green main runs to regenerate
+// bench/baselines/bench_smoke_rolling.json mechanically.
 //
 // The LAST path is the run under test; every earlier path is history. For
 // each (name, label) row present in the current run, the baseline is the
@@ -42,7 +51,10 @@ namespace {
 
 struct BenchRow {
   std::string key;  // name + label + aggregate
+  std::string name, label, aggregate;
   double keys_per_second = 0.0;
+  double real_time_ms = 0.0;
+  double table_mb = 0.0;
 };
 
 // Extracts "field": <string or number> from one row object's text.
@@ -95,7 +107,12 @@ bool ReadRows(const std::string& path, std::vector<BenchRow>* rows) {
     BenchRow row;
     row.key = name + " [" + label + "]" +
               (aggregate.empty() ? "" : " (" + aggregate + ")");
+    row.name = std::move(name);
+    row.label = std::move(label);
+    row.aggregate = std::move(aggregate);
     row.keys_per_second = kps;
+    ExtractNumber(obj, "real_time_ms", &row.real_time_ms);
+    ExtractNumber(obj, "table_mb", &row.table_mb);
     rows->push_back(std::move(row));
   }
   return true;
@@ -107,11 +124,74 @@ double Median(std::vector<double> v) {
   return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
 }
 
+// Baseline writer: per-row-key field medians over every input run, written
+// in the JsonRowsReporter array format ReadRows parses. Rows keep
+// first-seen order so regenerated baselines diff cleanly. Zero-throughput
+// (time-only) rows are carried through: the checker ignores them, but the
+// baseline stays a faithful snapshot of the bench set.
+int EmitBaseline(const std::string& out_path,
+                 const std::vector<std::string>& inputs) {
+  struct Agg {
+    BenchRow first;
+    std::vector<double> kps, ms, mb;
+  };
+  std::vector<std::string> order;
+  std::map<std::string, Agg> by_key;
+  for (const std::string& path : inputs) {
+    std::vector<BenchRow> rows;
+    if (!ReadRows(path, &rows)) return 2;
+    for (BenchRow& r : rows) {
+      auto it = by_key.find(r.key);
+      if (it == by_key.end()) {
+        order.push_back(r.key);
+        it = by_key.emplace(r.key, Agg{}).first;
+        it->second.first = r;
+      }
+      it->second.kps.push_back(r.keys_per_second);
+      it->second.ms.push_back(r.real_time_ms);
+      it->second.mb.push_back(r.table_mb);
+    }
+  }
+  if (order.empty()) {
+    std::fprintf(stderr, "bench_history_check: no rows in any input run\n");
+    return 2;
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "bench_history_check: cannot write %s\n",
+                 out_path.c_str());
+    return 2;
+  }
+  out << "[\n";
+  for (size_t i = 0; i < order.size(); ++i) {
+    const Agg& a = by_key[order[i]];
+    double kps = Median(a.kps);
+    char row[1024];
+    std::snprintf(row, sizeof(row),
+                  "  {\"name\": \"%s\", \"label\": \"%s\", "
+                  "\"aggregate\": \"%s\", \"iterations\": 1, "
+                  "\"real_time_ms\": %.6f, \"keys_per_second\": %.1f, "
+                  "\"ns_per_key\": %.3f, \"table_mb\": %.3f}%s\n",
+                  a.first.name.c_str(), a.first.label.c_str(),
+                  a.first.aggregate.c_str(), Median(a.ms), kps,
+                  kps > 0.0 ? 1e9 / kps : 0.0, Median(a.mb),
+                  i + 1 < order.size() ? "," : "");
+    out << row;
+  }
+  out << "]\n";
+  std::printf(
+      "bench_history_check: wrote %zu baseline row(s) from %zu run(s) to "
+      "%s\n",
+      order.size(), inputs.size(), out_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   double threshold_pct = 15.0;
   size_t min_history = 1;
+  std::string emit_baseline;
   std::vector<std::string> paths;
   std::vector<std::string> excludes;
   for (int i = 1; i < argc; ++i) {
@@ -121,11 +201,15 @@ int main(int argc, char** argv) {
       min_history = static_cast<size_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--exclude") == 0 && i + 1 < argc) {
       excludes.emplace_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--emit-baseline") == 0 && i + 1 < argc) {
+      emit_baseline = argv[++i];
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr,
                    "usage: %s [--threshold PCT] [--min-history N] "
-                   "[--exclude SUBSTR ...] history... current.json\n",
-                   argv[0]);
+                   "[--exclude SUBSTR ...] history... current.json\n"
+                   "       %s --emit-baseline OUT.json run1.json "
+                   "[run2.json ...]\n",
+                   argv[0], argv[0]);
       return 2;
     } else {
       paths.emplace_back(argv[i]);
@@ -135,6 +219,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bench_history_check: no row files given\n");
     return 2;
   }
+  if (!emit_baseline.empty()) return EmitBaseline(emit_baseline, paths);
   if (paths.size() < min_history + 1) {
     std::printf(
         "bench_history_check: %zu history file(s), need %zu — nothing to "
