@@ -4,10 +4,13 @@
 #ifndef CCF_BENCH_BENCH_UTIL_H_
 #define CCF_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 namespace ccf::bench {
 
@@ -39,6 +42,49 @@ inline void Banner(const std::string& id, const std::string& what) {
 
 inline double Mb(uint64_t bits) {
   return static_cast<double>(bits) / 8.0 / 1024.0 / 1024.0;
+}
+
+/// Measures sustained single-core DRAM bandwidth with a STREAM-triad-style
+/// pass (a[i] = b[i] + s * c[i]) over arrays far larger than LLC. This is
+/// the denominator of the perf_throughput roofline row: a probe that
+/// touches B bytes of table cannot exceed (triad bytes/s) / B probes/s, so
+/// "fraction of roofline" = measured keys/s ÷ that bound. Takes ~0.5 s;
+/// best of `passes` timed sweeps after one warm-up (first touch faults
+/// pages). The triad moves 3 × 8 bytes per element (two loads + one
+/// non-temporal-ish store counted once — write-allocate traffic is
+/// deliberately NOT counted, matching the read-dominated probe workload
+/// this roofline bounds).
+inline double MeasureDramBandwidthGBs(size_t bytes_per_array = 64u << 20,
+                                      int passes = 3) {
+  const size_t n = bytes_per_array / sizeof(double);
+  std::vector<double> a(n, 0.0), b(n, 1.0), c(n, 2.0);
+  const double s = 3.0;
+  double best_secs = 1e30;
+  for (int p = 0; p <= passes; ++p) {  // pass 0 = warm-up, untimed
+    const auto t0 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = b[i] + s * c[i];
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    if (p > 0 && secs < best_secs) best_secs = secs;
+    // Keep the compiler from treating the triad as dead.
+    if (a[n / 2] < 0.0) std::abort();
+  }
+  const double bytes_moved = 3.0 * static_cast<double>(n) * sizeof(double);
+  return bytes_moved / best_secs / 1e9;
+}
+
+/// Percentile from an UNSORTED sample vector (nearest-rank); sorts in
+/// place. p in [0, 100].
+inline double PercentileNs(std::vector<double>& samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = lo + 1 < samples.size() ? lo + 1 : lo;
+  double frac = rank - static_cast<double>(lo);
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
 }
 
 }  // namespace ccf::bench

@@ -108,10 +108,28 @@ class BucketTable {
 
   /// Bit s set iff slot s's fingerprint equals `fp`, occupancy ignored —
   /// the word/vector replacement for a slot-by-slot fingerprint_any scan,
-  /// bit-identical to it on every target. Callers confirm occupancy on the
-  /// (rare) hits only, as before.
+  /// bit-identical to it on every tier (SWAR/SSE2/AVX2/AVX-512, runtime
+  /// dispatched). Callers confirm occupancy on the (rare) hits only, as
+  /// before. On the AVX-512 tier, kLanes16 geometries bypass the lane
+  /// gather of BucketView entirely: the fused kernels compare the whole
+  /// bucket straight out of the packed bit store (masked 32-byte load when
+  /// slots are 16-bit contiguous, masked 64-bit gather + variable shift
+  /// for line-straddling strided layouts).
   uint64_t MatchMask(uint64_t bucket, uint32_t fp) const {
     if (layout_.mode != BucketLayout::Mode::kScalar) {
+#if defined(CCF_HAVE_AVX512_KERNELS)
+      if (layout_.mode == BucketLayout::Mode::kLanes16 &&
+          ActiveSimdTier() == SimdTier::kAvx512) {
+        if (layout_.contiguous16) {
+          return bucket_simd::MatchContiguous16Avx512(
+              slots_.words(), SlotBitOffset(bucket, 0), layout_.slots,
+              layout_.fp_mask, fp);
+        }
+        return bucket_simd::MatchStridedLanes16Avx512(
+            slots_.words(), SlotBitOffset(bucket, 0),
+            layout_.slot_bit_offsets, layout_.slots, layout_.fp_mask, fp);
+      }
+#endif
       return ViewBucket(bucket).MatchMask(fp);
     }
     return MatchMaskScalar(bucket, fp);

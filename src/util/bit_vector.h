@@ -105,6 +105,13 @@ class BitVector {
     return w >> (pos & 7);
   }
 
+  /// Raw word storage, for wide-kernel readers (the AVX-512 fused bucket
+  /// compares gather straight from it). The LoadBits64 guarantee applies:
+  /// an 8-byte read at any byte containing a logical bit stays inside the
+  /// allocation thanks to the guard word; readers must not touch bytes
+  /// past the last logical bit's byte.
+  const uint64_t* words() const { return words_; }
+
   /// Number of set bits in the whole vector.
   size_t PopCount() const;
 

@@ -1,0 +1,104 @@
+#include "util/cpu_features.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace ccf {
+
+namespace {
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define CCF_CPU_FEATURES_X86 1
+#endif
+
+CpuFeatures DetectOnce() {
+  CpuFeatures f;
+#if defined(CCF_CPU_FEATURES_X86)
+  __builtin_cpu_init();
+  f.sse2 = __builtin_cpu_supports("sse2") != 0;
+  f.avx2 = __builtin_cpu_supports("avx2") != 0;
+  f.avx512 = __builtin_cpu_supports("avx512f") != 0 &&
+             __builtin_cpu_supports("avx512bw") != 0 &&
+             __builtin_cpu_supports("avx512vl") != 0 &&
+             __builtin_cpu_supports("avx512dq") != 0;
+#endif
+  return f;
+}
+
+}  // namespace
+
+CpuFeatures DetectCpuFeatures() {
+  static const CpuFeatures f = DetectOnce();
+  return f;
+}
+
+SimdTier BestSupportedTier() {
+  const CpuFeatures f = DetectCpuFeatures();
+  if (f.avx512) return SimdTier::kAvx512;
+  if (f.avx2) return SimdTier::kAvx2;
+  if (f.sse2) return SimdTier::kSse2;
+  return SimdTier::kSwar;
+}
+
+const char* SimdTierName(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kSwar:
+      return "swar";
+    case SimdTier::kSse2:
+      return "sse2";
+    case SimdTier::kAvx2:
+      return "avx2";
+    case SimdTier::kAvx512:
+      return "avx512";
+  }
+  return "swar";
+}
+
+bool SimdTierFromName(const char* name, SimdTier* out) {
+  if (name == nullptr) return false;
+  if (std::strcmp(name, "swar") == 0) {
+    *out = SimdTier::kSwar;
+  } else if (std::strcmp(name, "sse2") == 0) {
+    *out = SimdTier::kSse2;
+  } else if (std::strcmp(name, "avx2") == 0) {
+    *out = SimdTier::kAvx2;
+  } else if (std::strcmp(name, "avx512") == 0) {
+    *out = SimdTier::kAvx512;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+namespace cpu_internal {
+
+std::atomic<uint8_t> g_active_tier{kTierUnset};
+
+SimdTier ResolveActiveTier() {
+  SimdTier tier = BestSupportedTier();
+  if (const char* env = std::getenv("CCF_SIMD_TIER")) {
+    SimdTier requested;
+    if (SimdTierFromName(env, &requested) && requested < tier) {
+      tier = requested;  // clamp: never select past the hardware
+    }
+  }
+  g_active_tier.store(static_cast<uint8_t>(tier), std::memory_order_relaxed);
+  return tier;
+}
+
+}  // namespace cpu_internal
+
+SimdTier SetSimdTier(SimdTier tier) {
+  const SimdTier best = BestSupportedTier();
+  if (tier > best) tier = best;
+  cpu_internal::g_active_tier.store(static_cast<uint8_t>(tier),
+                                    std::memory_order_relaxed);
+  return tier;
+}
+
+void ResetSimdTier() {
+  cpu_internal::g_active_tier.store(cpu_internal::kTierUnset,
+                                    std::memory_order_relaxed);
+}
+
+}  // namespace ccf

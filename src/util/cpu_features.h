@@ -1,0 +1,91 @@
+// Runtime CPU feature detection and SIMD tier selection.
+//
+// The bucket resolvers in cuckoo/bucket_view.h ship FOUR bit-identical
+// kernel tiers (SWAR, SSE2, AVX2, AVX-512). Before this layer existed the
+// tier was frozen at compile time by -march; now every kernel is compiled
+// into one binary with per-function target attributes and the widest tier
+// the *running* CPU supports is chosen on first use. One distributed
+// binary therefore runs the AVX-512 path on ice-lake-and-later servers and
+// falls back to AVX2/SSE2/SWAR everywhere else, with no SIGILL risk.
+//
+// Tier selection order (first hit wins):
+//   1. SetSimdTier(t)        — programmatic override (tests, benchmarks);
+//   2. CCF_SIMD_TIER env var — "swar" | "sse2" | "avx2" | "avx512";
+//   3. hardware detection    — widest tier the CPU reports via CPUID.
+// Overrides are CLAMPED to what the hardware supports: forcing "avx512" on
+// a non-AVX-512 machine selects the widest supported tier instead of
+// crashing, so differential suites can request every tier unconditionally
+// and simply observe which one they got.
+#ifndef CCF_UTIL_CPU_FEATURES_H_
+#define CCF_UTIL_CPU_FEATURES_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace ccf {
+
+/// SIMD kernel tiers, widest last. Comparison order is meaningful:
+/// tier A supports tier B's kernels iff A >= B.
+enum class SimdTier : uint8_t {
+  kSwar = 0,    // portable 64-bit SWAR — always available
+  kSse2 = 1,    // 128-bit lane compares (baseline on x86-64)
+  kAvx2 = 2,    // 256-bit lane compares
+  kAvx512 = 3,  // 512-bit gathers + mask-register compares (F+BW+VL+DQ)
+};
+
+/// What the running CPU reports. avx512 means the full set the kernels
+/// need: F (foundation), BW (16-bit lane compares), VL (256-bit forms of
+/// EVEX ops), DQ (64-bit integer compares).
+struct CpuFeatures {
+  bool sse2 = false;
+  bool avx2 = false;
+  bool avx512 = false;
+};
+
+/// Queries CPUID (cached after the first call; cheap to call repeatedly).
+CpuFeatures DetectCpuFeatures();
+
+/// Widest tier the hardware supports.
+SimdTier BestSupportedTier();
+
+/// Lower-case tier name ("swar", "sse2", "avx2", "avx512").
+const char* SimdTierName(SimdTier tier);
+
+/// Parses a tier name (exact lower-case match). Returns false and leaves
+/// *out untouched on unknown names.
+bool SimdTierFromName(const char* name, SimdTier* out);
+
+namespace cpu_internal {
+
+inline constexpr uint8_t kTierUnset = 0xFF;
+
+/// The resolved active tier; kTierUnset until first ActiveSimdTier() call.
+extern std::atomic<uint8_t> g_active_tier;
+
+/// Slow path: resolve env override + hardware detection, publish, return.
+SimdTier ResolveActiveTier();
+
+}  // namespace cpu_internal
+
+/// The tier every dispatched kernel call uses. Hot-path cheap: one relaxed
+/// atomic byte load after first resolution.
+inline SimdTier ActiveSimdTier() {
+  uint8_t t = cpu_internal::g_active_tier.load(std::memory_order_relaxed);
+  if (t != cpu_internal::kTierUnset) return static_cast<SimdTier>(t);
+  return cpu_internal::ResolveActiveTier();
+}
+
+/// Forces the active tier (clamped to BestSupportedTier()); returns the
+/// tier actually applied. Test/bench hook — not intended for production
+/// callers, who should use the CCF_SIMD_TIER env var instead. Thread-safe,
+/// but racing it against in-flight probes yields an arbitrary (still
+/// correct — all tiers are bit-identical) mix of tiers.
+SimdTier SetSimdTier(SimdTier tier);
+
+/// Drops any SetSimdTier override; the next ActiveSimdTier() re-resolves
+/// from the environment + hardware.
+void ResetSimdTier();
+
+}  // namespace ccf
+
+#endif  // CCF_UTIL_CPU_FEATURES_H_

@@ -26,11 +26,13 @@ struct TestAddr {
 
 std::vector<uint64_t> RunEcho(const std::vector<uint64_t>& items,
                               bool cluster, int cluster_bits,
-                              std::vector<size_t>* visit_order) {
+                              std::vector<size_t>* visit_order,
+                              size_t pipeline_way = 0) {
   std::vector<uint64_t> out(items.size());
   BatchPipelineOptions options;
   options.cluster_bits = cluster_bits;
   options.radix_cluster = cluster;
+  options.pipeline_way = pipeline_way;
   RunBatchPipeline<TestAddr>(
       items.size(), options,
       [&](size_t i) {
@@ -154,6 +156,135 @@ TEST(BatchPipelineTest, TwoWaveResolvesEveryItemExactlyOnceAcrossSizes) {
     }
     EXPECT_EQ(wave2_prefetches, expected_deferred) << "n=" << n;
   }
+}
+
+// The interleave width of the software pipeline is a pure scheduling knob:
+// results and resolve counts must be bit-identical for every N (the issue's
+// N=1 == N=4 == N=8 equivalence, plus the clamp edges 2/16/64) across
+// batch sizes straddling the stack/heap and block boundaries.
+TEST(BatchPipelineTest, PipelineWaySweepIsEquivalent) {
+  Rng rng(61);
+  for (size_t n : {size_t{1}, size_t{17}, kBatchPipelineSmallBatch,
+                   kBatchPipelineBlock - 1, kBatchPipelineBlock,
+                   2 * kBatchPipelineBlock + 13}) {
+    std::vector<uint64_t> items(n);
+    for (auto& v : items) v = rng.NextBelow(uint64_t{1} << 20);
+    std::vector<uint64_t> baseline =
+        RunEcho(items, /*cluster=*/true, /*cluster_bits=*/20, nullptr,
+                /*pipeline_way=*/1);
+    for (size_t way : {size_t{2}, size_t{4}, size_t{8}, size_t{16},
+                       size_t{64}}) {
+      std::vector<size_t> order;
+      std::vector<uint64_t> out =
+          RunEcho(items, /*cluster=*/true, /*cluster_bits=*/20, &order, way);
+      EXPECT_EQ(out, baseline) << "n=" << n << " way=" << way;
+      std::vector<size_t> sorted = order;
+      std::sort(sorted.begin(), sorted.end());
+      ASSERT_EQ(sorted.size(), n) << "n=" << n << " way=" << way;
+      for (size_t i = 0; i < n; ++i) EXPECT_EQ(sorted[i], i);
+    }
+  }
+}
+
+// Same sweep through the two-wave skeleton (deferred second probes), which
+// has its own interleaved wave-1 loop and deferral bookkeeping.
+TEST(BatchPipelineTest, TwoWavePipelineWaySweepIsEquivalent) {
+  Rng rng(67);
+  for (size_t n : {size_t{5}, kBatchPipelineSmallBatch + 1, kBatchPipelineBlock,
+                   2 * kBatchPipelineBlock + 13}) {
+    std::vector<uint64_t> items(n);
+    for (auto& v : items) v = rng.NextBelow(uint64_t{1} << 20);
+    for (size_t way : {size_t{1}, size_t{4}, size_t{8}, size_t{16}}) {
+      std::vector<uint64_t> out(n, 0);
+      std::vector<int> resolved(n, 0);
+      BatchPipelineOptions options;
+      options.cluster_bits = 20;
+      options.pipeline_way = way;
+      RunBatchPipelineTwoWave<TestAddr>(
+          n, options,
+          [&](size_t i) { return TestAddr{items[i], items[i] * 2 + 1}; },
+          [](const TestAddr&) {},
+          [&](size_t i, TestAddr& a) {
+            if (a.value % 4 == 3) {
+              out[i] = a.value;
+              ++resolved[i];
+              return true;
+            }
+            return false;
+          },
+          [](const TestAddr&) {},
+          [&](size_t i, const TestAddr& a) {
+            out[i] = a.value;
+            ++resolved[i];
+          });
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(out[i], items[i] * 2 + 1)
+            << "n=" << n << " way=" << way << " i=" << i;
+        EXPECT_EQ(resolved[i], 1) << "n=" << n << " way=" << way;
+      }
+    }
+  }
+}
+
+// The process-wide override is what calls without an explicit per-call
+// width use; 0 restores the compile-time default.
+TEST(BatchPipelineTest, GlobalPipelineWayOverride) {
+  ASSERT_EQ(BatchPipelineWay(), kBatchPipelineWay);
+  std::vector<uint64_t> items(kBatchPipelineBlock + 7);
+  Rng rng(71);
+  for (auto& v : items) v = rng.NextBelow(uint64_t{1} << 20);
+  std::vector<uint64_t> baseline =
+      RunEcho(items, /*cluster=*/true, /*cluster_bits=*/20, nullptr);
+  for (size_t way : {size_t{1}, size_t{8}}) {
+    SetBatchPipelineWay(way);
+    EXPECT_EQ(BatchPipelineWay(), way);
+    std::vector<uint64_t> out =
+        RunEcho(items, /*cluster=*/true, /*cluster_bits=*/20, nullptr);
+    EXPECT_EQ(out, baseline) << "way=" << way;
+  }
+  SetBatchPipelineWay(0);
+  EXPECT_EQ(BatchPipelineWay(), kBatchPipelineWay);
+}
+
+// End-to-end way sweep: LookupBatch answers through a real filter must be
+// identical for every interleave width.
+TEST(BatchPipelineTest, LookupBatchEquivalentAcrossPipelineWays) {
+  CcfConfig config;
+  config.num_buckets = 1 << 9;
+  config.slots_per_bucket = 4;
+  config.key_fp_bits = 12;
+  config.attr_fp_bits = 8;
+  config.num_attrs = 2;
+  config.max_dupes = 3;
+  config.salt = 9;
+  auto ccf =
+      ConditionalCuckooFilter::Make(CcfVariant::kChained, config).ValueOrDie();
+  std::vector<uint64_t> attrs(2);
+  for (uint64_t k = 0; k < 900; ++k) {
+    attrs[0] = k % 5;
+    attrs[1] = k % 3;
+    ASSERT_TRUE(ccf->Insert(k, attrs).ok());
+  }
+  Predicate pred = Predicate::Equals(0, 2).AndEquals(1, 1);
+  Rng rng(73);
+  std::vector<uint64_t> keys(kBatchPipelineBlock + 117);
+  for (auto& k : keys) k = rng.NextBelow(1800);
+  std::unique_ptr<bool[]> baseline(new bool[keys.size()]);
+  SetBatchPipelineWay(1);
+  ASSERT_TRUE(ccf->LookupBatch(keys, std::span<const Predicate>(&pred, 1),
+                               std::span<bool>(baseline.get(), keys.size()))
+                  .ok());
+  for (size_t way : {size_t{4}, size_t{8}}) {
+    SetBatchPipelineWay(way);
+    std::unique_ptr<bool[]> out(new bool[keys.size()]);
+    ASSERT_TRUE(ccf->LookupBatch(keys, std::span<const Predicate>(&pred, 1),
+                                 std::span<bool>(out.get(), keys.size()))
+                    .ok());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      EXPECT_EQ(out[i], baseline[i]) << "way=" << way << " i=" << i;
+    }
+  }
+  SetBatchPipelineWay(0);
 }
 
 TEST(BatchPipelineTest, DegenerateClusterDomainDisablesClustering) {

@@ -2,20 +2,31 @@
 // (cuckoo/bucket_view.h): every vector path must produce bit-identical
 // match masks to the scalar slot-by-slot fingerprint_any scan, across
 // fingerprint widths, slots-per-bucket, payload strides that straddle word
-// and cache-line boundaries, and erased (fingerprint 0) slots.
+// and cache-line boundaries, and erased (fingerprint 0) slots. The sweep
+// runs once per runtime-dispatch tier (SWAR → SSE2 → AVX2 → AVX-512, as
+// far as the host CPU supports) so every kernel the binary carries is
+// proven bit-identical, not just the one the host would pick.
 #include "cuckoo/bucket_view.h"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "cuckoo/bucket_table.h"
+#include "util/cpu_features.h"
 #include "util/random.h"
 
 namespace ccf {
 namespace {
+
+/// Restores the ambient tier (env/hardware resolution) on scope exit so a
+/// forced-tier test cannot poison later tests in the same process.
+struct SimdTierGuard {
+  ~SimdTierGuard() { ResetSimdTier(); }
+};
 
 // The reference the hardware paths must reproduce exactly.
 uint64_t ScalarReferenceMask(const BucketTable& t, uint64_t bucket,
@@ -69,8 +80,10 @@ const Geometry kGeometries[] = {
     {12, 20, 4},
 };
 
-TEST(BucketViewTest, MatchMaskEqualsScalarScanEverywhere) {
-  Rng rng(20260727);
+// One full randomized sweep over every geometry, comparing the production
+// MatchMask (whatever tier is active) against the scalar reference.
+void RunEverywhereSweep(uint64_t seed) {
+  Rng rng(seed);
   for (const Geometry& g : kGeometries) {
     SCOPED_TRACE(testing::Message()
                  << "fp_bits=" << g.fp_bits << " slots=" << g.slots
@@ -114,6 +127,33 @@ TEST(BucketViewTest, MatchMaskEqualsScalarScanEverywhere) {
   }
 }
 
+TEST(BucketViewTest, MatchMaskEqualsScalarScanEverywhere) {
+  RunEverywhereSweep(20260727);
+}
+
+// The same sweep under EVERY forced dispatch tier up to the hardware's
+// best: requesting a tier the CPU lacks clamps down (by contract), so on
+// an AVX-512 host this exercises SWAR, SSE2, AVX2 and AVX-512 — including
+// the fused contiguous-load and masked-gather full-bucket kernels — while
+// on older CPUs it degrades gracefully to the supported subset.
+TEST(BucketViewTest, MatchMaskEqualsScalarScanUnderEveryForcedTier) {
+  SimdTierGuard guard;
+  for (SimdTier requested : {SimdTier::kSwar, SimdTier::kSse2, SimdTier::kAvx2,
+                             SimdTier::kAvx512}) {
+    SimdTier applied = SetSimdTier(requested);
+    SCOPED_TRACE(testing::Message()
+                 << "requested=" << SimdTierName(requested)
+                 << " applied=" << SimdTierName(applied));
+    ASSERT_EQ(ActiveSimdTier(), applied);
+    RunEverywhereSweep(20260808 + static_cast<uint64_t>(requested));
+    if (applied != requested) {
+      // Hardware clamp kicked in: no wider tier exists to force.
+      EXPECT_EQ(applied, BestSupportedTier());
+      break;
+    }
+  }
+}
+
 TEST(BucketViewTest, CountFingerprintMatchesBruteForce) {
   Rng rng(99);
   auto t = BucketTable::Make(32, 6, 12, 16).ValueOrDie();
@@ -137,9 +177,12 @@ TEST(BucketViewTest, CountFingerprintMatchesBruteForce) {
 
 // Kernel-level differentials: the production dispatch (MatchLanes16) and
 // every compiled-in implementation agree lane-for-lane. On x86-64 SSE2 is
-// part of the baseline ABI, so CI always exercises the SIMD path here.
+// part of the baseline ABI, so CI always exercises the SIMD path here;
+// the AVX2/AVX-512 kernels are always compiled (per-function target
+// attributes) and run when the host CPU reports the ISA.
 TEST(BucketViewTest, Lanes16KernelsAgree) {
   Rng rng(7);
+  const CpuFeatures cpu = DetectCpuFeatures();
   alignas(16) uint16_t lanes[bucket_simd::kMaxViewSlots];
   for (int trial = 0; trial < 2000; ++trial) {
     for (auto& lane : lanes) {
@@ -154,10 +197,202 @@ TEST(BucketViewTest, Lanes16KernelsAgree) {
 #if defined(__SSE2__)
     EXPECT_EQ(bucket_simd::MatchLanes16Sse2(lanes, n, fp), scalar);
 #endif
-#if defined(__AVX2__)
+#if defined(CCF_BUCKET_SIMD_X86)
+    if (cpu.avx2) {
+      EXPECT_EQ(bucket_simd::MatchLanes16Avx2(lanes, n, fp), scalar);
+    }
+#elif defined(__AVX2__)
     EXPECT_EQ(bucket_simd::MatchLanes16Avx2(lanes, n, fp), scalar);
 #endif
+#if defined(CCF_HAVE_AVX512_KERNELS)
+    if (cpu.avx512) {
+      EXPECT_EQ(bucket_simd::MatchLanes16Avx512(lanes, n, fp), scalar);
+    }
+#endif
   }
+}
+
+#if defined(CCF_HAVE_AVX512_KERNELS)
+
+// Direct differentials for the fused AVX-512 full-bucket kernels against
+// hand-rolled bit extraction over a raw word buffer. The buffer mimics
+// BitVector's layout contract: logical words plus ONE zero guard word, so
+// an 8-byte read at any byte containing a logical bit stays in bounds.
+TEST(BucketViewTest, Avx512ContiguousKernelMatchesBitExtraction) {
+  if (!DetectCpuFeatures().avx512) {
+    GTEST_SKIP() << "host CPU lacks AVX-512 (F+BW+VL+DQ)";
+  }
+  Rng rng(31);
+  for (int fp_bits : {4, 8, 12, 16}) {
+    const uint32_t fp_mask = (uint32_t{1} << fp_bits) - 1;
+    for (int slots : {1, 2, 3, 4, 7, 8, 12, 15, 16}) {
+      // Enough words for several buckets of 16-bit slots + guard word.
+      const int num_buckets = 9;
+      const size_t logical_bits =
+          static_cast<size_t>(num_buckets) * slots * 16;
+      std::vector<uint64_t> words((logical_bits + 63) / 64 + 1, 0);
+      auto* lanes = reinterpret_cast<uint16_t*>(words.data());
+      for (size_t i = 0; i < logical_bits / 16; ++i) {
+        lanes[i] = static_cast<uint16_t>(rng.NextBelow(1u << 16));
+      }
+      for (int b = 0; b < num_buckets; ++b) {
+        const uint64_t bucket_bit = static_cast<uint64_t>(b) * slots * 16;
+        for (int probe = 0; probe < 8; ++probe) {
+          const uint32_t fp =
+              static_cast<uint32_t>(rng.NextBelow(fp_mask + 1ull));
+          uint32_t expected = 0;
+          for (int s = 0; s < slots; ++s) {
+            if ((lanes[bucket_bit / 16 + s] & fp_mask) == fp) {
+              expected |= uint32_t{1} << s;
+            }
+          }
+          EXPECT_EQ(bucket_simd::MatchContiguous16Avx512(
+                        words.data(), bucket_bit, slots, fp_mask, fp),
+                    expected)
+              << "fp_bits=" << fp_bits << " slots=" << slots << " b=" << b
+              << " fp=" << fp;
+        }
+      }
+    }
+  }
+}
+
+TEST(BucketViewTest, Avx512StridedKernelMatchesBitExtraction) {
+  if (!DetectCpuFeatures().avx512) {
+    GTEST_SKIP() << "host CPU lacks AVX-512 (F+BW+VL+DQ)";
+  }
+  Rng rng(37);
+  // Odd slot strides make bucket starts sweep every bit phase and make
+  // slots straddle 64-bit words and 64-byte lines.
+  struct Shape {
+    int fp_bits;
+    int slot_bits;
+    int slots;
+  };
+  for (const Shape& sh : {Shape{12, 28, 4}, Shape{12, 28, 6}, Shape{8, 13, 8},
+                          Shape{4, 11, 16}, Shape{16, 49, 5},
+                          Shape{16, 33, 9}}) {
+    const uint32_t fp_mask = (uint32_t{1} << sh.fp_bits) - 1;
+    uint64_t slot_bit_offsets[bucket_simd::kMaxViewSlots];
+    for (int s = 0; s < bucket_simd::kMaxViewSlots; ++s) {
+      slot_bit_offsets[s] =
+          static_cast<uint64_t>(s) * static_cast<uint64_t>(sh.slot_bits);
+    }
+    const int num_buckets = 11;
+    const size_t logical_bits =
+        static_cast<size_t>(num_buckets) * sh.slots * sh.slot_bits;
+    std::vector<uint64_t> words((logical_bits + 63) / 64 + 1, 0);
+    for (size_t w = 0; w + 1 < words.size(); ++w) words[w] = rng.Next();
+    // Zero bits past the logical end (guard-word contract).
+    const size_t tail = logical_bits % 64;
+    if (tail != 0) words[words.size() - 2] &= (uint64_t{1} << tail) - 1;
+    auto extract = [&](uint64_t bit) {
+      uint64_t w;
+      std::memcpy(&w, reinterpret_cast<const char*>(words.data()) +
+                          (bit >> 3),
+                  sizeof(w));
+      return static_cast<uint32_t>(w >> (bit & 7)) & fp_mask;
+    };
+    for (int b = 0; b < num_buckets; ++b) {
+      const uint64_t bucket_bit =
+          static_cast<uint64_t>(b) * sh.slots * sh.slot_bits;
+      for (int probe = 0; probe < 8; ++probe) {
+        // Mix planted fingerprints (guaranteed hits) with random misses.
+        uint32_t fp = probe < sh.slots
+                          ? extract(bucket_bit + probe * sh.slot_bits)
+                          : static_cast<uint32_t>(
+                                rng.NextBelow(fp_mask + 1ull));
+        uint32_t expected = 0;
+        for (int s = 0; s < sh.slots; ++s) {
+          if (extract(bucket_bit + s * sh.slot_bits) == fp) {
+            expected |= uint32_t{1} << s;
+          }
+        }
+        EXPECT_EQ(bucket_simd::MatchStridedLanes16Avx512(
+                      words.data(), bucket_bit, slot_bit_offsets, sh.slots,
+                      fp_mask, fp),
+                  expected)
+            << "fp_bits=" << sh.fp_bits << " slot_bits=" << sh.slot_bits
+            << " slots=" << sh.slots << " b=" << b << " fp=" << fp;
+      }
+    }
+  }
+}
+
+// Last-bucket edge: under the forced AVX-512 tier, probing the FINAL
+// bucket of a table must stay bit-identical to scalar. The strided
+// kernel's masked gather must not touch lanes past the bucket (their
+// byte addresses could lie beyond the guard word); the ASan CI leg turns
+// any overread into a hard failure.
+TEST(BucketViewTest, Avx512LastBucketGuardWordSafety) {
+  if (!DetectCpuFeatures().avx512) {
+    GTEST_SKIP() << "host CPU lacks AVX-512 (F+BW+VL+DQ)";
+  }
+  SimdTierGuard guard;
+  ASSERT_EQ(SetSimdTier(SimdTier::kAvx512), SimdTier::kAvx512);
+  Rng rng(41);
+  // Strided CCF shape (12+2x8 = 28-bit slots) and the contiguous 16-bit
+  // shape, at bucket counts that leave the last bucket flush against the
+  // end of the bit store at assorted phases.
+  for (const Geometry& g : {Geometry{12, 6, 16}, Geometry{12, 4, 16},
+                            Geometry{16, 4, 0}, Geometry{16, 8, 0},
+                            Geometry{8, 9, 5}}) {
+    for (uint64_t num_buckets : {1, 2, 3, 5, 16}) {
+      auto t = BucketTable::Make(num_buckets, g.slots, g.fp_bits,
+                                 g.payload_bits)
+                   .ValueOrDie();
+      const uint32_t fp_mask = (uint32_t{1} << g.fp_bits) - 1;
+      for (uint64_t b = 0; b < t.num_buckets(); ++b) {
+        for (int s = 0; s < t.slots_per_bucket(); ++s) {
+          t.Put(b, s, static_cast<uint32_t>(rng.NextBelow(fp_mask + 1ull)));
+        }
+      }
+      const uint64_t last = t.num_buckets() - 1;
+      std::vector<uint32_t> probes = {0, fp_mask};
+      for (int s = 0; s < t.slots_per_bucket(); ++s) {
+        probes.push_back(t.fingerprint_any(last, s));
+      }
+      for (uint32_t fp : probes) {
+        EXPECT_EQ(t.MatchMask(last, fp), ScalarReferenceMask(t, last, fp))
+            << "fp_bits=" << g.fp_bits << " slots=" << g.slots
+            << " payload_bits=" << g.payload_bits
+            << " num_buckets=" << num_buckets << " fp=" << fp;
+      }
+    }
+  }
+}
+
+#endif  // CCF_HAVE_AVX512_KERNELS
+
+TEST(CpuFeaturesTest, TierNamesRoundTrip) {
+  for (SimdTier t : {SimdTier::kSwar, SimdTier::kSse2, SimdTier::kAvx2,
+                     SimdTier::kAvx512}) {
+    SimdTier parsed;
+    ASSERT_TRUE(SimdTierFromName(SimdTierName(t), &parsed));
+    EXPECT_EQ(parsed, t);
+  }
+  SimdTier parsed = SimdTier::kAvx2;
+  EXPECT_FALSE(SimdTierFromName("avx1024", &parsed));
+  EXPECT_FALSE(SimdTierFromName("", &parsed));
+  EXPECT_EQ(parsed, SimdTier::kAvx2);  // untouched on failure
+}
+
+TEST(CpuFeaturesTest, SetSimdTierClampsToHardware) {
+  SimdTierGuard guard;
+  const SimdTier best = BestSupportedTier();
+  // SWAR is always supported; forcing it must apply exactly.
+  EXPECT_EQ(SetSimdTier(SimdTier::kSwar), SimdTier::kSwar);
+  EXPECT_EQ(ActiveSimdTier(), SimdTier::kSwar);
+  // Forcing the widest tier applies min(requested, best) — never SIGILL.
+  const SimdTier applied = SetSimdTier(SimdTier::kAvx512);
+  EXPECT_EQ(applied, std::min(SimdTier::kAvx512, best));
+  EXPECT_EQ(ActiveSimdTier(), applied);
+  // Detection is consistent with the tier ordering.
+  const CpuFeatures cpu = DetectCpuFeatures();
+  EXPECT_EQ(best >= SimdTier::kAvx512, cpu.avx512);
+  EXPECT_EQ(best >= SimdTier::kAvx2, cpu.avx2 || cpu.avx512);
+  ResetSimdTier();
+  EXPECT_LE(ActiveSimdTier(), best);
 }
 
 #if defined(__x86_64__) && !defined(__SSE2__)

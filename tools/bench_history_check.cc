@@ -3,7 +3,8 @@
 //
 // Usage:
 //   bench_history_check [--threshold PCT] [--min-history N]
-//                       [--exclude SUBSTR ...]
+//                       [--exclude SUBSTR ...] [--advisory SUBSTR ...]
+//                       [--baseline FILE ...]
 //                       history1.json [history2.json ...] current.json
 //   bench_history_check --emit-baseline OUT.json run1.json [run2.json ...]
 //
@@ -11,8 +12,10 @@
 // positional path is an input run, and OUT.json receives one row per
 // (name, label, aggregate) key — the per-field MEDIAN over the runs that
 // contain it, in first-seen order — in the same JsonRowsReporter array
-// format the checker reads. The baseline-refresh workflow feeds it the
-// bench-smoke-json artifacts of recent green main runs to regenerate
+// format the checker reads. Extra numeric fields (latency percentiles,
+// roofline metrics) are median-aggregated and carried through, so a
+// refreshed baseline keeps them. The baseline-refresh workflow feeds it
+// the bench-smoke-json artifacts of recent green main runs to regenerate
 // bench/baselines/bench_smoke_rolling.json mechanically.
 //
 // The LAST path is the run under test; every earlier path is history. For
@@ -30,10 +33,26 @@
 // baseline history (e.g. the write-mix rows) while its advisory invocation
 // still covers everything.
 //
+// --advisory SUBSTR (repeatable) marks matching rows advisory: they are
+// compared and reported but never fail the run — UNTIL the row's key
+// appears in a file passed via --baseline, at which point it graduates to
+// blocking automatically. This is how new bench rows (latency
+// percentiles, skewed/adversarial workloads) ride non-blocking through CI
+// history accumulation and become enforced the moment the baseline
+// refresh folds them into bench_smoke_rolling.json — no CI edit needed.
+//
+// --baseline FILE (repeatable) adds FILE as a history source AND records
+// its row keys as "baseline-backed" for the --advisory graduation rule.
+//
+// The roofline row (keys_per_second == 0, roofline_fraction field) gets a
+// dedicated ALWAYS-advisory comparison on roofline_fraction: a shrinking
+// fraction of the memory-bandwidth ceiling is reported but never blocks —
+// the ceiling itself moves with the runner's DRAM.
+//
 // History sources, as CI wires them: the COMMITTED rolling baseline
-// (bench/baselines/*.json, refreshed by hand from a representative recent
-// run — it survives GitHub's artifact retention expiry and works on forks)
-// plus the bench-smoke-json artifacts of recent successful runs on main.
+// (bench/baselines/*.json via --baseline — it survives GitHub's artifact
+// retention expiry and works on forks) plus the bench-smoke-json
+// artifacts of recent successful runs on main.
 //
 // The parser handles exactly the flat one-object-per-line row format
 // JsonRowsReporter emits; it is not a general JSON reader.
@@ -43,11 +62,26 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 namespace {
+
+/// Extra numeric row fields the baseline writer median-aggregates and the
+/// checker knows about. Order here is emission order.
+const char* const kExtraFields[] = {
+    "p50_ns",
+    "p99_ns",
+    "p999_ns",
+    "bytes_per_probe",
+    "dram_gbs",
+    "roofline_kps",
+    "measured_kps",
+    "roofline_fraction",
+    "compactions",
+};
 
 struct BenchRow {
   std::string key;  // name + label + aggregate
@@ -55,6 +89,8 @@ struct BenchRow {
   double keys_per_second = 0.0;
   double real_time_ms = 0.0;
   double table_mb = 0.0;
+  // Present extra fields only (see kExtraFields).
+  std::map<std::string, double> extras;
 };
 
 // Extracts "field": <string or number> from one row object's text.
@@ -113,6 +149,10 @@ bool ReadRows(const std::string& path, std::vector<BenchRow>* rows) {
     row.keys_per_second = kps;
     ExtractNumber(obj, "real_time_ms", &row.real_time_ms);
     ExtractNumber(obj, "table_mb", &row.table_mb);
+    for (const char* field : kExtraFields) {
+      double v = 0.0;
+      if (ExtractNumber(obj, field, &v)) row.extras[field] = v;
+    }
     rows->push_back(std::move(row));
   }
   return true;
@@ -127,13 +167,15 @@ double Median(std::vector<double> v) {
 // Baseline writer: per-row-key field medians over every input run, written
 // in the JsonRowsReporter array format ReadRows parses. Rows keep
 // first-seen order so regenerated baselines diff cleanly. Zero-throughput
-// (time-only) rows are carried through: the checker ignores them, but the
-// baseline stays a faithful snapshot of the bench set.
+// (time-only / roofline) rows are carried through: the kps checker
+// ignores them, but the baseline stays a faithful snapshot of the bench
+// set — and the extra fields give the advisory comparisons history.
 int EmitBaseline(const std::string& out_path,
                  const std::vector<std::string>& inputs) {
   struct Agg {
     BenchRow first;
     std::vector<double> kps, ms, mb;
+    std::map<std::string, std::vector<double>> extras;
   };
   std::vector<std::string> order;
   std::map<std::string, Agg> by_key;
@@ -150,6 +192,9 @@ int EmitBaseline(const std::string& out_path,
       it->second.kps.push_back(r.keys_per_second);
       it->second.ms.push_back(r.real_time_ms);
       it->second.mb.push_back(r.table_mb);
+      for (const auto& [field, v] : r.extras) {
+        it->second.extras[field].push_back(v);
+      }
     }
   }
   if (order.empty()) {
@@ -171,12 +216,19 @@ int EmitBaseline(const std::string& out_path,
                   "  {\"name\": \"%s\", \"label\": \"%s\", "
                   "\"aggregate\": \"%s\", \"iterations\": 1, "
                   "\"real_time_ms\": %.6f, \"keys_per_second\": %.1f, "
-                  "\"ns_per_key\": %.3f, \"table_mb\": %.3f}%s\n",
+                  "\"ns_per_key\": %.3f, \"table_mb\": %.3f",
                   a.first.name.c_str(), a.first.label.c_str(),
                   a.first.aggregate.c_str(), Median(a.ms), kps,
-                  kps > 0.0 ? 1e9 / kps : 0.0, Median(a.mb),
-                  i + 1 < order.size() ? "," : "");
+                  kps > 0.0 ? 1e9 / kps : 0.0, Median(a.mb));
     out << row;
+    for (const char* field : kExtraFields) {
+      auto it = a.extras.find(field);
+      if (it == a.extras.end()) continue;
+      std::snprintf(row, sizeof(row), ", \"%s\": %.3f", field,
+                    Median(it->second));
+      out << row;
+    }
+    out << "}" << (i + 1 < order.size() ? "," : "") << "\n";
   }
   out << "]\n";
   std::printf(
@@ -194,6 +246,8 @@ int main(int argc, char** argv) {
   std::string emit_baseline;
   std::vector<std::string> paths;
   std::vector<std::string> excludes;
+  std::vector<std::string> advisories;
+  std::vector<std::string> baseline_files;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
       threshold_pct = std::atof(argv[++i]);
@@ -201,12 +255,17 @@ int main(int argc, char** argv) {
       min_history = static_cast<size_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--exclude") == 0 && i + 1 < argc) {
       excludes.emplace_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--advisory") == 0 && i + 1 < argc) {
+      advisories.emplace_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_files.emplace_back(argv[++i]);
     } else if (std::strcmp(argv[i], "--emit-baseline") == 0 && i + 1 < argc) {
       emit_baseline = argv[++i];
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr,
                    "usage: %s [--threshold PCT] [--min-history N] "
-                   "[--exclude SUBSTR ...] history... current.json\n"
+                   "[--exclude SUBSTR ...] [--advisory SUBSTR ...] "
+                   "[--baseline FILE ...] history... current.json\n"
                    "       %s --emit-baseline OUT.json run1.json "
                    "[run2.json ...]\n",
                    argv[0], argv[0]);
@@ -215,31 +274,50 @@ int main(int argc, char** argv) {
       paths.emplace_back(argv[i]);
     }
   }
-  if (paths.empty()) {
+  if (paths.empty() && baseline_files.empty()) {
     std::fprintf(stderr, "bench_history_check: no row files given\n");
     return 2;
   }
   if (!emit_baseline.empty()) return EmitBaseline(emit_baseline, paths);
-  if (paths.size() < min_history + 1) {
+  if (paths.empty()) {
+    std::fprintf(stderr, "bench_history_check: no current run given\n");
+    return 2;
+  }
+  const size_t num_history = baseline_files.size() + paths.size() - 1;
+  if (num_history < min_history) {
     std::printf(
         "bench_history_check: %zu history file(s), need %zu — nothing to "
         "compare, OK\n",
-        paths.size() - 1, min_history);
+        num_history, min_history);
     return 0;
   }
 
   std::vector<BenchRow> current;
   if (!ReadRows(paths.back(), &current)) return 2;
   std::map<std::string, std::vector<double>> history;
-  for (size_t i = 0; i + 1 < paths.size(); ++i) {
+  std::map<std::string, std::vector<double>> fraction_history;
+  std::set<std::string> baseline_keys;
+  auto ingest = [&](const std::string& path, bool is_baseline) -> bool {
     std::vector<BenchRow> rows;
-    if (!ReadRows(paths[i], &rows)) return 2;
+    if (!ReadRows(path, &rows)) return false;
     for (const BenchRow& r : rows) {
       if (r.keys_per_second > 0.0) history[r.key].push_back(r.keys_per_second);
+      auto frac = r.extras.find("roofline_fraction");
+      if (frac != r.extras.end() && frac->second > 0.0) {
+        fraction_history[r.key].push_back(frac->second);
+      }
+      if (is_baseline) baseline_keys.insert(r.key);
     }
+    return true;
+  };
+  for (const std::string& path : baseline_files) {
+    if (!ingest(path, true)) return 2;
+  }
+  for (size_t i = 0; i + 1 < paths.size(); ++i) {
+    if (!ingest(paths[i], false)) return 2;
   }
 
-  int regressions = 0, compared = 0, excluded = 0;
+  int regressions = 0, advisory_flags = 0, compared = 0, excluded = 0;
   for (const BenchRow& row : current) {
     bool skip = false;
     for (const std::string& sub : excludes) {
@@ -252,13 +330,52 @@ int main(int argc, char** argv) {
       ++excluded;
       continue;
     }
+    // Advisory unless the committed baseline already carries the row.
+    bool advisory = false;
+    if (baseline_keys.find(row.key) == baseline_keys.end()) {
+      for (const std::string& sub : advisories) {
+        if (row.key.find(sub) != std::string::npos) {
+          advisory = true;
+          break;
+        }
+      }
+    }
+    // Roofline rows: always-advisory fraction comparison.
+    auto frac = row.extras.find("roofline_fraction");
+    if (row.keys_per_second <= 0.0 && frac != row.extras.end() &&
+        frac->second > 0.0) {
+      auto it = fraction_history.find(row.key);
+      if (it == fraction_history.end()) continue;
+      double baseline = Median(it->second);
+      double delta_pct = (frac->second - baseline) / baseline * 100.0;
+      ++compared;
+      if (delta_pct < -threshold_pct) {
+        ++advisory_flags;
+        std::printf(
+            "ADVISORY   %-60s roofline fraction %.3f vs median %.3f "
+            "(%+.1f%%)\n",
+            row.key.c_str(), frac->second, baseline, delta_pct);
+      } else {
+        std::printf(
+            "ok         %-60s roofline fraction %.3f vs median %.3f "
+            "(%+.1f%%)\n",
+            row.key.c_str(), frac->second, baseline, delta_pct);
+      }
+      continue;
+    }
     auto it = history.find(row.key);
     if (it == history.end() || row.keys_per_second <= 0.0) continue;
     ++compared;
     double baseline = Median(it->second);
     double delta_pct = (row.keys_per_second - baseline) / baseline * 100.0;
     bool flag = delta_pct < -threshold_pct;
-    if (flag) {
+    if (flag && advisory) {
+      ++advisory_flags;
+      std::printf("ADVISORY   %-60s %12.0f keys/s vs median %12.0f (%+.1f%%, "
+                  "threshold -%.0f%%, not yet baseline-backed)\n",
+                  row.key.c_str(), row.keys_per_second, baseline, delta_pct,
+                  threshold_pct);
+    } else if (flag) {
       ++regressions;
       std::printf("REGRESSION %-60s %12.0f keys/s vs median %12.0f (%+.1f%%, "
                   "threshold -%.0f%%)\n",
@@ -270,7 +387,7 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("bench_history_check: %d row(s) compared against %zu history "
-              "run(s), %d excluded, %d regression(s)\n",
-              compared, paths.size() - 1, excluded, regressions);
+              "run(s), %d excluded, %d advisory flag(s), %d regression(s)\n",
+              compared, num_history, excluded, advisory_flags, regressions);
   return regressions > 0 ? 1 : 0;
 }
