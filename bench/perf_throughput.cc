@@ -19,6 +19,7 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -718,6 +719,77 @@ void BM_ShardedParallelBuild(benchmark::State& state) {
 }
 // Wall time, not main-thread CPU time: the build threads do the work.
 BENCHMARK(BM_ShardedParallelBuild)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// Multi-caller sharded serving: T caller threads concurrently issue
+// 2048-key LookupBatch sub-batches over disjoint slices of the shared
+// probe stream against ONE sharded filter — the thread-per-core serving
+// shape the NUMA work targets. Epoch pins make concurrent readers safe;
+// keys/s is aggregate across callers (UseRealTime) and p99_ns is the 99th
+// percentile sub-batch latency pooled over every caller, so tail
+// inflation from cross-thread interference is visible next to the
+// single-caller BM_HotLookupBatchLatency row.
+void BM_ShardedParallelLookup(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const HotPathFixture& f = HotPath();
+  constexpr size_t kSubBatch = 2048;
+  const size_t slice = kHotProbes / static_cast<size_t>(threads);
+  std::vector<std::vector<double>> samples(
+      static_cast<size_t>(threads));
+  for (auto _ : state) {
+    std::vector<std::thread> callers;
+    callers.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      callers.emplace_back([&, t] {
+        std::unique_ptr<bool[]> out(new bool[kSubBatch]);
+        std::vector<double>& my_samples =
+            samples[static_cast<size_t>(t)];
+        const size_t begin0 = slice * static_cast<size_t>(t);
+        const size_t end =
+            t == threads - 1 ? kHotProbes : begin0 + slice;
+        for (size_t begin = begin0; begin < end; begin += kSubBatch) {
+          const size_t n = std::min(kSubBatch, end - begin);
+          const auto t0 = std::chrono::steady_clock::now();
+          f.sharded
+              ->LookupBatch(
+                  std::span<const uint64_t>(f.probe_keys.data() + begin,
+                                            n),
+                  std::span<const Predicate>(&f.pred, 1),
+                  std::span<bool>(out.get(), n))
+              .Abort();
+          const auto t1 = std::chrono::steady_clock::now();
+          my_samples.push_back(
+              std::chrono::duration<double, std::nano>(t1 - t0).count());
+          benchmark::DoNotOptimize(out.get());
+        }
+      });
+    }
+    for (auto& c : callers) c.join();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kHotProbes));
+  SetTableMb(state, f.sharded->SizeInBits());
+  std::vector<double> pooled;
+  for (const auto& s : samples) {
+    pooled.insert(pooled.end(), s.begin(), s.end());
+  }
+  state.counters["p99_ns"] =
+      benchmark::Counter(bench::PercentileNs(pooled, 99.0));
+  state.SetLabel("lookup_threads=" + std::to_string(threads));
+}
+// Thread counts 1/2/4/ncores, deduped and sorted so single-digit-core CI
+// runners don't register the same row twice.
+void ShardedLookupThreadArgs(benchmark::internal::Benchmark* b) {
+  std::vector<int> counts = {1, 2, 4,
+                             static_cast<int>(
+                                 std::thread::hardware_concurrency())};
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  for (int c : counts) {
+    if (c >= 1) b->Arg(c);
+  }
+}
+BENCHMARK(BM_ShardedParallelLookup)->Apply(ShardedLookupThreadArgs)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 // --- Bulk-build hot path -----------------------------------------------------

@@ -30,6 +30,10 @@ namespace ccf {
 ///    prefetches whose page misses the TLB, disabling the batched hot path.
 ///  * One extra zero guard word follows the logical words, so LoadBits64 may
 ///    issue an unaligned 64-bit load at any byte holding a logical bit.
+///  * With a util/topology.h ScopedNumaAllocNode live on the allocating
+///    thread, mmap-backed vectors are additionally mbind-bound to that NUMA
+///    node before first touch (best-effort), so a sharded table's pages live
+///    on the node whose threads probe them.
 class BitVector {
  public:
   BitVector() = default;

@@ -1,0 +1,79 @@
+// Bounded single-producer/single-consumer ring, the handoff primitive of
+// the node-routed batched lookup path: the querying thread (producer)
+// pushes per-node task descriptors, a node-pinned worker (consumer) pops
+// and resolves them. With exactly one thread on each side, push and pop
+// are a single release store against a single acquire load each — no CAS,
+// no shared modified line beyond the two indices — which is what keeps the
+// handoff cheaper than the cross-node bucket traffic it replaces.
+//
+// Contract: at most one concurrent pusher and one concurrent popper.
+// ShardedCcf serializes its (potentially many) querying threads on a
+// per-ring producer mutex, which preserves the single-producer memory
+// ordering; the consumer side is always the ring's one worker thread.
+// A full ring rejects the push (TryPush returns false) — callers fall
+// back to executing the task inline, so the bound is backpressure, never
+// blocking.
+#ifndef CCF_UTIL_SPSC_RING_H_
+#define CCF_UTIL_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "util/math_util.h"
+
+namespace ccf {
+
+/// \brief Bounded SPSC FIFO of trivially-copyable values (pointers, in the
+/// lookup path). Capacity is rounded up to a power of two.
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(size_t min_capacity)
+      : mask_(NextPowerOfTwo(min_capacity < 2 ? 2 : min_capacity) - 1),
+        slots_(mask_ + 1) {}
+
+  size_t capacity() const { return mask_ + 1; }
+
+  /// Producer-side: appends `value`; false when the ring is full. The
+  /// release store of tail_ publishes the slot write to the consumer.
+  bool TryPush(const T& value) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    const size_t head = head_.load(std::memory_order_acquire);
+    if (tail - head > mask_) return false;  // full
+    slots_[tail & mask_] = value;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side: pops the oldest value into *out; false when empty. The
+  /// acquire load of tail_ makes the producer's slot write visible before
+  /// the read.
+  bool TryPop(T* out) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;  // empty
+    *out = slots_[head & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Snapshot emptiness (either side; racy by nature — a poll hint only).
+  bool Empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  const size_t mask_;
+  std::vector<T> slots_;
+  /// Producer and consumer indices on separate cache lines so the two
+  /// sides never write-share a line (the indices are monotonically
+  /// increasing; slot position is index & mask_).
+  alignas(64) std::atomic<size_t> tail_{0};  // producer-owned
+  alignas(64) std::atomic<size_t> head_{0};  // consumer-owned
+};
+
+}  // namespace ccf
+
+#endif  // CCF_UTIL_SPSC_RING_H_
