@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.h"
 #include "bench_util.h"
 #include "ccf/ccf.h"
 #include "ccf/sharded_ccf.h"
@@ -991,147 +992,6 @@ void BM_PredicateOnlyDerivation(benchmark::State& state) {
 }
 BENCHMARK(BM_PredicateOnlyDerivation);
 
-// --- JSON row output ---------------------------------------------------------
-
-// Console display plus one machine-readable row per (non-aggregate) run:
-//   {"name", "label" (variant/mode), "iterations", "real_time_ms",
-//    "keys_per_second", "ns_per_key", "table_mb"}
-// written as a JSON array to the --json path so BENCH_*.json trajectories
-// can accumulate per commit.
-// Minimal JSON string escaping (quotes, backslashes, control chars) so no
-// benchmark name or label can corrupt the row file.
-std::string JsonEscape(const std::string& in) {
-  std::string out;
-  out.reserve(in.size());
-  for (unsigned char c : in) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      default:
-        if (c < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += static_cast<char>(c);
-        }
-    }
-  }
-  return out;
-}
-
-class JsonRowsReporter : public benchmark::ConsoleReporter {
- public:
-  explicit JsonRowsReporter(std::string path) : path_(std::move(path)) {}
-
-  void ReportRuns(const std::vector<Run>& runs) override {
-    for (const Run& run : runs) {
-      // Keep plain runs AND aggregates (mean/median/...): under
-      // --benchmark_report_aggregates_only the aggregates are all that
-      // reaches the reporter. cv/stddev rows carry relative values, not
-      // throughputs; skip them so every emitted row means the same thing.
-      if (run.error_occurred) continue;
-      if (run.run_type == Run::RT_Aggregate &&
-          run.aggregate_name != "mean" && run.aggregate_name != "median") {
-        continue;
-      }
-      double items_per_second = 0.0;
-      auto it = run.counters.find("items_per_second");
-      if (it != run.counters.end()) items_per_second = it->second;
-      double table_mb = 0.0;
-      it = run.counters.find("table_mb");
-      if (it != run.counters.end()) table_mb = it->second;
-      // Any further counters (latency percentiles, compaction counts, …)
-      // ride into the row as extra numeric fields.
-      std::string extra;
-      for (const auto& [cname, counter] : run.counters) {
-        if (cname == "items_per_second" || cname == "table_mb" ||
-            cname == "bytes_per_second") {
-          continue;
-        }
-        char buf[160];
-        std::snprintf(buf, sizeof(buf), ", \"%s\": %.3f",
-                      JsonEscape(cname).c_str(),
-                      static_cast<double>(counter));
-        extra += buf;
-      }
-      double real_ms = run.iterations > 0
-                           ? run.real_accumulated_time /
-                                 static_cast<double>(run.iterations) * 1e3
-                           : run.real_accumulated_time * 1e3;
-      const char* fmt =
-          "  {\"name\": \"%s\", \"label\": \"%s\", \"aggregate\": \"%s\", "
-          "\"iterations\": %lld, \"real_time_ms\": %.6f, "
-          "\"keys_per_second\": %.1f, \"ns_per_key\": %.3f, "
-          "\"table_mb\": %.3f%s}";
-      std::string name = JsonEscape(run.benchmark_name());
-      std::string label = JsonEscape(run.report_label);
-      std::string aggregate = JsonEscape(
-          run.run_type == Run::RT_Aggregate ? run.aggregate_name : "");
-      // Two-pass snprintf so arbitrarily long benchmark names cannot
-      // truncate a row into malformed JSON.
-      int len = std::snprintf(nullptr, 0, fmt, name.c_str(), label.c_str(),
-                              aggregate.c_str(),
-                              static_cast<long long>(run.iterations),
-                              real_ms, items_per_second,
-                              items_per_second > 0.0
-                                  ? 1e9 / items_per_second
-                                  : 0.0,
-                              table_mb, extra.c_str());
-      if (len <= 0) continue;
-      std::string row(static_cast<size_t>(len) + 1, '\0');
-      std::snprintf(row.data(), row.size(), fmt, name.c_str(),
-                    label.c_str(), aggregate.c_str(),
-                    static_cast<long long>(run.iterations), real_ms,
-                    items_per_second,
-                    items_per_second > 0.0 ? 1e9 / items_per_second : 0.0,
-                    table_mb, extra.c_str());
-      row.resize(static_cast<size_t>(len));
-      if (run.run_type != Run::RT_Aggregate ||
-          run.aggregate_name == "median") {
-        kps_by_name_.emplace_back(run.benchmark_name(), items_per_second);
-      }
-      rows_.push_back(std::move(row));
-    }
-    ConsoleReporter::ReportRuns(runs);
-  }
-
-  /// keys/s of the named row; 0 if the row never ran under the active
-  /// filter. Matches "name", "name/..." and "name_median" (repetition
-  /// suffixes), but not longer benchmark names sharing the prefix.
-  double KeysPerSecond(const std::string& name) const {
-    for (const auto& [n, kps] : kps_by_name_) {
-      if (n == name ||
-          (n.size() > name.size() && n.compare(0, name.size(), name) == 0 &&
-           (n[name.size()] == '/' || n[name.size()] == '_'))) {
-        return kps;
-      }
-    }
-    return 0.0;
-  }
-
-  /// Appends a caller-synthesized row (e.g. the roofline row).
-  void AppendRow(std::string row) { rows_.push_back(std::move(row)); }
-
-  bool WriteFile() const {
-    std::FILE* f = std::fopen(path_.c_str(), "w");
-    if (f == nullptr) return false;
-    std::fputs("[\n", f);
-    for (size_t i = 0; i < rows_.size(); ++i) {
-      std::fputs(rows_[i].c_str(), f);
-      std::fputs(i + 1 < rows_.size() ? ",\n" : "\n", f);
-    }
-    std::fputs("]\n", f);
-    std::fclose(f);
-    return true;
-  }
-
- private:
-  std::string path_;
-  std::vector<std::string> rows_;
-  std::vector<std::pair<std::string, double>> kps_by_name_;
-};
-
 // --- Roofline row ------------------------------------------------------------
 
 // Expected DRAM bytes touched per batched predicate probe, from table
@@ -1158,7 +1018,7 @@ double RooflineBytesPerProbe(const CcfConfig& c) {
 // is measured/roofline. keys_per_second is deliberately 0 so
 // bench_history_check treats the row as advisory metadata, never a
 // blocking throughput row.
-void AppendRooflineRow(JsonRowsReporter* reporter) {
+void AppendRooflineRow(bench::JsonRowsReporter* reporter) {
   const double measured = reporter->KeysPerSecond("BM_HotLookupBatch");
   if (measured <= 0.0) return;  // hot row filtered out: fixture not built
   const CcfConfig config = HotPathConfig();
@@ -1191,19 +1051,9 @@ void AppendRooflineRow(JsonRowsReporter* reporter) {
 }  // namespace ccf
 
 int main(int argc, char** argv) {
-  // Extract --json <path> / --json=<path> before google-benchmark sees the
-  // command line (it rejects flags it does not know).
   std::string json_path;
-  std::vector<char*> args;
-  for (int i = 0; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      json_path = argv[++i];
-    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
-      json_path = argv[i] + 7;
-    } else {
-      args.push_back(argv[i]);
-    }
-  }
+  std::vector<char*> args =
+      ccf::bench::ExtractJsonFlag(argc, argv, &json_path);
   int filtered_argc = static_cast<int>(args.size());
   benchmark::Initialize(&filtered_argc, args.data());
   if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
@@ -1212,7 +1062,7 @@ int main(int argc, char** argv) {
   if (json_path.empty()) {
     benchmark::RunSpecifiedBenchmarks();
   } else {
-    ccf::JsonRowsReporter reporter(json_path);
+    ccf::bench::JsonRowsReporter reporter(json_path);
     benchmark::RunSpecifiedBenchmarks(&reporter);
     // Roofline row: only when the hot batched row actually ran (its
     // fixture is then already built) — a filtered bench run should not

@@ -124,7 +124,9 @@ Result<std::unique_ptr<ConditionalCuckooFilter>> ConditionalCuckooFilter::Make(
 
 namespace {
 
-constexpr uint32_t kCcfMagic = 0x43434631;  // "CCF1"
+// "CCF2": bumped from CCF1 when the format gained 8-byte alignment padding
+// before each BitVector word array (alias-mode mmap deserialization).
+constexpr uint32_t kCcfMagic = 0x43434632;
 
 void WriteConfig(ByteWriter* writer, const CcfConfig& config) {
   writer->WriteU64(config.num_buckets);
@@ -178,9 +180,9 @@ std::string CcfBase::Serialize() const {
   return out;
 }
 
-Status CcfBase::LoadState(ByteReader* reader) {
+Status CcfBase::LoadState(ByteReader* reader, const AliasMapping* alias) {
   CCF_ASSIGN_OR_RETURN(num_rows_, reader->ReadU64());
-  CCF_ASSIGN_OR_RETURN(BucketTable loaded, BucketTable::Load(reader));
+  CCF_ASSIGN_OR_RETURN(BucketTable loaded, BucketTable::Load(reader, alias));
   if (loaded.num_buckets() != table_->num_buckets() ||
       loaded.slots_per_bucket() != table_->slots_per_bucket() ||
       loaded.fingerprint_bits() != table_->fingerprint_bits() ||
@@ -194,7 +196,7 @@ Status CcfBase::LoadState(ByteReader* reader) {
 }
 
 Result<std::unique_ptr<ConditionalCuckooFilter>> DeserializeCcfImpl(
-    std::string_view data) {
+    std::string_view data, const AliasMapping* alias) {
   ByteReader reader(data);
   CCF_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
   if (magic != kCcfMagic) {
@@ -208,7 +210,7 @@ Result<std::unique_ptr<ConditionalCuckooFilter>> DeserializeCcfImpl(
   CCF_ASSIGN_OR_RETURN(std::unique_ptr<ConditionalCuckooFilter> ccf,
                        ConditionalCuckooFilter::Make(variant, config));
   auto* base = static_cast<CcfBase*>(ccf.get());
-  CCF_RETURN_NOT_OK(base->LoadState(&reader));
+  CCF_RETURN_NOT_OK(base->LoadState(&reader, alias));
   return ccf;
 }
 
@@ -218,9 +220,24 @@ ConditionalCuckooFilter::Deserialize(std::string_view data) {
   if (data.size() >= 4) {
     uint32_t magic;
     std::memcpy(&magic, data.data(), 4);
-    if (magic == ShardedCcf::kMagic) return ShardedCcf::Deserialize(data);
+    if (magic == ShardedCcf::kMagic) {
+      return ShardedCcf::Deserialize(data);
+    }
   }
-  return DeserializeCcfImpl(data);
+  return DeserializeCcfImpl(data, nullptr);
+}
+
+Result<std::unique_ptr<ConditionalCuckooFilter>>
+ConditionalCuckooFilter::Deserialize(std::string_view data,
+                                     const AliasMapping& mapping) {
+  if (data.size() >= 4) {
+    uint32_t magic;
+    std::memcpy(&magic, data.data(), 4);
+    if (magic == ShardedCcf::kMagic) {
+      return ShardedCcf::Deserialize(data, &mapping);
+    }
+  }
+  return DeserializeCcfImpl(data, &mapping);
 }
 
 // --- ChainWalk ---------------------------------------------------------------

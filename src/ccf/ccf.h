@@ -22,6 +22,7 @@
 #include "cuckoo/cuckoo_filter.h"
 #include "predicate/predicate.h"
 #include "util/result.h"
+#include "util/serde.h"
 
 namespace ccf {
 
@@ -200,6 +201,16 @@ class ConditionalCuckooFilter {
   /// Restores any variant serialized by Serialize().
   static Result<std::unique_ptr<ConditionalCuckooFilter>> Deserialize(
       std::string_view data);
+
+  /// Zero-copy restore: like Deserialize(data), but the loaded table's bit
+  /// arrays ALIAS `data` where alignment permits instead of copying —
+  /// opening a large filter from an mmap'd blob costs page-table setup,
+  /// not a memcpy. `data` must point into the region `mapping.keepalive`
+  /// keeps alive (e.g. a MappedFile's view); the filter retains the
+  /// keepalive. Mutating an alias-loaded filter copy-on-writes the bit
+  /// arrays first, so the backing buffer is never written through.
+  static Result<std::unique_ptr<ConditionalCuckooFilter>> Deserialize(
+      std::string_view data, const AliasMapping& mapping);
 };
 
 }  // namespace ccf

@@ -363,10 +363,11 @@ class CcfBase : public ConditionalCuckooFilter {
   }
 
   /// Restores table + counters from a reader (after config was applied via
-  /// Make). Used by ConditionalCuckooFilter::Deserialize.
-  Status LoadState(ByteReader* reader);
+  /// Make). Used by ConditionalCuckooFilter::Deserialize. With `alias`
+  /// non-null the loaded table aliases the reader's buffer (zero-copy).
+  Status LoadState(ByteReader* reader, const AliasMapping* alias = nullptr);
   friend Result<std::unique_ptr<ConditionalCuckooFilter>>
-  DeserializeCcfImpl(std::string_view data);
+  DeserializeCcfImpl(std::string_view data, const AliasMapping* alias);
 
   /// A slot's full logical contents held "in hand" during displacement.
   struct RawEntry {

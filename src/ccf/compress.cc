@@ -1,9 +1,38 @@
 #include "ccf/compress.h"
 
 #include <algorithm>
+#include <cstring>
 #include <queue>
 
 namespace ccf {
+
+namespace {
+
+void AppendVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+bool ReadVarint(std::string_view data, size_t* pos, uint64_t* out) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (*pos < data.size() && shift < 64) {
+    uint8_t b = static_cast<uint8_t>(data[*pos]);
+    ++*pos;
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      *out = v;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+}  // namespace
 
 std::unordered_map<uint32_t, uint32_t> CompressFingerprintSpace(
     const std::vector<uint32_t>& fingerprints, int target_bits) {
@@ -57,6 +86,75 @@ double AddedCollisionProbability(
     p_narrow += p * p;
   }
   return p_narrow - p_wide;
+}
+
+std::string CompressBlob(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size() / 4 + 16);
+  uint64_t raw_size = raw.size();
+  char size_buf[8];
+  std::memcpy(size_buf, &raw_size, 8);
+  out.append(size_buf, 8);
+  size_t pos = 0;
+  while (pos < raw.size()) {
+    size_t zero_start = pos;
+    while (pos < raw.size() && raw[pos] == '\0') ++pos;
+    size_t zero_len = pos - zero_start;
+    size_t lit_start = pos;
+    // A literal run ends at the next stretch of >= 8 zero bytes: shorter
+    // zero gaps cost more as a (varint, varint) pair than as literals.
+    size_t zeros_seen = 0;
+    while (pos < raw.size()) {
+      if (raw[pos] == '\0') {
+        if (++zeros_seen == 8) {
+          pos -= 7;
+          break;
+        }
+      } else {
+        zeros_seen = 0;
+      }
+      ++pos;
+    }
+    size_t lit_len = pos - lit_start;
+    if (zero_len == 0 && lit_len == 0) break;
+    AppendVarint(&out, zero_len);
+    AppendVarint(&out, lit_len);
+    out.append(raw.substr(lit_start, lit_len));
+  }
+  return out;
+}
+
+Result<std::string> DecompressBlob(std::string_view compressed) {
+  if (compressed.size() < 8) {
+    return Status::Invalid("compressed blob too short");
+  }
+  uint64_t raw_size;
+  std::memcpy(&raw_size, compressed.data(), 8);
+  if (raw_size > (uint64_t{1} << 40)) {
+    return Status::Invalid("implausible compressed blob size");
+  }
+  std::string out;
+  out.reserve(raw_size);
+  size_t pos = 8;
+  while (pos < compressed.size()) {
+    uint64_t zero_len, lit_len;
+    if (!ReadVarint(compressed, &pos, &zero_len) ||
+        !ReadVarint(compressed, &pos, &lit_len)) {
+      return Status::Invalid("truncated compressed blob header");
+    }
+    if (zero_len > raw_size - out.size() ||
+        lit_len > raw_size - out.size() - zero_len ||
+        lit_len > compressed.size() - pos) {
+      return Status::Invalid("compressed blob run overflows declared size");
+    }
+    out.append(static_cast<size_t>(zero_len), '\0');
+    out.append(compressed.substr(pos, static_cast<size_t>(lit_len)));
+    pos += static_cast<size_t>(lit_len);
+  }
+  if (out.size() != raw_size) {
+    return Status::Invalid("compressed blob shorter than declared size");
+  }
+  return out;
 }
 
 }  // namespace ccf

@@ -6,8 +6,12 @@
 #define CCF_CCF_COMPRESS_H_
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "util/result.h"
 
 namespace ccf {
 
@@ -30,6 +34,19 @@ std::unordered_map<uint32_t, uint32_t> CompressFingerprintSpace(
 double AddedCollisionProbability(
     const std::vector<uint32_t>& fingerprints,
     const std::unordered_map<uint32_t, uint32_t>& mapping);
+
+/// \brief Zero-run encoding of a serialized filter blob (the cold tier's
+/// at-rest form).
+///
+/// Serialized sketches at realistic load factors are mostly zero words
+/// (empty slots, the occupancy bitmap's gaps, alignment padding), so a
+/// byte-level zero-run codec gets most of the win of a general compressor
+/// with no dependency and >GB/s decode. Format: u64 raw size (LE), then
+/// repeated (LEB128 zero-run length, LEB128 literal length, literal bytes).
+std::string CompressBlob(std::string_view raw);
+
+/// Inverse of CompressBlob. InvalidArgument on malformed input.
+Result<std::string> DecompressBlob(std::string_view compressed);
 
 }  // namespace ccf
 

@@ -86,4 +86,14 @@ bool CompressedCcf::Contains(uint64_t key, const Predicate& pred) const {
   return inner_->Contains(key, remapped);
 }
 
+std::string EncodeFilterBlob(const ConditionalCuckooFilter& filter) {
+  return CompressBlob(filter.Serialize());
+}
+
+Result<std::unique_ptr<ConditionalCuckooFilter>> DecodeFilterBlob(
+    std::string_view blob) {
+  CCF_ASSIGN_OR_RETURN(std::string raw, DecompressBlob(blob));
+  return ConditionalCuckooFilter::Deserialize(raw);
+}
+
 }  // namespace ccf

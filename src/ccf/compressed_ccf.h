@@ -57,6 +57,16 @@ class CompressedCcf {
   uint64_t salt_ = 0;
 };
 
+/// Serializes `filter` and zero-run compresses the blob (CompressBlob) —
+/// the cold-tier at-rest form used by serve/filter_catalog. Unlike
+/// CompressedCcf::Build (a lossy two-stage construction that needs the raw
+/// rows), this round-trips any built filter exactly.
+std::string EncodeFilterBlob(const ConditionalCuckooFilter& filter);
+
+/// Inverse of EncodeFilterBlob: decompresses and deserializes (copy mode).
+Result<std::unique_ptr<ConditionalCuckooFilter>> DecodeFilterBlob(
+    std::string_view blob);
+
 }  // namespace ccf
 
 #endif  // CCF_CCF_COMPRESSED_CCF_H_

@@ -281,6 +281,12 @@ ShardedCcf::WriteBuffer* ShardedCcf::PendingWithRoom(Shard& shard,
                                                      size_t rows_needed) {
   WriteBuffer* cur = shard.pending.load(std::memory_order_relaxed);
   size_t n = cur ? cur->size_unsync() : 0;
+  // Stamp the overlay's birth for the autocommit age trigger: this runs
+  // under writer_mu on every buffered write, so an empty→non-empty
+  // transition is exactly "no staged rows here, rows about to land".
+  if (n == 0 && options_.autocommit_interval.count() > 0) {
+    shard.first_staged = std::chrono::steady_clock::now();
+  }
   if (cur != nullptr && n + rows_needed <= cur->capacity()) return cur;
 
   // Grow (or bootstrap) by replacement: build the bigger block privately,
@@ -372,6 +378,7 @@ Status ShardedCcf::BufferWrite(uint64_t key, std::span<const uint64_t> attrs) {
   static_cast<CcfBase*>(shard.handle.writable())
       ->MemoizeRow(key, attrs, &key_hash, &payload);
   buffer->Append(key, attrs, key_hash, payload);
+  MaybeScheduleAutoCommit(ShardOf(key), shard);
   return Status::OK();
 }
 
@@ -401,6 +408,7 @@ Status ShardedCcf::BufferWriteBatch(std::span<const uint64_t> keys,
       base->MemoizeRow(keys[i], row_attrs, &key_hash, &payload);
       buffer->Append(keys[i], row_attrs, key_hash, payload);
     }
+    MaybeScheduleAutoCommit(s, shard);
   }
   return Status::OK();
 }
@@ -438,6 +446,7 @@ Status ShardedCcf::BufferErase(uint64_t key, std::span<const uint64_t> attrs) {
   uint64_t key_hash, payload;
   base->MemoizeRow(key, attrs, &key_hash, &payload);
   buffer->Append(key, attrs, key_hash, payload, WriteBuffer::kOpErase);
+  MaybeScheduleAutoCommit(ShardOf(key), shard);
   return Status::OK();
 }
 
@@ -458,6 +467,7 @@ Status ShardedCcf::BufferUpdate(uint64_t key,
   base->MemoizeRow(key, new_attrs, &new_hash, &new_payload);
   buffer->AppendUpdate(key, old_attrs, old_hash, old_payload, new_attrs,
                        new_hash, new_payload);
+  MaybeScheduleAutoCommit(ShardOf(key), shard);
   return Status::OK();
 }
 
@@ -849,6 +859,57 @@ void ShardedCcf::MaybeScheduleWatermarkResize(size_t s, Shard& shard) {
       num_watermark_resizes_.fetch_add(1, std::memory_order_relaxed);
     }
     shards_[s]->resize_scheduled.store(false, std::memory_order_release);
+    return st;
+  }));
+}
+
+void ShardedCcf::MaybeScheduleAutoCommit(size_t s, Shard& shard) {
+  const bool size_enabled = options_.autocommit_pending_rows > 0;
+  const bool age_enabled = options_.autocommit_interval.count() > 0;
+  if (!size_enabled && !age_enabled) return;
+  WriteBuffer* pending = shard.pending.load(std::memory_order_relaxed);
+  size_t n = pending ? pending->size_unsync() : 0;
+  if (n == 0) return;
+  bool trigger = size_enabled && n >= options_.autocommit_pending_rows;
+  if (!trigger && age_enabled) {
+    trigger = std::chrono::steady_clock::now() - shard.first_staged >=
+              options_.autocommit_interval;
+  }
+  if (!trigger) return;
+  bool expected = false;
+  if (!shard.commit_scheduled.compare_exchange_strong(
+          expected, true, std::memory_order_acq_rel)) {
+    return;  // an auto-commit for this shard is already in flight
+  }
+  std::lock_guard<std::mutex> lock(maintenance_mu_);
+  maintenance_.erase(
+      std::remove_if(maintenance_.begin(), maintenance_.end(),
+                     [](std::future<Status>& f) {
+                       if (f.wait_for(std::chrono::seconds(0)) ==
+                           std::future_status::ready) {
+                         f.get();
+                         return true;
+                       }
+                       return false;
+                     }),
+      maintenance_.end());
+  maintenance_.push_back(std::async(std::launch::async, [this, s] {
+    // Same shape as the watermark-resize task: serialize after the write
+    // that scheduled us by taking the shard's writer mutex, commit the
+    // overlay into a copy-on-write clone, publish via epoch swap. Staged
+    // rows stay query-visible the whole time, so a failed background
+    // commit only means the overlay stays long until the next trigger or
+    // an explicit CommitWrites.
+    if (numa_active_) PinThreadToNode(*topo_, shards_[s]->node).ok();
+    Shard& shard = *shards_[s];
+    Status st;
+    {
+      std::lock_guard<std::mutex> lock(shard.writer_mu);
+      st = CommitShardLocked(s, shard);
+      if (st.ok()) MaybeScheduleWatermarkResize(s, shard);
+    }
+    if (st.ok()) num_autocommits_.fetch_add(1, std::memory_order_relaxed);
+    shard.commit_scheduled.store(false, std::memory_order_release);
     return st;
   }));
 }
@@ -1639,6 +1700,10 @@ std::string ShardedCcf::Serialize() const {
   writer.WriteU32(static_cast<uint32_t>(shards_.size()));
   writer.WriteU32(static_cast<uint32_t>(options_.build_threads));
   for (const auto& s : shards_) {
+    // Align so each shard blob starts 8-byte aligned after WriteBytes'
+    // 8-byte length prefix — inner word arrays then stay aligned from the
+    // CONTAINER start, which is what alias-mode loads check.
+    writer.AlignTo(8);
     writer.WriteBytes(
         s->handle.Load(guards[static_cast<size_t>(s->node)])->Serialize());
   }
@@ -1646,7 +1711,7 @@ std::string ShardedCcf::Serialize() const {
 }
 
 Result<std::unique_ptr<ConditionalCuckooFilter>> ShardedCcf::Deserialize(
-    std::string_view data) {
+    std::string_view data, const AliasMapping* alias) {
   ByteReader reader(data);
   CCF_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
   if (magic != kShardedMagic) {
@@ -1661,6 +1726,7 @@ Result<std::unique_ptr<ConditionalCuckooFilter>> ShardedCcf::Deserialize(
   std::vector<std::unique_ptr<ConditionalCuckooFilter>> shards;
   shards.reserve(num_shards);
   for (uint32_t i = 0; i < num_shards; ++i) {
+    CCF_RETURN_NOT_OK(reader.AlignTo(8));
     CCF_ASSIGN_OR_RETURN(std::string_view blob, reader.ReadBytes());
     // Shard blobs must be plain variants: a nested sharded blob would
     // recurse unboundedly on crafted input, and the hot path downcasts
@@ -1672,8 +1738,10 @@ Result<std::unique_ptr<ConditionalCuckooFilter>> ShardedCcf::Deserialize(
         return Status::Invalid("nested sharded CCF blobs are not supported");
       }
     }
-    CCF_ASSIGN_OR_RETURN(std::unique_ptr<ConditionalCuckooFilter> shard,
-                         ConditionalCuckooFilter::Deserialize(blob));
+    CCF_ASSIGN_OR_RETURN(
+        std::unique_ptr<ConditionalCuckooFilter> shard,
+        alias == nullptr ? ConditionalCuckooFilter::Deserialize(blob)
+                         : ConditionalCuckooFilter::Deserialize(blob, *alias));
     // The batched hot path computes one raw key hash with shard 0's hasher
     // and re-masks it per shard, so salts and slot/fingerprint shapes must
     // agree; bucket COUNTS may differ (per-shard resizes grow shards

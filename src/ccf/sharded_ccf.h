@@ -59,6 +59,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -131,6 +132,21 @@ struct ShardedCcfOptions {
   /// back to inline resolution, so workers add parallelism, never
   /// blocking. Answers are bit-identical to the synchronous path.
   int lookup_workers_per_node = 0;
+  /// Auto-commit SIZE trigger for bursty writers: when a buffered write
+  /// leaves a shard's staged overlay at or above this many rows, a
+  /// background commit of THAT shard is scheduled (same futures machinery
+  /// as the watermark resizes), folding the overlay into the probe-speed
+  /// table without any explicit CommitWrites call. Staged rows stay
+  /// query-visible throughout; the overlay scan just stays short. 0 (the
+  /// default) disables the policy.
+  size_t autocommit_pending_rows = 0;
+  /// Auto-commit AGE trigger: when a buffered write finds the shard's
+  /// oldest staged row older than this, a background commit of the shard
+  /// is scheduled. Bounds how long a trickle of writes can linger in the
+  /// overlay. Zero (the default) disables the policy. Checked on write —
+  /// an idle shard holds its staged rows until the next write or an
+  /// explicit CommitWrites/DrainMaintenance.
+  std::chrono::milliseconds autocommit_interval{0};
 };
 
 /// \brief N independent CCF shards behind the ConditionalCuckooFilter
@@ -287,6 +303,12 @@ class ShardedCcf : public ConditionalCuckooFilter {
     return num_compactions_.load(std::memory_order_relaxed);
   }
 
+  /// Completed autocommit-triggered background shard commits (see
+  /// ShardedCcfOptions::autocommit_pending_rows / autocommit_interval).
+  uint64_t num_autocommits() const {
+    return num_autocommits_.load(std::memory_order_relaxed);
+  }
+
   /// Total retained-log rows across shards, dead rows included
   /// (diagnostics; takes each shard's writer mutex briefly).
   uint64_t retained_log_rows() const;
@@ -362,16 +384,20 @@ class ShardedCcf : public ConditionalCuckooFilter {
   /// blobs carry tables, not rows).
   bool resizable() const { return resizable_; }
 
-  /// Serialized-blob magic ("SCF1"); ConditionalCuckooFilter::Deserialize
-  /// dispatches here when it leads a blob.
-  static constexpr uint32_t kMagic = 0x53434631;
+  /// Serialized-blob magic ("SCF2", bumped with the aligned word-array
+  /// format); ConditionalCuckooFilter::Deserialize dispatches here when it
+  /// leads a blob.
+  static constexpr uint32_t kMagic = 0x53434632;
 
   /// Serializes the COMMITTED state (the published shard tables). Staged
   /// rows are not part of any table yet and are not serialized — call
-  /// CommitWrites first if they must be captured.
+  /// CommitWrites first if they must be captured. Shard blobs are 8-byte
+  /// aligned within the container so alias-mode loads work through it.
   std::string Serialize() const override;
+  /// With `alias` non-null, shard tables alias the blob (zero-copy); see
+  /// ConditionalCuckooFilter::Deserialize(data, mapping).
   static Result<std::unique_ptr<ConditionalCuckooFilter>> Deserialize(
-      std::string_view data);
+      std::string_view data, const AliasMapping* alias = nullptr);
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
   /// The shard's CURRENT filter. Quiescent-use accessor (tests, stats): the
@@ -625,6 +651,12 @@ class ShardedCcf : public ConditionalCuckooFilter {
     std::atomic<WriteBuffer*> spare{nullptr};
     /// Guards against stacking duplicate watermark resizes for this shard.
     std::atomic<bool> resize_scheduled{false};
+    /// Guards against stacking duplicate auto-commits for this shard.
+    std::atomic<bool> commit_scheduled{false};
+    /// When the shard's overlay went non-empty (guarded by writer_mu;
+    /// meaningful only while the overlay has rows and the age trigger is
+    /// enabled).
+    std::chrono::steady_clock::time_point first_staged{};
   };
 
   /// One shard-group lookup task shipped to a node worker; defined in the
@@ -681,6 +713,10 @@ class ShardedCcf : public ConditionalCuckooFilter {
   /// Schedules a background doubling resize if the shard's occupancy is at
   /// or above the watermark; caller holds writer_mu.
   void MaybeScheduleWatermarkResize(size_t s, Shard& shard);
+  /// Schedules a background commit of shard `s` when its staged overlay
+  /// crosses the autocommit size or age trigger; caller holds writer_mu
+  /// and has just appended to the overlay.
+  void MaybeScheduleAutoCommit(size_t s, Shard& shard);
 
   /// Exact reader slow path for a shard whose overlay stages erase records:
   /// staged liveness via the op-aware overlay probe, committed rows via the
@@ -770,6 +806,7 @@ class ShardedCcf : public ConditionalCuckooFilter {
   std::atomic<uint64_t> num_resizes_{0};
   std::atomic<uint64_t> num_watermark_resizes_{0};
   std::atomic<uint64_t> num_compactions_{0};
+  std::atomic<uint64_t> num_autocommits_{0};
   /// In-flight watermark resizes (futures must be joined before the shards
   /// they reference die); reaped opportunistically, drained on destruction.
   mutable std::mutex maintenance_mu_;

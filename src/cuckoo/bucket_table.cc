@@ -148,7 +148,8 @@ void BucketTable::Save(ByteWriter* writer) const {
   occupied_.Save(writer);
 }
 
-Result<BucketTable> BucketTable::Load(ByteReader* reader) {
+Result<BucketTable> BucketTable::Load(ByteReader* reader,
+                                      const AliasMapping* alias) {
   CCF_ASSIGN_OR_RETURN(uint64_t num_buckets, reader->ReadU64());
   CCF_ASSIGN_OR_RETURN(uint32_t slots, reader->ReadU32());
   CCF_ASSIGN_OR_RETURN(uint32_t fp_bits, reader->ReadU32());
@@ -162,8 +163,8 @@ Result<BucketTable> BucketTable::Load(ByteReader* reader) {
   if (table.num_buckets_ != num_buckets) {
     return Status::Invalid("serialized bucket count not a power of two");
   }
-  CCF_ASSIGN_OR_RETURN(table.slots_, BitVector::Load(reader));
-  CCF_ASSIGN_OR_RETURN(table.occupied_, BitVector::Load(reader));
+  CCF_ASSIGN_OR_RETURN(table.slots_, BitVector::Load(reader, alias));
+  CCF_ASSIGN_OR_RETURN(table.occupied_, BitVector::Load(reader, alias));
   uint64_t expected_slot_bits =
       table.num_slots() * static_cast<uint64_t>(table.slot_bits_);
   if (table.slots_.size() != expected_slot_bits ||

@@ -247,8 +247,11 @@ class BucketTable {
 
   /// Serializes geometry + contents.
   void Save(ByteWriter* writer) const;
-  /// Restores a table written by Save.
-  static Result<BucketTable> Load(ByteReader* reader);
+  /// Restores a table written by Save. With `alias` non-null the slot and
+  /// occupancy BitVectors reference the reader's buffer in place where
+  /// alignment permits (see BitVector::Load).
+  static Result<BucketTable> Load(ByteReader* reader,
+                                  const AliasMapping* alias = nullptr);
 
  private:
   BucketTable(uint64_t num_buckets, int slots_per_bucket, int fingerprint_bits,

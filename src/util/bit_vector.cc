@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstring>
 #include <new>
+#include <utility>
 
 #include "util/topology.h"
 
@@ -79,6 +80,13 @@ Allocation AllocateWords(size_t words) {
 }  // namespace
 
 void BitVector::Deallocate() {
+  if (alias_keepalive_) {
+    // Aliased words live in the external buffer; dropping the keepalive is
+    // the whole deallocation.
+    alias_keepalive_.reset();
+    words_ = nullptr;
+    return;
+  }
 #if defined(__linux__)
   if (map_base_ != nullptr) {
     (void)munmap(map_base_, map_bytes_);
@@ -115,6 +123,7 @@ BitVector& BitVector::operator=(BitVector&& other) noexcept {
   words_ = other.words_;
   map_base_ = other.map_base_;
   map_bytes_ = other.map_bytes_;
+  alias_keepalive_ = std::move(other.alias_keepalive_);
   other.num_bits_ = 0;
   other.num_words_ = 0;
   other.words_ = nullptr;
@@ -123,7 +132,20 @@ BitVector& BitVector::operator=(BitVector&& other) noexcept {
   return *this;
 }
 
+void BitVector::EnsureOwned() {
+  if (!alias_keepalive_) return;
+  Allocation alloc = AllocateWords(num_words_);
+  if (num_words_ > 0) {
+    std::memcpy(alloc.words, words_, num_words_ * sizeof(uint64_t));
+  }
+  words_ = alloc.words;
+  map_base_ = alloc.map_base;
+  map_bytes_ = alloc.map_bytes;
+  alias_keepalive_.reset();
+}
+
 void BitVector::Resize(size_t num_bits) {
+  if (alias_keepalive_) EnsureOwned();
   size_t new_words = NumWordsFor(num_bits);
   if (new_words != num_words_ || words_ == nullptr) {
     Allocation alloc = AllocateWords(new_words);
@@ -145,6 +167,7 @@ void BitVector::Resize(size_t num_bits) {
 }
 
 void BitVector::Clear() {
+  if (alias_keepalive_) EnsureOwned();
   if (num_words_ > 0) std::memset(words_, 0, num_words_ * sizeof(uint64_t));
 }
 
@@ -168,6 +191,7 @@ uint64_t BitVector::GetField(size_t pos, int width) const {
 void BitVector::SetField(size_t pos, int width, uint64_t value) {
   CCF_DCHECK(width >= 1 && width <= 64);
   CCF_DCHECK(pos + static_cast<size_t>(width) <= num_bits_);
+  if (alias_keepalive_) EnsureOwned();
   uint64_t mask = width == 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1;
   value &= mask;
   size_t word = pos >> 6;
@@ -183,17 +207,54 @@ void BitVector::SetField(size_t pos, int width, uint64_t value) {
 
 void BitVector::Save(ByteWriter* writer) const {
   writer->WriteU64(num_bits_);
+  // Pad so the word array sits 8-byte aligned from the blob start: a
+  // page-aligned mapping of the blob can then alias it in place.
+  writer->AlignTo(8);
   for (size_t i = 0; i < num_words_; ++i) writer->WriteU64(words_[i]);
 }
 
-Result<BitVector> BitVector::Load(ByteReader* reader) {
+Result<BitVector> BitVector::Load(ByteReader* reader,
+                                  const AliasMapping* alias) {
   CCF_ASSIGN_OR_RETURN(uint64_t num_bits, reader->ReadU64());
   if (num_bits > (uint64_t{1} << 40)) {
     return Status::Invalid("implausible BitVector size");
   }
+  CCF_RETURN_NOT_OK(reader->AlignTo(8));
+  size_t num_words = NumWordsFor(num_bits);
+  CCF_ASSIGN_OR_RETURN(std::string_view raw,
+                       reader->ReadRaw(num_words * sizeof(uint64_t)));
+  if (alias != nullptr && alias->keepalive != nullptr) {
+    // Alias only when the serialized words are 8-byte aligned IN MEMORY
+    // (blob-relative alignment is guaranteed by Save; absolute alignment
+    // additionally needs the buffer itself 8-aligned, true for mmap and
+    // for most heap buffers) and the tail bits past num_bits are already
+    // zero — they can't be masked in place on a read-only mapping. Save
+    // guarantees zero tails, so the check only rejects foreign blobs.
+    bool ptr_aligned =
+        reinterpret_cast<uintptr_t>(raw.data()) % alignof(uint64_t) == 0;
+    bool tail_zero = true;
+    if (num_bits % 64 != 0 && num_words > 0) {
+      uint64_t last;
+      std::memcpy(&last, raw.data() + (num_words - 1) * sizeof(uint64_t),
+                  sizeof(last));
+      tail_zero = (last >> (num_bits % 64)) == 0;
+    }
+    if (ptr_aligned && tail_zero) {
+      BitVector out;
+      out.num_bits_ = num_bits;
+      out.num_words_ = num_words;
+      // The const_cast is confined: every mutator copy-on-writes via
+      // EnsureOwned before the first store, so aliased words are only
+      // ever read.
+      out.words_ = const_cast<uint64_t*>(
+          reinterpret_cast<const uint64_t*>(raw.data()));
+      out.alias_keepalive_ = alias->keepalive;
+      return out;
+    }
+  }
   BitVector out(num_bits);
-  for (size_t i = 0; i < out.num_words_; ++i) {
-    CCF_ASSIGN_OR_RETURN(out.words_[i], reader->ReadU64());
+  if (num_words > 0) {
+    std::memcpy(out.words_, raw.data(), num_words * sizeof(uint64_t));
   }
   // Enforce the invariant that bits beyond num_bits are zero.
   if (num_bits % 64 != 0 && out.num_words_ > 0) {

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <cstddef>
 #include <cstring>
+#include <memory>
 
 #include "util/prefetch.h"
 #include "util/serde.h"
@@ -34,6 +35,12 @@ namespace ccf {
 ///    thread, mmap-backed vectors are additionally mbind-bound to that NUMA
 ///    node before first touch (best-effort), so a sharded table's pages live
 ///    on the node whose threads probe them.
+///  * Alias mode: Load with an AliasMapping leaves words_ pointing INTO the
+///    serialized buffer (typically a read-only file mapping) instead of
+///    copying. The vector holds the mapping's keepalive; the first mutation
+///    (SetBit/SetField/Clear/Resize) transparently copies the words into an
+///    owned allocation first (software copy-on-write), so the mapping is
+///    never written through.
 class BitVector {
  public:
   BitVector() = default;
@@ -69,6 +76,7 @@ class BitVector {
 
   void SetBit(size_t i, bool value) {
     CCF_DCHECK(i < num_bits_);
+    if (alias_keepalive_) EnsureOwned();
     uint64_t mask = uint64_t{1} << (i & 63);
     if (value) {
       words_[i >> 6] |= mask;
@@ -126,13 +134,24 @@ class BitVector {
                         num_words_ * sizeof(uint64_t)) == 0);
   }
 
-  /// Serializes size + words.
+  /// True when the words alias an external buffer (alias-mode Load) and a
+  /// mutation would copy-on-write first.
+  bool aliased() const { return alias_keepalive_ != nullptr; }
+
+  /// Serializes size + words (8-byte aligned from the blob start, so an
+  /// alias-mode Load can point at them in place).
   void Save(ByteWriter* writer) const;
-  /// Restores a vector written by Save.
-  static Result<BitVector> Load(ByteReader* reader);
+  /// Restores a vector written by Save. With `alias` non-null the loaded
+  /// vector references the reader's buffer directly when the word array is
+  /// 8-byte aligned in memory (copying otherwise); `alias->keepalive` is
+  /// retained until the vector is destroyed or copy-on-writes.
+  static Result<BitVector> Load(ByteReader* reader,
+                                const AliasMapping* alias = nullptr);
 
  private:
   void Deallocate();
+  /// Copies aliased words into an owned allocation and drops the keepalive.
+  void EnsureOwned();
 
   size_t num_bits_ = 0;
   size_t num_words_ = 0;   // ceil(num_bits_ / 64); excludes the guard word
@@ -140,6 +159,9 @@ class BitVector {
   // Raw mapping bookkeeping when mmap-backed (nullptr => heap-backed).
   void* map_base_ = nullptr;
   size_t map_bytes_ = 0;
+  // Non-null iff words_ aliases an external read-only buffer; keeps the
+  // buffer (e.g. a MappedFile) alive for the vector's lifetime.
+  std::shared_ptr<const void> alias_keepalive_;
 };
 
 }  // namespace ccf

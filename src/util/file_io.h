@@ -17,6 +17,42 @@ Status WriteFileBytes(const std::string& path, std::string_view data);
 /// Reads the whole file at `path`.
 Result<std::string> ReadFileBytes(const std::string& path);
 
+/// \brief RAII read-only memory mapping of a whole file.
+///
+/// Produced by MmapFileBytes. Movable, not copyable; unmaps on
+/// destruction. The mapping is MAP_PRIVATE PROT_READ and page-aligned,
+/// so serialized blobs opened through it satisfy the alias-mode
+/// Deserialize alignment contract. One readable zero page is mapped
+/// past the end of the file contents so word-granular readers that
+/// overread up to 7 bytes (see bucket_view.h) can never fault on a
+/// mapping boundary.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// The file's bytes. Empty files yield an empty view.
+  std::string_view view() const {
+    if (base_ == nullptr) return std::string_view();
+    return std::string_view(static_cast<const char*>(base_), size_);
+  }
+  size_t size() const { return size_; }
+
+ private:
+  friend Result<MappedFile> MmapFileBytes(const std::string& path);
+  void* base_ = nullptr;   // nullptr iff empty/unmapped
+  size_t size_ = 0;        // file size in bytes
+  size_t map_len_ = 0;     // total mapped length incl. guard page
+};
+
+/// Maps the file at `path` read-only (MAP_PRIVATE, MADV_WILLNEED).
+/// Missing files return KeyNotFound, mirroring ReadFileBytes.
+Result<MappedFile> MmapFileBytes(const std::string& path);
+
 }  // namespace ccf
 
 #endif  // CCF_UTIL_FILE_IO_H_

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <string_view>
 
@@ -21,6 +22,19 @@
   } while (false)
 
 namespace ccf {
+
+/// \brief Lifetime token for zero-copy (alias-mode) deserialization.
+///
+/// Alias-mode loads leave bulk word arrays POINTING INTO the serialized
+/// buffer instead of copying them out. The buffer must therefore outlive
+/// every structure loaded from it; `keepalive` is how that is arranged —
+/// the loaded BitVectors each hold a copy, so the mapping (or owning
+/// buffer) is released only after the last aliased structure dies. The
+/// data passed to Deserialize must point into the region `keepalive`
+/// keeps alive.
+struct AliasMapping {
+  std::shared_ptr<const void> keepalive;
+};
 
 /// \brief Appends little-endian primitives to a byte buffer.
 class ByteWriter {
@@ -54,6 +68,14 @@ class ByteWriter {
   void WriteBytes(std::string_view bytes) {
     WriteU64(bytes.size());
     out_->append(bytes);
+  }
+
+  /// Zero-pads to the next multiple of `alignment` bytes, measured from the
+  /// START of the output buffer. Word arrays written after an AlignTo(8)
+  /// can be aliased in place by an alias-mode load, provided the buffer
+  /// itself lands 8-byte aligned in memory (mmap'd blobs are page-aligned).
+  void AlignTo(size_t alignment) {
+    while (out_->size() % alignment != 0) out_->push_back('\0');
   }
 
  private:
@@ -110,6 +132,27 @@ class ByteReader {
     CCF_SERDE_RETURN_IF_SHORT(len);
     std::string_view v = data_.substr(pos_, static_cast<size_t>(len));
     pos_ += static_cast<size_t>(len);
+    return v;
+  }
+
+  /// Skips the zero padding of a matching ByteWriter::AlignTo: advances to
+  /// the next multiple of `alignment` bytes from the buffer start.
+  Status AlignTo(size_t alignment) {
+    size_t rem = pos_ % alignment;
+    if (rem == 0) return Status::OK();
+    size_t skip = alignment - rem;
+    CCF_SERDE_RETURN_IF_SHORT(skip);
+    pos_ += skip;
+    return Status::OK();
+  }
+
+  /// A view of the next `len` raw bytes (no length prefix), consuming them.
+  /// The view points into the reader's buffer — the alias-mode loads hand
+  /// it straight to the aliased structure.
+  Result<std::string_view> ReadRaw(size_t len) {
+    CCF_SERDE_RETURN_IF_SHORT(len);
+    std::string_view v = data_.substr(pos_, len);
+    pos_ += len;
     return v;
   }
 

@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "ccf/ccf.h"
+#include "util/serde.h"
 
 namespace ccf {
 namespace {
@@ -40,6 +43,76 @@ TEST(FileIoTest, MissingFileIsKeyNotFound) {
 
 TEST(FileIoTest, UnwritablePathFails) {
   EXPECT_FALSE(WriteFileBytes("/nonexistent_dir_xyz/file.bin", "x").ok());
+}
+
+TEST(FileIoTest, MmapRoundTripBytes) {
+  std::string path = TempPath("ccf_mmap_test.bin");
+  std::string data(10000, '\0');
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<char>(i * 31);
+  }
+  ASSERT_TRUE(WriteFileBytes(path, data).ok());
+  MappedFile mapped = MmapFileBytes(path).ValueOrDie();
+  EXPECT_EQ(mapped.view(), std::string_view(data));
+  EXPECT_EQ(mapped.size(), data.size());
+  // The guard page past the file tail is readable zeros (wide-probe
+  // overread protection).
+  EXPECT_EQ(mapped.view().data()[mapped.size()], '\0');
+  std::remove(path.c_str());
+}
+
+TEST(FileIoTest, MmapEmptyFile) {
+  std::string path = TempPath("ccf_mmap_empty.bin");
+  ASSERT_TRUE(WriteFileBytes(path, "").ok());
+  MappedFile mapped = MmapFileBytes(path).ValueOrDie();
+  EXPECT_EQ(mapped.view(), std::string_view());
+  EXPECT_EQ(mapped.size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(FileIoTest, MmapMissingFileIsKeyNotFound) {
+  auto result = MmapFileBytes(TempPath("ccf_mmap_missing.bin"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kKeyNotFound);
+}
+
+TEST(FileIoTest, MmapMoveTransfersOwnership) {
+  std::string path = TempPath("ccf_mmap_move.bin");
+  ASSERT_TRUE(WriteFileBytes(path, "abcdef").ok());
+  MappedFile a = MmapFileBytes(path).ValueOrDie();
+  MappedFile b = std::move(a);
+  EXPECT_EQ(b.view(), "abcdef");
+  EXPECT_EQ(a.view(), std::string_view());  // NOLINT(bugprone-use-after-move)
+  std::remove(path.c_str());
+}
+
+TEST(FileIoTest, TruncatedMappedBlobFailsCleanly) {
+  // An alias-mode deserialize over a truncated mapping must return a
+  // clean error (OutOfRange truncation), never crash.
+  CcfConfig config;
+  config.num_buckets = 512;
+  config.num_attrs = 1;
+  config.salt = 9;
+  auto ccf = ConditionalCuckooFilter::Make(CcfVariant::kChained, config)
+                 .ValueOrDie();
+  for (uint64_t k = 0; k < 500; ++k) {
+    std::vector<uint64_t> attrs = {k % 50};
+    ccf->Insert(k, attrs).Abort();
+  }
+  std::string blob = ccf->Serialize();
+  std::string path = TempPath("ccf_mmap_truncated.bin");
+  ASSERT_TRUE(
+      WriteFileBytes(path, std::string_view(blob).substr(0, blob.size() / 2))
+          .ok());
+  auto mapping =
+      std::make_shared<MappedFile>(MmapFileBytes(path).ValueOrDie());
+  AliasMapping alias{
+      std::shared_ptr<const void>(mapping, mapping->view().data())};
+  auto result =
+      ConditionalCuckooFilter::Deserialize(mapping->view(), alias);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+  std::remove(path.c_str());
 }
 
 TEST(FileIoTest, FilterSurvivesDiskRoundTrip) {
