@@ -127,6 +127,11 @@ namespace {
 // "CCF2": bumped from CCF1 when the format gained 8-byte alignment padding
 // before each BitVector word array (alias-mode mmap deserialization).
 constexpr uint32_t kCcfMagic = 0x43434632;
+// The retired pre-alignment magics ("CCF1" / "SCF1"). Recognized only to
+// return a precise "re-serialize" error instead of the generic bad-magic
+// one — the v1 layout (no word-array padding) has no reader anymore.
+constexpr uint32_t kCcfMagicV1 = 0x43434631;
+constexpr uint32_t kShardedMagicV1 = 0x53434631;
 
 void WriteConfig(ByteWriter* writer, const CcfConfig& config) {
   writer->WriteU64(config.num_buckets);
@@ -200,6 +205,11 @@ Result<std::unique_ptr<ConditionalCuckooFilter>> DeserializeCcfImpl(
   ByteReader reader(data);
   CCF_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
   if (magic != kCcfMagic) {
+    if (magic == kCcfMagicV1 || magic == kShardedMagicV1) {
+      return Status::Invalid(
+          "blob uses the retired v1 (CCF1/SCF1, unaligned) serialization "
+          "format; re-serialize it with this version to load it");
+    }
     return Status::Invalid("not a serialized ConditionalCuckooFilter");
   }
   CCF_ASSIGN_OR_RETURN(uint8_t variant_tag, reader.ReadU8());

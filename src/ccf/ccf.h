@@ -206,9 +206,14 @@ class ConditionalCuckooFilter {
   /// arrays ALIAS `data` where alignment permits instead of copying —
   /// opening a large filter from an mmap'd blob costs page-table setup,
   /// not a memcpy. `data` must point into the region `mapping.keepalive`
-  /// keeps alive (e.g. a MappedFile's view); the filter retains the
-  /// keepalive. Mutating an alias-loaded filter copy-on-writes the bit
-  /// arrays first, so the backing buffer is never written through.
+  /// keeps alive (e.g. a MappedFile's view), and that region must stay
+  /// READABLE for at least 8 bytes past the end of `data`: wide probe
+  /// readers may overread an aliased word array by up to 7 bytes (see
+  /// AliasMapping's tail-slack contract). MmapFileBytes' guard page
+  /// provides this; heap-backed blobs need explicit tail slack. The
+  /// filter retains the keepalive. Mutating an alias-loaded filter
+  /// copy-on-writes the bit arrays first, so the backing buffer is never
+  /// written through.
   static Result<std::unique_ptr<ConditionalCuckooFilter>> Deserialize(
       std::string_view data, const AliasMapping& mapping);
 };

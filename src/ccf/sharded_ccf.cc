@@ -1715,6 +1715,11 @@ Result<std::unique_ptr<ConditionalCuckooFilter>> ShardedCcf::Deserialize(
   ByteReader reader(data);
   CCF_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
   if (magic != kShardedMagic) {
+    if (magic == 0x53434631 /* "SCF1", the retired unaligned layout */) {
+      return Status::Invalid(
+          "blob uses the retired v1 (SCF1, unaligned) ShardedCcf format; "
+          "re-serialize it with this version to load it");
+    }
     return Status::Invalid("not a serialized ShardedCcf");
   }
   CCF_ASSIGN_OR_RETURN(uint32_t num_shards, reader.ReadU32());

@@ -146,6 +146,35 @@ Result<const ConditionalCuckooFilter*> FilterCatalog::HotFilter(
   return PromoteLocked(e);
 }
 
+Status FilterCatalog::PrepareDemotionLocked(Entry& e,
+                                            ConditionalCuckooFilter* cur) {
+  if (auto* sharded = dynamic_cast<ShardedCcf*>(cur)) {
+    // Staged rows live only in the write-buffer overlay and Serialize()
+    // captures committed tables, so a memory-backed demotion must commit
+    // first or the re-promoted filter would answer false negatives.
+    // File-backed entries reload from the file on re-promotion (documented
+    // lossy), so flushing buys nothing there. New stages can't race in:
+    // catalog writers go through InsertBatch, which takes e.mu.
+    if (e.path.empty() && sharded->pending_writes() > 0) {
+      CCF_RETURN_NOT_OK(sharded->CommitWrites());
+    }
+    // Quiesce watermark resizes the commit may have scheduled so the
+    // encoded blob and the accounting below see the final geometry.
+    sharded->DrainMaintenance();
+  }
+  // Background autocommits and watermark resizes grow the filter without
+  // touching Entry::hot_bytes; reconcile before the eviction subtracts it,
+  // or the drift leaks residency out of hot_bytes_ and the budget
+  // under-evicts.
+  size_t actual = static_cast<size_t>(cur->SizeInBits() / 8);
+  if (actual != e.hot_bytes) {
+    hot_bytes_.fetch_add(actual, std::memory_order_relaxed);
+    hot_bytes_.fetch_sub(e.hot_bytes, std::memory_order_relaxed);
+    e.hot_bytes = actual;
+  }
+  return Status::OK();
+}
+
 Status FilterCatalog::ResolveInline(Entry& e, std::span<const uint64_t> keys,
                                     const Predicate* pred, bool* out) {
   bool promoted = false;
@@ -241,18 +270,20 @@ Status FilterCatalog::InsertBatch(const std::string& id,
   Entry* e = FindEntry(id);
   if (e == nullptr) return Status::KeyNotFound("no catalog entry: " + id);
 
-  std::lock_guard lock(e->mu);
-  ConditionalCuckooFilter* cur = e->live.writable();
-  bool was_cold = (cur == nullptr);
-  if (was_cold) {
-    CCF_RETURN_NOT_OK(PromoteLocked(*e).status());
-    cur = e->live.writable();
-  }
-  if (auto* sharded = dynamic_cast<ShardedCcf*>(cur)) {
-    // Sharded filters are live-writable while serving: stage through the
-    // write-buffer overlay (autocommit options fold the commits in).
-    CCF_RETURN_NOT_OK(sharded->BufferWriteBatch(keys, attrs));
-  } else {
+  bool grew = false;
+  Status st = [&]() -> Status {
+    std::lock_guard lock(e->mu);
+    ConditionalCuckooFilter* cur = e->live.writable();
+    if (cur == nullptr) {
+      CCF_RETURN_NOT_OK(PromoteLocked(*e).status());
+      cur = e->live.writable();
+      grew = true;  // the promotion charged hot_bytes_
+    }
+    if (auto* sharded = dynamic_cast<ShardedCcf*>(cur)) {
+      // Sharded filters are live-writable while serving: stage through the
+      // write-buffer overlay (autocommit options fold the commits in).
+      return sharded->BufferWriteBatch(keys, attrs);
+    }
     // Clone shares the table snapshot; the first insert copy-on-writes it
     // (EnsureTableUnique), so an alias-loaded mapping is never written
     // through and concurrent readers keep probing the old epoch.
@@ -264,8 +295,15 @@ Status FilterCatalog::InsertBatch(const std::string& id,
     hot_bytes_.fetch_sub(e->hot_bytes, std::memory_order_relaxed);
     e->hot_bytes = new_bytes;
     e->live.Publish(std::move(next));
-  }
-  return Status::OK();
+    grew = true;
+    return Status::OK();
+  }();
+  // A write-side promotion or clone-grown publish can push the fleet over
+  // budget just like a lookup-side promotion: sweep after releasing e->mu
+  // (mirrors ResolveInline/AddFilter) so a write-heavy workload can't
+  // exceed hot_budget_bytes indefinitely.
+  if (grew) EnforceBudget();
+  return st;
 }
 
 Status FilterCatalog::Evict(const std::string& id) {
@@ -277,6 +315,7 @@ Status FilterCatalog::Evict(const std::string& id) {
   }
   ConditionalCuckooFilter* cur = e->live.writable();
   if (cur == nullptr) return Status::OK();  // already cold
+  CCF_RETURN_NOT_OK(PrepareDemotionLocked(*e, cur));
   if (e->path.empty()) {
     e->cold_blob = EncodeFilterBlob(*cur);
   }
@@ -315,6 +354,9 @@ void FilterCatalog::EnforceBudget() {
     if (!vlock.owns_lock()) continue;
     ConditionalCuckooFilter* cur = victim->live.writable();
     if (cur == nullptr) continue;  // lost a race with Evict
+    // Commit staged sharded rows and reconcile size accounting; a failed
+    // commit means demotion would drop rows, so the victim stays hot.
+    if (!PrepareDemotionLocked(*victim, cur).ok()) continue;
     if (victim->path.empty()) {
       // Memory-backed: capture the CURRENT state (mutations included) in
       // compressed form. File-backed entries reload from the file.

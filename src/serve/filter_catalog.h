@@ -96,8 +96,10 @@ struct CatalogStats {
 /// File-backed entries are served read-only: an eviction drops the
 /// mapping, and a re-promotion reloads the FILE, so mutations applied to
 /// a file-backed entry (InsertBatch) survive only until its eviction.
-/// Memory-backed entries re-compress their CURRENT state on eviction, so
-/// their mutations are durable across tier transitions.
+/// Memory-backed entries re-compress their CURRENT state on eviction —
+/// rows still staged in a sharded entry's write buffer are committed
+/// first (an entry whose commit fails stays hot) — so their mutations are
+/// durable across tier transitions.
 class FilterCatalog {
  public:
   explicit FilterCatalog(CatalogOptions options = {});
@@ -202,6 +204,14 @@ class FilterCatalog {
   /// use of the result.
   Result<const ConditionalCuckooFilter*> HotFilter(
       Entry& e, const EpochDomain::Guard& guard, bool* promoted);
+  /// Demotion prep; caller holds e.mu. Flushes a memory-backed sharded
+  /// filter's staged rows into its published tables (Serialize captures
+  /// committed state only, so demoting without a flush would drop them)
+  /// and reconciles hot-byte accounting with any background growth
+  /// (autocommits, watermark resizes) since the entry was last accounted.
+  /// On failure the entry must stay hot — its staged rows are still only
+  /// in the overlay.
+  Status PrepareDemotionLocked(Entry& e, ConditionalCuckooFilter* cur);
   /// Clock eviction until hot_bytes_ is back under the budget.
   void EnforceBudget();
 

@@ -230,6 +230,9 @@ Result<BitVector> BitVector::Load(ByteReader* reader,
     // for most heap buffers) and the tail bits past num_bits are already
     // zero — they can't be masked in place on a read-only mapping. Save
     // guarantees zero tails, so the check only rejects foreign blobs.
+    // NOTE: an aliased array has no owned guard word, so the caller's
+    // keepalive region must stay readable >= 8 bytes past the blob (see
+    // AliasMapping) — wide readers overread up to 7 bytes past the array.
     bool ptr_aligned =
         reinterpret_cast<uintptr_t>(raw.data()) % alignof(uint64_t) == 0;
     bool tail_zero = true;

@@ -40,7 +40,12 @@ namespace ccf {
 ///    copying. The vector holds the mapping's keepalive; the first mutation
 ///    (SetBit/SetField/Clear/Resize) transparently copies the words into an
 ///    owned allocation first (software copy-on-write), so the mapping is
-///    never written through.
+///    never written through. There is no owned guard word in this mode:
+///    the wide readers above (unaligned LoadBits64, gather kernels) may
+///    overread up to 7 bytes past the aliased word array, so the keepalive
+///    region must stay readable for >= 8 bytes past the end of the blob.
+///    MmapFileBytes guarantees this with its zero guard page; a heap-backed
+///    keepalive must over-allocate that tail slack itself.
 class BitVector {
  public:
   BitVector() = default;

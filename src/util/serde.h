@@ -32,6 +32,16 @@ namespace ccf {
 /// buffer) is released only after the last aliased structure dies. The
 /// data passed to Deserialize must point into the region `keepalive`
 /// keeps alive.
+///
+/// Tail-slack contract: aliased word arrays lack the guard word an owned
+/// BitVector allocates, and wide readers (unaligned 64-bit loads, SIMD
+/// gathers) may overread up to 7 bytes past a word array — in the worst
+/// case, past the end of the blob itself. The kept-alive region must
+/// therefore remain READABLE for at least 8 bytes beyond the end of the
+/// blob passed to Deserialize. MmapFileBytes satisfies this with its
+/// trailing zero guard page; an 8-aligned heap buffer must be allocated
+/// with >= 8 bytes of readable slack after the blob, or an out-of-bounds
+/// read (UB, ASan report) can result.
 struct AliasMapping {
   std::shared_ptr<const void> keepalive;
 };

@@ -383,6 +383,74 @@ TEST(FilterCatalogInsertTest, MutationSurvivesEvictionOnMemoryBackedEntry) {
   EXPECT_GT(catalog.stats().promotions, 0u);
 }
 
+TEST(FilterCatalogInsertTest, StagedShardedRowsSurviveEviction) {
+  // Rows written to a sharded entry sit in the write-buffer overlay until
+  // a commit, but ShardedCcf::Serialize captures committed tables only:
+  // demotion must commit the staged rows first, or the re-promoted filter
+  // silently answers false negatives for them.
+  ShardedCcfOptions opts;
+  opts.num_shards = 2;
+  auto sharded =
+      ShardedCcf::Make(CcfVariant::kChained, TestConfig(5), opts)
+          .ValueOrDie();
+  Rows rows = MakeRows(3000, 19);
+  ASSERT_TRUE(sharded->InsertParallel(rows.keys, rows.flat_attrs).ok());
+
+  FilterCatalog catalog{CatalogOptions{}};
+  ASSERT_TRUE(catalog.AddFilter("f", std::move(sharded)).ok());
+
+  // No autocommit configured: these rows stay staged until demotion.
+  Rows extra = MakeRows(600, 93, /*key_base=*/uint64_t{1} << 21);
+  ASSERT_TRUE(catalog.InsertBatch("f", extra.keys, extra.flat_attrs).ok());
+  ASSERT_TRUE(catalog.Evict("f").ok());
+
+  auto expect_all_present = [&](const Rows& r) {
+    std::unique_ptr<bool[]> out(new bool[r.keys.size()]);
+    ASSERT_TRUE(catalog
+                    .ContainsKeyBatch("f", r.keys,
+                                      std::span<bool>(out.get(),
+                                                      r.keys.size()))
+                    .ok());
+    for (size_t i = 0; i < r.keys.size(); ++i) EXPECT_TRUE(out[i]);
+  };
+  expect_all_present(extra);  // staged rows made it into the cold form
+  expect_all_present(rows);   // committed rows unharmed
+  EXPECT_GT(catalog.stats().promotions, 0u);
+}
+
+TEST(FilterCatalogInsertTest, WriteSidePromotionEnforcesHotBudget) {
+  // InsertBatch on cold entries promotes them; without a write-side budget
+  // sweep a write-only workload would pile hot entries past the budget
+  // until some lookup happened to run.
+  Rows rows_a = MakeRows(3000, 21);
+  Rows rows_b = MakeRows(3000, 22, /*key_base=*/uint64_t{1} << 32);
+  auto a = BuildFilter(CcfVariant::kChained, rows_a, 7);
+  const size_t one_filter = static_cast<size_t>(a->SizeInBits() / 8);
+
+  CatalogOptions options;
+  options.hot_budget_bytes = one_filter + one_filter / 2;  // fits ~1 of 2
+  options.enable_batcher = false;
+  FilterCatalog catalog(options);
+  ASSERT_TRUE(catalog.AddFilter("a", std::move(a)).ok());
+  ASSERT_TRUE(
+      catalog.AddFilter("b", BuildFilter(CcfVariant::kChained, rows_b, 7))
+          .ok());
+  // Registration already swept: one of the two is cold.
+  ASSERT_LE(catalog.hot_bytes(), options.hot_budget_bytes);
+
+  // Write to both: whichever is cold gets promoted by the write, and the
+  // sweep must run without any lookup in between.
+  Rows extra_a = MakeRows(300, 94, /*key_base=*/uint64_t{1} << 22);
+  Rows extra_b = MakeRows(300, 95, /*key_base=*/uint64_t{3} << 32);
+  ASSERT_TRUE(
+      catalog.InsertBatch("a", extra_a.keys, extra_a.flat_attrs).ok());
+  EXPECT_LE(catalog.hot_bytes(), options.hot_budget_bytes);
+  ASSERT_TRUE(
+      catalog.InsertBatch("b", extra_b.keys, extra_b.flat_attrs).ok());
+  EXPECT_LE(catalog.hot_bytes(), options.hot_budget_bytes);
+  EXPECT_GT(catalog.stats().evictions, 0u);
+}
+
 TEST(FilterCatalogAutoCommitTest, SizeTriggerCommitsInBackground) {
   ShardedCcfOptions opts;
   opts.num_shards = 2;
