@@ -47,7 +47,7 @@ int main() {
       RangeCcf::Make(CcfVariant::kChained, dy_config, 0, 10).ValueOrDie();
   for (uint64_t k = 0; k < kKeys; ++k) {
     std::vector<uint64_t> attrs = {value_of[k]};
-    dyadic.Insert(k, attrs).Abort();
+    dyadic->Insert(k, attrs).Abort();
   }
 
   // Random range queries; measure FPR against ground truth.
@@ -61,10 +61,13 @@ int main() {
                           static_cast<uint64_t>(kDomainHi - lo) + 1));
     bool truth = value_of[key] >= static_cast<uint64_t>(lo) &&
                  value_of[key] <= static_cast<uint64_t>(hi);
-    bool bin_ans =
-        binned->Contains(key, binner.RangePredicate(0, lo, hi));
-    bool dy_ans = dyadic.ContainsInRange(key, static_cast<uint64_t>(lo),
-                                         static_cast<uint64_t>(hi));
+    bool bin_ans = binned->Contains(
+        key, binner
+                 .RangePredicate(0, static_cast<uint64_t>(lo),
+                                 static_cast<uint64_t>(hi))
+                 .ValueOrDie());
+    bool dy_ans = dyadic->ContainsInRange(key, static_cast<uint64_t>(lo),
+                                          static_cast<uint64_t>(hi));
     if (truth) {
       if (!bin_ans) ++bin_fn;
       if (!dy_ans) ++dy_fn;
@@ -84,7 +87,7 @@ int main() {
   std::printf("%-10s %12.4f %12llu %14llu\n", "dyadic",
               static_cast<double>(dy_fp) / static_cast<double>(negatives),
               static_cast<unsigned long long>(dy_fn),
-              static_cast<unsigned long long>(dyadic.SizeInBits()));
+              static_cast<unsigned long long>(dyadic->SizeInBits()));
   std::printf(
       "\nExpected: zero false negatives for both (the §9.1 guarantee).\n"
       "Binning pays edge-bin resolution error; dyadic pays η× entries,\n"

@@ -59,8 +59,8 @@ int main() {
               static_cast<unsigned long long>(matching));
 
   // The dyadic alternative for ranges (§9.1): O(log range) labels per item.
-  auto labels = DyadicLabels(/*value=*/5731, /*max_level=*/13);
-  auto range_cover = DyadicCover(5000, 9999, 13);
+  auto labels = DyadicLabels(/*value=*/5731, /*max_level=*/13).ValueOrDie();
+  auto range_cover = DyadicCover(5000, 9999, 13).ValueOrDie();
   std::printf("dyadic: a value carries %zu labels; [5000, 9999] is covered\n"
               "by %zu intervals (binning used %zu bins)\n",
               labels.size(), range_cover.size(), cover.size());

@@ -9,6 +9,7 @@
 #include "ccf/chained_ccf.h"
 #include "ccf/mixed_ccf.h"
 #include "ccf/plain_ccf.h"
+#include "ccf/range_ccf.h"
 #include "ccf/sharded_ccf.h"
 
 namespace ccf {
@@ -233,6 +234,9 @@ ConditionalCuckooFilter::Deserialize(std::string_view data) {
     if (magic == ShardedCcf::kMagic) {
       return ShardedCcf::Deserialize(data);
     }
+    if (magic == RangeCcf::kMagic) {
+      return RangeCcf::Deserialize(data);
+    }
   }
   return DeserializeCcfImpl(data, nullptr);
 }
@@ -245,6 +249,9 @@ ConditionalCuckooFilter::Deserialize(std::string_view data,
     std::memcpy(&magic, data.data(), 4);
     if (magic == ShardedCcf::kMagic) {
       return ShardedCcf::Deserialize(data, &mapping);
+    }
+    if (magic == RangeCcf::kMagic) {
+      return RangeCcf::Deserialize(data, &mapping);
     }
   }
   return DeserializeCcfImpl(data, &mapping);

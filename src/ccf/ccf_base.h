@@ -523,7 +523,22 @@ bool CcfBase::PlaceWithKicks(const BucketPair& pair, uint32_t fp,
         break;
       }
     }
-    if (victim < 0) break;  // every resident pinned or already displaced
+    if (victim < 0) {
+      // Dead end: every resident of `cur` is pinned or already on the
+      // trail. Nothing has moved yet, so restarting the walk from the
+      // target pair is free — and necessary: duplicate-heavy rows (η
+      // dyadic labels per key) clump same-fp entries whose alt buckets
+      // point back along the trail, dead-ending a self-avoiding walk long
+      // before the kick budget is spent. A fresh trail draws different
+      // victims from the rng and escapes; only a genuinely saturated
+      // neighbourhood burns the whole budget.
+      if (trail.empty()) break;  // the target pair itself is pinned solid
+      trail.clear();
+      displaced.clear();
+      cur = pair.degenerate() || rng_.NextBool(0.5) ? pair.primary
+                                                    : pair.alt;
+      continue;
+    }
 
     trail.emplace_back(cur, victim);
     displaced.push_back(ReadRaw(cur, victim));

@@ -401,13 +401,20 @@ Status ShardedCcf::BufferWriteBatch(std::span<const uint64_t> keys,
     std::lock_guard<std::mutex> lock(shard.writer_mu);
     WriteBuffer* buffer = PendingWithRoom(shard, shard_rows[s].size());
     auto* base = static_cast<CcfBase*>(shard.handle.writable());
+    // Stage the whole shard group, then publish it with ONE release
+    // store: a concurrent reader sees all of the group's records or none.
+    // All records of one key land in one shard (routing hashes the key),
+    // so any per-key record group — e.g. the η dyadic labels of a
+    // RangeCcf row — becomes visible atomically.
+    size_t staged = 0;
     for (size_t i : shard_rows[s]) {
       std::span<const uint64_t> row_attrs =
           attrs.subspan(i * num_attrs, num_attrs);
       uint64_t key_hash, payload;
       base->MemoizeRow(keys[i], row_attrs, &key_hash, &payload);
-      buffer->Append(keys[i], row_attrs, key_hash, payload);
+      buffer->Stage(staged++, keys[i], row_attrs, key_hash, payload);
     }
+    buffer->PublishStaged(staged);
     MaybeScheduleAutoCommit(s, shard);
   }
   return Status::OK();

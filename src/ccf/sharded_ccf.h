@@ -452,17 +452,39 @@ class ShardedCcf : public ConditionalCuckooFilter {
       return size_.load(std::memory_order_relaxed);
     }
 
+    /// Writes record size_unsync() + offset WITHOUT publishing it
+    /// (writer-side; requires size_unsync() + offset < capacity). Pair
+    /// with PublishStaged: the staged group becomes visible with ONE
+    /// release store, so a reader observes all of its records or none —
+    /// the multi-record generalization of the update-as-atomic-swap
+    /// pattern (a RangeCcf row's η dyadic label records ride this; a
+    /// partially-visible level set would answer range queries false).
+    void Stage(size_t offset, uint64_t key, std::span<const uint64_t> attrs,
+               uint64_t key_hash, uint64_t payload,
+               uint8_t op = kOpInsert) {
+      WriteRecord(size_.load(std::memory_order_relaxed) + offset, key, attrs,
+                  key_hash, payload, op);
+    }
+
+    /// Publishes `count` staged records atomically. `staged_erases` (the
+    /// kOpErase records among them) is added BEFORE the release size
+    /// store, preserving the reader's never-undercount contract.
+    void PublishStaged(size_t count, size_t staged_erases = 0) {
+      if (staged_erases != 0) {
+        num_erases_.store(
+            num_erases_.load(std::memory_order_relaxed) + staged_erases,
+            std::memory_order_relaxed);
+      }
+      size_.store(size_.load(std::memory_order_relaxed) + count,
+                  std::memory_order_release);
+    }
+
     /// Appends one record (writer-side; requires size_unsync() < capacity).
     void Append(uint64_t key, std::span<const uint64_t> attrs,
                 uint64_t key_hash, uint64_t payload,
                 uint8_t op = kOpInsert) {
-      size_t n = size_.load(std::memory_order_relaxed);
-      WriteRecord(n, key, attrs, key_hash, payload, op);
-      if (op == kOpErase) {
-        num_erases_.store(num_erases_.load(std::memory_order_relaxed) + 1,
-                          std::memory_order_relaxed);
-      }
-      size_.store(n + 1, std::memory_order_release);
+      Stage(0, key, attrs, key_hash, payload, op);
+      PublishStaged(1, op == kOpErase ? 1 : 0);
     }
 
     /// Appends erase(old) + insert(new) published by ONE release store, so
@@ -472,12 +494,9 @@ class ShardedCcf : public ConditionalCuckooFilter {
                       uint64_t old_hash, uint64_t old_payload,
                       std::span<const uint64_t> new_attrs, uint64_t new_hash,
                       uint64_t new_payload) {
-      size_t n = size_.load(std::memory_order_relaxed);
-      WriteRecord(n, key, old_attrs, old_hash, old_payload, kOpErase);
-      WriteRecord(n + 1, key, new_attrs, new_hash, new_payload, kOpInsert);
-      num_erases_.store(num_erases_.load(std::memory_order_relaxed) + 1,
-                        std::memory_order_relaxed);
-      size_.store(n + 2, std::memory_order_release);
+      Stage(0, key, old_attrs, old_hash, old_payload, kOpErase);
+      Stage(1, key, new_attrs, new_hash, new_payload, kOpInsert);
+      PublishStaged(2, 1);
     }
 
     /// Copies the first `n` records of `from` (builds the replacement block

@@ -4,7 +4,25 @@
 
 namespace ccf {
 
-std::vector<DyadicInterval> DyadicLabels(uint64_t value, int max_level) {
+namespace {
+
+Status ValidateDyadicArgs(uint64_t bound, int max_level) {
+  if (max_level < 0 || max_level > kMaxDyadicLevel) {
+    return Status::Invalid("max_level must be in [0, 57]");
+  }
+  if (bound >= kDyadicDomainSize) {
+    return Status::Invalid(
+        "dyadic value out of domain (must be < 2^58: the level-0 index "
+        "would alias into the packed level field)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<DyadicInterval>> DyadicLabels(uint64_t value,
+                                                 int max_level) {
+  CCF_RETURN_NOT_OK(ValidateDyadicArgs(value, max_level));
   std::vector<DyadicInterval> out;
   out.reserve(static_cast<size_t>(max_level) + 1);
   for (int level = 0; level <= max_level; ++level) {
@@ -13,8 +31,10 @@ std::vector<DyadicInterval> DyadicLabels(uint64_t value, int max_level) {
   return out;
 }
 
-std::vector<DyadicInterval> DyadicCover(uint64_t lo, uint64_t hi,
-                                        int max_level) {
+Result<std::vector<DyadicInterval>> DyadicCover(uint64_t lo, uint64_t hi,
+                                                int max_level) {
+  CCF_RETURN_NOT_OK(ValidateDyadicArgs(lo, max_level));
+  CCF_RETURN_NOT_OK(ValidateDyadicArgs(hi, max_level));
   std::vector<DyadicInterval> out;
   while (lo <= hi) {
     // Largest level ≤ max_level such that lo is aligned and the interval
@@ -28,6 +48,11 @@ std::vector<DyadicInterval> DyadicCover(uint64_t lo, uint64_t hi,
       bool fits = aligned && (span - 1 <= hi - lo);
       if (!fits) break;
       level = next;
+    }
+    if (out.size() >= kMaxDyadicCoverIntervals) {
+      return Status::Invalid(
+          "dyadic cover exceeds kMaxDyadicCoverIntervals: max_level is too "
+          "small for the range width (each extra level halves the cover)");
     }
     out.push_back(DyadicInterval{level, lo >> level});
     uint64_t span = uint64_t{1} << level;

@@ -35,9 +35,20 @@ std::vector<uint64_t> RangeBinner::Cover(int64_t lo, int64_t hi) const {
   return bins;
 }
 
-Predicate RangeBinner::RangePredicate(int attr_index, int64_t lo,
-                                      int64_t hi) const {
-  return Predicate::In(attr_index, Cover(lo, hi));
+Result<Predicate> RangeBinner::RangePredicate(int attr_index, uint64_t lo,
+                                              uint64_t hi) const {
+  if (lo > hi) return Status::Invalid("range bounds inverted (lo > hi)");
+  // Intersect the unsigned query bounds with the signed domain BEFORE any
+  // conversion: a bound above INT64_MAX must clamp, not wrap negative.
+  if (hi_ < 0 || lo > static_cast<uint64_t>(hi_)) {
+    // Disjoint from the domain: matches nothing (empty in-list), rather
+    // than clamping onto the nearest edge bin and matching its residents.
+    return Predicate::In(attr_index, {});
+  }
+  int64_t clamped_lo = static_cast<int64_t>(lo);  // lo <= hi_ <= INT64_MAX
+  int64_t clamped_hi =
+      hi > static_cast<uint64_t>(hi_) ? hi_ : static_cast<int64_t>(hi);
+  return Predicate::In(attr_index, Cover(clamped_lo, clamped_hi));
 }
 
 }  // namespace ccf

@@ -27,8 +27,15 @@ class RangeBinner {
   /// binning, which Fig. 7 isolates).
   std::vector<uint64_t> Cover(int64_t lo, int64_t hi) const;
 
-  /// Convenience: predicate term `attr IN Cover(lo, hi)`.
-  Predicate RangePredicate(int attr_index, int64_t lo, int64_t hi) const;
+  /// Convenience: predicate term `attr IN Cover(lo, hi)` with UNSIGNED
+  /// query bounds — CCF attribute values are uint64_t, and a signed-bound
+  /// API silently wrapped overflowing values through the int64_t cast.
+  /// InvalidArgument when lo > hi; bounds beyond the binner's domain clamp
+  /// into it (hi = UINT64_MAX covers through domain_hi()), and a query
+  /// range disjoint from the domain yields a matches-nothing term (empty
+  /// in-list) instead of aliasing to the nearest edge bin.
+  Result<Predicate> RangePredicate(int attr_index, uint64_t lo,
+                                   uint64_t hi) const;
 
   int num_bins() const { return num_bins_; }
   int64_t domain_lo() const { return lo_; }

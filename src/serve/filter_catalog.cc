@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "ccf/compressed_ccf.h"
+#include "ccf/range_ccf.h"
 #include "ccf/sharded_ccf.h"
 #include "util/serde.h"
 
@@ -148,7 +149,15 @@ Result<const ConditionalCuckooFilter*> FilterCatalog::HotFilter(
 
 Status FilterCatalog::PrepareDemotionLocked(Entry& e,
                                             ConditionalCuckooFilter* cur) {
-  if (auto* sharded = dynamic_cast<ShardedCcf*>(cur)) {
+  auto* sharded = dynamic_cast<ShardedCcf*>(cur);
+  if (sharded == nullptr) {
+    // A range filter over a sharded inner stages through the same overlay;
+    // its staged dyadic labels need the same pre-demotion flush.
+    if (auto* range = dynamic_cast<RangeCcf*>(cur)) {
+      sharded = range->sharded_inner();
+    }
+  }
+  if (sharded != nullptr) {
     // Staged rows live only in the write-buffer overlay and Serialize()
     // captures committed tables, so a memory-backed demotion must commit
     // first or the re-promoted filter would answer false negatives.
@@ -221,6 +230,34 @@ Status FilterCatalog::ContainsKeyBatch(const std::string& id,
   return ResolveInline(*e, keys, nullptr, out.data());
 }
 
+Status FilterCatalog::LookupRangeBatch(const std::string& id,
+                                       std::span<const uint64_t> keys,
+                                       uint64_t lo, uint64_t hi,
+                                       const Predicate& other,
+                                       std::span<bool> out) {
+  if (out.size() != keys.size()) {
+    return Status::Invalid("output size must match key count");
+  }
+  Entry* e = FindEntry(id);
+  if (e == nullptr) return Status::KeyNotFound("no catalog entry: " + id);
+  num_inline_.fetch_add(1, std::memory_order_relaxed);
+  bool promoted = false;
+  Status st = [&]() -> Status {
+    EpochDomain::Guard guard = domain_.Pin();
+    CCF_ASSIGN_OR_RETURN(const ConditionalCuckooFilter* f,
+                         HotFilter(*e, guard, &promoted));
+    const auto* range = dynamic_cast<const RangeCcf*>(f);
+    if (range == nullptr) {
+      return Status::Invalid("catalog entry is not a range filter: " + id);
+    }
+    CCF_ASSIGN_OR_RETURN(CompiledRangePredicate pred,
+                         range->CompileRange(lo, hi, other));
+    return range->ContainsInRangeBatch(keys, pred, out);
+  }();
+  if (promoted) EnforceBudget();
+  return st;
+}
+
 Status FilterCatalog::BatchedLookup(const std::string& id,
                                     std::span<const uint64_t> keys,
                                     const Predicate* pred,
@@ -278,6 +315,14 @@ Status FilterCatalog::InsertBatch(const std::string& id,
       CCF_RETURN_NOT_OK(PromoteLocked(*e).status());
       cur = e->live.writable();
       grew = true;  // the promotion charged hot_bytes_
+    }
+    if (auto* range = dynamic_cast<RangeCcf*>(cur);
+        range != nullptr && range->sharded_inner() != nullptr) {
+      // Range filters take RAW rows: the η dyadic labels are expanded here
+      // and staged as one atomically-published group per row. A plain-
+      // inner RangeCcf falls through to the clone path below (its Clone
+      // and InsertBatch carry the expansion).
+      return range->BufferWriteBatch(keys, attrs);
     }
     if (auto* sharded = dynamic_cast<ShardedCcf*>(cur)) {
       // Sharded filters are live-writable while serving: stage through the

@@ -129,6 +129,17 @@ class FilterCatalog {
                           std::span<const uint64_t> keys,
                           std::span<bool> out);
 
+  /// Batched RANGE lookup against entry `id`, which must be (or load as) a
+  /// RangeCcf: out[i] = ContainsInRange(keys[i], lo, hi, other). The
+  /// dyadic cover is compiled once for the batch and broadcast through the
+  /// entry's batch pipeline — bit-identical to the scalar loop, epoch-
+  /// protected like LookupBatch, staged live-written rows visible.
+  /// Invalid when the entry is not a range filter.
+  Status LookupRangeBatch(const std::string& id,
+                          std::span<const uint64_t> keys, uint64_t lo,
+                          uint64_t hi, const Predicate& other,
+                          std::span<bool> out);
+
   /// LookupBatch through the cross-request batcher: concurrent callers
   /// probing the same filter are coalesced into one batch-pipeline pass
   /// and each receives its own slice of the results — byte-identical to

@@ -77,15 +77,15 @@ TEST(RangeCcfTest, NoFalseNegativesOnRangeQueries) {
     uint64_t key = rng.NextBelow(300);
     uint64_t value = rng.NextBelow(1024);
     std::vector<uint64_t> attrs = {key % 7, value};
-    ASSERT_TRUE(range_ccf.Insert(key, attrs).ok());
+    ASSERT_TRUE(range_ccf->Insert(key, attrs).ok());
     rows.emplace_back(key, value);
   }
   // Every inserted row must match any range containing its value.
   for (const auto& [key, value] : rows) {
-    ASSERT_TRUE(range_ccf.ContainsInRange(key, value, value));
-    ASSERT_TRUE(range_ccf.ContainsInRange(
+    ASSERT_TRUE(range_ccf->ContainsInRange(key, value, value));
+    ASSERT_TRUE(range_ccf->ContainsInRange(
         key, value - std::min<uint64_t>(value, 50), value + 50));
-    ASSERT_TRUE(range_ccf.ContainsInRange(key, 0, 1023));
+    ASSERT_TRUE(range_ccf->ContainsInRange(key, 0, 1023));
   }
 }
 
@@ -97,12 +97,12 @@ TEST(RangeCcfTest, DisjointRangesUsuallyRejected) {
   // All values in [0, 99].
   for (uint64_t key = 0; key < 300; ++key) {
     std::vector<uint64_t> attrs = {key % 7, key % 100};
-    ASSERT_TRUE(range_ccf.Insert(key, attrs).ok());
+    ASSERT_TRUE(range_ccf->Insert(key, attrs).ok());
   }
   // Queries over [512, 1023]: no true matches.
   int fp = 0;
   for (uint64_t key = 0; key < 300; ++key) {
-    if (range_ccf.ContainsInRange(key, 512, 1023)) ++fp;
+    if (range_ccf->ContainsInRange(key, 512, 1023)) ++fp;
   }
   EXPECT_LT(fp, 60);  // dyadic labels hash; some collisions allowed
 }
@@ -117,13 +117,13 @@ TEST(RangeCcfTest, RangePlusEqualityConjunction) {
   auto range_ccf =
       RangeCcf::Make(CcfVariant::kChained, c, 1, 10).ValueOrDie();
   std::vector<uint64_t> attrs = {5, 700};
-  ASSERT_TRUE(range_ccf.Insert(42, attrs).ok());
-  EXPECT_TRUE(range_ccf.ContainsInRange(42, 600, 800, Predicate::Equals(0, 5)));
+  ASSERT_TRUE(range_ccf->Insert(42, attrs).ok());
+  EXPECT_TRUE(range_ccf->ContainsInRange(42, 600, 800, Predicate::Equals(0, 5)));
   EXPECT_FALSE(
-      range_ccf.ContainsInRange(42, 600, 800, Predicate::Equals(0, 6)));
+      range_ccf->ContainsInRange(42, 600, 800, Predicate::Equals(0, 6)));
   EXPECT_FALSE(
-      range_ccf.ContainsInRange(42, 0, 100, Predicate::Equals(0, 5)));
-  EXPECT_TRUE(range_ccf.ContainsRow(42, attrs));
+      range_ccf->ContainsInRange(42, 0, 100, Predicate::Equals(0, 5)));
+  EXPECT_TRUE(range_ccf->ContainsRow(42, attrs));
 }
 
 TEST(RangeCcfTest, SizeGrowsWithEta) {
@@ -133,11 +133,11 @@ TEST(RangeCcfTest, SizeGrowsWithEta) {
   auto range_ccf = RangeCcf::Make(CcfVariant::kChained, c, 1, 7).ValueOrDie();
   for (uint64_t key = 0; key < 100; ++key) {
     std::vector<uint64_t> attrs = {1, key};
-    ASSERT_TRUE(range_ccf.Insert(key, attrs).ok());
+    ASSERT_TRUE(range_ccf->Insert(key, attrs).ok());
   }
   // 8 labels per row; a few merge via 8-bit fingerprint collisions within
   // a key, so expect close to (not exactly) 800 entries.
-  EXPECT_GE(range_ccf.inner().num_entries(), 100u * 7);
+  EXPECT_GE(range_ccf->inner().num_entries(), 100u * 7);
 }
 
 // --- CompressedCcf ----------------------------------------------------------

@@ -1,0 +1,132 @@
+// Multi-join chain-plan tests: the batched probe pipeline and the scalar
+// probe loop must produce bit-identical per-step survivor counts (builds
+// are shared, so any divergence is a batch-pipeline bug), and no step may
+// dip below the exact-key-set floor (the no-false-negative guarantee
+// composed across 2+ join hops).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "data/imdb_synth.h"
+#include "data/workload.h"
+#include "join/multi_join.h"
+
+namespace ccf {
+namespace {
+
+class MultiJoinChainTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new ImdbDataset(GenerateImdb(1.0 / 512, 7).ValueOrDie());
+    WorkloadConfig wc;
+    wc.seed = 7 * 31 + 17;
+    queries_ = new std::vector<JoinQuery>(
+        GenerateWorkload(*dataset_, wc).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete queries_;
+    dataset_ = nullptr;
+    queries_ = nullptr;
+  }
+  static ImdbDataset* dataset_;
+  static std::vector<JoinQuery>* queries_;
+};
+
+ImdbDataset* MultiJoinChainTest::dataset_ = nullptr;
+std::vector<JoinQuery>* MultiJoinChainTest::queries_ = nullptr;
+
+bool HasRangePredicate(const JoinQuery& q) {
+  for (const auto& p : q.predicates) {
+    if (p.is_range) return true;
+  }
+  return false;
+}
+
+void ExpectChainInvariants(const ImdbDataset& dataset, const JoinQuery& query,
+                           MultiJoinOptions options) {
+  options.mode = ChainProbeMode::kBatched;
+  MultiJoinResult batched =
+      RunMultiJoinChain(dataset, query, options).ValueOrDie();
+  options.mode = ChainProbeMode::kScalar;
+  MultiJoinResult scalar =
+      RunMultiJoinChain(dataset, query, options).ValueOrDie();
+  MultiJoinResult exact = ExactChainReference(dataset, query).ValueOrDie();
+
+  ASSERT_EQ(batched.steps.size(), scalar.steps.size());
+  ASSERT_EQ(batched.steps.size(), exact.steps.size());
+  for (size_t s = 0; s < batched.steps.size(); ++s) {
+    // Bit-identity between probe modes, per step — not just the final
+    // count: the acceptance criterion is that the batched pipeline IS the
+    // scalar semantics.
+    EXPECT_EQ(batched.steps[s].rows_after_probe,
+              scalar.steps[s].rows_after_probe)
+        << "query " << query.id << " step " << s << " ("
+        << batched.steps[s].table << ")";
+    EXPECT_EQ(batched.steps[s].rows_after_local,
+              scalar.steps[s].rows_after_local);
+    // No-false-negative floor: the filtered chain can only OVER-approximate
+    // the exact semijoin at every hop.
+    EXPECT_GE(batched.steps[s].rows_after_probe,
+              exact.steps[s].rows_after_probe)
+        << "false negatives at query " << query.id << " step " << s;
+  }
+  EXPECT_EQ(batched.final_rows, scalar.final_rows);
+  EXPECT_GE(batched.final_rows, exact.final_rows);
+  EXPECT_GT(batched.total_filter_bits, 0u);
+}
+
+TEST_F(MultiJoinChainTest, BatchedEqualsScalarAndStaysAboveExactFloor) {
+  MultiJoinOptions options;
+  options.max_level = 10;
+  int chains = 0;
+  for (const JoinQuery& query : *queries_) {
+    if (query.tables.size() < 3 || !HasRangePredicate(query)) continue;
+    ExpectChainInvariants(*dataset_, query, options);
+    if (++chains >= 6) break;  // spread across query shapes, bounded runtime
+  }
+  ASSERT_GT(chains, 0) << "workload produced no 3+-table range queries";
+}
+
+TEST_F(MultiJoinChainTest, ShardedLiveWriteBuildMatchesBulkInvariants) {
+  MultiJoinOptions options;
+  options.max_level = 10;
+  options.sharded_build = true;
+  options.num_shards = 4;
+  int chains = 0;
+  for (const JoinQuery& query : *queries_) {
+    if (query.tables.size() < 3 || !HasRangePredicate(query)) continue;
+    ExpectChainInvariants(*dataset_, query, options);
+    if (++chains >= 3) break;
+  }
+  ASSERT_GT(chains, 0);
+}
+
+TEST_F(MultiJoinChainTest, QueriesWithoutRangePredicateUseFullDomain) {
+  // A chain on an equality-only query still runs: the range probe
+  // degenerates to the full year domain, so only title's equality terms
+  // and the semijoin topology prune.
+  MultiJoinOptions options;
+  for (const JoinQuery& query : *queries_) {
+    if (query.tables.size() < 3 || HasRangePredicate(query)) continue;
+    ExpectChainInvariants(*dataset_, query, options);
+    break;
+  }
+}
+
+TEST_F(MultiJoinChainTest, RejectsDegenerateQueries) {
+  JoinQuery bad;
+  bad.id = 999;
+  bad.tables = {"title"};
+  MultiJoinOptions options;
+  EXPECT_FALSE(RunMultiJoinChain(*dataset_, bad, options).ok());
+  EXPECT_FALSE(ExactChainReference(*dataset_, bad).ok());
+  options.max_level = 99;
+  JoinQuery two;
+  two.tables = {"title", "cast_info"};
+  EXPECT_FALSE(RunMultiJoinChain(*dataset_, two, options).ok());
+}
+
+}  // namespace
+}  // namespace ccf

@@ -97,14 +97,45 @@ TEST(RangeBinnerTest, CoverNeverMissesAValueInRange) {
 
 TEST(RangeBinnerTest, RangePredicateBuildsInList) {
   auto binner = RangeBinner::Make(1880, 2011, 16).ValueOrDie();
-  Predicate p = binner.RangePredicate(1, 1990, 2011);
+  Predicate p = binner.RangePredicate(1, 1990, 2011).ValueOrDie();
   ASSERT_EQ(p.terms().size(), 1u);
   EXPECT_EQ(p.terms()[0].attr_index, 1);
   EXPECT_FALSE(p.terms()[0].values.empty());
 }
 
+TEST(RangeBinnerTest, RangePredicateRejectsInvertedBounds) {
+  auto binner = RangeBinner::Make(1880, 2011, 16).ValueOrDie();
+  auto r = binner.RangePredicate(1, 2000, 1990);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("inverted"), std::string::npos);
+}
+
+TEST(RangeBinnerTest, RangePredicateClampsHugeUpperBound) {
+  // Pre-fix, hi = UINT64_MAX wrapped through the signed cast to -1 and
+  // produced an inverted (empty) cover — a false-negative source. It must
+  // cover through the top of the domain.
+  auto binner = RangeBinner::Make(1880, 2011, 16).ValueOrDie();
+  Predicate p = binner.RangePredicate(1, 1990, UINT64_MAX).ValueOrDie();
+  ASSERT_EQ(p.terms().size(), 1u);
+  const auto& vals = p.terms()[0].values;
+  EXPECT_NE(std::find(vals.begin(), vals.end(), binner.BinOf(2011)),
+            vals.end());
+  EXPECT_NE(std::find(vals.begin(), vals.end(), binner.BinOf(1990)),
+            vals.end());
+}
+
+TEST(RangeBinnerTest, RangePredicateDisjointFromDomainMatchesNothing) {
+  auto binner = RangeBinner::Make(1880, 2011, 16).ValueOrDie();
+  // Entirely above the domain: an empty in-list (matches nothing), not a
+  // clamp onto the top edge bin (which would match its residents).
+  Predicate p = binner.RangePredicate(1, 5000, 6000).ValueOrDie();
+  ASSERT_EQ(p.terms().size(), 1u);
+  EXPECT_TRUE(p.terms()[0].values.empty());
+  EXPECT_FALSE(p.Matches(std::vector<uint64_t>{0, binner.BinOf(2011)}));
+}
+
 TEST(DyadicTest, LabelsCoverAllLevels) {
-  auto labels = DyadicLabels(13, 3);  // 13 = 0b1101
+  auto labels = DyadicLabels(13, 3).ValueOrDie();  // 13 = 0b1101
   ASSERT_EQ(labels.size(), 4u);
   EXPECT_EQ(labels[0], (DyadicInterval{0, 13}));
   EXPECT_EQ(labels[1], (DyadicInterval{1, 6}));
@@ -114,14 +145,14 @@ TEST(DyadicTest, LabelsCoverAllLevels) {
 
 TEST(DyadicTest, CoverIsMinimalForAlignedRange) {
   // [0, 7] at max_level 3 is exactly one level-3 interval.
-  auto cover = DyadicCover(0, 7, 3);
+  auto cover = DyadicCover(0, 7, 3).ValueOrDie();
   ASSERT_EQ(cover.size(), 1u);
   EXPECT_EQ(cover[0], (DyadicInterval{3, 0}));
 }
 
 TEST(DyadicTest, CoverDecomposesUnalignedRange) {
   // [1, 6]: {1}, [2,3], [4,5], {6} — 4 intervals.
-  auto cover = DyadicCover(1, 6, 4);
+  auto cover = DyadicCover(1, 6, 4).ValueOrDie();
   ASSERT_EQ(cover.size(), 4u);
   EXPECT_EQ(cover[0], (DyadicInterval{0, 1}));
   EXPECT_EQ(cover[1], (DyadicInterval{1, 1}));
@@ -134,9 +165,9 @@ TEST(DyadicTest, CoverQueryMatchesLabelsExactly) {
   constexpr int kMaxLevel = 6;
   for (uint64_t lo = 0; lo < 40; lo += 7) {
     for (uint64_t hi = lo; hi < 64; hi += 11) {
-      auto cover = DyadicCover(lo, hi, kMaxLevel);
+      auto cover = DyadicCover(lo, hi, kMaxLevel).ValueOrDie();
       for (uint64_t v = 0; v < 64; ++v) {
-        auto labels = DyadicLabels(v, kMaxLevel);
+        auto labels = DyadicLabels(v, kMaxLevel).ValueOrDie();
         bool hit = false;
         for (const auto& c : cover) {
           for (const auto& l : labels) {
@@ -152,13 +183,83 @@ TEST(DyadicTest, CoverQueryMatchesLabelsExactly) {
 
 TEST(DyadicTest, CoverSizeIsLogarithmic) {
   // At most 2·(max_level+1) intervals for any range.
-  auto cover = DyadicCover(1, 1022, 10);
+  auto cover = DyadicCover(1, 1022, 10).ValueOrDie();
   EXPECT_LE(cover.size(), 22u);
 }
 
 TEST(DyadicTest, LabelPacksLevelAndIndexDistinctly) {
   EXPECT_NE((DyadicInterval{0, 5}).Label(), (DyadicInterval{1, 5}).Label());
   EXPECT_NE((DyadicInterval{1, 5}).Label(), (DyadicInterval{1, 6}).Label());
+}
+
+TEST(DyadicTest, RejectsLevelBeyondPackedField) {
+  // Label() packs level into the top 6 bits; level 58+ would shift the
+  // level-0 index into the level field. The boundary level 57 is legal.
+  EXPECT_TRUE(DyadicLabels(0, kMaxDyadicLevel).ok());
+  EXPECT_FALSE(DyadicLabels(0, kMaxDyadicLevel + 1).ok());
+  EXPECT_FALSE(DyadicLabels(0, -1).ok());
+  EXPECT_TRUE(DyadicCover(0, 1, kMaxDyadicLevel).ok());
+  EXPECT_FALSE(DyadicCover(0, 1, kMaxDyadicLevel + 1).ok());
+}
+
+TEST(DyadicTest, RejectsValuesOutsideDomain) {
+  // An index >= 2^58 aliases into the packed level field, colliding labels
+  // across levels; such values must be rejected, not silently packed.
+  EXPECT_TRUE(DyadicLabels(kDyadicDomainSize - 1, 3).ok());
+  auto bad = DyadicLabels(kDyadicDomainSize, 3);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("2^58"), std::string::npos);
+  EXPECT_FALSE(DyadicLabels(UINT64_MAX, 3).ok());
+  // DyadicCover validates BOTH bounds: pre-fix an out-of-domain hi
+  // returned an incomplete cover instead of an error.
+  EXPECT_FALSE(DyadicCover(0, kDyadicDomainSize, kMaxDyadicLevel).ok());
+  EXPECT_FALSE(
+      DyadicCover(kDyadicDomainSize, UINT64_MAX, kMaxDyadicLevel).ok());
+  // The full domain is coverable when the level budget reaches it...
+  auto full = DyadicCover(0, kDyadicDomainSize - 1, kMaxDyadicLevel);
+  ASSERT_TRUE(full.ok());
+  EXPECT_LE(full.ValueOrDie().size(), 2u * (kMaxDyadicLevel + 1));
+  // ...but a small level budget over a huge range would degenerate into
+  // width / 2^max_level intervals (2^48 here): rejected, not materialized.
+  auto wide = DyadicCover(0, kDyadicDomainSize - 1, 10);
+  ASSERT_FALSE(wide.ok());
+  EXPECT_NE(wide.status().message().find("kMaxDyadicCoverIntervals"),
+            std::string::npos);
+}
+
+TEST(DyadicTest, BoundaryLabelsDoNotCollideAcrossLevels) {
+  // The largest legal level-0 label must stay distinct from every other
+  // level's labels for the same top-of-domain value.
+  const uint64_t top = kDyadicDomainSize - 1;
+  auto labels = DyadicLabels(top, kMaxDyadicLevel).ValueOrDie();
+  for (size_t i = 0; i < labels.size(); ++i) {
+    for (size_t j = i + 1; j < labels.size(); ++j) {
+      EXPECT_NE(labels[i].Label(), labels[j].Label());
+    }
+  }
+}
+
+TEST(DyadicTest, DifferentialCoverVsLabelsAtDomainTop) {
+  // value ∈ [lo, hi] ⇔ cover(lo, hi) ∩ labels(value) ≠ ∅, exercised at the
+  // very top of the dyadic domain where the pre-fix overflow lived.
+  constexpr int kMaxLevel = 8;
+  const uint64_t top = kDyadicDomainSize - 1;
+  for (uint64_t lo = top - 37; lo <= top - 5; lo += 7) {
+    for (uint64_t hi = lo; hi <= top; hi += 11) {
+      auto cover = DyadicCover(lo, hi, kMaxLevel).ValueOrDie();
+      for (uint64_t v = top - 40; v <= top && v >= top - 40; ++v) {
+        auto labels = DyadicLabels(v, kMaxLevel).ValueOrDie();
+        bool hit = false;
+        for (const auto& c : cover) {
+          for (const auto& l : labels) {
+            if (c == l) hit = true;
+          }
+        }
+        EXPECT_EQ(hit, v >= lo && v <= hi)
+            << "v=" << v << " range=[" << lo << "," << hi << "]";
+      }
+    }
+  }
 }
 
 }  // namespace
